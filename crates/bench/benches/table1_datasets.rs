@@ -1,0 +1,38 @@
+//! Table 1: dataset characteristics of the four (simulated) real datasets.
+//!
+//! Prints the published-vs-measured Table 1 rows and benchmarks dataset
+//! generation plus statistics computation per dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqbench_bench::bench_scale;
+use sqbench_generator::RealDataset;
+use sqbench_graph::DatasetStats;
+use sqbench_harness::experiments::table1;
+
+fn bench_table1(c: &mut Criterion) {
+    let scale = bench_scale();
+
+    // Regenerate the paper's Table 1 (published vs. measured).
+    let report = table1::run(&scale);
+    println!("{}", report.render_text());
+
+    let mut group = c.benchmark_group("table1_dataset_stats");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in RealDataset::ALL {
+        let dataset = kind.generate(scale.real_dataset_scale, scale.seed);
+        group.bench_with_input(
+            BenchmarkId::new("stats", kind.name()),
+            &dataset,
+            |b, ds| b.iter(|| DatasetStats::of(ds)),
+        );
+        group.bench_function(BenchmarkId::new("generate", kind.name()), |b| {
+            b.iter(|| kind.generate(scale.real_dataset_scale, scale.seed))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! # sqbench-bench
+//!
+//! Shared helpers for the Criterion benchmark targets. Each bench target in
+//! `benches/` regenerates one table or figure of the paper (printing the
+//! same rows/series the paper reports) and additionally micro-benchmarks a
+//! representative operation with Criterion.
+//!
+//! The experiment scale used by the benches sits between the test-suite
+//! smoke scale and the laptop scale: big enough that the paper's relative
+//! orderings (who wins, by roughly what factor) are visible, small enough
+//! that `cargo bench --workspace` finishes in minutes rather than the
+//! paper's multi-day grid.
+
+use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen, QueryWorkload};
+use sqbench_graph::Dataset;
+use sqbench_harness::ExperimentScale;
+use std::time::Duration;
+
+/// The experiment scale used by all figure benches.
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale {
+        graph_count: 60,
+        avg_nodes: 24,
+        avg_density: 0.08,
+        label_count: 8,
+        queries_per_size: 5,
+        query_sizes: vec![4, 8, 16],
+        real_dataset_scale: 0.004,
+        time_budget: Duration::from_secs(300),
+        seed: 20150831, // VLDB 2015 started on August 31st.
+    }
+}
+
+/// A default synthetic dataset at bench scale ("sane defaults" shape).
+pub fn default_dataset() -> Dataset {
+    let scale = bench_scale();
+    GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(scale.graph_count)
+            .with_avg_nodes(scale.avg_nodes)
+            .with_avg_density(scale.avg_density)
+            .with_label_count(scale.label_count)
+            .with_seed(scale.seed),
+    )
+    .generate()
+}
+
+/// Query workloads (one per size in the bench scale) over a dataset.
+pub fn default_workloads(dataset: &Dataset) -> Vec<QueryWorkload> {
+    let scale = bench_scale();
+    QueryGen::new(scale.seed ^ 0xbe_ac_11).generate_all_sizes(
+        dataset,
+        scale.queries_per_size,
+        &scale.query_sizes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scale_is_between_smoke_and_laptop() {
+        let scale = bench_scale();
+        assert!(scale.graph_count >= ExperimentScale::smoke().graph_count);
+        assert!(scale.graph_count <= ExperimentScale::laptop().graph_count);
+    }
+
+    #[test]
+    fn default_dataset_and_workloads_are_generated() {
+        let ds = default_dataset();
+        assert_eq!(ds.len(), bench_scale().graph_count);
+        let workloads = default_workloads(&ds);
+        assert_eq!(workloads.len(), 3);
+    }
+}

@@ -1,0 +1,179 @@
+//! Exhaustive enumeration of simple cycles.
+//!
+//! CT-Index hashes the canonical labels of simple cycles (alongside trees)
+//! into its fingerprints, and Tree+Δ enumerates the simple cycles of query
+//! graphs to build its on-demand Δ features. Cycle length is bounded by a
+//! configurable maximum (CT-Index uses 4 in the paper's configuration).
+
+use crate::canonical::{cycle_key, FeatureKey};
+use sqbench_graph::{Graph, Label, VertexId};
+use std::collections::BTreeMap;
+
+/// A simple cycle reported by the enumerator: the vertices in traversal
+/// order (the edge closing the cycle runs from the last vertex back to the
+/// first) and the canonical key of its label sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleInstance {
+    /// Vertices of the cycle in order; `vertices[0]` is the smallest id.
+    pub vertices: Vec<VertexId>,
+    /// Canonical key of the cycle's label sequence.
+    pub key: FeatureKey,
+}
+
+/// Enumerates every simple cycle of length `3..=max_len` (number of edges ==
+/// number of vertices) in `g`, each exactly once.
+pub fn enumerate_cycle_instances(g: &Graph, max_len: usize) -> Vec<CycleInstance> {
+    let mut cycles = Vec::new();
+    if max_len < 3 {
+        return cycles;
+    }
+    let n = g.vertex_count();
+    let mut path: Vec<VertexId> = Vec::with_capacity(max_len);
+    let mut on_path = vec![false; n];
+    for start in 0..n {
+        path.push(start);
+        on_path[start] = true;
+        dfs_cycles(g, start, start, max_len, &mut path, &mut on_path, &mut cycles);
+        on_path[start] = false;
+        path.pop();
+    }
+    cycles
+}
+
+fn dfs_cycles(
+    g: &Graph,
+    start: VertexId,
+    current: VertexId,
+    max_len: usize,
+    path: &mut Vec<VertexId>,
+    on_path: &mut Vec<bool>,
+    cycles: &mut Vec<CycleInstance>,
+) {
+    for &next in g.neighbors(current) {
+        if next == start && path.len() >= 3 {
+            // Close the cycle. To report each cycle exactly once, require
+            // that the start vertex is the smallest on the cycle and that the
+            // second vertex is smaller than the last (fixing a direction).
+            if path.iter().all(|&v| v >= start) && path[1] < *path.last().unwrap() {
+                let labels: Vec<Label> = path.iter().map(|&v| g.label(v)).collect();
+                cycles.push(CycleInstance {
+                    vertices: path.clone(),
+                    key: cycle_key(&labels),
+                });
+            }
+            continue;
+        }
+        if on_path[next] || next < start || path.len() >= max_len {
+            continue;
+        }
+        path.push(next);
+        on_path[next] = true;
+        dfs_cycles(g, start, next, max_len, path, on_path, cycles);
+        on_path[next] = false;
+        path.pop();
+    }
+}
+
+/// Enumerates simple cycles grouped by canonical key with occurrence counts.
+pub fn enumerate_cycles(g: &Graph, max_len: usize) -> BTreeMap<FeatureKey, usize> {
+    let mut out = BTreeMap::new();
+    for cycle in enumerate_cycle_instances(g, max_len) {
+        *out.entry(cycle.key).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqbench_graph::GraphBuilder;
+
+    fn triangle() -> Graph {
+        GraphBuilder::new("tri")
+            .vertices(&[1, 2, 3])
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap()
+    }
+
+    fn square() -> Graph {
+        GraphBuilder::new("sq")
+            .vertices(&[1, 2, 1, 2])
+            .edges(&[(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build()
+            .unwrap()
+    }
+
+    /// K4: four vertices, all six edges.
+    fn k4() -> Graph {
+        GraphBuilder::new("k4")
+            .vertices(&[0, 0, 0, 0])
+            .edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn triangle_has_one_cycle() {
+        let cycles = enumerate_cycle_instances(&triangle(), 4);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].vertices.len(), 3);
+    }
+
+    #[test]
+    fn square_has_one_cycle_of_length_four() {
+        let cycles = enumerate_cycle_instances(&square(), 4);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].vertices.len(), 4);
+        // Not found if the limit is 3.
+        assert!(enumerate_cycle_instances(&square(), 3).is_empty());
+    }
+
+    #[test]
+    fn k4_cycle_census() {
+        // K4 has 4 triangles and 3 four-cycles.
+        let cycles = enumerate_cycle_instances(&k4(), 4);
+        let triangles = cycles.iter().filter(|c| c.vertices.len() == 3).count();
+        let squares = cycles.iter().filter(|c| c.vertices.len() == 4).count();
+        assert_eq!(triangles, 4);
+        assert_eq!(squares, 3);
+        // With the limit at 3 only the triangles remain.
+        assert_eq!(enumerate_cycle_instances(&k4(), 3).len(), 4);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let path = GraphBuilder::new("p")
+            .vertices(&[1, 2, 3, 4])
+            .edges(&[(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
+        assert!(enumerate_cycle_instances(&path, 8).is_empty());
+        assert!(enumerate_cycles(&path, 8).is_empty());
+    }
+
+    #[test]
+    fn grouped_counts_sum_to_instance_count() {
+        let g = k4();
+        let instances = enumerate_cycle_instances(&g, 4);
+        let grouped = enumerate_cycles(&g, 4);
+        assert_eq!(grouped.values().sum::<usize>(), instances.len());
+    }
+
+    #[test]
+    fn isomorphic_cycles_share_keys_across_graphs() {
+        let a = enumerate_cycles(&triangle(), 3);
+        let b_graph = GraphBuilder::new("tri2")
+            .vertices(&[3, 1, 2]) // same labels, different numbering
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let b = enumerate_cycles(&b_graph, 3);
+        assert_eq!(a.keys().collect::<Vec<_>>(), b.keys().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn max_len_below_three_yields_nothing() {
+        assert!(enumerate_cycle_instances(&triangle(), 2).is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! Exhaustive enumeration of connected subgraphs (edge subsets).
+//!
+//! gIndex's features are general connected graph fragments; CT-Index and
+//! Tree+Δ restrict themselves to trees (and cycles). Both restrictions are
+//! built on the same primitive: enumerate every connected subset of up to
+//! `max_edges` edges of a graph, exactly once. This module provides that
+//! primitive plus the convenience wrapper that groups fragments by canonical
+//! key.
+
+use crate::canonical::{graph_key, FeatureKey};
+use sqbench_graph::{Graph, VertexId};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// An edge of the host graph identified by its endpoints with `u < v`.
+pub type EdgeRef = (VertexId, VertexId);
+
+/// Calls `visit` exactly once for every connected subset of at most
+/// `max_edges` edges of `g` (subsets of size ≥ 1). The subset is passed as a
+/// sorted slice of `(u, v)` pairs with `u < v`.
+///
+/// When `acyclic_only` is true, only subsets that form trees are visited
+/// (the extension step never closes a cycle), which is both a correctness
+/// filter and a large pruning win for tree-feature enumeration.
+pub fn for_each_connected_edge_subset<F>(
+    g: &Graph,
+    max_edges: usize,
+    acyclic_only: bool,
+    mut visit: F,
+) where
+    F: FnMut(&[EdgeRef]),
+{
+    if max_edges == 0 {
+        return;
+    }
+    let edges: Vec<EdgeRef> = g.edges().collect();
+    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    for (i, &first) in edges.iter().enumerate() {
+        let mut subset: Vec<usize> = vec![i];
+        let mut vertices: BTreeSet<VertexId> = BTreeSet::new();
+        vertices.insert(first.0);
+        vertices.insert(first.1);
+        emit(&edges, &subset, &mut seen, &mut visit);
+        extend(
+            g,
+            &edges,
+            i,
+            max_edges,
+            acyclic_only,
+            &mut subset,
+            &mut vertices,
+            &mut seen,
+            &mut visit,
+        );
+    }
+}
+
+/// Reports the subset through `visit` if it has not been produced before.
+fn emit<F>(
+    edges: &[EdgeRef],
+    subset: &[usize],
+    seen: &mut HashSet<Vec<u32>>,
+    visit: &mut F,
+) -> bool
+where
+    F: FnMut(&[EdgeRef]),
+{
+    let mut key: Vec<u32> = subset.iter().map(|&i| i as u32).collect();
+    key.sort_unstable();
+    if !seen.insert(key) {
+        return false;
+    }
+    let mut resolved: Vec<EdgeRef> = subset.iter().map(|&i| edges[i]).collect();
+    resolved.sort_unstable();
+    visit(&resolved);
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend<F>(
+    g: &Graph,
+    edges: &[EdgeRef],
+    min_edge: usize,
+    max_edges: usize,
+    acyclic_only: bool,
+    subset: &mut Vec<usize>,
+    vertices: &mut BTreeSet<VertexId>,
+    seen: &mut HashSet<Vec<u32>>,
+    visit: &mut F,
+) where
+    F: FnMut(&[EdgeRef]),
+{
+    if subset.len() >= max_edges {
+        return;
+    }
+    // Candidate extensions: edges with index > min_edge (so each subset is
+    // rooted at its minimum edge) that touch the current vertex set and are
+    // not already included.
+    for (j, &(u, v)) in edges.iter().enumerate().skip(min_edge + 1) {
+        if subset.contains(&j) {
+            continue;
+        }
+        let touches_u = vertices.contains(&u);
+        let touches_v = vertices.contains(&v);
+        if !touches_u && !touches_v {
+            continue;
+        }
+        if acyclic_only && touches_u && touches_v {
+            // Both endpoints already present: adding this edge closes a cycle.
+            continue;
+        }
+        subset.push(j);
+        let added_u = vertices.insert(u);
+        let added_v = vertices.insert(v);
+        if emit(edges, subset, seen, visit) {
+            extend(
+                g,
+                edges,
+                min_edge,
+                max_edges,
+                acyclic_only,
+                subset,
+                vertices,
+                seen,
+                visit,
+            );
+        }
+        if added_u {
+            vertices.remove(&u);
+        }
+        if added_v {
+            vertices.remove(&v);
+        }
+        subset.pop();
+    }
+}
+
+/// Builds a standalone [`Graph`] from a connected edge subset of `g`.
+/// Vertices are renumbered densely; labels are preserved.
+pub fn subgraph_from_edges(g: &Graph, edges: &[EdgeRef]) -> Graph {
+    let mut mapping: BTreeMap<VertexId, VertexId> = BTreeMap::new();
+    let mut sub = Graph::with_capacity("fragment", edges.len() + 1);
+    for &(u, v) in edges {
+        for w in [u, v] {
+            mapping.entry(w).or_insert_with(|| sub.add_vertex(g.label(w)));
+        }
+    }
+    for &(u, v) in edges {
+        let su = mapping[&u];
+        let sv = mapping[&v];
+        let _ = sub.add_edge_if_absent(su, sv);
+    }
+    sub
+}
+
+/// Enumerates all connected subgraphs of up to `max_edges` edges and groups
+/// them by canonical key, counting the number of distinct edge subsets that
+/// realize each key.
+pub fn enumerate_connected_subgraphs(g: &Graph, max_edges: usize) -> BTreeMap<FeatureKey, usize> {
+    let mut out: BTreeMap<FeatureKey, usize> = BTreeMap::new();
+    for_each_connected_edge_subset(g, max_edges, false, |edges| {
+        let fragment = subgraph_from_edges(g, edges);
+        *out.entry(graph_key(&fragment)).or_insert(0) += 1;
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqbench_graph::GraphBuilder;
+
+    fn triangle() -> Graph {
+        GraphBuilder::new("tri")
+            .vertices(&[1, 2, 3])
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap()
+    }
+
+    fn path4() -> Graph {
+        GraphBuilder::new("p4")
+            .vertices(&[0, 0, 0, 0])
+            .edges(&[(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn triangle_edge_subsets() {
+        // Connected subsets of a triangle: 3 single edges, 3 two-edge paths,
+        // 1 full triangle = 7.
+        let mut count = 0;
+        for_each_connected_edge_subset(&triangle(), 3, false, |_| count += 1);
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn triangle_acyclic_subsets() {
+        // Acyclic subsets exclude the full triangle: 6.
+        let mut count = 0;
+        for_each_connected_edge_subset(&triangle(), 3, true, |_| count += 1);
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn subsets_are_unique_and_connected() {
+        let g = path4();
+        let mut seen = std::collections::HashSet::new();
+        for_each_connected_edge_subset(&g, 3, false, |edges| {
+            assert!(seen.insert(edges.to_vec()), "duplicate subset {edges:?}");
+            let sub = subgraph_from_edges(&g, edges);
+            assert!(sqbench_graph::algo::is_connected(&sub));
+        });
+        // Path with 3 edges: subsets = 3 singles + 2 pairs + 1 triple = 6.
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn max_edges_zero_visits_nothing() {
+        let mut count = 0;
+        for_each_connected_edge_subset(&triangle(), 0, false, |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn max_edges_one_visits_each_edge() {
+        let mut count = 0;
+        for_each_connected_edge_subset(&path4(), 1, false, |edges| {
+            assert_eq!(edges.len(), 1);
+            count += 1;
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn subgraph_from_edges_preserves_labels() {
+        let g = triangle();
+        let sub = subgraph_from_edges(&g, &[(0, 1), (1, 2)]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        let mut labels: Vec<u32> = sub.labels().to_vec();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn canonical_grouping_counts_isomorphic_fragments() {
+        // Path 0-0-0-0: single-edge fragments are all (0,0) -> one key with
+        // count 3; two-edge fragments are all (0,0,0) -> one key count 2;
+        // three-edge fragment -> one key count 1.
+        let groups = enumerate_connected_subgraphs(&path4(), 3);
+        assert_eq!(groups.len(), 3);
+        let counts: Vec<usize> = groups.values().copied().collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_host_graph_only_yields_connected_fragments() {
+        let g = GraphBuilder::new("2e")
+            .vertices(&[1, 1, 1, 1])
+            .edges(&[(0, 1), (2, 3)])
+            .build()
+            .unwrap();
+        let mut max_size = 0;
+        for_each_connected_edge_subset(&g, 4, false, |edges| {
+            max_size = max_size.max(edges.len());
+        });
+        // The two edges are disconnected from each other, so no subset has
+        // more than one edge.
+        assert_eq!(max_size, 1);
+    }
+}

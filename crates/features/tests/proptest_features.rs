@@ -1,0 +1,252 @@
+//! Property-based tests for the feature-extraction layer.
+//!
+//! The load-bearing invariant of every filter-and-verify index is that
+//! canonical keys behave like isomorphism classes: two fragments get the
+//! same key exactly when they are isomorphic, and any feature of a query is
+//! also a feature of every graph containing the query. These properties are
+//! checked here with VF2 as the isomorphism oracle.
+
+use proptest::prelude::*;
+use sqbench_features::canonical::{graph_key, tree_key};
+use sqbench_features::cycles::enumerate_cycles;
+use sqbench_features::mining::{FeatureKind, MiningConfig};
+use sqbench_features::paths::{enumerate_paths, for_each_path};
+use sqbench_features::subgraphs::enumerate_connected_subgraphs;
+use sqbench_features::trees::enumerate_trees;
+use sqbench_features::{Fingerprint, FrequentMiner};
+use sqbench_graph::{Dataset, Graph};
+use sqbench_iso::vf2;
+
+/// Random connected labeled graph with up to `max_n` vertices.
+fn arb_connected_graph(max_n: usize, max_labels: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..max_labels, n);
+        let parents: Vec<_> = (1..n).map(|v| 0..v).collect();
+        let extra = proptest::collection::vec(any::<bool>(), n * (n - 1) / 2);
+        (labels, parents, extra).prop_map(move |(labels, parents, extra)| {
+            let mut g = Graph::new("prop");
+            for &l in &labels {
+                g.add_vertex(l);
+            }
+            for (v, p) in parents.into_iter().enumerate() {
+                g.add_edge(p, v + 1).unwrap();
+            }
+            let mut k = 0;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if extra[k] {
+                        let _ = g.add_edge_if_absent(u, v);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+/// A random relabeling (isomorphic copy) of a graph.
+fn shuffled_copy(g: &Graph, seed: u64) -> Graph {
+    let n = g.vertex_count();
+    // Deterministic permutation derived from the seed.
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    for i in (1..n).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let j = (state >> 33) as usize % (i + 1);
+        perm.swap(i, j);
+    }
+    let mut copy = Graph::new("copy");
+    let mut inverse = vec![0usize; n];
+    for (old, &new_pos) in perm.iter().enumerate() {
+        inverse[new_pos] = old;
+    }
+    for &old in &inverse {
+        copy.add_vertex(g.label(old));
+    }
+    for (u, v) in g.edges() {
+        copy.add_edge(perm[u], perm[v]).unwrap();
+    }
+    copy
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Isomorphic graphs (random relabelings) always receive the same
+    /// canonical key; graphs whose keys match are indeed isomorphic per VF2.
+    #[test]
+    fn canonical_key_is_an_isomorphism_invariant(
+        g in arb_connected_graph(7, 3),
+        seed in 0u64..1000,
+    ) {
+        let copy = shuffled_copy(&g, seed);
+        prop_assert_eq!(graph_key(&g), graph_key(&copy));
+        // VF2 in both directions confirms the copy really is isomorphic.
+        prop_assert!(vf2::has_subgraph_embedding(&g, &copy));
+        prop_assert!(vf2::has_subgraph_embedding(&copy, &g));
+    }
+
+    /// Two graphs with equal canonical keys are isomorphic (checked via
+    /// containment in both directions), and non-isomorphic graphs of the
+    /// same size get different keys.
+    #[test]
+    fn equal_keys_imply_isomorphism(
+        a in arb_connected_graph(6, 2),
+        b in arb_connected_graph(6, 2),
+    ) {
+        let isomorphic = a.vertex_count() == b.vertex_count()
+            && a.edge_count() == b.edge_count()
+            && vf2::has_subgraph_embedding(&a, &b)
+            && vf2::has_subgraph_embedding(&b, &a);
+        prop_assert_eq!(graph_key(&a) == graph_key(&b), isomorphic);
+    }
+
+    /// Every feature of a subgraph is a feature of its supergraph: paths,
+    /// trees, cycles and general fragments enumerated from an induced
+    /// subgraph all appear among the supergraph's features.
+    #[test]
+    fn features_are_monotone_under_containment(
+        g in arb_connected_graph(8, 3),
+        keep in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let vertices: Vec<usize> = g
+            .vertices()
+            .filter(|&v| keep.get(v).copied().unwrap_or(false))
+            .collect();
+        let sub = g.induced_subgraph(&vertices);
+        // Paths.
+        let sub_paths = enumerate_paths(&sub, 3);
+        let super_paths = enumerate_paths(&g, 3);
+        for (key, occ) in sub_paths.iter() {
+            let sup = super_paths.get(key);
+            prop_assert!(sup.is_some(), "path {key} missing from supergraph");
+            prop_assert!(sup.unwrap().count >= occ.count);
+        }
+        // Trees.
+        let sub_trees = enumerate_trees(&sub, 3);
+        let super_trees = enumerate_trees(&g, 3);
+        for (key, count) in &sub_trees {
+            prop_assert!(super_trees.get(key).is_some_and(|c| c >= count));
+        }
+        // Cycles.
+        let sub_cycles = enumerate_cycles(&sub, 4);
+        let super_cycles = enumerate_cycles(&g, 4);
+        for (key, count) in &sub_cycles {
+            prop_assert!(super_cycles.get(key).is_some_and(|c| c >= count));
+        }
+        // General connected fragments.
+        let sub_frags = enumerate_connected_subgraphs(&sub, 2);
+        let super_frags = enumerate_connected_subgraphs(&g, 2);
+        for (key, count) in &sub_frags {
+            prop_assert!(super_frags.get(key).is_some_and(|c| c >= count));
+        }
+    }
+
+    /// Tree enumeration is exactly the acyclic subset of subgraph
+    /// enumeration (same fragment count for acyclic shapes).
+    #[test]
+    fn trees_are_a_subset_of_subgraphs(g in arb_connected_graph(7, 3)) {
+        let trees = enumerate_trees(&g, 3);
+        let subgraphs = enumerate_connected_subgraphs(&g, 3);
+        // Total tree subsets can never exceed total connected subsets.
+        let tree_total: usize = trees.values().sum();
+        let subgraph_total: usize = subgraphs.values().sum();
+        prop_assert!(tree_total <= subgraph_total);
+    }
+
+    /// The number of directed traversals emitted by `for_each_path` equals
+    /// the sum of occurrence counts recorded by `enumerate_paths`.
+    #[test]
+    fn path_counts_are_consistent(g in arb_connected_graph(7, 3)) {
+        let mut traversals = 0usize;
+        for_each_path(&g, 3, |_, _| traversals += 1);
+        let set = enumerate_paths(&g, 3);
+        let counted: usize = set.iter().map(|(_, occ)| occ.count).sum();
+        prop_assert_eq!(traversals, counted);
+    }
+
+    /// A graph's fingerprint always covers the fingerprint of any of its
+    /// induced subgraphs (the CT-Index filtering invariant).
+    #[test]
+    fn fingerprints_cover_subgraph_fingerprints(
+        g in arb_connected_graph(8, 3),
+        keep in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let vertices: Vec<usize> = g
+            .vertices()
+            .filter(|&v| keep.get(v).copied().unwrap_or(false))
+            .collect();
+        let sub = g.induced_subgraph(&vertices);
+        let build = |graph: &Graph| {
+            let mut fp = Fingerprint::new(1024);
+            for (key, _) in enumerate_trees(graph, 3) {
+                fp.insert_key(&key, 1);
+            }
+            for (key, _) in enumerate_cycles(graph, 4) {
+                fp.insert_key(&key, 1);
+            }
+            fp
+        };
+        prop_assert!(build(&g).covers(&build(&sub)));
+    }
+
+    /// Lowering the support threshold can only add mined features, never
+    /// remove them, and every mined feature's support is correct w.r.t. a
+    /// direct VF2 check.
+    #[test]
+    fn mining_monotone_in_support_and_supports_are_sound(seed in 0u64..300) {
+        // Small deterministic dataset derived from the seed.
+        let graphs: Vec<Graph> = (0..5)
+            .map(|i| {
+                let mut g = Graph::new(format!("g{i}"));
+                let n = 4 + ((seed as usize + i) % 3);
+                for v in 0..n {
+                    g.add_vertex(((seed as usize + v + i) % 3) as u32);
+                }
+                for v in 1..n {
+                    g.add_edge(v - 1, v).unwrap();
+                }
+                if n >= 3 && (seed + i as u64) % 2 == 0 {
+                    let _ = g.add_edge_if_absent(0, 2);
+                }
+                g
+            })
+            .collect();
+        let ds = Dataset::from_graphs("mine", graphs);
+        let strict = FrequentMiner::new(MiningConfig {
+            max_feature_edges: 2,
+            min_support_ratio: 0.6,
+            discriminative_ratio: 1.0,
+            kind: FeatureKind::Tree,
+        })
+        .mine(&ds);
+        let relaxed = FrequentMiner::new(MiningConfig {
+            max_feature_edges: 2,
+            min_support_ratio: 0.2,
+            discriminative_ratio: 1.0,
+            kind: FeatureKind::Tree,
+        })
+        .mine(&ds);
+        for key in strict.keys() {
+            prop_assert!(relaxed.contains_key(key));
+        }
+        // Support lists are exactly the graphs containing the fragment.
+        for feature in relaxed.values() {
+            for gid in ds.ids() {
+                let contains =
+                    vf2::has_subgraph_embedding(&feature.fragment, ds.graph(gid).unwrap());
+                prop_assert_eq!(
+                    contains,
+                    feature.supporting_graphs.contains(&gid),
+                    "support list wrong for {}", feature.key
+                );
+            }
+        }
+        // Tree keys come from the tree namespace.
+        for feature in relaxed.values() {
+            prop_assert!(feature.key.as_str().starts_with("T:"));
+            let _ = tree_key(&feature.fragment); // must not panic: fragments are trees
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Random-walk query workload generator (§4.3 of the paper).
+//!
+//! Queries are constructed by:
+//!
+//! 1. selecting a graph uniformly at random from the dataset;
+//! 2. selecting a start node uniformly at random from that graph;
+//! 3. performing a random walk from that node;
+//! 4. maintaining the graph formed by the union of visited nodes and
+//!    travelled edges;
+//! 5. stopping when the desired number of query edges has been collected.
+//!
+//! Because queries are extracted from dataset graphs they are guaranteed to
+//! have at least one answer, and on average they share the dataset's density
+//! and label distribution — exactly the property the paper relies on when it
+//! interprets false-positive ratios.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sqbench_graph::{Dataset, Graph, GraphId, VertexId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A query workload: a set of query graphs of a common target size, plus the
+/// id of the dataset graph each query was extracted from (useful for sanity
+/// checks — that graph must always appear in the answer set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// Requested number of edges per query.
+    pub edges_per_query: usize,
+    /// The query graphs.
+    pub queries: Vec<Graph>,
+    /// For each query, the dataset graph it was extracted from.
+    pub source_graphs: Vec<GraphId>,
+}
+
+impl QueryWorkload {
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` if the workload contains no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterator over `(query, source graph id)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Graph, GraphId)> + '_ {
+        self.queries
+            .iter()
+            .zip(self.source_graphs.iter().copied())
+    }
+}
+
+/// Random-walk query generator.
+#[derive(Debug, Clone)]
+pub struct QueryGen {
+    seed: u64,
+    /// Maximum number of (graph, start vertex) attempts per query before the
+    /// generator gives up and accepts a smaller query. Dataset graphs whose
+    /// components are smaller than the requested query size make a full-size
+    /// extraction impossible, so a bound is required for termination.
+    max_attempts: usize,
+}
+
+impl QueryGen {
+    /// Creates a query generator with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        QueryGen {
+            seed,
+            max_attempts: 50,
+        }
+    }
+
+    /// Overrides the per-query retry budget.
+    pub fn with_max_attempts(mut self, max_attempts: usize) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Generates `count` queries of `edges_per_query` edges each from the
+    /// dataset. Panics only if the dataset is empty.
+    pub fn generate(
+        &self,
+        dataset: &Dataset,
+        count: usize,
+        edges_per_query: usize,
+    ) -> QueryWorkload {
+        assert!(
+            !dataset.is_empty(),
+            "cannot generate queries from an empty dataset"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(edges_per_query as u64));
+        let mut queries = Vec::with_capacity(count);
+        let mut source_graphs = Vec::with_capacity(count);
+        for qi in 0..count {
+            let (query, source) = self.generate_one(&mut rng, dataset, edges_per_query, qi);
+            queries.push(query);
+            source_graphs.push(source);
+        }
+        QueryWorkload {
+            edges_per_query,
+            queries,
+            source_graphs,
+        }
+    }
+
+    /// Generates query workloads for each of the given sizes (the paper uses
+    /// 4, 8, 16 and 32 edges).
+    pub fn generate_all_sizes(
+        &self,
+        dataset: &Dataset,
+        count_per_size: usize,
+        sizes: &[usize],
+    ) -> Vec<QueryWorkload> {
+        sizes
+            .iter()
+            .map(|&s| self.generate(dataset, count_per_size, s))
+            .collect()
+    }
+
+    fn generate_one(
+        &self,
+        rng: &mut StdRng,
+        dataset: &Dataset,
+        target_edges: usize,
+        query_index: usize,
+    ) -> (Graph, GraphId) {
+        let mut best: Option<(Graph, GraphId)> = None;
+        for _ in 0..self.max_attempts {
+            let gid = rng.gen_range(0..dataset.len());
+            let graph = dataset.graph_unchecked(gid);
+            if graph.vertex_count() == 0 || graph.edge_count() == 0 {
+                continue;
+            }
+            let start = rng.gen_range(0..graph.vertex_count());
+            let extracted = random_walk_subgraph(rng, graph, start, target_edges, query_index);
+            let is_better = match &best {
+                None => true,
+                Some((b, _)) => extracted.edge_count() > b.edge_count(),
+            };
+            if is_better {
+                let full = extracted.edge_count() >= target_edges;
+                best = Some((extracted, gid));
+                if full {
+                    break;
+                }
+            }
+        }
+        best.unwrap_or_else(|| {
+            // Degenerate dataset (all graphs edge-less): fall back to a
+            // single-vertex query extracted from graph 0.
+            let g = dataset.graph_unchecked(0);
+            let mut q = Graph::new(format!("query-{query_index}"));
+            if g.vertex_count() > 0 {
+                q.add_vertex(g.label(0));
+            }
+            (q, 0)
+        })
+    }
+}
+
+/// Extracts a connected subgraph of `graph` with (up to) `target_edges`
+/// edges by random walk from `start`, keeping the union of visited vertices
+/// and travelled edges.
+fn random_walk_subgraph(
+    rng: &mut StdRng,
+    graph: &Graph,
+    start: VertexId,
+    target_edges: usize,
+    query_index: usize,
+) -> Graph {
+    // Collected vertices (original id -> query id) and edges (original ids).
+    let mut vertex_map: BTreeMap<VertexId, VertexId> = BTreeMap::new();
+    let mut edges: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
+    let mut query = Graph::new(format!("query-{query_index}"));
+
+    let qstart = query.add_vertex(graph.label(start));
+    vertex_map.insert(start, qstart);
+
+    let mut current = start;
+    // The walk needs a step budget: on graphs whose component has fewer than
+    // `target_edges` edges the target is unreachable.
+    let budget = (target_edges * 50).max(200);
+    for _ in 0..budget {
+        if edges.len() >= target_edges {
+            break;
+        }
+        let neighbors = graph.neighbors(current);
+        if neighbors.is_empty() {
+            break;
+        }
+        // Prefer edges not yet travelled so the walk keeps growing even when
+        // it doubles back; fall back to any neighbor to keep moving.
+        let fresh: Vec<VertexId> = neighbors
+            .iter()
+            .copied()
+            .filter(|&w| {
+                let key = if current < w { (current, w) } else { (w, current) };
+                !edges.contains(&key)
+            })
+            .collect();
+        let next = if !fresh.is_empty() {
+            fresh[rng.gen_range(0..fresh.len())]
+        } else {
+            neighbors[rng.gen_range(0..neighbors.len())]
+        };
+        let key = if current < next {
+            (current, next)
+        } else {
+            (next, current)
+        };
+        if !vertex_map.contains_key(&next) {
+            let qid = query.add_vertex(graph.label(next));
+            vertex_map.insert(next, qid);
+        }
+        if edges.insert(key) {
+            let qu = vertex_map[&current];
+            let qv = vertex_map[&next];
+            let _ = query.add_edge_if_absent(qu, qv);
+        }
+        current = next;
+    }
+    query
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphgen::{GraphGen, GraphGenConfig};
+    use sqbench_graph::algo;
+
+    fn small_dataset() -> Dataset {
+        GraphGen::new(
+            GraphGenConfig::small()
+                .with_graph_count(20)
+                .with_avg_nodes(40)
+                .with_seed(100),
+        )
+        .generate()
+    }
+
+    #[test]
+    fn generates_requested_count_and_size() {
+        let ds = small_dataset();
+        let wl = QueryGen::new(1).generate(&ds, 15, 8);
+        assert_eq!(wl.len(), 15);
+        assert_eq!(wl.edges_per_query, 8);
+        for (q, _) in wl.iter() {
+            assert_eq!(q.edge_count(), 8, "query {} has wrong size", q.name());
+        }
+    }
+
+    #[test]
+    fn queries_are_connected() {
+        let ds = small_dataset();
+        let wl = QueryGen::new(2).generate(&ds, 20, 16);
+        for (q, _) in wl.iter() {
+            assert!(algo::is_connected(q));
+        }
+    }
+
+    #[test]
+    fn queries_use_labels_of_source_graph() {
+        let ds = small_dataset();
+        let wl = QueryGen::new(3).generate(&ds, 10, 4);
+        for (q, src) in wl.iter() {
+            let source = ds.graph(src).unwrap();
+            let source_labels: std::collections::BTreeSet<u32> =
+                source.labels().iter().copied().collect();
+            assert!(q.labels().iter().all(|l| source_labels.contains(l)));
+        }
+    }
+
+    #[test]
+    fn query_is_subgraph_of_source_in_edge_count() {
+        let ds = small_dataset();
+        let wl = QueryGen::new(4).generate(&ds, 10, 32);
+        for (q, src) in wl.iter() {
+            let source = ds.graph(src).unwrap();
+            assert!(q.edge_count() <= source.edge_count());
+            assert!(q.vertex_count() <= source.vertex_count());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let ds = small_dataset();
+        let a = QueryGen::new(7).generate(&ds, 5, 8);
+        let b = QueryGen::new(7).generate(&ds, 5, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_sizes_generates_one_workload_per_size() {
+        let ds = small_dataset();
+        let workloads = QueryGen::new(8).generate_all_sizes(&ds, 3, &[4, 8, 16, 32]);
+        assert_eq!(workloads.len(), 4);
+        assert_eq!(workloads[0].edges_per_query, 4);
+        assert_eq!(workloads[3].edges_per_query, 32);
+    }
+
+    #[test]
+    fn small_graphs_yield_best_effort_queries() {
+        // Dataset of triangles: a 32-edge query cannot exist; the generator
+        // must still terminate and return the largest extraction it found.
+        let mut ds = Dataset::new("triangles");
+        for i in 0..5 {
+            let mut g = Graph::new(format!("t{i}"));
+            let a = g.add_vertex(0);
+            let b = g.add_vertex(1);
+            let c = g.add_vertex(2);
+            g.add_edge(a, b).unwrap();
+            g.add_edge(b, c).unwrap();
+            g.add_edge(c, a).unwrap();
+            ds.push(g);
+        }
+        let wl = QueryGen::new(9).generate(&ds, 4, 32);
+        assert_eq!(wl.len(), 4);
+        for (q, _) in wl.iter() {
+            assert!(q.edge_count() <= 3);
+            assert!(q.edge_count() >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let ds = Dataset::new("empty");
+        QueryGen::new(1).generate(&ds, 1, 4);
+    }
+}

@@ -1,0 +1,374 @@
+//! Simulators of the four real datasets used in the paper.
+//!
+//! The paper evaluates on AIDS, PDBS, PCM and PPI, whose characteristics are
+//! summarized in its Table 1. The raw files are not redistributable here, so
+//! this module synthesizes datasets that match the published statistics:
+//! number of graphs, number of distinct labels, mean and standard deviation
+//! of the node count, average edge count (equivalently average degree),
+//! average number of distinct labels per graph, and the share of
+//! disconnected graphs. Each of the four presets occupies the same corner of
+//! the design space as the original dataset:
+//!
+//! * **AIDS-like** — many small, sparse, tree-like molecule graphs;
+//! * **PDBS-like** — a moderate number of large but very sparse graphs;
+//! * **PCM-like** — a moderate number of medium-sized, *dense* graphs
+//!   (average degree ≈ 23);
+//! * **PPI-like** — a handful of very large graphs of medium density.
+//!
+//! A global `scale` factor shrinks graph counts and node counts
+//! proportionally so the full benchmark pipeline runs at laptop scale while
+//! preserving the relative regimes (AIDS stays "many small graphs", PPI
+//! stays "few huge graphs").
+
+use crate::sweeps::normal_sample;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sqbench_graph::{Dataset, Graph, Label};
+
+/// Identifiers of the four real datasets from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RealDataset {
+    /// NCI AIDS antiviral screen: 40 000 small molecule graphs.
+    Aids,
+    /// Protein Data Bank structures: 600 large, sparse graphs.
+    Pdbs,
+    /// Protein contact maps: 200 medium-sized, dense graphs.
+    Pcm,
+    /// Protein-protein interaction networks: 20 very large graphs.
+    Ppi,
+}
+
+impl RealDataset {
+    /// All four datasets in the order used by Figure 1.
+    pub const ALL: [RealDataset; 4] = [
+        RealDataset::Aids,
+        RealDataset::Pdbs,
+        RealDataset::Pcm,
+        RealDataset::Ppi,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RealDataset::Aids => "AIDS",
+            RealDataset::Pdbs => "PDBS",
+            RealDataset::Pcm => "PCM",
+            RealDataset::Ppi => "PPI",
+        }
+    }
+
+    /// The published Table 1 characteristics for this dataset.
+    pub fn spec(&self) -> RealDatasetSpec {
+        match self {
+            RealDataset::Aids => RealDatasetSpec {
+                dataset: *self,
+                graph_count: 40000,
+                disconnected_graphs: 3157,
+                label_count: 62,
+                avg_nodes: 45.0,
+                stddev_nodes: 21.7,
+                avg_edges: 46.95,
+                avg_labels_per_graph: 4.4,
+            },
+            RealDataset::Pdbs => RealDatasetSpec {
+                dataset: *self,
+                graph_count: 600,
+                disconnected_graphs: 360,
+                label_count: 10,
+                avg_nodes: 2939.0,
+                stddev_nodes: 3215.0,
+                avg_edges: 3064.0,
+                avg_labels_per_graph: 6.4,
+            },
+            RealDataset::Pcm => RealDatasetSpec {
+                dataset: *self,
+                graph_count: 200,
+                disconnected_graphs: 200,
+                label_count: 21,
+                avg_nodes: 377.0,
+                stddev_nodes: 186.7,
+                avg_edges: 4340.0,
+                avg_labels_per_graph: 18.9,
+            },
+            RealDataset::Ppi => RealDatasetSpec {
+                dataset: *self,
+                graph_count: 20,
+                disconnected_graphs: 20,
+                label_count: 46,
+                avg_nodes: 4942.0,
+                stddev_nodes: 2648.0,
+                avg_edges: 26667.0,
+                avg_labels_per_graph: 28.5,
+            },
+        }
+    }
+
+    /// Generates a laptop-scale simulated version of this dataset (see
+    /// [`RealDatasetSpec::generate_scaled`]). `scale` in `(0, 1]` shrinks
+    /// graph counts and node counts; `1.0` reproduces the published sizes.
+    pub fn generate(&self, scale: f64, seed: u64) -> Dataset {
+        self.spec().generate_scaled(scale, seed)
+    }
+
+    /// Generates a simulated version with independent scale factors for the
+    /// number of graphs and the per-graph node count. Useful when the
+    /// published graphs are already small (AIDS: shrink the count, keep the
+    /// molecules full-size) or already few (PPI: keep the count, shrink the
+    /// graphs).
+    pub fn generate_with(&self, graph_scale: f64, node_scale: f64, seed: u64) -> Dataset {
+        self.spec()
+            .generate_scaled_separately(graph_scale, node_scale, seed)
+    }
+}
+
+/// Published Table 1 characteristics of a real dataset, used as the
+/// generation target for its simulated stand-in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealDatasetSpec {
+    /// Which dataset these characteristics describe.
+    pub dataset: RealDataset,
+    /// Number of graphs.
+    pub graph_count: usize,
+    /// Number of graphs that are disconnected.
+    pub disconnected_graphs: usize,
+    /// Number of distinct labels in the dataset.
+    pub label_count: u32,
+    /// Mean number of nodes per graph.
+    pub avg_nodes: f64,
+    /// Standard deviation of the node count.
+    pub stddev_nodes: f64,
+    /// Mean number of edges per graph.
+    pub avg_edges: f64,
+    /// Mean number of distinct labels per graph.
+    pub avg_labels_per_graph: f64,
+}
+
+impl RealDatasetSpec {
+    /// Average degree implied by the spec (2·|E| / |V|).
+    pub fn avg_degree(&self) -> f64 {
+        2.0 * self.avg_edges / self.avg_nodes
+    }
+
+    /// Fraction of graphs that are disconnected.
+    pub fn disconnected_fraction(&self) -> f64 {
+        self.disconnected_graphs as f64 / self.graph_count as f64
+    }
+
+    /// Generates a simulated dataset matching this spec, with graph count
+    /// and node counts multiplied by `scale` (clamped so at least one graph
+    /// with at least four nodes is produced).
+    pub fn generate_scaled(&self, scale: f64, seed: u64) -> Dataset {
+        self.generate_scaled_separately(scale, scale, seed)
+    }
+
+    /// Like [`RealDatasetSpec::generate_scaled`] but with independent scale
+    /// factors for the number of graphs (`graph_scale`) and the per-graph
+    /// node count (`node_scale`).
+    pub fn generate_scaled_separately(
+        &self,
+        graph_scale: f64,
+        node_scale: f64,
+        seed: u64,
+    ) -> Dataset {
+        let graph_scale = if graph_scale <= 0.0 { 1.0 } else { graph_scale };
+        let node_scale = if node_scale <= 0.0 { 1.0 } else { node_scale };
+        let graph_count = ((self.graph_count as f64 * graph_scale).round() as usize).max(1);
+        let avg_nodes = (self.avg_nodes * node_scale).max(4.0);
+        let stddev_nodes = self.stddev_nodes * node_scale;
+        let avg_degree = self.avg_degree();
+        let disconnected_fraction = self.disconnected_fraction();
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut ds = Dataset::new(format!("{}-like", self.dataset.name()));
+        for i in 0..graph_count {
+            let disconnected = rng.gen::<f64>() < disconnected_fraction;
+            let g = self.generate_graph(&mut rng, i, avg_nodes, stddev_nodes, avg_degree, disconnected);
+            ds.push(g);
+        }
+        ds
+    }
+
+    /// Generates one simulated graph. Each graph restricts itself to a
+    /// per-graph label subset (matching the "avg #labels per graph" column)
+    /// and is assembled as one or two random connected components whose edge
+    /// count is driven by the dataset's average degree.
+    fn generate_graph(
+        &self,
+        rng: &mut StdRng,
+        index: usize,
+        avg_nodes: f64,
+        stddev_nodes: f64,
+        avg_degree: f64,
+        disconnected: bool,
+    ) -> Graph {
+        let n = normal_sample(rng, avg_nodes, stddev_nodes).round().max(4.0) as usize;
+        // Per-graph label subset of roughly the published average size.
+        let labels_per_graph = (self.avg_labels_per_graph.round() as usize)
+            .clamp(1, self.label_count as usize);
+        let mut palette: Vec<Label> = Vec::with_capacity(labels_per_graph);
+        while palette.len() < labels_per_graph {
+            let l = rng.gen_range(0..self.label_count) as Label;
+            if !palette.contains(&l) {
+                palette.push(l);
+            }
+        }
+
+        let mut g = Graph::with_capacity(format!("{}-{index}", self.dataset.name()), n);
+        for _ in 0..n {
+            let l = palette[rng.gen_range(0..palette.len())];
+            g.add_vertex(l);
+        }
+
+        // Split vertices into one or two components.
+        let component_count = if disconnected && n >= 8 { 2 } else { 1 };
+        let split = if component_count == 2 {
+            rng.gen_range(n / 4..=(3 * n / 4))
+        } else {
+            n
+        };
+        let ranges: Vec<std::ops::Range<usize>> = if component_count == 2 {
+            vec![0..split, split..n]
+        } else {
+            vec![0..n]
+        };
+
+        // Spanning tree per component, then extra random edges to reach the
+        // degree target.
+        for range in &ranges {
+            let start = range.start;
+            for v in (start + 1)..range.end {
+                let u = rng.gen_range(start..v);
+                let _ = g.add_edge_if_absent(u, v);
+            }
+        }
+        let target_edges = ((avg_degree * n as f64) / 2.0).round() as usize;
+        let max_possible: usize = ranges
+            .iter()
+            .map(|r| {
+                let len = r.len();
+                len * len.saturating_sub(1) / 2
+            })
+            .sum();
+        let target_edges = target_edges.min(max_possible);
+        let mut attempts = 0usize;
+        let max_attempts = 30 * target_edges.max(1);
+        while g.edge_count() < target_edges && attempts < max_attempts {
+            attempts += 1;
+            let range = &ranges[rng.gen_range(0..ranges.len())];
+            if range.len() < 2 {
+                continue;
+            }
+            let u = rng.gen_range(range.clone());
+            let v = rng.gen_range(range.clone());
+            if u == v {
+                continue;
+            }
+            let _ = g.add_edge_if_absent(u, v);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqbench_graph::{algo, DatasetStats};
+
+    #[test]
+    fn specs_match_table_1() {
+        let aids = RealDataset::Aids.spec();
+        assert_eq!(aids.graph_count, 40000);
+        assert_eq!(aids.label_count, 62);
+        assert!((aids.avg_nodes - 45.0).abs() < 1e-9);
+        assert!((aids.avg_degree() - 2.09).abs() < 0.05);
+
+        let pcm = RealDataset::Pcm.spec();
+        assert!((pcm.avg_degree() - 23.01).abs() < 0.1);
+        assert_eq!(pcm.disconnected_graphs, pcm.graph_count);
+
+        let ppi = RealDataset::Ppi.spec();
+        assert!((ppi.avg_degree() - 10.79).abs() < 0.2);
+
+        let pdbs = RealDataset::Pdbs.spec();
+        assert!((pdbs.disconnected_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = RealDataset::ALL.iter().map(|d| d.name()).collect();
+        assert_eq!(names, vec!["AIDS", "PDBS", "PCM", "PPI"]);
+    }
+
+    #[test]
+    fn scaled_aids_matches_regime() {
+        // 1% of AIDS: ~400 graphs of ~45 nodes (node count is small already,
+        // so scale only shrinks the graph count meaningfully).
+        let ds = RealDataset::Aids.generate(0.01, 11);
+        let stats = DatasetStats::of(&ds);
+        assert_eq!(stats.graph_count, 400);
+        assert!(stats.avg_nodes >= 4.0);
+        assert!(stats.avg_degree < 4.0, "AIDS-like graphs must stay sparse");
+        assert!(stats.distinct_labels <= 62);
+    }
+
+    #[test]
+    fn scaled_pcm_is_dense() {
+        let ds = RealDataset::Pcm.generate(0.1, 12);
+        let stats = DatasetStats::of(&ds);
+        assert_eq!(stats.graph_count, 20);
+        assert!(
+            stats.avg_degree > 8.0,
+            "PCM-like graphs must be dense (avg degree {})",
+            stats.avg_degree
+        );
+    }
+
+    #[test]
+    fn scaled_ppi_has_few_large_graphs() {
+        let ds = RealDataset::Ppi.generate(0.05, 13);
+        let stats = DatasetStats::of(&ds);
+        assert_eq!(stats.graph_count, 1);
+        assert!(stats.avg_nodes > 100.0);
+    }
+
+    #[test]
+    fn disconnected_fraction_is_respected() {
+        let ds = RealDataset::Pcm.generate(0.25, 14); // PCM: 100% disconnected
+        let disconnected = ds
+            .graphs()
+            .iter()
+            .filter(|g| !algo::is_connected(g))
+            .count();
+        assert!(
+            disconnected as f64 >= 0.8 * ds.len() as f64,
+            "expected most PCM-like graphs disconnected, got {disconnected}/{}",
+            ds.len()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RealDataset::Aids.generate(0.002, 99);
+        let b = RealDataset::Aids.generate(0.002, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_graph_label_subset_is_small() {
+        let ds = RealDataset::Aids.generate(0.005, 15);
+        let stats = DatasetStats::of(&ds);
+        // AIDS uses ~4.4 labels per graph out of 62.
+        assert!(
+            stats.avg_labels_per_graph < 10.0,
+            "avg labels per graph {}",
+            stats.avg_labels_per_graph
+        );
+    }
+
+    #[test]
+    fn zero_scale_falls_back_to_full_size_graph_count() {
+        let ds = RealDataset::Ppi.generate(0.0, 1);
+        assert_eq!(ds.len(), 20);
+    }
+}

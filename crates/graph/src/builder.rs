@@ -1,0 +1,165 @@
+//! A convenience builder for constructing graphs from edge lists.
+
+use crate::error::Result;
+use crate::graph::{Graph, Label, VertexId};
+
+/// Fluent builder used by tests, examples and the generators to assemble
+/// graphs from label lists and edge lists without tracking vertex ids by
+/// hand.
+///
+/// ```
+/// use sqbench_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new("square")
+///     .vertices(&[0, 1, 0, 1])
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge(2, 3)
+///     .edge(3, 0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.vertex_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    name: String,
+    labels: Vec<Label>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            name: name.into(),
+            labels: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Appends a single vertex with the given label; vertices are numbered in
+    /// insertion order starting from 0.
+    pub fn vertex(mut self, label: Label) -> Self {
+        self.labels.push(label);
+        self
+    }
+
+    /// Appends a batch of vertices with the given labels.
+    pub fn vertices(mut self, labels: &[Label]) -> Self {
+        self.labels.extend_from_slice(labels);
+        self
+    }
+
+    /// Records an undirected edge between vertices `u` and `v` (by insertion
+    /// index). Validation happens at [`GraphBuilder::build`] time.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Records a batch of undirected edges.
+    pub fn edges(mut self, edges: &[(VertexId, VertexId)]) -> Self {
+        self.edges.extend_from_slice(edges);
+        self
+    }
+
+    /// Number of vertices added so far; useful when constructing edges
+    /// incrementally.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Builds the graph, validating every edge.
+    pub fn build(self) -> Result<Graph> {
+        let mut g = Graph::with_capacity(self.name, self.labels.len());
+        for label in self.labels {
+            g.add_vertex(label);
+        }
+        for (u, v) in self.edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// Builds the graph, ignoring duplicate edges instead of failing.
+    pub fn build_dedup(self) -> Result<Graph> {
+        let mut g = Graph::with_capacity(self.name, self.labels.len());
+        for label in self.labels {
+            g.add_vertex(label);
+        }
+        for (u, v) in self.edges {
+            g.add_edge_if_absent(u, v)?;
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::GraphError;
+
+    #[test]
+    fn builds_simple_graph() {
+        let g = GraphBuilder::new("g")
+            .vertex(5)
+            .vertex(6)
+            .edge(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.label(0), 5);
+        assert_eq!(g.label(1), 6);
+    }
+
+    #[test]
+    fn batch_vertices_and_edges() {
+        let g = GraphBuilder::new("g")
+            .vertices(&[0, 1, 2, 3])
+            .edges(&[(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn build_reports_invalid_edges() {
+        let err = GraphBuilder::new("g")
+            .vertices(&[0, 1])
+            .edge(0, 7)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnknownVertex { vertex: 7, .. }));
+    }
+
+    #[test]
+    fn build_reports_duplicate_edges() {
+        let err = GraphBuilder::new("g")
+            .vertices(&[0, 1])
+            .edge(0, 1)
+            .edge(1, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GraphError::DuplicateEdge { .. }));
+    }
+
+    #[test]
+    fn build_dedup_ignores_duplicate_edges() {
+        let g = GraphBuilder::new("g")
+            .vertices(&[0, 1])
+            .edge(0, 1)
+            .edge(1, 0)
+            .build_dedup()
+            .unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn vertex_count_tracks_insertions() {
+        let b = GraphBuilder::new("g").vertices(&[0, 0, 0]);
+        assert_eq!(b.vertex_count(), 3);
+    }
+}

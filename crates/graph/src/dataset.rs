@@ -1,0 +1,214 @@
+//! Datasets: ordered collections of graphs over which indexes are built.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a graph inside a [`Dataset`]. Graph ids are dense and equal
+/// to the graph's position in insertion order, matching how every index
+/// method in the paper stores "graph-id lists" per feature.
+pub type GraphId = usize;
+
+/// A collection of labeled graphs — the unit against which subgraph queries
+/// are answered. A query `q` must return the ids of all graphs in the
+/// dataset that contain `q` (Definition 3).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    graphs: Vec<Graph>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dataset {
+            name: name.into(),
+            graphs: Vec::new(),
+        }
+    }
+
+    /// Creates a dataset from an existing vector of graphs.
+    pub fn from_graphs(name: impl Into<String>, graphs: Vec<Graph>) -> Self {
+        Dataset {
+            name: name.into(),
+            graphs,
+        }
+    }
+
+    /// The dataset's name (e.g. `"AIDS-like"` or a synthetic sweep label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the dataset.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Appends a graph and returns its id.
+    pub fn push(&mut self, graph: Graph) -> GraphId {
+        let id = self.graphs.len();
+        self.graphs.push(graph);
+        id
+    }
+
+    /// Number of graphs in the dataset.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// `true` if the dataset contains no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// The graph with the given id, or an error if it does not exist.
+    pub fn graph(&self, id: GraphId) -> Result<&Graph> {
+        self.graphs.get(id).ok_or(GraphError::UnknownGraph {
+            graph: id,
+            graph_count: self.graphs.len(),
+        })
+    }
+
+    /// Unchecked indexed access; panics on out-of-range ids.
+    pub fn graph_unchecked(&self, id: GraphId) -> &Graph {
+        &self.graphs[id]
+    }
+
+    /// Iterator over `(GraphId, &Graph)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> {
+        self.graphs.iter().enumerate()
+    }
+
+    /// All graphs as a slice, indexed by [`GraphId`].
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// All graph ids (`0..len`).
+    pub fn ids(&self) -> impl Iterator<Item = GraphId> {
+        0..self.graphs.len()
+    }
+
+    /// Total number of vertices across all graphs.
+    pub fn total_vertices(&self) -> usize {
+        self.graphs.iter().map(Graph::vertex_count).sum()
+    }
+
+    /// Total number of edges across all graphs.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(Graph::edge_count).sum()
+    }
+
+    /// Number of distinct labels used across the whole dataset.
+    pub fn distinct_label_count(&self) -> usize {
+        let mut labels: Vec<u32> = self
+            .graphs
+            .iter()
+            .flat_map(|g| g.labels().iter().copied())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Estimated heap bytes used by all graphs in the dataset.
+    pub fn memory_bytes(&self) -> usize {
+        self.graphs.iter().map(Graph::memory_bytes).sum()
+    }
+
+    /// Returns a new dataset containing only the first `n` graphs. Useful for
+    /// scaling experiments that sweep the number of graphs.
+    pub fn truncated(&self, n: usize) -> Dataset {
+        Dataset {
+            name: format!("{}[0..{}]", self.name, n.min(self.graphs.len())),
+            graphs: self.graphs.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Dataset {
+    type Item = Graph;
+    type IntoIter = std::vec::IntoIter<Graph>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.graphs.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Graph;
+    type IntoIter = std::slice::Iter<'a, Graph>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.graphs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn tiny_graph(n: usize, label: u32) -> Graph {
+        let mut b = GraphBuilder::new(format!("g{n}"));
+        for _ in 0..n {
+            b = b.vertex(label);
+        }
+        for i in 1..n {
+            b = b.edge(i - 1, i);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut ds = Dataset::new("ds");
+        let id0 = ds.push(tiny_graph(3, 0));
+        let id1 = ds.push(tiny_graph(4, 1));
+        assert_eq!(id0, 0);
+        assert_eq!(id1, 1);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.graph(id1).unwrap().vertex_count(), 4);
+        assert!(ds.graph(7).is_err());
+    }
+
+    #[test]
+    fn totals() {
+        let ds = Dataset::from_graphs("ds", vec![tiny_graph(3, 0), tiny_graph(5, 1)]);
+        assert_eq!(ds.total_vertices(), 8);
+        assert_eq!(ds.total_edges(), 2 + 4);
+        assert_eq!(ds.distinct_label_count(), 2);
+        assert!(ds.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn iteration_orders_by_id() {
+        let ds = Dataset::from_graphs("ds", vec![tiny_graph(1, 0), tiny_graph(2, 0)]);
+        let ids: Vec<_> = ds.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        let sizes: Vec<_> = (&ds).into_iter().map(Graph::vertex_count).collect();
+        assert_eq!(sizes, vec![1, 2]);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let ds = Dataset::from_graphs(
+            "ds",
+            vec![tiny_graph(1, 0), tiny_graph(2, 0), tiny_graph(3, 0)],
+        );
+        let t = ds.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.graph(1).unwrap().vertex_count(), 2);
+        let t_all = ds.truncated(10);
+        assert_eq!(t_all.len(), 3);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::new("empty");
+        assert!(ds.is_empty());
+        assert_eq!(ds.total_vertices(), 0);
+        assert_eq!(ds.distinct_label_count(), 0);
+    }
+}

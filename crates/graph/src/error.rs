@@ -1,0 +1,129 @@
+//! Error types shared by the graph data model.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors raised by graph construction, dataset manipulation and text I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id was used that does not exist in the graph.
+    UnknownVertex {
+        /// The offending vertex id.
+        vertex: usize,
+        /// Number of vertices currently in the graph.
+        vertex_count: usize,
+    },
+    /// An edge connecting a vertex to itself was rejected.
+    SelfLoop {
+        /// The vertex for which a self loop was attempted.
+        vertex: usize,
+    },
+    /// The same undirected edge was inserted twice.
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A graph id was used that does not exist in the dataset.
+    UnknownGraph {
+        /// The offending graph id.
+        graph: usize,
+        /// Number of graphs currently in the dataset.
+        graph_count: usize,
+    },
+    /// A parse error while reading the `.gfu`-style text format.
+    Parse {
+        /// Line number (1-based) where the error occurred.
+        line: usize,
+        /// Human readable description.
+        message: String,
+    },
+    /// An I/O error converted to a string so the error stays `Clone`/`Eq`.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex {
+                vertex,
+                vertex_count,
+            } => write!(
+                f,
+                "unknown vertex id {vertex} (graph has {vertex_count} vertices)"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self loops are not allowed (vertex {vertex})")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge ({u}, {v}) already exists")
+            }
+            GraphError::UnknownGraph { graph, graph_count } => write!(
+                f,
+                "unknown graph id {graph} (dataset has {graph_count} graphs)"
+            ),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Io(message) => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(err: std::io::Error) -> Self {
+        GraphError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_vertex() {
+        let err = GraphError::UnknownVertex {
+            vertex: 7,
+            vertex_count: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('7'));
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn display_self_loop() {
+        let err = GraphError::SelfLoop { vertex: 2 };
+        assert!(err.to_string().contains("self loop"));
+    }
+
+    #[test]
+    fn display_duplicate_edge() {
+        let err = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(err.to_string().contains("(1, 2)"));
+    }
+
+    #[test]
+    fn display_parse() {
+        let err = GraphError::Parse {
+            line: 12,
+            message: "bad label".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("12"));
+        assert!(msg.contains("bad label"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: GraphError = io.into();
+        assert!(matches!(err, GraphError::Io(_)));
+        assert!(err.to_string().contains("missing"));
+    }
+}

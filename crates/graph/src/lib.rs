@@ -1,0 +1,63 @@
+//! # sqbench-graph
+//!
+//! Labeled undirected graph data model used throughout the subgraph query
+//! processing benchmark. The types in this crate mirror the definitions of
+//! the VLDB 2015 paper *"Performance and Scalability of Indexed Subgraph
+//! Query Processing Methods"*:
+//!
+//! * [`Graph`] — an undirected graph with a single label per vertex
+//!   (Definition 1 in the paper). Vertices are identified by dense
+//!   [`VertexId`]s local to the graph; any label may appear on multiple
+//!   vertices.
+//! * [`Dataset`] — an ordered collection of graphs addressed by
+//!   [`GraphId`], the unit over which indexes are built and subgraph
+//!   queries are answered.
+//! * [`stats`] — per-graph and per-dataset statistics (density, average
+//!   degree, label counts) matching Table 1 of the paper.
+//! * [`gfu`] — a GRAPES-style plain-text serialization so datasets can be
+//!   persisted and exchanged.
+//!
+//! The crate is intentionally dependency-light: the index methods, feature
+//! extractors and isomorphism testers in the rest of the workspace all build
+//! on these types.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sqbench_graph::{Graph, Dataset};
+//!
+//! // A triangle with two labels.
+//! let mut g = Graph::new("triangle");
+//! let a = g.add_vertex(0);
+//! let b = g.add_vertex(0);
+//! let c = g.add_vertex(1);
+//! g.add_edge(a, b).unwrap();
+//! g.add_edge(b, c).unwrap();
+//! g.add_edge(c, a).unwrap();
+//!
+//! assert_eq!(g.vertex_count(), 3);
+//! assert_eq!(g.edge_count(), 3);
+//! assert!((g.density() - 1.0).abs() < 1e-9);
+//!
+//! let mut ds = Dataset::new("example");
+//! let gid = ds.push(g);
+//! assert_eq!(ds.len(), 1);
+//! assert_eq!(ds.graph(gid).unwrap().vertex_count(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algo;
+pub mod builder;
+pub mod dataset;
+pub mod error;
+pub mod gfu;
+pub mod graph;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use dataset::{Dataset, GraphId};
+pub use error::{GraphError, Result};
+pub use graph::{Graph, Label, VertexId};
+pub use stats::{DatasetStats, GraphStats};

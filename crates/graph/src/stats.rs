@@ -1,0 +1,220 @@
+//! Per-graph and per-dataset statistics.
+//!
+//! [`DatasetStats`] computes exactly the columns of Table 1 in the paper:
+//! number of graphs, number of disconnected graphs, number of distinct
+//! labels, average / standard deviation of the number of nodes per graph,
+//! average number of edges, average density, average degree, and average
+//! number of distinct labels per graph.
+
+use crate::algo::is_connected;
+use crate::dataset::Dataset;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a single graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Density per Definition 4.
+    pub density: f64,
+    /// Average degree per Definition 5.
+    pub average_degree: f64,
+    /// Number of distinct labels occurring in the graph.
+    pub distinct_labels: usize,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+    /// Whether the graph is connected.
+    pub connected: bool,
+}
+
+impl GraphStats {
+    /// Computes statistics for one graph.
+    pub fn of(g: &Graph) -> Self {
+        GraphStats {
+            vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            density: g.density(),
+            average_degree: g.average_degree(),
+            distinct_labels: g.distinct_label_count(),
+            max_degree: g.max_degree(),
+            connected: is_connected(g),
+        }
+    }
+}
+
+/// Summary statistics of a whole dataset — the rows of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of graphs in the dataset.
+    pub graph_count: usize,
+    /// Number of graphs that are disconnected.
+    pub disconnected_graphs: usize,
+    /// Number of distinct labels used across the dataset.
+    pub distinct_labels: usize,
+    /// Average number of vertices per graph.
+    pub avg_nodes: f64,
+    /// Standard deviation of the number of vertices per graph.
+    pub stddev_nodes: f64,
+    /// Average number of edges per graph.
+    pub avg_edges: f64,
+    /// Average graph density.
+    pub avg_density: f64,
+    /// Average of the graphs' average degrees.
+    pub avg_degree: f64,
+    /// Average number of distinct labels per graph.
+    pub avg_labels_per_graph: f64,
+}
+
+impl DatasetStats {
+    /// Computes Table-1 style statistics for a dataset.
+    pub fn of(ds: &Dataset) -> Self {
+        let n = ds.len();
+        if n == 0 {
+            return DatasetStats {
+                name: ds.name().to_string(),
+                graph_count: 0,
+                disconnected_graphs: 0,
+                distinct_labels: 0,
+                avg_nodes: 0.0,
+                stddev_nodes: 0.0,
+                avg_edges: 0.0,
+                avg_density: 0.0,
+                avg_degree: 0.0,
+                avg_labels_per_graph: 0.0,
+            };
+        }
+        let per_graph: Vec<GraphStats> = ds.graphs().iter().map(GraphStats::of).collect();
+        let nf = n as f64;
+        let avg_nodes = per_graph.iter().map(|s| s.vertices as f64).sum::<f64>() / nf;
+        let var_nodes = per_graph
+            .iter()
+            .map(|s| {
+                let d = s.vertices as f64 - avg_nodes;
+                d * d
+            })
+            .sum::<f64>()
+            / nf;
+        DatasetStats {
+            name: ds.name().to_string(),
+            graph_count: n,
+            disconnected_graphs: per_graph.iter().filter(|s| !s.connected).count(),
+            distinct_labels: ds.distinct_label_count(),
+            avg_nodes,
+            stddev_nodes: var_nodes.sqrt(),
+            avg_edges: per_graph.iter().map(|s| s.edges as f64).sum::<f64>() / nf,
+            avg_density: per_graph.iter().map(|s| s.density).sum::<f64>() / nf,
+            avg_degree: per_graph.iter().map(|s| s.average_degree).sum::<f64>() / nf,
+            avg_labels_per_graph: per_graph
+                .iter()
+                .map(|s| s.distinct_labels as f64)
+                .sum::<f64>()
+                / nf,
+        }
+    }
+
+    /// Renders the statistics as a single human-readable row, matching the
+    /// layout of Table 1 in the paper.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{name:12} graphs={graphs:7} disconnected={disc:6} labels={labels:4} \
+             avg_nodes={an:9.2} sd_nodes={sd:9.2} avg_edges={ae:10.2} \
+             avg_density={ad:7.4} avg_degree={deg:7.2} avg_labels={al:6.2}",
+            name = self.name,
+            graphs = self.graph_count,
+            disc = self.disconnected_graphs,
+            labels = self.distinct_labels,
+            an = self.avg_nodes,
+            sd = self.stddev_nodes,
+            ae = self.avg_edges,
+            ad = self.avg_density,
+            deg = self.avg_degree,
+            al = self.avg_labels_per_graph,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle(label: u32) -> Graph {
+        GraphBuilder::new("tri")
+            .vertices(&[label, label, label + 1])
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap()
+    }
+
+    fn disconnected_pair() -> Graph {
+        GraphBuilder::new("pair")
+            .vertices(&[0, 1, 2, 3])
+            .edges(&[(0, 1), (2, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn graph_stats_of_triangle() {
+        let s = GraphStats::of(&triangle(0));
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 3);
+        assert!((s.density - 1.0).abs() < 1e-12);
+        assert!((s.average_degree - 2.0).abs() < 1e-12);
+        assert_eq!(s.distinct_labels, 2);
+        assert_eq!(s.max_degree, 2);
+        assert!(s.connected);
+    }
+
+    #[test]
+    fn graph_stats_detects_disconnection() {
+        let s = GraphStats::of(&disconnected_pair());
+        assert!(!s.connected);
+    }
+
+    #[test]
+    fn dataset_stats_aggregates() {
+        let ds = Dataset::from_graphs(
+            "mix",
+            vec![triangle(0), triangle(5), disconnected_pair()],
+        );
+        let s = DatasetStats::of(&ds);
+        assert_eq!(s.graph_count, 3);
+        assert_eq!(s.disconnected_graphs, 1);
+        // labels used: {0,1,5,6} from triangles + {0,1,2,3} from the pair
+        assert_eq!(s.distinct_labels, 6);
+        assert!((s.avg_nodes - (3.0 + 3.0 + 4.0) / 3.0).abs() < 1e-12);
+        assert!((s.avg_edges - (3.0 + 3.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert!(s.stddev_nodes > 0.0);
+        assert!(s.avg_density > 0.0 && s.avg_density <= 1.0);
+    }
+
+    #[test]
+    fn dataset_stats_of_empty_dataset() {
+        let s = DatasetStats::of(&Dataset::new("empty"));
+        assert_eq!(s.graph_count, 0);
+        assert_eq!(s.avg_nodes, 0.0);
+        assert_eq!(s.stddev_nodes, 0.0);
+    }
+
+    #[test]
+    fn stddev_is_zero_for_identical_graphs() {
+        let ds = Dataset::from_graphs("same", vec![triangle(0), triangle(0)]);
+        let s = DatasetStats::of(&ds);
+        assert!(s.stddev_nodes.abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_row_contains_name_and_counts() {
+        let ds = Dataset::from_graphs("rowtest", vec![triangle(0)]);
+        let row = DatasetStats::of(&ds).to_table_row();
+        assert!(row.contains("rowtest"));
+        assert!(row.contains("graphs="));
+        assert!(row.contains("avg_density="));
+    }
+}

@@ -1,0 +1,260 @@
+//! Ablation studies for the design choices the paper (and DESIGN.md) call
+//! out.
+//!
+//! These go beyond the paper's figures: each ablation isolates one design
+//! dimension of the indexing methods and sweeps it while everything else is
+//! held at the paper's defaults, over the same synthetic "sane defaults"
+//! workload used by the scalability experiments.
+//!
+//! * [`location_info`] — Grapes (paths + start-vertex locations) vs.
+//!   GraphGrepSX (paths + counts only) vs. the index-less scan: what the
+//!   extra location information buys in filtering/verification and costs in
+//!   space.
+//! * [`path_length`] — the path-length limit of the two path-based methods
+//!   (the paper fixes it at 4 following the Grapes authors).
+//! * [`fingerprint_width`] — CT-Index's fingerprint width (the paper uses
+//!   4096 bits): narrower fingerprints collide more and lose filtering
+//!   power.
+//! * [`feature_size`] — the maximum mined-fragment size of gIndex and
+//!   Tree+Δ (the paper uses 10, which is exactly what makes them blow up on
+//!   larger graphs).
+//! * [`grapes_threads`] — Grapes' parallel index construction (the paper
+//!   uses 6 threads).
+
+use crate::experiments::{measure_point, synthetic_dataset, workloads_for};
+use crate::report::ExperimentReport;
+use crate::runner::{ExperimentScale, RunOptions};
+use sqbench_index::{MethodConfig, MethodKind};
+
+/// Default dataset/workload pair for the ablations.
+fn default_setup(
+    scale: &ExperimentScale,
+) -> (sqbench_graph::Dataset, Vec<sqbench_generator::QueryWorkload>) {
+    let dataset = synthetic_dataset(
+        scale,
+        scale.avg_nodes,
+        scale.avg_density,
+        scale.label_count,
+        scale.graph_count,
+    );
+    let workloads = workloads_for(&dataset, scale);
+    (dataset, workloads)
+}
+
+/// Grapes vs. GGSX vs. the sequential-scan baseline on the same dataset.
+pub fn location_info(scale: &ExperimentScale) -> ExperimentReport {
+    let (dataset, workloads) = default_setup(scale);
+    let mut report = ExperimentReport::new(
+        "ablation_location_info",
+        "Effect of storing path location information (Grapes vs GGSX vs Scan)",
+        format!(
+            "{} graphs, {} nodes, density {}, {} labels",
+            scale.graph_count, scale.avg_nodes, scale.avg_density, scale.label_count
+        ),
+    );
+    let options = RunOptions {
+        methods: vec![MethodKind::Grapes, MethodKind::Ggsx, MethodKind::Scan],
+        config: MethodConfig::default(),
+        time_budget: scale.time_budget,
+    };
+    report.push_point(measure_point(
+        "sane-defaults",
+        0.0,
+        &dataset,
+        &workloads,
+        &options,
+    ));
+    report
+}
+
+/// Sweep of the maximum indexed path length for Grapes and GGSX.
+pub fn path_length(scale: &ExperimentScale) -> ExperimentReport {
+    let (dataset, workloads) = default_setup(scale);
+    let mut report = ExperimentReport::new(
+        "ablation_path_length",
+        "Effect of the maximum indexed path length (Grapes, GGSX)",
+        "path length swept over {2, 3, 4, 5}; all other parameters at paper defaults".to_string(),
+    );
+    for max_path_edges in [2usize, 3, 4, 5] {
+        let mut config = MethodConfig::default();
+        config.grapes.max_path_edges = max_path_edges;
+        config.ggsx.max_path_edges = max_path_edges;
+        let options = RunOptions {
+            methods: vec![MethodKind::Grapes, MethodKind::Ggsx],
+            config,
+            time_budget: scale.time_budget,
+        };
+        report.push_point(measure_point(
+            format!("len={max_path_edges}"),
+            max_path_edges as f64,
+            &dataset,
+            &workloads,
+            &options,
+        ));
+    }
+    report
+}
+
+/// Sweep of the CT-Index fingerprint width.
+pub fn fingerprint_width(scale: &ExperimentScale) -> ExperimentReport {
+    let (dataset, workloads) = default_setup(scale);
+    let mut report = ExperimentReport::new(
+        "ablation_fingerprint_width",
+        "Effect of the CT-Index fingerprint width",
+        "width swept over {256, 1024, 4096} bits".to_string(),
+    );
+    for bits in [256usize, 1024, 4096] {
+        let mut config = MethodConfig::default();
+        config.ctindex.fingerprint_bits = bits;
+        let options = RunOptions {
+            methods: vec![MethodKind::CtIndex],
+            config,
+            time_budget: scale.time_budget,
+        };
+        report.push_point(measure_point(
+            format!("{bits}bit"),
+            bits as f64,
+            &dataset,
+            &workloads,
+            &options,
+        ));
+    }
+    report
+}
+
+/// Sweep of the maximum mined-fragment size for gIndex and Tree+Δ.
+pub fn feature_size(scale: &ExperimentScale) -> ExperimentReport {
+    let (dataset, workloads) = default_setup(scale);
+    let mut report = ExperimentReport::new(
+        "ablation_feature_size",
+        "Effect of the maximum mined feature size (gIndex, Tree+Delta)",
+        "maximum fragment size swept over {1, 2, 3} edges".to_string(),
+    );
+    for max_edges in [1usize, 2, 3] {
+        let mut config = MethodConfig::default();
+        config.gindex.max_feature_edges = max_edges;
+        config.treedelta.max_feature_edges = max_edges;
+        let options = RunOptions {
+            methods: vec![MethodKind::GIndex, MethodKind::TreeDelta],
+            config,
+            time_budget: scale.time_budget,
+        };
+        report.push_point(measure_point(
+            format!("{max_edges}edges"),
+            max_edges as f64,
+            &dataset,
+            &workloads,
+            &options,
+        ));
+    }
+    report
+}
+
+/// Sweep of Grapes' worker thread count (index construction only matters;
+/// queries are measured as well for completeness).
+pub fn grapes_threads(scale: &ExperimentScale) -> ExperimentReport {
+    let (dataset, workloads) = default_setup(scale);
+    let mut report = ExperimentReport::new(
+        "ablation_grapes_threads",
+        "Effect of Grapes' parallel index construction",
+        "worker threads swept over {1, 2, 4, 6}".to_string(),
+    );
+    for threads in [1usize, 2, 4, 6] {
+        let mut config = MethodConfig::default();
+        config.grapes.threads = threads;
+        let options = RunOptions {
+            methods: vec![MethodKind::Grapes],
+            config,
+            time_budget: scale.time_budget,
+        };
+        report.push_point(measure_point(
+            format!("{threads}thr"),
+            threads as f64,
+            &dataset,
+            &workloads,
+            &options,
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> ExperimentScale {
+        ExperimentScale::smoke()
+    }
+
+    #[test]
+    fn location_info_compares_three_configurations() {
+        let report = location_info(&scale());
+        assert_eq!(report.points.len(), 1);
+        let names = report.method_names();
+        assert_eq!(names, vec!["Grapes", "GGSX", "Scan"]);
+        let point = &report.points[0];
+        let by = |name: &str| point.results.iter().find(|m| m.method == name).unwrap();
+        // Location info costs space.
+        assert!(by("Grapes").index_size_bytes >= by("GGSX").index_size_bytes);
+        // The scan has no filtering, so its FP ratio is at least as high as
+        // either indexed method's.
+        assert!(by("Scan").false_positive_ratio >= by("Grapes").false_positive_ratio - 1e-9);
+        assert!(by("Scan").index_size_bytes < by("GGSX").index_size_bytes);
+    }
+
+    #[test]
+    fn path_length_sweep_grows_index() {
+        let report = path_length(&scale());
+        assert_eq!(report.points.len(), 4);
+        // Longer paths → more trie content for GGSX (monotone within noise).
+        let sizes: Vec<usize> = (0..report.points.len())
+            .map(|i| report.metrics_at(i, "GGSX").unwrap().index_size_bytes)
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn fingerprint_width_controls_index_size() {
+        let report = fingerprint_width(&scale());
+        assert_eq!(report.points.len(), 3);
+        let sizes: Vec<usize> = (0..3)
+            .map(|i| report.metrics_at(i, "CT-Index").unwrap().index_size_bytes)
+            .collect();
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2]);
+        // Wider fingerprints never increase the false positive ratio
+        // (fewer hash collisions), modulo the tiny workload noise.
+        let fps: Vec<f64> = (0..3)
+            .map(|i| report.metrics_at(i, "CT-Index").unwrap().false_positive_ratio)
+            .collect();
+        assert!(fps[2] <= fps[0] + 1e-9, "fp ratios {fps:?}");
+    }
+
+    #[test]
+    fn feature_size_sweep_runs_both_mining_methods() {
+        let report = feature_size(&scale());
+        assert_eq!(report.points.len(), 3);
+        for i in 0..3 {
+            assert!(report.metrics_at(i, "gIndex").is_some());
+            assert!(report.metrics_at(i, "Tree+Delta").is_some());
+        }
+        // Larger fragments → at least as many mined features for gIndex.
+        let features: Vec<usize> = (0..3)
+            .map(|i| report.metrics_at(i, "gIndex").unwrap().distinct_features)
+            .collect();
+        assert!(features.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn grapes_thread_sweep_produces_identical_answers() {
+        let report = grapes_threads(&scale());
+        assert_eq!(report.points.len(), 4);
+        // Query metrics should be identical regardless of build threads: the
+        // FP ratio (a pure function of the index contents) must match.
+        let fps: Vec<f64> = (0..4)
+            .map(|i| report.metrics_at(i, "Grapes").unwrap().false_positive_ratio)
+            .collect();
+        for fp in &fps {
+            assert!((fp - fps[0]).abs() < 1e-12);
+        }
+    }
+}

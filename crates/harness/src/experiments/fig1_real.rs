@@ -1,0 +1,60 @@
+//! Figure 1: indexing and query processing over the four real datasets.
+//!
+//! Panels: (a) indexing time, (b) index size, (c) query processing time,
+//! (d) false positive ratio — one bar group per dataset (AIDS, PDBS, PCM,
+//! PPI), one bar per method. This experiment runs the same measurement over
+//! the simulated stand-ins of the real datasets.
+
+use crate::experiments::{measure_point, options_for, workloads_for};
+use crate::report::ExperimentReport;
+use crate::runner::ExperimentScale;
+use sqbench_generator::RealDataset;
+
+/// Runs the Figure 1 experiment at the given scale.
+pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig1_real",
+        "Indexing and query processing over the real datasets (Figure 1)",
+        format!(
+            "AIDS/PDBS/PCM/PPI-like datasets at scale {}, query sizes {:?}, {} queries per size",
+            scale.real_dataset_scale, scale.query_sizes, scale.queries_per_size
+        ),
+    );
+    let options = options_for(scale);
+    for (position, dataset_kind) in RealDataset::ALL.iter().enumerate() {
+        let dataset = dataset_kind.generate(scale.real_dataset_scale, scale.seed);
+        let workloads = workloads_for(&dataset, scale);
+        report.push_point(measure_point(
+            dataset_kind.name(),
+            position as f64,
+            &dataset,
+            &workloads,
+            &options,
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_covers_all_datasets_and_methods() {
+        let report = run(&ExperimentScale::smoke());
+        assert_eq!(report.points.len(), 4);
+        for point in &report.points {
+            assert_eq!(point.results.len(), 6);
+        }
+        let labels: Vec<&str> = report.points.iter().map(|p| p.x_label.as_str()).collect();
+        assert_eq!(labels, vec!["AIDS", "PDBS", "PCM", "PPI"]);
+    }
+
+    #[test]
+    fn report_is_renderable() {
+        let report = run(&ExperimentScale::smoke());
+        let text = crate::report::render_text(&report);
+        assert!(text.contains("fig1_real"));
+        assert!(text.contains("AIDS"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 2: scalability with the number of nodes per graph.
+//!
+//! The paper sweeps the mean number of nodes from 50 to 2000 (indexing) and
+//! up to 800 (query processing), holding density (0.025), labels (20) and
+//! graph count (1000) at the sane defaults. A linear increase in nodes means
+//! a quadratic increase in edges at fixed density, which is what breaks the
+//! frequent-mining methods first.
+
+use crate::experiments::{measure_point, options_for, synthetic_dataset, workloads_for};
+use crate::report::ExperimentReport;
+use crate::runner::ExperimentScale;
+
+/// The node-count sweep used at a given scale: a laptop-sized subset of the
+/// paper's grid, anchored at the scale's default node count.
+pub fn sweep_for(scale: &ExperimentScale) -> Vec<usize> {
+    let base = scale.avg_nodes.max(10);
+    vec![base / 2, (3 * base) / 4, base, (3 * base) / 2, 2 * base]
+}
+
+/// Runs the Figure 2 experiment at the given scale.
+pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+    let sweep = sweep_for(scale);
+    let mut report = ExperimentReport::new(
+        "fig2_nodes",
+        "Scalability with the number of nodes per graph (Figure 2)",
+        format!(
+            "node sweep {:?}, density {}, {} labels, {} graphs",
+            sweep, scale.avg_density, scale.label_count, scale.graph_count
+        ),
+    );
+    let options = options_for(scale);
+    for nodes in sweep {
+        let dataset = synthetic_dataset(
+            scale,
+            nodes,
+            scale.avg_density,
+            scale.label_count,
+            scale.graph_count,
+        );
+        let workloads = workloads_for(&dataset, scale);
+        report.push_point(measure_point(
+            format!("{nodes}"),
+            nodes as f64,
+            &dataset,
+            &workloads,
+            &options,
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_increasing_and_anchored_at_default() {
+        let scale = ExperimentScale::smoke();
+        let sweep = sweep_for(&scale);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert!(sweep.contains(&scale.avg_nodes));
+    }
+
+    #[test]
+    fn smoke_run_produces_all_points() {
+        let report = run(&ExperimentScale::smoke());
+        assert_eq!(report.points.len(), 5);
+        for point in &report.points {
+            assert_eq!(point.results.len(), 6);
+            assert!(point.x_value > 0.0);
+        }
+        // x values strictly increase, as in the paper's x axis.
+        assert!(report
+            .points
+            .windows(2)
+            .all(|w| w[0].x_value < w[1].x_value));
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 3: scalability with graph density.
+//!
+//! The paper sweeps density from 0.005 to 0.3 at the sane defaults (200
+//! nodes, 20 labels, 1000 graphs). At fixed node count the edge count grows
+//! linearly with density, so the effect resembles Figure 2 with a gentler
+//! slope; only Grapes and GGSX survive the densest settings.
+
+use crate::experiments::{measure_point, options_for, synthetic_dataset, workloads_for};
+use crate::report::ExperimentReport;
+use crate::runner::ExperimentScale;
+
+/// The density sweep used at a given scale, anchored at the scale's default
+/// density and spanning a 20× range like the paper's grid.
+pub fn sweep_for(scale: &ExperimentScale) -> Vec<f64> {
+    let base = scale.avg_density.max(1e-4);
+    vec![base / 5.0, base / 2.0, base, base * 2.0, base * 4.0]
+}
+
+/// Runs the Figure 3 experiment at the given scale.
+pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+    let sweep = sweep_for(scale);
+    let mut report = ExperimentReport::new(
+        "fig3_density",
+        "Scalability with graph density (Figure 3)",
+        format!(
+            "density sweep {:?}, {} nodes, {} labels, {} graphs",
+            sweep, scale.avg_nodes, scale.label_count, scale.graph_count
+        ),
+    );
+    let options = options_for(scale);
+    for density in sweep {
+        let dataset = synthetic_dataset(
+            scale,
+            scale.avg_nodes,
+            density,
+            scale.label_count,
+            scale.graph_count,
+        );
+        let workloads = workloads_for(&dataset, scale);
+        report.push_point(measure_point(
+            format!("{density:.4}"),
+            density,
+            &dataset,
+            &workloads,
+            &options,
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_spans_the_default() {
+        let scale = ExperimentScale::smoke();
+        let sweep = sweep_for(&scale);
+        assert_eq!(sweep.len(), 5);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert!(sweep.iter().any(|d| (d - scale.avg_density).abs() < 1e-12));
+    }
+
+    #[test]
+    fn smoke_run_produces_all_points() {
+        let report = run(&ExperimentScale::smoke());
+        assert_eq!(report.points.len(), 5);
+        for point in &report.points {
+            assert_eq!(point.results.len(), 6);
+        }
+    }
+}

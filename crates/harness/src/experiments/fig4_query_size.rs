@@ -1,0 +1,84 @@
+//! Figure 4: query processing time vs. density, per query size.
+//!
+//! Figure 4 of the paper breaks the density sweep of Figure 3 out by query
+//! size (4, 8, 16, 32 edges): exhaustive-enumeration methods are largely
+//! insensitive to the query size, frequent-mining methods and the densest
+//! settings are not. This experiment therefore produces one report per
+//! query size, each with the same density x-axis.
+
+use crate::experiments::{fig3_density, measure_point, options_for, synthetic_dataset};
+use crate::report::ExperimentReport;
+use crate::runner::ExperimentScale;
+use sqbench_generator::QueryGen;
+
+/// Runs the Figure 4 experiment at the given scale: one report per query
+/// size, in the order of `scale.query_sizes`.
+pub fn run(scale: &ExperimentScale) -> Vec<ExperimentReport> {
+    let sweep = fig3_density::sweep_for(scale);
+    let options = options_for(scale);
+    // Pre-generate the datasets once per density; each query size reuses them.
+    let datasets: Vec<_> = sweep
+        .iter()
+        .map(|&density| {
+            (
+                density,
+                synthetic_dataset(
+                    scale,
+                    scale.avg_nodes,
+                    density,
+                    scale.label_count,
+                    scale.graph_count,
+                ),
+            )
+        })
+        .collect();
+
+    scale
+        .query_sizes
+        .iter()
+        .map(|&query_size| {
+            let mut report = ExperimentReport::new(
+                format!("fig4_qsize{query_size}"),
+                format!("Query processing vs. density for {query_size}-edge queries (Figure 4)"),
+                format!(
+                    "density sweep {:?}, {} nodes, {} labels, {} graphs, query size {}",
+                    sweep, scale.avg_nodes, scale.label_count, scale.graph_count, query_size
+                ),
+            );
+            for (density, dataset) in &datasets {
+                let workload = QueryGen::new(scale.seed ^ 0x51_00_ad).generate(
+                    dataset,
+                    scale.queries_per_size,
+                    query_size,
+                );
+                report.push_point(measure_point(
+                    format!("{density:.4}"),
+                    *density,
+                    dataset,
+                    std::slice::from_ref(&workload),
+                    &options,
+                ));
+            }
+            report
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_report_per_query_size() {
+        let scale = ExperimentScale::smoke();
+        let reports = run(&scale);
+        assert_eq!(reports.len(), scale.query_sizes.len());
+        for (report, &size) in reports.iter().zip(scale.query_sizes.iter()) {
+            assert!(report.id.contains(&size.to_string()));
+            assert_eq!(report.points.len(), 5);
+            for point in &report.points {
+                assert_eq!(point.results.len(), 6);
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 6: scalability with the number of graphs in the dataset.
+//!
+//! The paper sweeps the dataset size from 1 000 to 500 000 graphs at the
+//! sane defaults. All metrics are expected to scale roughly linearly with
+//! the number of graphs while the false positive ratio stays flat; the
+//! interesting part is which methods hit their time/memory limits first
+//! (gIndex around 10k graphs, the other mining/encoding methods between 50k
+//! and 100k, Grapes by memory at the largest sizes, GGSX last).
+
+use crate::experiments::{measure_point, options_for, synthetic_dataset, workloads_for};
+use crate::report::ExperimentReport;
+use crate::runner::ExperimentScale;
+
+/// The graph-count sweep used at a given scale, anchored at the scale's
+/// default dataset size.
+pub fn sweep_for(scale: &ExperimentScale) -> Vec<usize> {
+    let base = scale.graph_count.max(4);
+    vec![base / 4, base / 2, base, base * 2]
+}
+
+/// Runs the Figure 6 experiment at the given scale.
+pub fn run(scale: &ExperimentScale) -> ExperimentReport {
+    let sweep = sweep_for(scale);
+    let mut report = ExperimentReport::new(
+        "fig6_numgraphs",
+        "Scalability with the number of graphs in the dataset (Figure 6)",
+        format!(
+            "graph-count sweep {:?}, {} nodes, density {}, {} labels",
+            sweep, scale.avg_nodes, scale.avg_density, scale.label_count
+        ),
+    );
+    let options = options_for(scale);
+    // Generate the largest dataset once and truncate it for the smaller
+    // points, so the smaller datasets are strict prefixes (the same trick
+    // keeps the workloads comparable across points).
+    let largest = *sweep.last().expect("sweep is non-empty");
+    let full = synthetic_dataset(
+        scale,
+        scale.avg_nodes,
+        scale.avg_density,
+        scale.label_count,
+        largest,
+    );
+    for count in sweep {
+        let dataset = full.truncated(count);
+        let workloads = workloads_for(&dataset, scale);
+        report.push_point(measure_point(
+            format!("{count}"),
+            count as f64,
+            &dataset,
+            &workloads,
+            &options,
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_increasing_and_contains_default() {
+        let scale = ExperimentScale::smoke();
+        let sweep = sweep_for(&scale);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert!(sweep.contains(&scale.graph_count));
+    }
+
+    #[test]
+    fn smoke_run_produces_all_points() {
+        let report = run(&ExperimentScale::smoke());
+        assert_eq!(report.points.len(), 4);
+        for point in &report.points {
+            assert_eq!(point.results.len(), 6);
+        }
+        // Dataset size grows along the x axis.
+        assert!(report
+            .points
+            .windows(2)
+            .all(|w| w[0].x_value < w[1].x_value));
+    }
+}

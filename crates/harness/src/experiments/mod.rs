@@ -1,0 +1,116 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! | Module | Paper artifact | Sweep |
+//! |---|---|---|
+//! | [`table1`] | Table 1 | characteristics of the four (simulated) real datasets |
+//! | [`fig1_real`] | Figure 1 | all metrics over the four real-like datasets |
+//! | [`fig2_nodes`] | Figure 2 | varying the number of nodes per graph |
+//! | [`fig3_density`] | Figure 3 | varying the graph density |
+//! | [`fig4_query_size`] | Figure 4 | density sweep broken out per query size |
+//! | [`fig5_labels`] | Figure 5 | varying the number of distinct labels |
+//! | [`fig6_numgraphs`] | Figure 6 | varying the number of graphs in the dataset |
+//! | [`ablations`] | beyond the paper | location info, path length, fingerprint width, mined-fragment size, build threads |
+//!
+//! Every module exposes a `run(&ExperimentScale) -> ExperimentReport`
+//! (Figure 4 returns one report per query size). The sweeps honour the
+//! scale's defaults for whatever parameter is *not* being varied, exactly
+//! like the paper varies one parameter at a time around its "sane defaults".
+
+pub mod ablations;
+pub mod fig1_real;
+pub mod fig2_nodes;
+pub mod fig3_density;
+pub mod fig4_query_size;
+pub mod fig5_labels;
+pub mod fig6_numgraphs;
+pub mod table1;
+
+use crate::report::ExperimentPoint;
+use crate::runner::{run_methods, ExperimentScale, RunOptions};
+use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen, QueryWorkload};
+use sqbench_graph::Dataset;
+
+/// Generates a synthetic dataset with the scale's defaults, overriding any
+/// of the four dataset parameters.
+pub(crate) fn synthetic_dataset(
+    scale: &ExperimentScale,
+    avg_nodes: usize,
+    avg_density: f64,
+    label_count: u32,
+    graph_count: usize,
+) -> Dataset {
+    GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(graph_count)
+            .with_avg_nodes(avg_nodes)
+            .with_avg_density(avg_density)
+            .with_label_count(label_count)
+            .with_seed(scale.seed),
+    )
+    .generate()
+}
+
+/// Generates the query workloads (one per configured query size) for a
+/// dataset at the given scale.
+pub(crate) fn workloads_for(dataset: &Dataset, scale: &ExperimentScale) -> Vec<QueryWorkload> {
+    QueryGen::new(scale.seed ^ 0x51_00_ad)
+        .generate_all_sizes(dataset, scale.queries_per_size, &scale.query_sizes)
+}
+
+/// Runs all methods over one dataset/workload pair and wraps the result as
+/// an [`ExperimentPoint`].
+pub(crate) fn measure_point(
+    x_label: impl Into<String>,
+    x_value: f64,
+    dataset: &Dataset,
+    workloads: &[QueryWorkload],
+    options: &RunOptions,
+) -> ExperimentPoint {
+    ExperimentPoint {
+        x_label: x_label.into(),
+        x_value,
+        results: run_methods(dataset, workloads, options),
+    }
+}
+
+/// The run options used by the experiments: default per-method parameters
+/// (§4.1 of the paper) with the scale's time budget.
+pub(crate) fn options_for(scale: &ExperimentScale) -> RunOptions {
+    RunOptions {
+        time_budget: scale.time_budget,
+        ..RunOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_dataset_honours_overrides() {
+        let scale = ExperimentScale::smoke();
+        let ds = synthetic_dataset(&scale, 15, 0.1, 3, 12);
+        assert_eq!(ds.len(), 12);
+        assert!(ds.distinct_label_count() <= 3);
+    }
+
+    #[test]
+    fn workloads_cover_all_sizes() {
+        let scale = ExperimentScale::smoke();
+        let ds = synthetic_dataset(&scale, 15, 0.15, 4, 10);
+        let workloads = workloads_for(&ds, &scale);
+        assert_eq!(workloads.len(), scale.query_sizes.len());
+        for (w, &size) in workloads.iter().zip(scale.query_sizes.iter()) {
+            assert_eq!(w.edges_per_query, size);
+            assert_eq!(w.len(), scale.queries_per_size);
+        }
+    }
+
+    #[test]
+    fn options_for_uses_scale_budget() {
+        let scale = ExperimentScale::smoke();
+        let options = options_for(&scale);
+        assert_eq!(options.time_budget, scale.time_budget);
+        assert_eq!(options.methods.len(), 6);
+    }
+}

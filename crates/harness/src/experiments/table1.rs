@@ -1,0 +1,136 @@
+//! Table 1: characteristics of the real datasets.
+//!
+//! The paper's Table 1 lists, for AIDS, PDBS, PCM and PPI: the number of
+//! graphs, the number of disconnected graphs, the number of distinct labels,
+//! and per-graph averages (nodes, node-count standard deviation, edges,
+//! density, degree, labels). This experiment generates the simulated
+//! stand-ins at the requested scale, measures the same statistics, and
+//! reports them side by side with the published values so the fidelity of
+//! the substitution (see DESIGN.md) can be audited.
+
+use crate::runner::ExperimentScale;
+use serde::{Deserialize, Serialize};
+use sqbench_generator::RealDataset;
+use sqbench_graph::DatasetStats;
+
+/// Published vs. measured characteristics for one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Dataset name (AIDS, PDBS, PCM, PPI).
+    pub dataset: String,
+    /// The scale factor the simulated dataset was generated at.
+    pub scale: f64,
+    /// Statistics published in the paper's Table 1.
+    pub published: PublishedStats,
+    /// Statistics measured on the simulated dataset.
+    pub measured: DatasetStats,
+}
+
+/// The published Table 1 numbers (independent of scale).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishedStats {
+    /// Number of graphs.
+    pub graph_count: usize,
+    /// Number of disconnected graphs.
+    pub disconnected_graphs: usize,
+    /// Number of distinct labels.
+    pub label_count: u32,
+    /// Average number of nodes per graph.
+    pub avg_nodes: f64,
+    /// Average number of edges per graph.
+    pub avg_edges: f64,
+    /// Average degree.
+    pub avg_degree: f64,
+    /// Average number of distinct labels per graph.
+    pub avg_labels_per_graph: f64,
+}
+
+/// The Table 1 report: one row per real dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Report {
+    /// One row per dataset.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1Report {
+    /// Renders the report as text, published vs. measured.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("# Table 1 — real dataset characteristics (published vs. simulated)\n");
+        for row in &self.rows {
+            out.push_str(&format!(
+                "\n{} (scale {}):\n  published: graphs={} labels={} avg_nodes={:.1} avg_edges={:.1} avg_degree={:.2} avg_labels={:.1}\n  measured : {}\n",
+                row.dataset,
+                row.scale,
+                row.published.graph_count,
+                row.published.label_count,
+                row.published.avg_nodes,
+                row.published.avg_edges,
+                row.published.avg_degree,
+                row.published.avg_labels_per_graph,
+                row.measured.to_table_row(),
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the Table 1 experiment at the given scale.
+pub fn run(scale: &ExperimentScale) -> Table1Report {
+    let rows = RealDataset::ALL
+        .iter()
+        .map(|dataset| {
+            let spec = dataset.spec();
+            let ds = dataset.generate(scale.real_dataset_scale, scale.seed);
+            Table1Row {
+                dataset: dataset.name().to_string(),
+                scale: scale.real_dataset_scale,
+                published: PublishedStats {
+                    graph_count: spec.graph_count,
+                    disconnected_graphs: spec.disconnected_graphs,
+                    label_count: spec.label_count,
+                    avg_nodes: spec.avg_nodes,
+                    avg_edges: spec.avg_edges,
+                    avg_degree: spec.avg_degree(),
+                    avg_labels_per_graph: spec.avg_labels_per_graph,
+                },
+                measured: DatasetStats::of(&ds),
+            }
+        })
+        .collect();
+    Table1Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_four_rows() {
+        let report = run(&ExperimentScale::smoke());
+        assert_eq!(report.rows.len(), 4);
+        let names: Vec<&str> = report.rows.iter().map(|r| r.dataset.as_str()).collect();
+        assert_eq!(names, vec!["AIDS", "PDBS", "PCM", "PPI"]);
+    }
+
+    #[test]
+    fn measured_regimes_track_published_regimes() {
+        let report = run(&ExperimentScale::smoke());
+        let by_name = |n: &str| report.rows.iter().find(|r| r.dataset == n).unwrap();
+        // AIDS has (scaled) many more graphs than PPI.
+        assert!(by_name("AIDS").measured.graph_count > by_name("PPI").measured.graph_count);
+        // PCM stays the densest dataset; AIDS/PDBS stay sparse.
+        assert!(by_name("PCM").measured.avg_degree > by_name("AIDS").measured.avg_degree);
+        assert!(by_name("PCM").measured.avg_degree > by_name("PDBS").measured.avg_degree);
+    }
+
+    #[test]
+    fn rendering_mentions_every_dataset() {
+        let report = run(&ExperimentScale::smoke());
+        let text = report.render_text();
+        for name in ["AIDS", "PDBS", "PCM", "PPI"] {
+            assert!(text.contains(name));
+        }
+        assert!(text.contains("published"));
+        assert!(text.contains("measured"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # sqbench-harness
+//!
+//! Experiment harness that reproduces the evaluation of the VLDB 2015 paper
+//! *"Performance and Scalability of Indexed Subgraph Query Processing
+//! Methods"*: it generates the paper's datasets and query workloads, drives
+//! all six index methods through the same build → filter → verify pipeline,
+//! and reports the paper's four metrics — index construction time, index
+//! size, query processing time, and false positive ratio.
+//!
+//! The crate is organized as:
+//!
+//! * [`metrics`] — timers, per-method metric records and the false positive
+//!   ratio of Equation (3);
+//! * [`runner`] — the machinery that builds each index, runs a query
+//!   workload against it and enforces the experiment time budget (the
+//!   paper's 8-hour limit, scaled down);
+//! * [`report`] — experiment report data structures plus plain-text and CSV
+//!   rendering of the same rows/series the paper plots;
+//! * [`experiments`] — one module per table/figure of the paper
+//!   (Table 1, Figures 1–6), each parameterized by an [`ExperimentScale`]
+//!   so the same code runs as a quick smoke test, a laptop-scale benchmark
+//!   or the full paper grid.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sqbench_harness::{experiments, ExperimentScale};
+//!
+//! // Smoke-scale run of the Figure 2 experiment (varying number of nodes).
+//! let report = experiments::fig2_nodes::run(&ExperimentScale::smoke());
+//! assert!(!report.points.is_empty());
+//! println!("{}", sqbench_harness::report::render_text(&report));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{workload_false_positive_ratio, MethodMetrics};
+pub use report::{ExperimentPoint, ExperimentReport};
+pub use runner::{run_methods, ExperimentScale, RunOptions};

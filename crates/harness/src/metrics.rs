@@ -1,0 +1,160 @@
+//! Metric definitions: per-method measurements and the false positive ratio.
+
+use serde::{Deserialize, Serialize};
+use sqbench_index::QueryOutcome;
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in seconds as `f64`.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// The false positive ratio of a query workload, per Equation (3) of the
+/// paper: the mean over queries of `(|C| - |A|) / |C|`, where `C` is the
+/// candidate set and `A` the answer set. Queries with an empty candidate
+/// set contribute 0 (they produced no false positives).
+pub fn workload_false_positive_ratio(outcomes: &[QueryOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes
+        .iter()
+        .map(QueryOutcome::false_positive_ratio)
+        .sum::<f64>()
+        / outcomes.len() as f64
+}
+
+/// All measurements collected for one method at one experiment point — the
+/// quantities plotted in panels (a)–(d) of each figure in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodMetrics {
+    /// Method name (as in the paper's legends).
+    pub method: String,
+    /// Index construction wall-clock time, seconds.
+    pub indexing_time_s: f64,
+    /// Index size in bytes.
+    pub index_size_bytes: usize,
+    /// Number of distinct features (or encoded signatures) in the index.
+    pub distinct_features: usize,
+    /// Mean query processing time (filter + verify), seconds per query.
+    pub avg_query_time_s: f64,
+    /// False positive ratio per Equation (3), averaged over the workload.
+    pub false_positive_ratio: f64,
+    /// Number of queries actually executed (smaller than the workload when
+    /// the time budget ran out).
+    pub queries_executed: usize,
+    /// Whether the method exceeded the experiment's time budget (the
+    /// scaled-down analogue of the paper's 8-hour DNF entries).
+    pub timed_out: bool,
+}
+
+impl MethodMetrics {
+    /// Index size in megabytes (the unit the paper plots).
+    pub fn index_size_mb(&self) -> f64 {
+        self.index_size_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Formats the record as a single log line.
+    pub fn to_log_line(&self) -> String {
+        format!(
+            "{method:12} index_time={it:9.3}s index_size={sz:10.3}MB features={feat:8} \
+             query_time={qt:9.5}s fp_ratio={fp:6.3} queries={q:4}{dnf}",
+            method = self.method,
+            it = self.indexing_time_s,
+            sz = self.index_size_mb(),
+            feat = self.distinct_features,
+            qt = self.avg_query_time_s,
+            fp = self.false_positive_ratio,
+            q = self.queries_executed,
+            dnf = if self.timed_out { " [DNF]" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(candidates: usize, answers: usize) -> QueryOutcome {
+        QueryOutcome {
+            candidates: (0..candidates).collect(),
+            answers: (0..answers).collect(),
+        }
+    }
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(sw.elapsed_secs() >= 0.004);
+    }
+
+    #[test]
+    fn fp_ratio_of_equation_3() {
+        // Query 1: 10 candidates, 5 answers -> 0.5; query 2: 4/4 -> 0.0.
+        let outcomes = vec![outcome(10, 5), outcome(4, 4)];
+        assert!((workload_false_positive_ratio(&outcomes) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp_ratio_handles_empty_inputs() {
+        assert_eq!(workload_false_positive_ratio(&[]), 0.0);
+        let outcomes = vec![outcome(0, 0)];
+        assert_eq!(workload_false_positive_ratio(&outcomes), 0.0);
+    }
+
+    #[test]
+    fn fp_ratio_is_one_when_nothing_verifies() {
+        let outcomes = vec![outcome(7, 0)];
+        assert!((workload_false_positive_ratio(&outcomes) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_formatting() {
+        let m = MethodMetrics {
+            method: "Grapes".into(),
+            indexing_time_s: 1.25,
+            index_size_bytes: 2 * 1024 * 1024,
+            distinct_features: 100,
+            avg_query_time_s: 0.01,
+            false_positive_ratio: 0.125,
+            queries_executed: 40,
+            timed_out: false,
+        };
+        assert!((m.index_size_mb() - 2.0).abs() < 1e-9);
+        let line = m.to_log_line();
+        assert!(line.contains("Grapes"));
+        assert!(!line.contains("DNF"));
+        let dnf = MethodMetrics {
+            timed_out: true,
+            ..m
+        };
+        assert!(dnf.to_log_line().contains("DNF"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Experiment report structures and rendering.
+//!
+//! Every experiment produces an [`ExperimentReport`]: a series of
+//! x-axis points (a dataset name for Figure 1, a parameter value for the
+//! scalability sweeps), each carrying one [`MethodMetrics`] record per
+//! method. [`render_text`] prints the same four panels the paper plots
+//! (indexing time, index size, query processing time, false positive
+//! ratio); [`render_csv`] emits a flat machine-readable table.
+
+use crate::metrics::MethodMetrics;
+use serde::{Deserialize, Serialize};
+
+/// One x-axis point of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentPoint {
+    /// Human-readable x-axis label (e.g. `"AIDS"` or `"nodes=200"`).
+    pub x_label: String,
+    /// Numeric x value where applicable (0 for categorical points).
+    pub x_value: f64,
+    /// Per-method measurements at this point.
+    pub results: Vec<MethodMetrics>,
+}
+
+/// A full experiment report (one table or figure of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Short id, e.g. `"fig2_nodes"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Description of the workload/parameters used.
+    pub description: String,
+    /// The measured series.
+    pub points: Vec<ExperimentPoint>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        description: impl Into<String>,
+    ) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            description: description.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a point to the report.
+    pub fn push_point(&mut self, point: ExperimentPoint) {
+        self.points.push(point);
+    }
+
+    /// All method names appearing in the report, in first-seen order.
+    pub fn method_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for point in &self.points {
+            for result in &point.results {
+                if !names.contains(&result.method) {
+                    names.push(result.method.clone());
+                }
+            }
+        }
+        names
+    }
+
+    /// Looks up the metrics of `method` at point index `point_idx`.
+    pub fn metrics_at(&self, point_idx: usize, method: &str) -> Option<&MethodMetrics> {
+        self.points
+            .get(point_idx)?
+            .results
+            .iter()
+            .find(|m| m.method == method)
+    }
+}
+
+/// The four metric panels of each figure in the paper.
+const PANELS: [(&str, fn(&MethodMetrics) -> String); 4] = [
+    ("Indexing time (s)", |m| format!("{:.4}", m.indexing_time_s)),
+    ("Index size (MB)", |m| format!("{:.4}", m.index_size_mb())),
+    ("Query processing time (s)", |m| {
+        format!("{:.6}", m.avg_query_time_s)
+    }),
+    ("False positive ratio", |m| {
+        format!("{:.4}", m.false_positive_ratio)
+    }),
+];
+
+/// Renders the report as four plain-text panels (one per metric), each a
+/// table with one row per x-axis point and one column per method — the same
+/// series the corresponding paper figure plots.
+pub fn render_text(report: &ExperimentReport) -> String {
+    let methods = report.method_names();
+    let mut out = String::new();
+    out.push_str(&format!("# {} — {}\n", report.id, report.title));
+    out.push_str(&format!("# {}\n", report.description));
+    for (panel_title, extract) in PANELS {
+        out.push_str(&format!("\n## {panel_title}\n"));
+        // Header.
+        out.push_str(&format!("{:>18}", "x"));
+        for m in &methods {
+            out.push_str(&format!("{m:>14}"));
+        }
+        out.push('\n');
+        for point in &report.points {
+            out.push_str(&format!("{:>18}", point.x_label));
+            for m in &methods {
+                let cell = point
+                    .results
+                    .iter()
+                    .find(|r| &r.method == m)
+                    .map(|r| {
+                        if r.timed_out {
+                            "DNF".to_string()
+                        } else {
+                            extract(r)
+                        }
+                    })
+                    .unwrap_or_else(|| "-".to_string());
+                out.push_str(&format!("{cell:>14}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders the report as CSV with one row per (point, method) pair.
+pub fn render_csv(report: &ExperimentReport) -> String {
+    let mut out = String::from(
+        "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,distinct_features,\
+         avg_query_time_s,false_positive_ratio,queries_executed,timed_out\n",
+    );
+    for point in &report.points {
+        for m in &point.results {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                report.id,
+                point.x_label,
+                point.x_value,
+                m.method,
+                m.indexing_time_s,
+                m.index_size_bytes,
+                m.distinct_features,
+                m.avg_query_time_s,
+                m.false_positive_ratio,
+                m.queries_executed,
+                m.timed_out
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics(method: &str, t: f64) -> MethodMetrics {
+        MethodMetrics {
+            method: method.to_string(),
+            indexing_time_s: t,
+            index_size_bytes: 1024 * 1024,
+            distinct_features: 10,
+            avg_query_time_s: t / 100.0,
+            false_positive_ratio: 0.5,
+            queries_executed: 8,
+            timed_out: false,
+        }
+    }
+
+    fn sample_report() -> ExperimentReport {
+        let mut report = ExperimentReport::new("fig_test", "Test figure", "two points");
+        report.push_point(ExperimentPoint {
+            x_label: "50".into(),
+            x_value: 50.0,
+            results: vec![sample_metrics("Grapes", 1.0), sample_metrics("GGSX", 2.0)],
+        });
+        report.push_point(ExperimentPoint {
+            x_label: "100".into(),
+            x_value: 100.0,
+            results: vec![
+                sample_metrics("Grapes", 3.0),
+                MethodMetrics {
+                    timed_out: true,
+                    ..sample_metrics("GGSX", 4.0)
+                },
+            ],
+        });
+        report
+    }
+
+    #[test]
+    fn method_names_in_first_seen_order() {
+        let report = sample_report();
+        assert_eq!(report.method_names(), vec!["Grapes", "GGSX"]);
+    }
+
+    #[test]
+    fn metrics_lookup() {
+        let report = sample_report();
+        assert!((report.metrics_at(0, "GGSX").unwrap().indexing_time_s - 2.0).abs() < 1e-12);
+        assert!(report.metrics_at(0, "gCode").is_none());
+        assert!(report.metrics_at(5, "Grapes").is_none());
+    }
+
+    #[test]
+    fn text_rendering_contains_panels_and_dnf() {
+        let text = render_text(&sample_report());
+        assert!(text.contains("Indexing time (s)"));
+        assert!(text.contains("Index size (MB)"));
+        assert!(text.contains("Query processing time (s)"));
+        assert!(text.contains("False positive ratio"));
+        assert!(text.contains("DNF"));
+        assert!(text.contains("Grapes"));
+        assert!(text.contains("fig_test"));
+    }
+
+    #[test]
+    fn csv_rendering_has_one_row_per_method_point() {
+        let csv = render_csv(&sample_report());
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + 4); // header + 2 points × 2 methods
+        assert!(lines[0].starts_with("experiment,"));
+        assert!(lines[4].contains("true") || lines[3].contains("true")); // the DNF row
+    }
+
+    #[test]
+    fn serde_round_trip_via_clone_eq() {
+        let report = sample_report();
+        let copy = report.clone();
+        assert_eq!(report, copy);
+    }
+}

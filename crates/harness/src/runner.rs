@@ -1,0 +1,270 @@
+//! Experiment runner: builds indexes, runs query workloads and enforces the
+//! per-method time budget.
+
+use crate::metrics::{workload_false_positive_ratio, MethodMetrics, Stopwatch};
+use serde::{Deserialize, Serialize};
+use sqbench_generator::QueryWorkload;
+use sqbench_graph::Dataset;
+use sqbench_index::{build_index, MethodConfig, MethodKind, QueryOutcome};
+use std::time::Duration;
+
+/// Scale of an experiment run. The same experiment code is used at three
+/// scales:
+///
+/// * [`ExperimentScale::smoke`] — seconds-long runs used by unit and
+///   integration tests;
+/// * [`ExperimentScale::laptop`] — the default for the Criterion benches;
+///   keeps the shape of the paper's sweeps at a size a laptop can finish;
+/// * [`ExperimentScale::paper`] — the full parameter grids of the paper
+///   (needs a large machine and many hours, exactly as the original study
+///   did).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Number of graphs in synthetic datasets (paper default: 1000).
+    pub graph_count: usize,
+    /// Mean nodes per synthetic graph (paper default: 200).
+    pub avg_nodes: usize,
+    /// Mean density of synthetic graphs (paper default: 0.025).
+    pub avg_density: f64,
+    /// Number of distinct labels (paper default: 20).
+    pub label_count: u32,
+    /// Queries generated per query size.
+    pub queries_per_size: usize,
+    /// Query sizes (in edges) to generate.
+    pub query_sizes: Vec<usize>,
+    /// Scale factor applied to the real-dataset simulators (1.0 = published
+    /// sizes).
+    pub real_dataset_scale: f64,
+    /// Per-method time budget for indexing plus query processing (the
+    /// scaled-down analogue of the paper's 8-hour limit).
+    pub time_budget: Duration,
+    /// RNG seed shared by dataset and workload generation.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Tiny configuration for tests: a handful of small graphs.
+    pub fn smoke() -> Self {
+        ExperimentScale {
+            graph_count: 16,
+            avg_nodes: 12,
+            avg_density: 0.15,
+            label_count: 5,
+            queries_per_size: 2,
+            query_sizes: vec![4, 8],
+            real_dataset_scale: 0.002,
+            time_budget: Duration::from_secs(30),
+            seed: 7,
+        }
+    }
+
+    /// Laptop-scale configuration used by the benches.
+    pub fn laptop() -> Self {
+        ExperimentScale {
+            graph_count: 200,
+            avg_nodes: 40,
+            avg_density: 0.05,
+            label_count: 20,
+            queries_per_size: 10,
+            query_sizes: vec![4, 8, 16, 32],
+            real_dataset_scale: 0.01,
+            time_budget: Duration::from_secs(120),
+            seed: 42,
+        }
+    }
+
+    /// The paper's full configuration ("sane defaults", 8-hour budget).
+    pub fn paper() -> Self {
+        ExperimentScale {
+            graph_count: 1000,
+            avg_nodes: 200,
+            avg_density: 0.025,
+            label_count: 20,
+            queries_per_size: 100,
+            query_sizes: vec![4, 8, 16, 32],
+            real_dataset_scale: 1.0,
+            time_budget: Duration::from_secs(8 * 3600),
+            seed: 2015,
+        }
+    }
+}
+
+/// Options for a single [`run_methods`] invocation.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Which methods to run (defaults to all six).
+    pub methods: Vec<MethodKind>,
+    /// Per-method index/query configuration.
+    pub config: MethodConfig,
+    /// Per-method time budget (indexing + queries).
+    pub time_budget: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            methods: MethodKind::ALL.to_vec(),
+            config: MethodConfig::default(),
+            time_budget: Duration::from_secs(120),
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options sized for fast tests (small fingerprints, short paths).
+    pub fn fast() -> Self {
+        RunOptions {
+            config: MethodConfig::fast(),
+            time_budget: Duration::from_secs(30),
+            ..Default::default()
+        }
+    }
+
+    /// Restricts the run to a subset of methods.
+    pub fn with_methods(mut self, methods: &[MethodKind]) -> Self {
+        self.methods = methods.to_vec();
+        self
+    }
+}
+
+/// Builds each requested method over `dataset` and runs every query of every
+/// workload against it, returning one [`MethodMetrics`] per method.
+///
+/// The time budget is enforced at two points: after index construction (a
+/// method whose build alone exceeds the budget is marked `timed_out` and
+/// processes no queries — the analogue of the paper's DNF entries) and
+/// between queries (remaining queries are skipped once the budget is
+/// exhausted, with `queries_executed` recording how far the method got).
+pub fn run_methods(
+    dataset: &Dataset,
+    workloads: &[QueryWorkload],
+    options: &RunOptions,
+) -> Vec<MethodMetrics> {
+    options
+        .methods
+        .iter()
+        .map(|&kind| run_single_method(kind, dataset, workloads, options))
+        .collect()
+}
+
+fn run_single_method(
+    kind: MethodKind,
+    dataset: &Dataset,
+    workloads: &[QueryWorkload],
+    options: &RunOptions,
+) -> MethodMetrics {
+    let budget = options.time_budget;
+    let build_watch = Stopwatch::start();
+    let index = build_index(kind, &options.config, dataset);
+    let indexing_time_s = build_watch.elapsed_secs();
+    let stats = index.stats();
+
+    let mut outcomes: Vec<QueryOutcome> = Vec::new();
+    let mut total_query_time = 0.0f64;
+    let mut timed_out = build_watch.elapsed() > budget;
+
+    if !timed_out {
+        'outer: for workload in workloads {
+            for (query, _) in workload.iter() {
+                if build_watch.elapsed() > budget {
+                    timed_out = true;
+                    break 'outer;
+                }
+                let qwatch = Stopwatch::start();
+                let outcome = index.query(dataset, query);
+                total_query_time += qwatch.elapsed_secs();
+                outcomes.push(outcome);
+            }
+        }
+    }
+
+    let queries_executed = outcomes.len();
+    MethodMetrics {
+        method: kind.name().to_string(),
+        indexing_time_s,
+        index_size_bytes: stats.size_bytes,
+        distinct_features: stats.distinct_features,
+        avg_query_time_s: if queries_executed == 0 {
+            0.0
+        } else {
+            total_query_time / queries_executed as f64
+        },
+        false_positive_ratio: workload_false_positive_ratio(&outcomes),
+        queries_executed,
+        timed_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
+
+    fn small_setup() -> (Dataset, Vec<QueryWorkload>) {
+        let ds = GraphGen::new(
+            GraphGenConfig::default()
+                .with_graph_count(15)
+                .with_avg_nodes(12)
+                .with_avg_density(0.15)
+                .with_label_count(4)
+                .with_seed(3),
+        )
+        .generate();
+        let workloads = QueryGen::new(5).generate_all_sizes(&ds, 2, &[4, 8]);
+        (ds, workloads)
+    }
+
+    #[test]
+    fn runs_all_methods_and_reports_metrics() {
+        let (ds, workloads) = small_setup();
+        let results = run_methods(&ds, &workloads, &RunOptions::fast());
+        assert_eq!(results.len(), 6);
+        for m in &results {
+            assert!(!m.timed_out, "method {} unexpectedly timed out", m.method);
+            assert_eq!(m.queries_executed, 4);
+            assert!(m.indexing_time_s >= 0.0);
+            assert!(m.index_size_bytes > 0);
+            assert!(m.false_positive_ratio >= 0.0 && m.false_positive_ratio <= 1.0);
+        }
+        // All methods returned, in the requested order.
+        let names: Vec<&str> = results.iter().map(|m| m.method.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Grapes", "GGSX", "CT-Index", "gIndex", "Tree+Delta", "gCode"]
+        );
+    }
+
+    #[test]
+    fn method_subset_is_respected() {
+        let (ds, workloads) = small_setup();
+        let options = RunOptions::fast().with_methods(&[MethodKind::Ggsx, MethodKind::CtIndex]);
+        let results = run_methods(&ds, &workloads, &options);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].method, "GGSX");
+        assert_eq!(results[1].method, "CT-Index");
+    }
+
+    #[test]
+    fn zero_budget_marks_methods_as_timed_out() {
+        let (ds, workloads) = small_setup();
+        let mut options = RunOptions::fast().with_methods(&[MethodKind::Ggsx]);
+        options.time_budget = Duration::from_secs(0);
+        let results = run_methods(&ds, &workloads, &options);
+        assert!(results[0].timed_out);
+        assert_eq!(results[0].queries_executed, 0);
+        assert_eq!(results[0].avg_query_time_s, 0.0);
+    }
+
+    #[test]
+    fn scales_expose_paper_defaults() {
+        let paper = ExperimentScale::paper();
+        assert_eq!(paper.graph_count, 1000);
+        assert_eq!(paper.avg_nodes, 200);
+        assert!((paper.avg_density - 0.025).abs() < 1e-12);
+        assert_eq!(paper.label_count, 20);
+        assert_eq!(paper.time_budget, Duration::from_secs(8 * 3600));
+        let smoke = ExperimentScale::smoke();
+        assert!(smoke.graph_count < ExperimentScale::laptop().graph_count);
+        assert!(ExperimentScale::laptop().graph_count < paper.graph_count);
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-method configuration, defaulting to the parameter values listed in
+//! §4.1 of the paper.
+//!
+//! Two knobs deviate from the paper's defaults in the interest of
+//! laptop-scale runs and are clearly marked: the maximum fragment size of
+//! the frequent-mining methods (the paper uses 10, which only a large server
+//! can sustain for the bigger sweeps) and Grapes' thread count default
+//! (which adapts to the local machine instead of being fixed at 6). Both can
+//! be set to the paper's exact values through the builder methods.
+
+/// Configuration of the Grapes index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrapesConfig {
+    /// Maximum path length in edges (paper: 4).
+    pub max_path_edges: usize,
+    /// Number of worker threads used for index construction and
+    /// verification (paper: 6).
+    pub threads: usize,
+}
+
+impl Default for GrapesConfig {
+    fn default() -> Self {
+        GrapesConfig {
+            max_path_edges: 4,
+            threads: 6,
+        }
+    }
+}
+
+/// Configuration of the GraphGrepSX index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GgsxConfig {
+    /// Maximum path length in edges (paper: 4).
+    pub max_path_edges: usize,
+}
+
+impl Default for GgsxConfig {
+    fn default() -> Self {
+        GgsxConfig { max_path_edges: 4 }
+    }
+}
+
+/// Configuration of the CT-Index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtIndexConfig {
+    /// Fingerprint width in bits (paper: 4096).
+    pub fingerprint_bits: usize,
+    /// Maximum tree feature size in edges (paper configuration: 4).
+    pub max_tree_edges: usize,
+    /// Maximum cycle length in edges (paper configuration: 4).
+    pub max_cycle_edges: usize,
+    /// Hash probes per feature (1 = CT-Index behaviour).
+    pub hashes_per_feature: usize,
+}
+
+impl Default for CtIndexConfig {
+    fn default() -> Self {
+        CtIndexConfig {
+            fingerprint_bits: 4096,
+            max_tree_edges: 4,
+            max_cycle_edges: 4,
+            hashes_per_feature: 1,
+        }
+    }
+}
+
+/// Configuration of gIndex.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GIndexConfig {
+    /// Maximum feature size in edges. Paper default: 10; library default: 3
+    /// so the mining stage stays tractable on laptop-scale sweeps (this is
+    /// the knob the paper itself identifies as the source of gIndex's
+    /// blow-ups).
+    pub max_feature_edges: usize,
+    /// Minimum support ratio (paper: 0.1).
+    pub min_support_ratio: f64,
+    /// Discriminative ratio threshold (paper: 2.0).
+    pub discriminative_ratio: f64,
+}
+
+impl Default for GIndexConfig {
+    fn default() -> Self {
+        GIndexConfig {
+            max_feature_edges: 3,
+            min_support_ratio: 0.1,
+            discriminative_ratio: 2.0,
+        }
+    }
+}
+
+impl GIndexConfig {
+    /// The exact paper configuration (maximum feature size 10).
+    pub fn paper() -> Self {
+        GIndexConfig {
+            max_feature_edges: 10,
+            ..Default::default()
+        }
+    }
+}
+
+/// Configuration of Tree+Δ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeDeltaConfig {
+    /// Maximum tree feature size in edges. Paper default: 10; library
+    /// default: 3 (same rationale as [`GIndexConfig::max_feature_edges`]).
+    pub max_feature_edges: usize,
+    /// Minimum support ratio for mined trees (paper: 0.1).
+    pub min_support_ratio: f64,
+    /// Maximum length of the cycle-based Δ features enumerated from query
+    /// graphs.
+    pub max_cycle_edges: usize,
+    /// A Δ feature is added to the index only if the fraction of current
+    /// candidates containing it is at most this threshold (paper: 0.8) —
+    /// i.e. the feature is selective enough to be worth remembering.
+    pub delta_support_threshold: f64,
+}
+
+impl Default for TreeDeltaConfig {
+    fn default() -> Self {
+        TreeDeltaConfig {
+            max_feature_edges: 3,
+            min_support_ratio: 0.1,
+            max_cycle_edges: 4,
+            delta_support_threshold: 0.8,
+        }
+    }
+}
+
+impl TreeDeltaConfig {
+    /// The exact paper configuration (maximum feature size 10).
+    pub fn paper() -> Self {
+        TreeDeltaConfig {
+            max_feature_edges: 10,
+            ..Default::default()
+        }
+    }
+}
+
+/// Configuration of gCode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GCodeConfig {
+    /// Length (in edges) of the paths used to build vertex signatures
+    /// (paper: 2, i.e. the "level-2 path tree").
+    pub signature_path_length: usize,
+    /// Number of leading path-tree eigenvalues kept per vertex (paper: 2).
+    pub eigenvalue_count: usize,
+    /// Width of the label / neighbor counter strings (paper: 32).
+    pub counter_width: usize,
+}
+
+impl Default for GCodeConfig {
+    fn default() -> Self {
+        GCodeConfig {
+            signature_path_length: 2,
+            eigenvalue_count: 2,
+            counter_width: 32,
+        }
+    }
+}
+
+/// Bundle of all per-method configurations, used by the
+/// [`crate::build_index`] factory and the experiment harness.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MethodConfig {
+    /// Grapes configuration.
+    pub grapes: GrapesConfig,
+    /// GraphGrepSX configuration.
+    pub ggsx: GgsxConfig,
+    /// CT-Index configuration.
+    pub ctindex: CtIndexConfig,
+    /// gIndex configuration.
+    pub gindex: GIndexConfig,
+    /// Tree+Δ configuration.
+    pub treedelta: TreeDeltaConfig,
+    /// gCode configuration.
+    pub gcode: GCodeConfig,
+}
+
+impl MethodConfig {
+    /// A configuration bundle sized for fast unit tests: short paths, small
+    /// fragments, narrow fingerprints.
+    pub fn fast() -> Self {
+        MethodConfig {
+            grapes: GrapesConfig {
+                max_path_edges: 3,
+                threads: 2,
+            },
+            ggsx: GgsxConfig { max_path_edges: 3 },
+            ctindex: CtIndexConfig {
+                fingerprint_bits: 512,
+                max_tree_edges: 3,
+                max_cycle_edges: 3,
+                hashes_per_feature: 1,
+            },
+            gindex: GIndexConfig {
+                max_feature_edges: 2,
+                min_support_ratio: 0.05,
+                discriminative_ratio: 1.0,
+            },
+            treedelta: TreeDeltaConfig {
+                max_feature_edges: 2,
+                min_support_ratio: 0.05,
+                max_cycle_edges: 3,
+                delta_support_threshold: 0.8,
+            },
+            gcode: GCodeConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_4_1() {
+        assert_eq!(GrapesConfig::default().max_path_edges, 4);
+        assert_eq!(GrapesConfig::default().threads, 6);
+        assert_eq!(GgsxConfig::default().max_path_edges, 4);
+        let ct = CtIndexConfig::default();
+        assert_eq!(ct.fingerprint_bits, 4096);
+        assert_eq!(ct.max_tree_edges, 4);
+        assert_eq!(ct.max_cycle_edges, 4);
+        let gi = GIndexConfig::paper();
+        assert_eq!(gi.max_feature_edges, 10);
+        assert!((gi.min_support_ratio - 0.1).abs() < 1e-12);
+        assert!((gi.discriminative_ratio - 2.0).abs() < 1e-12);
+        let td = TreeDeltaConfig::paper();
+        assert_eq!(td.max_feature_edges, 10);
+        assert!((td.delta_support_threshold - 0.8).abs() < 1e-12);
+        let gc = GCodeConfig::default();
+        assert_eq!(gc.signature_path_length, 2);
+        assert_eq!(gc.eigenvalue_count, 2);
+        assert_eq!(gc.counter_width, 32);
+    }
+
+    #[test]
+    fn fast_config_is_smaller_than_defaults() {
+        let fast = MethodConfig::fast();
+        let default = MethodConfig::default();
+        assert!(fast.ctindex.fingerprint_bits < default.ctindex.fingerprint_bits);
+        assert!(fast.gindex.max_feature_edges <= default.gindex.max_feature_edges);
+        assert!(fast.grapes.threads <= default.grapes.threads);
+    }
+}

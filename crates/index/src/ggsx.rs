@@ -1,0 +1,222 @@
+//! GraphGrepSX (GGSX): exhaustive path enumeration in a suffix-tree-style
+//! trie with per-graph occurrence counts.
+//!
+//! Bonnici et al., "Enhancing graph database indexing by suffix tree
+//! structure" (PRIB 2010). Index construction enumerates, with a DFS, every
+//! simple path of up to `max_path_edges` edges of every dataset graph and
+//! organizes the label sequences in a trie; each node stores the list of
+//! graphs containing the corresponding path together with the number of its
+//! occurrences. Query processing enumerates the query's paths the same way,
+//! walks the index trie, prunes graphs that miss a path or have fewer
+//! occurrences than the query requires, and verifies the surviving
+//! candidates with VF2.
+
+use crate::config::GgsxConfig;
+use crate::path_trie::PathTrie;
+use crate::{GraphIndex, IndexStats, MethodKind};
+use sqbench_features::paths::for_each_path;
+use sqbench_graph::{Dataset, Graph, GraphId, Label};
+use std::collections::BTreeMap;
+
+/// The GraphGrepSX index.
+#[derive(Debug, Clone)]
+pub struct GgsxIndex {
+    config: GgsxConfig,
+    trie: PathTrie,
+    graph_count: usize,
+}
+
+impl GgsxIndex {
+    /// Builds the index over a dataset.
+    pub fn build(dataset: &Dataset, config: GgsxConfig) -> Self {
+        let mut trie = PathTrie::new(false);
+        for (gid, graph) in dataset.iter() {
+            for_each_path(graph, config.max_path_edges, |labels, start| {
+                trie.insert(labels, gid, start);
+            });
+        }
+        GgsxIndex {
+            config,
+            trie,
+            graph_count: dataset.len(),
+        }
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &GgsxConfig {
+        &self.config
+    }
+
+    /// Collects the query's path label sequences with their occurrence
+    /// counts (shared with Grapes, which uses the same pruning rule).
+    pub(crate) fn query_path_counts(
+        query: &Graph,
+        max_path_edges: usize,
+    ) -> BTreeMap<Vec<Label>, u32> {
+        let mut counts: BTreeMap<Vec<Label>, u32> = BTreeMap::new();
+        for_each_path(query, max_path_edges, |labels, _| {
+            *counts.entry(labels.to_vec()).or_insert(0) += 1;
+        });
+        counts
+    }
+}
+
+impl GraphIndex for GgsxIndex {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Ggsx
+    }
+
+    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+        let query_counts = Self::query_path_counts(query, self.config.max_path_edges);
+        if query_counts.is_empty() {
+            // Empty query: every graph trivially contains it.
+            return (0..self.graph_count).collect();
+        }
+        let mut candidates: Option<Vec<GraphId>> = None;
+        for (labels, &query_count) in query_counts.iter() {
+            let Some(payload) = self.trie.lookup(labels) else {
+                return Vec::new();
+            };
+            let matching: Vec<GraphId> = payload
+                .iter()
+                .filter(|(_, entry)| entry.count >= query_count)
+                .map(|(&gid, _)| gid)
+                .collect();
+            candidates = Some(match candidates {
+                None => matching,
+                Some(current) => crate::intersect_sorted(&current, &matching),
+            });
+            if candidates.as_ref().is_some_and(Vec::is_empty) {
+                return Vec::new();
+            }
+        }
+        candidates.unwrap_or_default()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            distinct_features: self.trie.distinct_paths(),
+            size_bytes: self.trie.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive_answers;
+    use sqbench_graph::GraphBuilder;
+
+    fn dataset() -> Dataset {
+        let tri = GraphBuilder::new("tri")
+            .vertices(&[1, 1, 2])
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let path = GraphBuilder::new("path")
+            .vertices(&[1, 2, 3])
+            .edges(&[(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        let star = GraphBuilder::new("star")
+            .vertices(&[2, 1, 1, 1])
+            .edges(&[(0, 1), (0, 2), (0, 3)])
+            .build()
+            .unwrap();
+        Dataset::from_graphs("ds", vec![tri, path, star])
+    }
+
+    fn query(labels: &[u32], edges: &[(usize, usize)]) -> Graph {
+        GraphBuilder::new("q")
+            .vertices(labels)
+            .edges(edges)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_produces_nonempty_index() {
+        let idx = GgsxIndex::build(&dataset(), GgsxConfig::default());
+        let stats = idx.stats();
+        assert!(stats.distinct_features > 0);
+        assert!(stats.size_bytes > 0);
+        assert_eq!(idx.kind(), MethodKind::Ggsx);
+    }
+
+    #[test]
+    fn filter_is_a_superset_of_answers() {
+        let ds = dataset();
+        let idx = GgsxIndex::build(&ds, GgsxConfig::default());
+        let q = query(&[1, 2], &[(0, 1)]);
+        let candidates = idx.filter(&q);
+        let answers = exhaustive_answers(&ds, &q);
+        for a in &answers {
+            assert!(candidates.contains(a), "answer {a} missing from candidates");
+        }
+    }
+
+    #[test]
+    fn query_returns_exact_answers() {
+        let ds = dataset();
+        let idx = GgsxIndex::build(&ds, GgsxConfig::default());
+        for (labels, edges) in [
+            (vec![1u32, 2], vec![(0usize, 1usize)]),
+            (vec![1, 1], vec![(0, 1)]),
+            (vec![1, 2, 3], vec![(0, 1), (1, 2)]),
+            (vec![2, 1, 1], vec![(0, 1), (0, 2)]),
+        ] {
+            let q = query(&labels, &edges);
+            let outcome = idx.query(&ds, &q);
+            assert_eq!(outcome.answers, exhaustive_answers(&ds, &q));
+            for a in &outcome.answers {
+                assert!(outcome.candidates.contains(a));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_path_prunes_everything() {
+        let ds = dataset();
+        let idx = GgsxIndex::build(&ds, GgsxConfig::default());
+        let q = query(&[7, 8], &[(0, 1)]);
+        assert!(idx.filter(&q).is_empty());
+    }
+
+    #[test]
+    fn occurrence_counts_prune_low_multiplicity_graphs() {
+        // Query: star with two label-1 leaves around a label-2 center. The
+        // "path" graph has the 1-2 edge only once, so counting prunes it;
+        // the triangle and the star both contain the pattern.
+        let ds = dataset();
+        let idx = GgsxIndex::build(&ds, GgsxConfig::default());
+        let q = query(&[2, 1, 1], &[(0, 1), (0, 2)]);
+        let candidates = idx.filter(&q);
+        assert!(!candidates.contains(&1), "path graph should be pruned by counts");
+        assert_eq!(idx.query(&ds, &q).answers, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_query_matches_all_graphs() {
+        let ds = dataset();
+        let idx = GgsxIndex::build(&ds, GgsxConfig::default());
+        let q = Graph::new("empty");
+        assert_eq!(idx.filter(&q), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_vertex_query_filters_by_label() {
+        let ds = dataset();
+        let idx = GgsxIndex::build(&ds, GgsxConfig::default());
+        let q = query(&[3], &[]);
+        assert_eq!(idx.query(&ds, &q).answers, vec![1]);
+    }
+
+    #[test]
+    fn shorter_path_limit_still_sound() {
+        let ds = dataset();
+        let idx = GgsxIndex::build(&ds, GgsxConfig { max_path_edges: 1 });
+        let q = query(&[1, 2, 3], &[(0, 1), (1, 2)]);
+        let outcome = idx.query(&ds, &q);
+        assert_eq!(outcome.answers, exhaustive_answers(&ds, &q));
+    }
+}

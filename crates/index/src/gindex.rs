@@ -1,0 +1,242 @@
+//! gIndex: frequent and discriminative subgraph features.
+//!
+//! Yan, Yu, Han, "Graph indexing: a frequent structure-based approach"
+//! (SIGMOD 2004). Index construction mines the dataset for connected
+//! subgraph fragments of up to a configurable size, keeping those that are
+//! frequent (support ratio ≥ 0.1 in the paper's configuration; size-1
+//! fragments are always kept) *and* discriminative (discriminative ratio ≥
+//! 2.0) — see [`sqbench_features::mining`] for the exact definitions. Each
+//! retained fragment stores the list of graphs containing it, ordered by
+//! canonical key (the role the original prefix tree plays).
+//!
+//! Query processing enumerates the query's connected fragments up to the
+//! same size limit, looks each up in the index, and intersects the graph-id
+//! lists of every indexed fragment it finds; fragments that were not
+//! retained by mining simply contribute no constraint. Verification uses the
+//! shared VF2 first-match verifier.
+
+use crate::config::GIndexConfig;
+use crate::{GraphIndex, IndexStats, MethodKind};
+use sqbench_features::mining::{FeatureKind, MinedFeatures, MiningConfig};
+use sqbench_features::FrequentMiner;
+use sqbench_graph::{Dataset, Graph, GraphId};
+
+/// The gIndex index.
+#[derive(Debug, Clone)]
+pub struct GIndex {
+    config: GIndexConfig,
+    features: MinedFeatures,
+    graph_count: usize,
+}
+
+impl GIndex {
+    /// Builds the index over a dataset by mining frequent + discriminative
+    /// fragments.
+    pub fn build(dataset: &Dataset, config: GIndexConfig) -> Self {
+        let mining = MiningConfig {
+            max_feature_edges: config.max_feature_edges,
+            min_support_ratio: config.min_support_ratio,
+            discriminative_ratio: config.discriminative_ratio,
+            kind: FeatureKind::Subgraph,
+        };
+        let features = FrequentMiner::new(mining).mine(dataset);
+        GIndex {
+            config,
+            features,
+            graph_count: dataset.len(),
+        }
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &GIndexConfig {
+        &self.config
+    }
+
+    /// Number of retained (frequent + discriminative) features.
+    pub fn feature_count(&self) -> usize {
+        self.features.len()
+    }
+
+    fn mining_config(&self) -> MiningConfig {
+        MiningConfig {
+            max_feature_edges: self.config.max_feature_edges,
+            min_support_ratio: self.config.min_support_ratio,
+            discriminative_ratio: self.config.discriminative_ratio,
+            kind: FeatureKind::Subgraph,
+        }
+    }
+}
+
+impl GraphIndex for GIndex {
+    fn kind(&self) -> MethodKind {
+        MethodKind::GIndex
+    }
+
+    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+        // Enumerate the query's fragments with the same enumerator used at
+        // build time, then intersect the id lists of those present in the
+        // index. Fragments absent from the index impose no constraint (they
+        // may have been pruned as infrequent or non-discriminative).
+        let miner = FrequentMiner::new(self.mining_config());
+        let query_fragments = miner.enumerate_graph(query);
+        let mut candidates: Option<Vec<GraphId>> = None;
+        for key in query_fragments.keys() {
+            if let Some(feature) = self.features.get(key) {
+                let support = &feature.supporting_graphs;
+                candidates = Some(match candidates {
+                    None => support.clone(),
+                    Some(current) => crate::intersect_sorted(&current, support),
+                });
+                if candidates.as_ref().is_some_and(Vec::is_empty) {
+                    return Vec::new();
+                }
+            }
+        }
+        // No indexed fragment constrained the query (e.g. an empty query or
+        // a query whose every fragment was pruned): all graphs are candidates.
+        candidates.unwrap_or_else(|| (0..self.graph_count).collect())
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            distinct_features: self.features.len(),
+            size_bytes: self.features.values().map(|f| f.memory_bytes()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive_answers;
+    use sqbench_graph::GraphBuilder;
+
+    fn dataset() -> Dataset {
+        let tri = GraphBuilder::new("tri")
+            .vertices(&[1, 1, 2])
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let path = GraphBuilder::new("path")
+            .vertices(&[1, 2, 3])
+            .edges(&[(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        let star = GraphBuilder::new("star")
+            .vertices(&[2, 1, 1, 1])
+            .edges(&[(0, 1), (0, 2), (0, 3)])
+            .build()
+            .unwrap();
+        Dataset::from_graphs("ds", vec![tri, path, star])
+    }
+
+    fn test_config() -> GIndexConfig {
+        GIndexConfig {
+            max_feature_edges: 3,
+            min_support_ratio: 0.1,
+            discriminative_ratio: 1.0,
+        }
+    }
+
+    fn query(labels: &[u32], edges: &[(usize, usize)]) -> Graph {
+        GraphBuilder::new("q")
+            .vertices(labels)
+            .edges(edges)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_mines_features() {
+        let idx = GIndex::build(&dataset(), test_config());
+        assert!(idx.feature_count() > 0);
+        assert_eq!(idx.kind(), MethodKind::GIndex);
+        assert!(idx.stats().size_bytes > 0);
+    }
+
+    #[test]
+    fn filter_is_a_superset_of_answers() {
+        let ds = dataset();
+        let idx = GIndex::build(&ds, test_config());
+        for (labels, edges) in [
+            (vec![1u32, 2], vec![(0usize, 1usize)]),
+            (vec![1, 1], vec![(0, 1)]),
+            (vec![1, 1, 2], vec![(0, 1), (1, 2), (2, 0)]),
+            (vec![2, 1, 1], vec![(0, 1), (0, 2)]),
+        ] {
+            let q = query(&labels, &edges);
+            let candidates = idx.filter(&q);
+            for a in exhaustive_answers(&ds, &q) {
+                assert!(candidates.contains(&a), "answer missing for {labels:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_returns_exact_answers() {
+        let ds = dataset();
+        let idx = GIndex::build(&ds, test_config());
+        for (labels, edges) in [
+            (vec![1u32, 2], vec![(0usize, 1usize)]),
+            (vec![1, 2, 3], vec![(0, 1), (1, 2)]),
+            (vec![1, 1, 2], vec![(0, 1), (1, 2), (2, 0)]),
+        ] {
+            let q = query(&labels, &edges);
+            let outcome = idx.query(&ds, &q);
+            assert_eq!(outcome.answers, exhaustive_answers(&ds, &q));
+        }
+    }
+
+    #[test]
+    fn triangle_feature_prunes_acyclic_graphs() {
+        let ds = dataset();
+        let idx = GIndex::build(&ds, test_config());
+        let q = query(&[1, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let candidates = idx.filter(&q);
+        // Only the triangle graph contains the triangle fragment; with the
+        // discriminative filter disabled the fragment is indexed, so the
+        // other graphs are pruned at filtering time.
+        assert_eq!(candidates, vec![0]);
+    }
+
+    #[test]
+    fn unindexed_query_labels_yield_empty_answers() {
+        let ds = dataset();
+        let idx = GIndex::build(&ds, test_config());
+        let q = query(&[8, 9], &[(0, 1)]);
+        let outcome = idx.query(&ds, &q);
+        assert!(outcome.answers.is_empty());
+        // The single fragment 8-9 is absent from the index so filtering
+        // cannot prune; verification does the work (this mirrors gIndex's
+        // reliance on verification for unindexed fragments).
+    }
+
+    #[test]
+    fn higher_discriminative_ratio_shrinks_the_index() {
+        let ds = dataset();
+        let relaxed = GIndex::build(&ds, test_config());
+        let strict = GIndex::build(
+            &ds,
+            GIndexConfig {
+                discriminative_ratio: 5.0,
+                ..test_config()
+            },
+        );
+        assert!(strict.feature_count() <= relaxed.feature_count());
+        // Soundness is unaffected.
+        let q = query(&[1, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(
+            strict.query(&ds, &q).answers,
+            relaxed.query(&ds, &q).answers
+        );
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let ds = dataset();
+        let idx = GIndex::build(&ds, test_config());
+        let outcome = idx.query(&ds, &Graph::new("empty"));
+        assert_eq!(outcome.candidates, vec![0, 1, 2]);
+        assert_eq!(outcome.answers, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,426 @@
+//! Grapes: exhaustive path enumeration with location information, parallel
+//! index construction, and component-restricted parallel verification.
+//!
+//! Giugno et al., "GRAPES: A Software for Parallel Searching on Biological
+//! Graphs Targeting Multi-Core Architectures" (PLoS One 2013). Grapes sits
+//! in the same design-space region as GraphGrepSX (exhaustive paths in a
+//! trie) but differs in two ways the paper singles out:
+//!
+//! 1. **Location information** — besides per-graph occurrence counts, each
+//!    indexed path stores the ids of the vertices where its occurrences
+//!    start. At query time the union of those start vertices over all query
+//!    paths bounds where an embedding can live; verification then only has
+//!    to look at the connected components induced by those vertices instead
+//!    of the whole graph.
+//! 2. **Parallelism** — both index construction and verification are spread
+//!    across a configurable number of worker threads (6 in the paper's
+//!    setup). Construction partitions the dataset graphs across threads,
+//!    each of which builds a partial trie that is merged at the end; the
+//!    paper's implementation partitions start vertices instead, which is
+//!    equivalent work at dataset scale.
+//!
+//! As in the paper's methodology, verification returns after the *first*
+//! match (the original GRAPES code enumerated all matches; the authors
+//! patched it for the study, and we implement the patched semantics).
+
+use crate::config::GrapesConfig;
+use crate::ggsx::GgsxIndex;
+use crate::path_trie::PathTrie;
+use crate::{GraphIndex, IndexStats, MethodKind};
+use sqbench_features::paths::for_each_path;
+use sqbench_graph::{algo, Dataset, Graph, GraphId, VertexId};
+use sqbench_iso::Vf2Matcher;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The Grapes index.
+#[derive(Debug, Clone)]
+pub struct GrapesIndex {
+    config: GrapesConfig,
+    trie: PathTrie,
+    graph_count: usize,
+}
+
+impl GrapesIndex {
+    /// Builds the index over a dataset, using `config.threads` worker
+    /// threads (single-threaded when `threads <= 1` or the dataset is tiny).
+    pub fn build(dataset: &Dataset, config: GrapesConfig) -> Self {
+        let threads = config.threads.max(1).min(dataset.len().max(1));
+        let trie = if threads <= 1 || dataset.len() < 2 {
+            Self::build_partition(dataset, &config, 0, 1)
+        } else {
+            // Each worker builds a partial trie over a slice of the dataset;
+            // the partial tries are merged afterwards (crossbeam scoped
+            // threads so we can borrow the dataset without Arc gymnastics).
+            let partials: Vec<PathTrie> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
+                        let config = &config;
+                        scope.spawn(move |_| {
+                            Self::build_partition(dataset, config, worker, threads)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("grapes index worker panicked"))
+                    .collect()
+            })
+            .expect("grapes index build scope panicked");
+            let mut iter = partials.into_iter();
+            let mut merged = iter.next().expect("at least one partial trie");
+            for partial in iter {
+                merged.merge(partial);
+            }
+            merged
+        };
+        GrapesIndex {
+            config,
+            trie,
+            graph_count: dataset.len(),
+        }
+    }
+
+    /// Builds the partial trie for the graphs assigned to `worker` (every
+    /// `stride`-th graph starting at `worker`).
+    fn build_partition(
+        dataset: &Dataset,
+        config: &GrapesConfig,
+        worker: usize,
+        stride: usize,
+    ) -> PathTrie {
+        let mut trie = PathTrie::new(true);
+        for (gid, graph) in dataset.iter() {
+            if gid % stride != worker {
+                continue;
+            }
+            for_each_path(graph, config.max_path_edges, |labels, start| {
+                trie.insert(labels, gid, start);
+            });
+        }
+        trie
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &GrapesConfig {
+        &self.config
+    }
+
+    /// Filtering with location information: returns the candidate ids plus,
+    /// for each candidate, the set of vertices at which query paths start —
+    /// the only places an embedding can touch.
+    fn filter_with_locations(
+        &self,
+        query: &Graph,
+    ) -> (Vec<GraphId>, BTreeMap<GraphId, BTreeSet<VertexId>>) {
+        let query_counts = GgsxIndex::query_path_counts(query, self.config.max_path_edges);
+        if query_counts.is_empty() {
+            let all: Vec<GraphId> = (0..self.graph_count).collect();
+            return (all, BTreeMap::new());
+        }
+        let mut candidates: Option<Vec<GraphId>> = None;
+        for (labels, &query_count) in query_counts.iter() {
+            let Some(payload) = self.trie.lookup(labels) else {
+                return (Vec::new(), BTreeMap::new());
+            };
+            let matching: Vec<GraphId> = payload
+                .iter()
+                .filter(|(_, entry)| entry.count >= query_count)
+                .map(|(&gid, _)| gid)
+                .collect();
+            candidates = Some(match candidates {
+                None => matching,
+                Some(current) => crate::intersect_sorted(&current, &matching),
+            });
+            if candidates.as_ref().is_some_and(Vec::is_empty) {
+                return (Vec::new(), BTreeMap::new());
+            }
+        }
+        let candidates = candidates.unwrap_or_default();
+
+        // Location pass: union the start vertices of every query path over
+        // the surviving candidates.
+        let mut locations: BTreeMap<GraphId, BTreeSet<VertexId>> = BTreeMap::new();
+        for labels in query_counts.keys() {
+            if let Some(payload) = self.trie.lookup(labels) {
+                for &gid in &candidates {
+                    if let Some(entry) = payload.get(&gid) {
+                        locations
+                            .entry(gid)
+                            .or_default()
+                            .extend(entry.start_vertices.iter().copied());
+                    }
+                }
+            }
+        }
+        (candidates, locations)
+    }
+
+    /// Verifies the query against one candidate graph, restricted to the
+    /// connected components induced by the candidate's location vertices.
+    fn verify_candidate(
+        query: &Graph,
+        matcher: &Vf2Matcher,
+        graph: &Graph,
+        locations: Option<&BTreeSet<VertexId>>,
+    ) -> bool {
+        // Component-restricted verification is only sound for connected
+        // queries (an embedding of a connected query lies in one component).
+        if !algo::is_connected(query) {
+            return matcher.matches(graph);
+        }
+        match locations {
+            Some(vertices) if vertices.len() < graph.vertex_count() => {
+                let vertex_list: Vec<VertexId> = vertices.iter().copied().collect();
+                let restricted = graph.induced_subgraph(&vertex_list);
+                algo::component_subgraphs(&restricted)
+                    .iter()
+                    .any(|component| matcher.matches(component))
+            }
+            _ => matcher.matches(graph),
+        }
+    }
+}
+
+impl GraphIndex for GrapesIndex {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Grapes
+    }
+
+    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+        self.filter_with_locations(query).0
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            distinct_features: self.trie.distinct_paths(),
+            size_bytes: self.trie.memory_bytes(),
+        }
+    }
+
+    fn verify(&self, dataset: &Dataset, query: &Graph, candidates: &[GraphId]) -> Vec<GraphId> {
+        // Direct verification (no location info available for an externally
+        // provided candidate list): parallel whole-graph VF2.
+        let matcher = Vf2Matcher::new(query);
+        parallel_retain(candidates, self.config.threads, |gid| {
+            dataset
+                .graph(gid)
+                .map(|g| matcher.matches(g))
+                .unwrap_or(false)
+        })
+    }
+
+    fn query(&self, dataset: &Dataset, query: &Graph) -> crate::QueryOutcome {
+        let (candidates, locations) = self.filter_with_locations(query);
+        let matcher = Vf2Matcher::new(query);
+        let answers = parallel_retain(&candidates, self.config.threads, |gid| {
+            dataset
+                .graph(gid)
+                .map(|g| Self::verify_candidate(query, &matcher, g, locations.get(&gid)))
+                .unwrap_or(false)
+        });
+        crate::QueryOutcome {
+            candidates,
+            answers,
+        }
+    }
+}
+
+/// Retains the ids for which `keep` returns true, evaluating the predicate
+/// in parallel across `threads` workers while preserving input order.
+fn parallel_retain<F>(ids: &[GraphId], threads: usize, keep: F) -> Vec<GraphId>
+where
+    F: Fn(GraphId) -> bool + Sync,
+{
+    let threads = threads.max(1).min(ids.len().max(1));
+    if threads <= 1 || ids.len() < 4 {
+        return ids.iter().copied().filter(|&gid| keep(gid)).collect();
+    }
+    let flags: Vec<bool> = crossbeam::thread::scope(|scope| {
+        let chunk_size = ids.len().div_ceil(threads);
+        let handles: Vec<_> = ids
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let keep = &keep;
+                scope.spawn(move |_| chunk.iter().map(|&gid| keep(gid)).collect::<Vec<bool>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("grapes verification worker panicked"))
+            .collect()
+    })
+    .expect("grapes verification scope panicked");
+    ids.iter()
+        .zip(flags)
+        .filter_map(|(&gid, keep)| keep.then_some(gid))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive_answers;
+    use sqbench_graph::GraphBuilder;
+
+    fn dataset() -> Dataset {
+        let tri = GraphBuilder::new("tri")
+            .vertices(&[1, 1, 2])
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let path = GraphBuilder::new("path")
+            .vertices(&[1, 2, 3])
+            .edges(&[(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        let star = GraphBuilder::new("star")
+            .vertices(&[2, 1, 1, 1])
+            .edges(&[(0, 1), (0, 2), (0, 3)])
+            .build()
+            .unwrap();
+        let disconnected = GraphBuilder::new("disc")
+            .vertices(&[1, 2, 3, 3])
+            .edges(&[(0, 1), (2, 3)])
+            .build()
+            .unwrap();
+        Dataset::from_graphs("ds", vec![tri, path, star, disconnected])
+    }
+
+    fn query(labels: &[u32], edges: &[(usize, usize)]) -> Graph {
+        GraphBuilder::new("q")
+            .vertices(labels)
+            .edges(edges)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sequential_and_parallel_builds_agree() {
+        let ds = dataset();
+        let seq = GrapesIndex::build(
+            &ds,
+            GrapesConfig {
+                max_path_edges: 3,
+                threads: 1,
+            },
+        );
+        let par = GrapesIndex::build(
+            &ds,
+            GrapesConfig {
+                max_path_edges: 3,
+                threads: 3,
+            },
+        );
+        let q = query(&[1, 2], &[(0, 1)]);
+        assert_eq!(seq.filter(&q), par.filter(&q));
+        assert_eq!(seq.stats().distinct_features, par.stats().distinct_features);
+        assert_eq!(seq.trie.inserted_paths(), par.trie.inserted_paths());
+    }
+
+    #[test]
+    fn query_returns_exact_answers() {
+        let ds = dataset();
+        let idx = GrapesIndex::build(&ds, GrapesConfig::default());
+        for (labels, edges) in [
+            (vec![1u32, 2], vec![(0usize, 1usize)]),
+            (vec![1, 1], vec![(0, 1)]),
+            (vec![1, 2, 3], vec![(0, 1), (1, 2)]),
+            (vec![2, 1, 1], vec![(0, 1), (0, 2)]),
+            (vec![3, 3], vec![(0, 1)]),
+        ] {
+            let q = query(&labels, &edges);
+            let outcome = idx.query(&ds, &q);
+            assert_eq!(
+                outcome.answers,
+                exhaustive_answers(&ds, &q),
+                "wrong answers for query {labels:?}"
+            );
+            for a in &outcome.answers {
+                assert!(outcome.candidates.contains(a));
+            }
+        }
+    }
+
+    #[test]
+    fn filtering_uses_location_information() {
+        let ds = dataset();
+        let idx = GrapesIndex::build(&ds, GrapesConfig::default());
+        let q = query(&[1, 2], &[(0, 1)]);
+        let (candidates, locations) = idx.filter_with_locations(&q);
+        assert!(!candidates.is_empty());
+        for gid in &candidates {
+            let locs = locations.get(gid).expect("candidate has locations");
+            assert!(!locs.is_empty());
+            // Locations never exceed the graph's vertex count.
+            assert!(locs.len() <= ds.graph(*gid).unwrap().vertex_count());
+        }
+    }
+
+    #[test]
+    fn grapes_candidates_never_looser_than_ggsx() {
+        // Same filtering rule plus location info: Grapes candidates must be
+        // a subset of (or equal to) GGSX candidates for the same parameters.
+        let ds = dataset();
+        let grapes = GrapesIndex::build(&ds, GrapesConfig::default());
+        let ggsx = crate::ggsx::GgsxIndex::build(&ds, crate::GgsxConfig::default());
+        for (labels, edges) in [
+            (vec![1u32, 2], vec![(0usize, 1usize)]),
+            (vec![1, 1, 2], vec![(0, 1), (1, 2)]),
+        ] {
+            let q = query(&labels, &edges);
+            let gc = grapes.filter(&q);
+            let xc = ggsx.filter(&q);
+            for gid in &gc {
+                assert!(xc.contains(gid));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_query_falls_back_to_whole_graph_verification() {
+        let ds = dataset();
+        let idx = GrapesIndex::build(&ds, GrapesConfig::default());
+        let q = GraphBuilder::new("q2")
+            .vertices(&[1, 3])
+            .build()
+            .unwrap(); // two isolated vertices, disconnected query
+        let outcome = idx.query(&ds, &q);
+        assert_eq!(outcome.answers, exhaustive_answers(&ds, &q));
+    }
+
+    #[test]
+    fn direct_verify_matches_vf2() {
+        let ds = dataset();
+        let idx = GrapesIndex::build(&ds, GrapesConfig::default());
+        let q = query(&[1, 2], &[(0, 1)]);
+        let all: Vec<GraphId> = ds.ids().collect();
+        assert_eq!(idx.verify(&ds, &q, &all), exhaustive_answers(&ds, &q));
+    }
+
+    #[test]
+    fn missing_feature_prunes_everything() {
+        let ds = dataset();
+        let idx = GrapesIndex::build(&ds, GrapesConfig::default());
+        let q = query(&[9, 9], &[(0, 1)]);
+        assert!(idx.filter(&q).is_empty());
+    }
+
+    #[test]
+    fn index_size_larger_than_ggsx() {
+        // Location information costs space: Grapes' trie must be at least as
+        // large as GGSX's over the same dataset and path length.
+        let ds = dataset();
+        let grapes = GrapesIndex::build(&ds, GrapesConfig::default());
+        let ggsx = crate::ggsx::GgsxIndex::build(&ds, crate::GgsxConfig::default());
+        assert!(grapes.stats().size_bytes >= ggsx.stats().size_bytes);
+    }
+
+    #[test]
+    fn parallel_retain_preserves_order() {
+        let ids: Vec<GraphId> = (0..20).collect();
+        let kept = parallel_retain(&ids, 4, |gid| gid % 3 == 0);
+        assert_eq!(kept, vec![0, 3, 6, 9, 12, 15, 18]);
+        let kept_seq = parallel_retain(&ids, 1, |gid| gid % 3 == 0);
+        assert_eq!(kept, kept_seq);
+    }
+}

@@ -1,0 +1,296 @@
+//! # sqbench-index
+//!
+//! The six indexed subgraph query processing methods evaluated in the VLDB
+//! 2015 paper, implemented behind a common [`GraphIndex`] trait:
+//!
+//! | Method | Features | Extraction | Index structure | Location info |
+//! |---|---|---|---|---|
+//! | [`grapes::GrapesIndex`] | paths | exhaustive | trie | yes (start vertices) |
+//! | [`ggsx::GgsxIndex`] (GraphGrepSX) | paths | exhaustive | suffix-tree-style trie | no (counts only) |
+//! | [`ctindex::CtIndex`] | trees + cycles | exhaustive | hashed bit fingerprints | no |
+//! | [`gindex::GIndex`] | subgraphs | frequent mining | feature map (prefix-tree order) | no |
+//! | [`treedelta::TreeDeltaIndex`] | trees (+ on-demand cycles) | frequent mining | hash map | no |
+//! | [`gcode::GCodeIndex`] | paths (encoded) | exhaustive | spectral vertex/graph signatures | no |
+//!
+//! All methods follow the same three stages (index construction, filtering,
+//! verification); the trait captures that shape so the experiment harness can
+//! drive any of them interchangeably and measure indexing time, index size,
+//! query time and false positive ratio — the four metrics reported in the
+//! paper.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod ctindex;
+pub mod gcode;
+pub mod ggsx;
+pub mod gindex;
+pub mod grapes;
+pub mod path_trie;
+pub mod scan;
+pub mod treedelta;
+
+use sqbench_graph::{Dataset, Graph, GraphId};
+use sqbench_iso::Vf2Matcher;
+
+pub use config::{
+    CtIndexConfig, GCodeConfig, GIndexConfig, GgsxConfig, GrapesConfig, MethodConfig,
+    TreeDeltaConfig,
+};
+
+/// Identifies one of the six competing methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// Grapes (Giugno et al., 2013): exhaustive paths + location info, parallel build.
+    Grapes,
+    /// GraphGrepSX (Bonnici et al., 2010): exhaustive paths in a suffix tree.
+    Ggsx,
+    /// CT-Index (Klein et al., 2011): tree/cycle fingerprints.
+    CtIndex,
+    /// gIndex (Yan et al., 2004): frequent + discriminative subgraphs.
+    GIndex,
+    /// Tree+Δ (Zhao et al., 2007): frequent trees plus on-demand cycle features.
+    TreeDelta,
+    /// gCode (Zou et al., 2008): spectral vertex/graph signatures.
+    GCode,
+    /// Index-less sequential scan — the "naive method" baseline of the
+    /// paper's introduction. Not one of the six compared methods and not
+    /// part of [`MethodKind::ALL`]; available for ablations.
+    Scan,
+}
+
+impl MethodKind {
+    /// The six compared methods, in the order the paper lists them in its
+    /// figures (the scan baseline is deliberately excluded).
+    pub const ALL: [MethodKind; 6] = [
+        MethodKind::Grapes,
+        MethodKind::Ggsx,
+        MethodKind::CtIndex,
+        MethodKind::GIndex,
+        MethodKind::TreeDelta,
+        MethodKind::GCode,
+    ];
+
+    /// Human-readable method name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKind::Grapes => "Grapes",
+            MethodKind::Ggsx => "GGSX",
+            MethodKind::CtIndex => "CT-Index",
+            MethodKind::GIndex => "gIndex",
+            MethodKind::TreeDelta => "Tree+Delta",
+            MethodKind::GCode => "gCode",
+            MethodKind::Scan => "Scan",
+        }
+    }
+}
+
+/// Outcome of processing one query: the candidate set produced by the
+/// filtering stage and the verified answer set. `answers ⊆ candidates`
+/// always holds; the gap between the two is what the false positive ratio
+/// (Equation 3 of the paper) measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Graph ids that survived filtering, sorted ascending.
+    pub candidates: Vec<GraphId>,
+    /// Graph ids that actually contain the query, sorted ascending.
+    pub answers: Vec<GraphId>,
+}
+
+impl QueryOutcome {
+    /// False positive ratio of this single query: `(|C| - |A|) / |C|`,
+    /// or 0 when the candidate set is empty.
+    pub fn false_positive_ratio(&self) -> f64 {
+        if self.candidates.is_empty() {
+            0.0
+        } else {
+            (self.candidates.len() - self.answers.len()) as f64 / self.candidates.len() as f64
+        }
+    }
+}
+
+/// Summary statistics of a built index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of distinct features (or fingerprints/signatures) stored.
+    pub distinct_features: usize,
+    /// Estimated index size in bytes.
+    pub size_bytes: usize,
+}
+
+/// Common interface of the six filter-and-verify methods.
+///
+/// Indexes are built once over a [`Dataset`] (by each method's `build`
+/// constructor) and then answer any number of subgraph queries. The default
+/// `verify`/`query` implementations use the VF2 first-match verifier that
+/// the paper standardizes on; Grapes and CT-Index override `verify` with
+/// their specialized procedures.
+pub trait GraphIndex: Send + Sync {
+    /// Which method this index implements.
+    fn kind(&self) -> MethodKind;
+
+    /// Filtering stage: returns the sorted candidate set for `query`.
+    fn filter(&self, query: &Graph) -> Vec<GraphId>;
+
+    /// Index statistics (feature count, size in bytes).
+    fn stats(&self) -> IndexStats;
+
+    /// Estimated index size in bytes. Defaults to `stats().size_bytes`.
+    fn size_bytes(&self) -> usize {
+        self.stats().size_bytes
+    }
+
+    /// Verification stage: tests `query` against each candidate with the
+    /// shared VF2 verifier (first-match semantics).
+    fn verify(&self, dataset: &Dataset, query: &Graph, candidates: &[GraphId]) -> Vec<GraphId> {
+        vf2_verify(dataset, query, candidates)
+    }
+
+    /// Full query processing: filtering followed by verification.
+    fn query(&self, dataset: &Dataset, query: &Graph) -> QueryOutcome {
+        let candidates = self.filter(query);
+        let answers = self.verify(dataset, query, &candidates);
+        QueryOutcome {
+            candidates,
+            answers,
+        }
+    }
+}
+
+/// Shared VF2 verification helper: keeps candidates that actually contain
+/// the query, preserving sorted order.
+pub fn vf2_verify(dataset: &Dataset, query: &Graph, candidates: &[GraphId]) -> Vec<GraphId> {
+    let matcher = Vf2Matcher::new(query);
+    candidates
+        .iter()
+        .copied()
+        .filter(|&gid| {
+            dataset
+                .graph(gid)
+                .map(|g| matcher.matches(g))
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Exhaustive ground truth: the exact answer set computed by running the
+/// verifier against *every* graph in the dataset (the "naive method" the
+/// paper uses as the correctness baseline). Quadratically expensive; used
+/// by tests and small-scale experiments only.
+pub fn exhaustive_answers(dataset: &Dataset, query: &Graph) -> Vec<GraphId> {
+    let all: Vec<GraphId> = dataset.ids().collect();
+    vf2_verify(dataset, query, &all)
+}
+
+/// Builds an index of the requested method over `dataset` using the given
+/// configuration bundle. This is the factory the harness uses to iterate
+/// over all six methods uniformly.
+pub fn build_index(
+    kind: MethodKind,
+    config: &MethodConfig,
+    dataset: &Dataset,
+) -> Box<dyn GraphIndex> {
+    match kind {
+        MethodKind::Grapes => Box::new(grapes::GrapesIndex::build(dataset, config.grapes.clone())),
+        MethodKind::Ggsx => Box::new(ggsx::GgsxIndex::build(dataset, config.ggsx.clone())),
+        MethodKind::CtIndex => Box::new(ctindex::CtIndex::build(dataset, config.ctindex.clone())),
+        MethodKind::GIndex => Box::new(gindex::GIndex::build(dataset, config.gindex.clone())),
+        MethodKind::TreeDelta => Box::new(treedelta::TreeDeltaIndex::build(
+            dataset,
+            config.treedelta.clone(),
+        )),
+        MethodKind::GCode => Box::new(gcode::GCodeIndex::build(dataset, config.gcode.clone())),
+        MethodKind::Scan => Box::new(scan::ScanBaseline::build(dataset)),
+    }
+}
+
+/// Intersects two sorted id lists.
+pub(crate) fn intersect_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqbench_graph::GraphBuilder;
+
+    fn tiny_dataset() -> Dataset {
+        let tri = GraphBuilder::new("tri")
+            .vertices(&[1, 1, 2])
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let path = GraphBuilder::new("path")
+            .vertices(&[1, 2, 3])
+            .edges(&[(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        Dataset::from_graphs("tiny", vec![tri, path])
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(MethodKind::Grapes.name(), "Grapes");
+        assert_eq!(MethodKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn outcome_false_positive_ratio() {
+        let o = QueryOutcome {
+            candidates: vec![0, 1, 2, 3],
+            answers: vec![0],
+        };
+        assert!((o.false_positive_ratio() - 0.75).abs() < 1e-12);
+        let empty = QueryOutcome {
+            candidates: vec![],
+            answers: vec![],
+        };
+        assert_eq!(empty.false_positive_ratio(), 0.0);
+    }
+
+    #[test]
+    fn vf2_verify_filters_non_matches() {
+        let ds = tiny_dataset();
+        let q = GraphBuilder::new("q")
+            .vertices(&[1, 2])
+            .edge(0, 1)
+            .build()
+            .unwrap();
+        let verified = vf2_verify(&ds, &q, &[0, 1]);
+        assert_eq!(verified, vec![0, 1]);
+        let q2 = GraphBuilder::new("q2")
+            .vertices(&[2, 3])
+            .edge(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(vf2_verify(&ds, &q2, &[0, 1]), vec![1]);
+    }
+
+    #[test]
+    fn exhaustive_answers_scans_whole_dataset() {
+        let ds = tiny_dataset();
+        let q = GraphBuilder::new("q").vertices(&[1]).build().unwrap();
+        assert_eq!(exhaustive_answers(&ds, &q), vec![0, 1]);
+    }
+
+    #[test]
+    fn intersect_sorted_works() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 7], &[2, 3, 5, 8]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1, 2]), Vec::<usize>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+}

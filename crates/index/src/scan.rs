@@ -1,0 +1,109 @@
+//! The index-less baseline: sequential scan with subgraph isomorphism.
+//!
+//! This is the "naive method" the paper uses to motivate indexing in its
+//! introduction — test the query for subgraph isomorphism against every
+//! graph in the dataset. It builds no index (zero construction time and
+//! size), its candidate set is always the whole dataset, and its false
+//! positive ratio is therefore exactly the fraction of graphs that do not
+//! contain the query. It is not one of the six compared methods, but it is
+//! the yardstick the filter-and-verify architecture is measured against and
+//! is useful in ablations ("how much does filtering actually buy?").
+
+use crate::{GraphIndex, IndexStats, MethodKind, QueryOutcome};
+use sqbench_graph::{Dataset, Graph, GraphId};
+
+/// The sequential-scan baseline.
+#[derive(Debug, Clone)]
+pub struct ScanBaseline {
+    graph_count: usize,
+}
+
+impl ScanBaseline {
+    /// "Builds" the baseline (records only the dataset size).
+    pub fn build(dataset: &Dataset) -> Self {
+        ScanBaseline {
+            graph_count: dataset.len(),
+        }
+    }
+}
+
+impl GraphIndex for ScanBaseline {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Scan
+    }
+
+    fn filter(&self, _query: &Graph) -> Vec<GraphId> {
+        (0..self.graph_count).collect()
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            distinct_features: 0,
+            size_bytes: std::mem::size_of::<Self>(),
+        }
+    }
+
+    fn query(&self, dataset: &Dataset, query: &Graph) -> QueryOutcome {
+        let candidates = self.filter(query);
+        let answers = crate::vf2_verify(dataset, query, &candidates);
+        QueryOutcome {
+            candidates,
+            answers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive_answers;
+    use sqbench_graph::GraphBuilder;
+
+    fn dataset() -> Dataset {
+        let a = GraphBuilder::new("a")
+            .vertices(&[1, 2])
+            .edge(0, 1)
+            .build()
+            .unwrap();
+        let b = GraphBuilder::new("b")
+            .vertices(&[2, 3])
+            .edge(0, 1)
+            .build()
+            .unwrap();
+        Dataset::from_graphs("ds", vec![a, b])
+    }
+
+    #[test]
+    fn scan_answers_match_ground_truth() {
+        let ds = dataset();
+        let scan = ScanBaseline::build(&ds);
+        let q = GraphBuilder::new("q")
+            .vertices(&[1, 2])
+            .edge(0, 1)
+            .build()
+            .unwrap();
+        let outcome = scan.query(&ds, &q);
+        assert_eq!(outcome.candidates, vec![0, 1]);
+        assert_eq!(outcome.answers, exhaustive_answers(&ds, &q));
+        assert_eq!(outcome.answers, vec![0]);
+    }
+
+    #[test]
+    fn scan_has_no_index_to_speak_of() {
+        let ds = dataset();
+        let scan = ScanBaseline::build(&ds);
+        let stats = scan.stats();
+        assert_eq!(stats.distinct_features, 0);
+        assert!(stats.size_bytes < 64);
+    }
+
+    #[test]
+    fn scan_false_positive_ratio_is_miss_fraction() {
+        let ds = dataset();
+        let scan = ScanBaseline::build(&ds);
+        let q = GraphBuilder::new("q").vertices(&[3]).build().unwrap();
+        let outcome = scan.query(&ds, &q);
+        // 2 candidates, 1 answer -> FP ratio 0.5.
+        assert!((outcome.false_positive_ratio() - 0.5).abs() < 1e-12);
+    }
+}

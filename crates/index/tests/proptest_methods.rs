@@ -1,0 +1,94 @@
+//! Cross-method correctness properties.
+//!
+//! The central invariant of every filter-and-verify method: whatever the
+//! filtering stage does, the verified answer set must equal the exhaustive
+//! ground truth (VF2 against every graph in the dataset), and the candidate
+//! set must be a superset of that ground truth (no false dismissals).
+//! These properties are checked for all six methods over randomly generated
+//! datasets and random-walk queries.
+
+use proptest::prelude::*;
+use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
+use sqbench_graph::Dataset;
+use sqbench_index::{build_index, exhaustive_answers, MethodConfig, MethodKind};
+
+/// Generates a small synthetic dataset deterministically from a seed.
+fn dataset_from_seed(seed: u64, graphs: usize, nodes: usize, labels: u32) -> Dataset {
+    GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(graphs)
+            .with_avg_nodes(nodes)
+            .with_avg_density(0.12)
+            .with_label_count(labels)
+            .with_seed(seed),
+    )
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// All six methods agree with the exhaustive ground truth on random
+    /// datasets and random-walk queries of several sizes.
+    #[test]
+    fn all_methods_match_ground_truth(seed in 0u64..500) {
+        let ds = dataset_from_seed(seed, 12, 10, 4);
+        let config = MethodConfig::fast();
+        let indexes: Vec<_> = MethodKind::ALL
+            .iter()
+            .map(|&kind| (kind, build_index(kind, &config, &ds)))
+            .collect();
+        let queries = QueryGen::new(seed ^ 0xabcd).generate(&ds, 3, 4);
+        for (query, source) in queries.iter() {
+            let truth = exhaustive_answers(&ds, query);
+            // The source graph always contains the query it was extracted from.
+            prop_assert!(truth.contains(&source));
+            for (kind, index) in &indexes {
+                let outcome = index.query(&ds, query);
+                prop_assert_eq!(
+                    &outcome.answers, &truth,
+                    "method {} returned wrong answers", kind.name()
+                );
+                for answer in &truth {
+                    prop_assert!(
+                        outcome.candidates.contains(answer),
+                        "method {} dropped a true answer during filtering",
+                        kind.name()
+                    );
+                }
+                // Candidates are sorted and deduplicated.
+                let mut sorted = outcome.candidates.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted, outcome.candidates);
+            }
+        }
+    }
+
+    /// Larger (8- and 16-edge) queries keep the invariant for the two
+    /// path-based methods and CT-Index (the methods the paper identifies as
+    /// the practical choices), exercising deeper recursion in the matcher.
+    #[test]
+    fn path_methods_match_ground_truth_on_larger_queries(seed in 0u64..200) {
+        let ds = dataset_from_seed(seed.wrapping_add(1000), 8, 14, 3);
+        let config = MethodConfig::fast();
+        let kinds = [MethodKind::Grapes, MethodKind::Ggsx, MethodKind::CtIndex];
+        let indexes: Vec<_> = kinds
+            .iter()
+            .map(|&kind| (kind, build_index(kind, &config, &ds)))
+            .collect();
+        for size in [8usize, 16] {
+            let queries = QueryGen::new(seed ^ 0x77).generate(&ds, 2, size);
+            for (query, _) in queries.iter() {
+                let truth = exhaustive_answers(&ds, query);
+                for (kind, index) in &indexes {
+                    let outcome = index.query(&ds, query);
+                    prop_assert_eq!(
+                        &outcome.answers, &truth,
+                        "method {} wrong on {}-edge query", kind.name(), size
+                    );
+                }
+            }
+        }
+    }
+}

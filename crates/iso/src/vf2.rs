@@ -1,0 +1,404 @@
+//! VF2-style subgraph isomorphism matcher.
+//!
+//! The matcher searches for an injective mapping `m` from the vertices of a
+//! *query* graph to the vertices of a *target* graph such that labels are
+//! preserved and every query edge maps to a target edge (the target may have
+//! additional edges — non-induced subgraph isomorphism, as in Definition 3
+//! of the paper).
+//!
+//! The search follows the VF2 recipe: query vertices are matched one at a
+//! time in a connectivity-aware order, candidate target vertices are
+//! restricted to those with a compatible label, sufficient degree and
+//! consistent adjacency to the partial mapping, and a one-step look-ahead on
+//! unmatched-neighbor counts prunes hopeless branches early.
+
+use sqbench_graph::{Graph, VertexId};
+
+/// Statistics of one matching run, useful for harness instrumentation and
+/// for tests that assert pruning actually happens.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Number of recursive states expanded.
+    pub states_visited: usize,
+    /// Number of embeddings found (bounded by the configured limit).
+    pub embeddings_found: usize,
+}
+
+/// A reusable VF2 matcher bound to a query graph. Pre-computes the matching
+/// order of the query vertices once so repeated verification of the same
+/// query against many candidate graphs (the common case in
+/// filter-and-verify) avoids redundant work.
+#[derive(Debug, Clone)]
+pub struct Vf2Matcher {
+    query: Graph,
+    /// Order in which query vertices are matched.
+    order: Vec<VertexId>,
+}
+
+impl Vf2Matcher {
+    /// Builds a matcher for the given query graph.
+    pub fn new(query: &Graph) -> Self {
+        let order = matching_order(query);
+        Vf2Matcher {
+            query: query.clone(),
+            order,
+        }
+    }
+
+    /// The query graph this matcher was built for.
+    pub fn query(&self) -> &Graph {
+        &self.query
+    }
+
+    /// `true` iff the query is subgraph-isomorphic to `target`.
+    pub fn matches(&self, target: &Graph) -> bool {
+        self.find_first(target).is_some()
+    }
+
+    /// Returns the first embedding found, as a vector mapping each query
+    /// vertex id to a target vertex id, or `None` if the query is not
+    /// contained in the target. An empty query embeds trivially.
+    pub fn find_first(&self, target: &Graph) -> Option<Vec<VertexId>> {
+        let mut stats = MatchStats::default();
+        self.find_with_limit(target, 1, &mut stats).pop()
+    }
+
+    /// Counts embeddings up to `limit` (use a small limit: the number of
+    /// embeddings can be exponential).
+    pub fn count(&self, target: &Graph, limit: usize) -> usize {
+        let mut stats = MatchStats::default();
+        self.find_with_limit(target, limit, &mut stats).len()
+    }
+
+    /// Finds up to `limit` embeddings, recording search statistics.
+    pub fn find_with_limit(
+        &self,
+        target: &Graph,
+        limit: usize,
+        stats: &mut MatchStats,
+    ) -> Vec<Vec<VertexId>> {
+        let qn = self.query.vertex_count();
+        let tn = target.vertex_count();
+        let mut results = Vec::new();
+        if limit == 0 {
+            return results;
+        }
+        if qn == 0 {
+            // The empty query is contained in every graph.
+            results.push(Vec::new());
+            stats.embeddings_found = 1;
+            return results;
+        }
+        if qn > tn || self.query.edge_count() > target.edge_count() {
+            return results;
+        }
+        let mut state = State {
+            query: &self.query,
+            target,
+            order: &self.order,
+            q_to_t: vec![usize::MAX; qn],
+            t_used: vec![false; tn],
+            limit,
+            results: &mut results,
+            stats,
+        };
+        state.search(0);
+        results
+    }
+}
+
+/// Connectivity-aware matching order: start with the vertex of highest
+/// degree, then repeatedly pick the unordered vertex with the most already-
+/// ordered neighbors (ties broken by degree). Disconnected queries fall
+/// back to the highest-degree remaining vertex when no vertex touches the
+/// ordered set.
+fn matching_order(query: &Graph) -> Vec<VertexId> {
+    let n = query.vertex_count();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    for _ in 0..n {
+        let mut best: Option<(usize, usize, VertexId)> = None; // (connected, degree, v)
+        for v in 0..n {
+            if placed[v] {
+                continue;
+            }
+            let connected = query
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| placed[w])
+                .count();
+            let key = (connected, query.degree(v), v);
+            let better = match best {
+                None => true,
+                Some((bc, bd, bv)) => {
+                    (key.0, key.1) > (bc, bd) || ((key.0, key.1) == (bc, bd) && v < bv)
+                }
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        let (_, _, v) = best.expect("unplaced vertex exists");
+        placed[v] = true;
+        order.push(v);
+    }
+    order
+}
+
+struct State<'a> {
+    query: &'a Graph,
+    target: &'a Graph,
+    order: &'a [VertexId],
+    /// Partial mapping query vertex -> target vertex (usize::MAX = unmapped).
+    q_to_t: Vec<usize>,
+    /// Target vertices already used by the mapping.
+    t_used: Vec<bool>,
+    limit: usize,
+    results: &'a mut Vec<Vec<VertexId>>,
+    stats: &'a mut MatchStats,
+}
+
+impl State<'_> {
+    fn search(&mut self, depth: usize) -> bool {
+        self.stats.states_visited += 1;
+        if depth == self.order.len() {
+            self.results.push(self.q_to_t.clone());
+            self.stats.embeddings_found += 1;
+            return self.results.len() >= self.limit;
+        }
+        let qv = self.order[depth];
+        // Candidate targets: if some neighbor of qv is already mapped,
+        // restrict candidates to the neighbors of its image (much smaller
+        // than scanning all target vertices).
+        let mapped_neighbor = self
+            .query
+            .neighbors(qv)
+            .iter()
+            .find(|&&w| self.q_to_t[w] != usize::MAX)
+            .copied();
+        let candidates: Vec<VertexId> = match mapped_neighbor {
+            Some(w) => self.target.neighbors(self.q_to_t[w]).to_vec(),
+            None => (0..self.target.vertex_count()).collect(),
+        };
+        for tv in candidates {
+            if self.t_used[tv] {
+                continue;
+            }
+            if !self.feasible(qv, tv) {
+                continue;
+            }
+            self.q_to_t[qv] = tv;
+            self.t_used[tv] = true;
+            let done = self.search(depth + 1);
+            self.q_to_t[qv] = usize::MAX;
+            self.t_used[tv] = false;
+            if done {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// VF2 feasibility rules for the candidate pair `(qv, tv)`.
+    fn feasible(&self, qv: VertexId, tv: VertexId) -> bool {
+        // Label compatibility.
+        if self.query.label(qv) != self.target.label(tv) {
+            return false;
+        }
+        // Degree bound: tv must have at least as many neighbors as qv.
+        if self.target.degree(tv) < self.query.degree(qv) {
+            return false;
+        }
+        // Core consistency: every already-mapped neighbor of qv must map to
+        // a neighbor of tv (non-induced: unmapped target edges are fine).
+        let mut unmapped_query_neighbors = 0usize;
+        for &qw in self.query.neighbors(qv) {
+            let mapped = self.q_to_t[qw];
+            if mapped != usize::MAX {
+                if !self.target.has_edge(tv, mapped) {
+                    return false;
+                }
+            } else {
+                unmapped_query_neighbors += 1;
+            }
+        }
+        // Look-ahead: tv must have enough unused neighbors to host the
+        // still-unmapped neighbors of qv.
+        let free_target_neighbors = self
+            .target
+            .neighbors(tv)
+            .iter()
+            .filter(|&&tw| !self.t_used[tw])
+            .count();
+        free_target_neighbors >= unmapped_query_neighbors
+    }
+}
+
+/// Convenience function: `true` iff `query` is subgraph-isomorphic to
+/// `target`, stopping at the first match.
+pub fn has_subgraph_embedding(query: &Graph, target: &Graph) -> bool {
+    Vf2Matcher::new(query).matches(target)
+}
+
+/// Convenience function returning the first embedding (query vertex id →
+/// target vertex id), if any.
+pub fn find_first_embedding(query: &Graph, target: &Graph) -> Option<Vec<VertexId>> {
+    Vf2Matcher::new(query).find_first(target)
+}
+
+/// Convenience function counting embeddings up to `limit`.
+pub fn count_embeddings(query: &Graph, target: &Graph, limit: usize) -> usize {
+    Vf2Matcher::new(query).count(target, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqbench_graph::GraphBuilder;
+
+    fn triangle(labels: [u32; 3]) -> Graph {
+        GraphBuilder::new("tri")
+            .vertices(&labels)
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap()
+    }
+
+    fn path(labels: &[u32]) -> Graph {
+        let mut b = GraphBuilder::new("path").vertices(labels);
+        for i in 1..labels.len() {
+            b = b.edge(i - 1, i);
+        }
+        b.build().unwrap()
+    }
+
+    fn square_with_diagonal() -> Graph {
+        GraphBuilder::new("sq")
+            .vertices(&[1, 1, 1, 1])
+            .edges(&[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn path_embeds_in_triangle() {
+        let q = path(&[1, 1]);
+        let t = triangle([1, 1, 1]);
+        assert!(has_subgraph_embedding(&q, &t));
+        let emb = find_first_embedding(&q, &t).unwrap();
+        assert_eq!(emb.len(), 2);
+        assert!(t.has_edge(emb[0], emb[1]));
+    }
+
+    #[test]
+    fn labels_must_match() {
+        let q = path(&[1, 2]);
+        let t = triangle([1, 1, 1]);
+        assert!(!has_subgraph_embedding(&q, &t));
+        assert!(has_subgraph_embedding(&q, &triangle([1, 2, 1])));
+    }
+
+    #[test]
+    fn triangle_does_not_embed_in_path() {
+        let q = triangle([1, 1, 1]);
+        let t = path(&[1, 1, 1, 1]);
+        assert!(!has_subgraph_embedding(&q, &t));
+    }
+
+    #[test]
+    fn non_induced_semantics() {
+        // A 4-cycle query embeds in the square-with-diagonal even though the
+        // target has an extra edge between mapped vertices.
+        let q = GraphBuilder::new("c4")
+            .vertices(&[1, 1, 1, 1])
+            .edges(&[(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build()
+            .unwrap();
+        assert!(has_subgraph_embedding(&q, &square_with_diagonal()));
+    }
+
+    #[test]
+    fn empty_query_embeds_everywhere() {
+        let q = Graph::new("empty");
+        let t = triangle([1, 2, 3]);
+        assert!(has_subgraph_embedding(&q, &t));
+        assert_eq!(find_first_embedding(&q, &t).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn query_larger_than_target_fails_fast() {
+        let q = path(&[1, 1, 1, 1, 1]);
+        let t = path(&[1, 1, 1]);
+        assert!(!has_subgraph_embedding(&q, &t));
+    }
+
+    #[test]
+    fn single_vertex_query() {
+        let q = GraphBuilder::new("v").vertex(2).build().unwrap();
+        assert!(has_subgraph_embedding(&q, &triangle([1, 2, 3])));
+        assert!(!has_subgraph_embedding(&q, &triangle([1, 1, 3])));
+    }
+
+    #[test]
+    fn embedding_is_injective_and_edge_preserving() {
+        let q = path(&[1, 1, 1]);
+        let t = square_with_diagonal();
+        let emb = find_first_embedding(&q, &t).unwrap();
+        let mut sorted = emb.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), emb.len(), "embedding must be injective");
+        for (u, v) in q.edges() {
+            assert!(t.has_edge(emb[u], emb[v]));
+            assert_eq!(q.label(u), t.label(emb[u]));
+            assert_eq!(q.label(v), t.label(emb[v]));
+        }
+    }
+
+    #[test]
+    fn count_embeddings_in_triangle() {
+        // A labeled edge 1-1 in an all-1 triangle: 3 edges × 2 directions.
+        let q = path(&[1, 1]);
+        let t = triangle([1, 1, 1]);
+        assert_eq!(count_embeddings(&q, &t, 100), 6);
+        // Limit is respected.
+        assert_eq!(count_embeddings(&q, &t, 4), 4);
+    }
+
+    #[test]
+    fn disconnected_query_embeds_component_wise() {
+        // Query: two isolated labeled vertices 1 and 2.
+        let q = GraphBuilder::new("2v").vertices(&[1, 2]).build().unwrap();
+        let t = path(&[2, 3, 1]);
+        assert!(has_subgraph_embedding(&q, &t));
+        let t2 = path(&[1, 1, 1]);
+        assert!(!has_subgraph_embedding(&q, &t2));
+    }
+
+    #[test]
+    fn self_containment() {
+        let g = square_with_diagonal();
+        assert!(has_subgraph_embedding(&g, &g));
+    }
+
+    #[test]
+    fn stats_are_recorded() {
+        let q = path(&[1, 1, 1]);
+        let t = square_with_diagonal();
+        let matcher = Vf2Matcher::new(&q);
+        let mut stats = MatchStats::default();
+        let found = matcher.find_with_limit(&t, 1, &mut stats);
+        assert_eq!(found.len(), 1);
+        assert!(stats.states_visited > 0);
+        assert_eq!(stats.embeddings_found, 1);
+    }
+
+    #[test]
+    fn matcher_is_reusable_across_targets() {
+        let q = path(&[1, 2]);
+        let matcher = Vf2Matcher::new(&q);
+        assert!(matcher.matches(&triangle([1, 2, 3])));
+        assert!(!matcher.matches(&triangle([3, 3, 3])));
+        assert_eq!(matcher.query().vertex_count(), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Protein-network scenario (PCM/PPI-like datasets: few, large, dense graphs).
+//!
+//! The paper's second motivation is exactly this regime: biological
+//! interaction networks and contact maps where individual graphs are large
+//! and dense enough that most indexing methods stop being practical. This
+//! example generates PCM-like and PPI-like datasets (scaled down), runs the
+//! methods that remain practical in that regime (the exhaustive
+//! path/tree-based ones), and shows the effect of Grapes' location
+//! information on verification.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example protein_networks
+//! ```
+
+use sqbench_generator::{QueryGen, RealDataset};
+use sqbench_graph::DatasetStats;
+use sqbench_harness::{run_methods, RunOptions};
+use sqbench_index::MethodKind;
+
+fn main() {
+    // (dataset, graph-count scale, node-count scale): PCM keeps its extreme
+    // density but at a few dozen nodes per graph; PPI keeps "a handful of
+    // graphs" but shrinks each one so the example runs in minutes on a
+    // laptop core. The paper's full-size versions of these datasets are what
+    // pushed several methods past the 8-hour limit.
+    for (dataset_kind, graph_scale, node_scale) in [
+        (RealDataset::Pcm, 0.05, 0.06),
+        (RealDataset::Ppi, 0.05, 0.015),
+    ] {
+        let dataset = dataset_kind.generate_with(graph_scale, node_scale, 2024);
+        let stats = DatasetStats::of(&dataset);
+        println!(
+            "\n=== {}-like dataset (graph scale {graph_scale}, node scale {node_scale}) ===\n  {}",
+            dataset_kind.name(),
+            stats.to_table_row()
+        );
+
+        let workloads = QueryGen::new(5).generate_all_sizes(&dataset, 10, &[4, 8]);
+
+        // In this regime the paper finds only the exhaustive-enumeration
+        // path-based methods practical; the mining and fingerprint methods
+        // blow up on dense graphs. Shorter paths (3 edges) keep the dense
+        // PCM-like graphs tractable on a single core.
+        let mut options = RunOptions::default().with_methods(&[
+            MethodKind::Grapes,
+            MethodKind::Ggsx,
+        ]);
+        options.config.grapes.max_path_edges = 3;
+        options.config.ggsx.max_path_edges = 3;
+        let results = run_methods(&dataset, &workloads, &options);
+        println!("method            index_time  index_size   query_time   fp_ratio");
+        for metrics in &results {
+            println!(
+                "{:16} {:9.3}s {:9.3}MB {:11.6}s {:9.3}{}",
+                metrics.method,
+                metrics.indexing_time_s,
+                metrics.index_size_mb(),
+                metrics.avg_query_time_s,
+                metrics.false_positive_ratio,
+                if metrics.timed_out { "  [DNF]" } else { "" }
+            );
+        }
+
+        let grapes = results.iter().find(|m| m.method == "Grapes").unwrap();
+        let ggsx = results.iter().find(|m| m.method == "GGSX").unwrap();
+        println!(
+            "location info (Grapes vs GGSX): index {:.2}x larger, query time {:.2}x",
+            grapes.index_size_bytes as f64 / ggsx.index_size_bytes.max(1) as f64,
+            grapes.avg_query_time_s / ggsx.avg_query_time_s.max(1e-9),
+        );
+    }
+}

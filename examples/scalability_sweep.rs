@@ -1,0 +1,42 @@
+//! Scalability sweep: regenerate one of the paper's figures from the
+//! command line.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release --example scalability_sweep -- [fig1|fig2|fig3|fig4|fig5|fig6] [smoke|laptop|paper]
+//! ```
+//!
+//! The first argument picks the experiment (default `fig2`, the
+//! number-of-nodes sweep), the second the scale (default `smoke`). Output is
+//! the four text panels of the figure plus a CSV block that can be piped
+//! into a plotting tool.
+
+use sqbench_harness::{experiments, report, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("fig2");
+    let scale = match args.get(2).map(String::as_str) {
+        Some("laptop") => ExperimentScale::laptop(),
+        Some("paper") => ExperimentScale::paper(),
+        _ => ExperimentScale::smoke(),
+    };
+
+    let reports = match which {
+        "fig1" => vec![experiments::fig1_real::run(&scale)],
+        "fig2" => vec![experiments::fig2_nodes::run(&scale)],
+        "fig3" => vec![experiments::fig3_density::run(&scale)],
+        "fig4" => experiments::fig4_query_size::run(&scale),
+        "fig5" => vec![experiments::fig5_labels::run(&scale)],
+        "fig6" => vec![experiments::fig6_numgraphs::run(&scale)],
+        other => {
+            eprintln!("unknown experiment {other:?}; use fig1..fig6");
+            std::process::exit(2);
+        }
+    };
+
+    for r in &reports {
+        println!("{}", report::render_text(r));
+        println!("--- CSV ---\n{}", report::render_csv(r));
+    }
+}

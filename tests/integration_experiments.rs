@@ -1,0 +1,116 @@
+//! Smoke-scale runs of every experiment in the harness, checking the report
+//! structure and the paper-level trends that are stable even at tiny scale.
+
+use sqbench_harness::{experiments, report, ExperimentScale};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale::smoke()
+}
+
+#[test]
+fn table1_reproduces_dataset_regimes() {
+    let t1 = experiments::table1::run(&scale());
+    assert_eq!(t1.rows.len(), 4);
+    let text = t1.render_text();
+    assert!(text.contains("AIDS") && text.contains("PPI"));
+    // Regime check: AIDS-like has (scaled) the most graphs, PPI-like the
+    // largest graphs.
+    let aids = t1.rows.iter().find(|r| r.dataset == "AIDS").unwrap();
+    let ppi = t1.rows.iter().find(|r| r.dataset == "PPI").unwrap();
+    assert!(aids.measured.graph_count > ppi.measured.graph_count);
+    assert!(ppi.measured.avg_nodes > aids.measured.avg_nodes);
+}
+
+#[test]
+fn fig1_real_datasets_report_structure() {
+    let r = experiments::fig1_real::run(&scale());
+    assert_eq!(r.points.len(), 4);
+    assert_eq!(r.method_names().len(), 6);
+    // Every method produced a valid false positive ratio everywhere it ran.
+    for point in &r.points {
+        for m in &point.results {
+            assert!(m.false_positive_ratio >= 0.0 && m.false_positive_ratio <= 1.0);
+        }
+    }
+    let csv = report::render_csv(&r);
+    assert_eq!(csv.trim().lines().count(), 1 + 4 * 6);
+}
+
+#[test]
+fn fig2_nodes_index_sizes_grow_with_graph_size() {
+    let r = experiments::fig2_nodes::run(&scale());
+    // The paper's core observation for panel (b): the path-trie indexes
+    // (Grapes, GGSX) grow with the size of the graphs, and CT-Index's
+    // fixed-width fingerprints stay flat. Compare the first and last sweep
+    // points.
+    let first = r.points.first().unwrap();
+    let last = r.points.last().unwrap();
+    let size_of = |p: &sqbench_harness::ExperimentPoint, m: &str| {
+        p.results
+            .iter()
+            .find(|r| r.method == m)
+            .map(|r| r.index_size_bytes)
+            .unwrap_or(0)
+    };
+    assert!(size_of(last, "Grapes") > size_of(first, "Grapes"));
+    assert!(size_of(last, "GGSX") > size_of(first, "GGSX"));
+    // CT-Index stores one fixed-size fingerprint per graph: identical totals.
+    assert_eq!(size_of(last, "CT-Index"), size_of(first, "CT-Index"));
+}
+
+#[test]
+fn fig3_density_report_structure() {
+    let r = experiments::fig3_density::run(&scale());
+    assert_eq!(r.points.len(), 5);
+    assert!(r.points.windows(2).all(|w| w[0].x_value < w[1].x_value));
+    let text = report::render_text(&r);
+    assert!(text.contains("False positive ratio"));
+}
+
+#[test]
+fn fig4_produces_one_report_per_query_size() {
+    let reports = experiments::fig4_query_size::run(&scale());
+    assert_eq!(reports.len(), scale().query_sizes.len());
+    for r in &reports {
+        assert_eq!(r.points.len(), 5);
+        for p in &r.points {
+            assert_eq!(p.results.len(), 6);
+        }
+    }
+}
+
+#[test]
+fn fig5_labels_more_labels_never_hurt_path_filtering() {
+    let r = experiments::fig5_labels::run(&scale());
+    assert_eq!(r.points.len(), 4);
+    // Panel (d) trend: with more distinct labels the false positive ratio of
+    // the path-based methods does not get worse (compare the extremes).
+    for method in ["Grapes", "GGSX"] {
+        let first = r.metrics_at(0, method).unwrap().false_positive_ratio;
+        let last = r
+            .metrics_at(r.points.len() - 1, method)
+            .unwrap()
+            .false_positive_ratio;
+        assert!(
+            last <= first + 0.15,
+            "{method}: fp ratio grew from {first} to {last} with more labels"
+        );
+    }
+}
+
+#[test]
+fn fig6_numgraphs_index_size_scales_roughly_linearly() {
+    let r = experiments::fig6_numgraphs::run(&scale());
+    assert_eq!(r.points.len(), 4);
+    // Index size for the path methods grows monotonically with the number of
+    // graphs (panel (b)); the FP ratio stays in range (panel (d)).
+    for method in ["GGSX", "CT-Index"] {
+        let sizes: Vec<usize> = (0..r.points.len())
+            .map(|i| r.metrics_at(i, method).unwrap().index_size_bytes)
+            .collect();
+        assert!(
+            sizes.windows(2).all(|w| w[0] <= w[1]),
+            "{method} index size not monotone: {sizes:?}"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Cross-method agreement: all six methods must return identical answer
+//! sets — equal to the exhaustive VF2 baseline — on every dataset regime the
+//! paper evaluates (synthetic sane-defaults-style data and all four
+//! real-dataset simulators), for every query size in the paper's workload.
+
+use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen, RealDataset};
+use sqbench_graph::Dataset;
+use sqbench_index::{build_index, exhaustive_answers, GraphIndex, MethodConfig, MethodKind};
+
+fn check_all_methods(dataset: &Dataset, queries_per_size: usize, sizes: &[usize], seed: u64) {
+    let config = MethodConfig::fast();
+    let indexes: Vec<(MethodKind, Box<dyn GraphIndex>)> = MethodKind::ALL
+        .iter()
+        .map(|&kind| (kind, build_index(kind, &config, dataset)))
+        .collect();
+    let workloads = QueryGen::new(seed).generate_all_sizes(dataset, queries_per_size, sizes);
+    for workload in &workloads {
+        for (query, source) in workload.iter() {
+            let truth = exhaustive_answers(dataset, query);
+            assert!(
+                truth.contains(&source),
+                "source graph must contain its own extracted query"
+            );
+            for (kind, index) in &indexes {
+                let outcome = index.query(dataset, query);
+                assert_eq!(
+                    outcome.answers,
+                    truth,
+                    "{} disagrees with ground truth on a {}-edge query over {}",
+                    kind.name(),
+                    workload.edges_per_query,
+                    dataset.name()
+                );
+                // No false dismissals at the filtering stage either.
+                for answer in &truth {
+                    assert!(
+                        outcome.candidates.contains(answer),
+                        "{} dropped answer {answer} while filtering",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn methods_agree_on_synthetic_defaults_regime() {
+    let dataset = GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(20)
+            .with_avg_nodes(16)
+            .with_avg_density(0.12)
+            .with_label_count(6)
+            .with_seed(1),
+    )
+    .generate();
+    check_all_methods(&dataset, 2, &[4, 8, 16], 100);
+}
+
+#[test]
+fn methods_agree_on_sparse_low_label_regime() {
+    // Few labels = many repeated features = the worst case for filtering
+    // power; answers must still be exact.
+    let dataset = GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(15)
+            .with_avg_nodes(14)
+            .with_avg_density(0.18)
+            .with_label_count(2)
+            .with_seed(2),
+    )
+    .generate();
+    check_all_methods(&dataset, 2, &[4, 8], 200);
+}
+
+#[test]
+fn methods_agree_on_aids_like_data() {
+    let dataset = RealDataset::Aids.generate(0.001, 3);
+    check_all_methods(&dataset, 2, &[4, 8], 300);
+}
+
+#[test]
+fn methods_agree_on_pcm_like_dense_data() {
+    let dataset = RealDataset::Pcm.generate(0.03, 4);
+    check_all_methods(&dataset, 2, &[4, 8], 400);
+}
+
+#[test]
+fn methods_agree_on_ppi_like_large_graphs() {
+    let dataset = RealDataset::Ppi.generate(0.01, 5);
+    check_all_methods(&dataset, 2, &[4], 500);
+}

@@ -1,0 +1,92 @@
+//! End-to-end pipeline integration test: generate a dataset, persist it to
+//! the `.gfu` text format, reload it, build indexes over the reloaded copy,
+//! answer queries, and cross-check against the exhaustive baseline.
+
+use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen, RealDataset};
+use sqbench_graph::{gfu, DatasetStats};
+use sqbench_index::{build_index, exhaustive_answers, MethodConfig, MethodKind};
+
+#[test]
+fn generate_persist_reload_index_query() {
+    // Generate.
+    let dataset = GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(25)
+            .with_avg_nodes(18)
+            .with_avg_density(0.12)
+            .with_label_count(5)
+            .with_seed(99),
+    )
+    .generate();
+
+    // Persist to the text format and reload.
+    let text = gfu::write_dataset(&dataset);
+    let reloaded = gfu::parse_dataset(dataset.name(), &text).expect("reload succeeds");
+    assert_eq!(reloaded.len(), dataset.len());
+    assert_eq!(reloaded.total_edges(), dataset.total_edges());
+    assert_eq!(
+        DatasetStats::of(&reloaded).avg_density,
+        DatasetStats::of(&dataset).avg_density
+    );
+
+    // Build two representative indexes over the *reloaded* dataset.
+    let config = MethodConfig::fast();
+    let grapes = build_index(MethodKind::Grapes, &config, &reloaded);
+    let ctindex = build_index(MethodKind::CtIndex, &config, &reloaded);
+
+    // Query with random-walk workloads of two sizes; answers must match the
+    // exhaustive baseline and the two methods must agree with each other.
+    for size in [4usize, 8] {
+        let workload = QueryGen::new(3).generate(&reloaded, 4, size);
+        for (query, source) in workload.iter() {
+            let truth = exhaustive_answers(&reloaded, query);
+            assert!(truth.contains(&source));
+            let a = grapes.query(&reloaded, query);
+            let b = ctindex.query(&reloaded, query);
+            assert_eq!(a.answers, truth);
+            assert_eq!(b.answers, truth);
+        }
+    }
+}
+
+#[test]
+fn real_like_datasets_flow_through_the_pipeline() {
+    // The four Table-1 simulators must all be indexable and queryable.
+    let config = MethodConfig::fast();
+    for kind in RealDataset::ALL {
+        let dataset = kind.generate(0.002, 5);
+        assert!(!dataset.is_empty(), "{} dataset is empty", kind.name());
+        let index = build_index(MethodKind::Ggsx, &config, &dataset);
+        let workload = QueryGen::new(8).generate(&dataset, 3, 4);
+        for (query, _) in workload.iter() {
+            let outcome = index.query(&dataset, query);
+            assert_eq!(outcome.answers, exhaustive_answers(&dataset, query));
+        }
+    }
+}
+
+#[test]
+fn index_stats_are_consistent_across_methods() {
+    let dataset = GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(15)
+            .with_avg_nodes(15)
+            .with_avg_density(0.15)
+            .with_label_count(4)
+            .with_seed(17),
+    )
+    .generate();
+    let config = MethodConfig::fast();
+    for kind in MethodKind::ALL {
+        let index = build_index(kind, &config, &dataset);
+        let stats = index.stats();
+        assert!(stats.size_bytes > 0, "{} reports zero size", kind.name());
+        assert!(
+            stats.distinct_features > 0,
+            "{} reports zero features",
+            kind.name()
+        );
+        assert_eq!(index.size_bytes(), stats.size_bytes);
+        assert_eq!(index.kind(), kind);
+    }
+}
