@@ -76,6 +76,8 @@ where
 }
 
 #[allow(clippy::too_many_arguments)]
+// `g` is threaded through the recursion for the emit callback's sake.
+#[allow(clippy::only_used_in_recursion)]
 fn extend<F>(
     g: &Graph,
     edges: &[EdgeRef],

@@ -207,7 +207,7 @@ proptest! {
                 for v in 1..n {
                     g.add_edge(v - 1, v).unwrap();
                 }
-                if n >= 3 && (seed + i as u64) % 2 == 0 {
+                if n >= 3 && (seed + i as u64).is_multiple_of(2) {
                     let _ = g.add_edge_if_absent(0, 2);
                 }
                 g

@@ -210,10 +210,9 @@ fn random_walk_subgraph(
         } else {
             (next, current)
         };
-        if !vertex_map.contains_key(&next) {
-            let qid = query.add_vertex(graph.label(next));
-            vertex_map.insert(next, qid);
-        }
+        vertex_map
+            .entry(next)
+            .or_insert_with(|| query.add_vertex(graph.label(next)));
         if edges.insert(key) {
             let qu = vertex_map[&current];
             let qv = vertex_map[&next];

@@ -227,6 +227,9 @@ impl RealDatasetSpec {
         } else {
             n
         };
+        // One vertex-id range per connected component (really a list of
+        // ranges, not a collected range — hence the lint allowance).
+        #[allow(clippy::single_range_in_vec_init)]
         let ranges: Vec<std::ops::Range<usize>> = if component_count == 2 {
             vec![0..split, split..n]
         } else {

@@ -56,6 +56,7 @@ pub fn location_info(scale: &ExperimentScale) -> ExperimentReport {
         methods: vec![MethodKind::Grapes, MethodKind::Ggsx, MethodKind::Scan],
         config: MethodConfig::default(),
         time_budget: scale.time_budget,
+        query_threads: 1,
     };
     report.push_point(measure_point(
         "sane-defaults",
@@ -83,6 +84,7 @@ pub fn path_length(scale: &ExperimentScale) -> ExperimentReport {
             methods: vec![MethodKind::Grapes, MethodKind::Ggsx],
             config,
             time_budget: scale.time_budget,
+            query_threads: 1,
         };
         report.push_point(measure_point(
             format!("len={max_path_edges}"),
@@ -110,6 +112,7 @@ pub fn fingerprint_width(scale: &ExperimentScale) -> ExperimentReport {
             methods: vec![MethodKind::CtIndex],
             config,
             time_budget: scale.time_budget,
+            query_threads: 1,
         };
         report.push_point(measure_point(
             format!("{bits}bit"),
@@ -138,6 +141,7 @@ pub fn feature_size(scale: &ExperimentScale) -> ExperimentReport {
             methods: vec![MethodKind::GIndex, MethodKind::TreeDelta],
             config,
             time_budget: scale.time_budget,
+            query_threads: 1,
         };
         report.push_point(measure_point(
             format!("{max_edges}edges"),
@@ -166,6 +170,7 @@ pub fn grapes_threads(scale: &ExperimentScale) -> ExperimentReport {
             methods: vec![MethodKind::Grapes],
             config,
             time_budget: scale.time_budget,
+            query_threads: 1,
         };
         report.push_point(measure_point(
             format!("{threads}thr"),

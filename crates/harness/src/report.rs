@@ -77,8 +77,11 @@ impl ExperimentReport {
     }
 }
 
+/// Extracts one formatted metric cell from a method's measurements.
+type PanelExtractor = fn(&MethodMetrics) -> String;
+
 /// The four metric panels of each figure in the paper.
-const PANELS: [(&str, fn(&MethodMetrics) -> String); 4] = [
+const PANELS: [(&str, PanelExtractor); 4] = [
     ("Indexing time (s)", |m| format!("{:.4}", m.indexing_time_s)),
     ("Index size (MB)", |m| format!("{:.4}", m.index_size_mb())),
     ("Query processing time (s)", |m| {

@@ -1,0 +1,490 @@
+//! Shared candidate-set engine for the filtering stage.
+//!
+//! Every filter-and-verify method spends its filtering stage intersecting
+//! per-feature sets of graph ids. The seed implementation materialized a
+//! fresh sorted `Vec<GraphId>` per feature and merged pairwise
+//! ([`crate::intersect_sorted`]); at dataset scale that is one allocation
+//! plus an `O(|a| + |b|)` merge for *every* feature of *every* query. This
+//! module replaces that with two cache-friendly primitives:
+//!
+//! * [`CandidateSet`] — a dense bitset over graph ids (`u64` blocks sized to
+//!   the dataset). Intersection and union are word-wise `&`/`|` sweeps,
+//!   membership is popcount-free bit probing, and cardinality is a popcount
+//!   sweep. One set is allocated per query and *narrowed in place*, so the
+//!   per-feature cost is `O(dataset / 64)` words with zero allocation.
+//! * [`PostingList`] — a sorted id list as stored in index payloads, with a
+//!   galloping sorted-sorted intersection for the skewed case and a
+//!   streaming [`CandidateSet::retain_sorted`] bridge so a posting list can
+//!   narrow a bitset without being converted first.
+//!
+//! [`CandidateFold`] packages the common filtering loop (first feature seeds
+//! the set, later features narrow it, absence of any constraint means "all
+//! graphs") used by GraphGrepSX, Grapes, gIndex and Tree+Δ.
+
+use sqbench_graph::GraphId;
+
+const BLOCK_BITS: usize = 64;
+
+/// Dense bitset over the graph ids `0..universe` of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateSet {
+    blocks: Vec<u64>,
+    universe: usize,
+}
+
+impl CandidateSet {
+    /// The empty set over `0..universe`.
+    pub fn empty(universe: usize) -> Self {
+        CandidateSet {
+            blocks: vec![0; universe.div_ceil(BLOCK_BITS)],
+            universe,
+        }
+    }
+
+    /// The full set over `0..universe`.
+    pub fn full(universe: usize) -> Self {
+        let mut set = CandidateSet {
+            blocks: vec![!0u64; universe.div_ceil(BLOCK_BITS)],
+            universe,
+        };
+        set.mask_tail();
+        set
+    }
+
+    /// Builds a set from an ascending (not necessarily strictly) id slice.
+    pub fn from_sorted_ids(universe: usize, ids: &[GraphId]) -> Self {
+        let mut set = CandidateSet::empty(universe);
+        for &id in ids {
+            set.insert(id);
+        }
+        set
+    }
+
+    /// Clears bits above `universe` in the last block.
+    fn mask_tail(&mut self) {
+        let tail = self.universe % BLOCK_BITS;
+        if tail != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of ids the set ranges over (the dataset size, not the
+    /// cardinality).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of ids in the set (popcount sweep).
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` if no id is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Adds `id` to the set.
+    pub fn insert(&mut self, id: GraphId) {
+        debug_assert!(id < self.universe, "id {id} outside universe {}", self.universe);
+        self.blocks[id / BLOCK_BITS] |= 1u64 << (id % BLOCK_BITS);
+    }
+
+    /// Removes `id` from the set.
+    pub fn remove(&mut self, id: GraphId) {
+        debug_assert!(id < self.universe, "id {id} outside universe {}", self.universe);
+        self.blocks[id / BLOCK_BITS] &= !(1u64 << (id % BLOCK_BITS));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: GraphId) -> bool {
+        id < self.universe && self.blocks[id / BLOCK_BITS] & (1u64 << (id % BLOCK_BITS)) != 0
+    }
+
+    /// Removes every id (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// In-place intersection: `self &= other`. Both sets must range over the
+    /// same universe.
+    pub fn intersect_with(&mut self, other: &CandidateSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union: `self |= other`. Both sets must range over the same
+    /// universe.
+    pub fn union_with(&mut self, other: &CandidateSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with an **ascending** id stream, without
+    /// materializing the stream as a set: blocks the stream skips are
+    /// zeroed, blocks it touches are masked to the streamed bits. Runs in
+    /// `O(stream + blocks)` with zero allocation — this is the hot loop of
+    /// the filtering stage.
+    pub fn retain_sorted<I>(&mut self, ids: I)
+    where
+        I: IntoIterator<Item = GraphId>,
+    {
+        if self.blocks.is_empty() {
+            return;
+        }
+        let mut current = 0usize;
+        let mut mask = 0u64;
+        for id in ids {
+            debug_assert!(id < self.universe, "id {id} outside universe {}", self.universe);
+            let block = id / BLOCK_BITS;
+            debug_assert!(block >= current, "retain_sorted requires ascending ids");
+            if block != current {
+                self.blocks[current] &= mask;
+                self.blocks[current + 1..block].fill(0);
+                current = block;
+                mask = 0;
+            }
+            mask |= 1u64 << (id % BLOCK_BITS);
+        }
+        self.blocks[current] &= mask;
+        self.blocks[current + 1..].fill(0);
+    }
+
+    /// Iterates the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = GraphId> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let base = i * BLOCK_BITS;
+            BlockBits { block }.map(move |bit| base + bit)
+        })
+    }
+
+    /// Materializes the set as a sorted `Vec<GraphId>` — done once per
+    /// query, when the filter hands its result to verification.
+    pub fn to_sorted_vec(&self) -> Vec<GraphId> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.iter());
+        out
+    }
+
+    /// Estimated heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.blocks.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Iterator over the set bit positions of a single block.
+struct BlockBits {
+    block: u64,
+}
+
+impl Iterator for BlockBits {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.block == 0 {
+            return None;
+        }
+        let bit = self.block.trailing_zeros() as usize;
+        self.block &= self.block - 1;
+        Some(bit)
+    }
+}
+
+/// A sorted, deduplicated list of graph ids — the representation index
+/// payloads store per feature.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingList {
+    ids: Vec<GraphId>,
+}
+
+impl PostingList {
+    /// Wraps an already-sorted, deduplicated id vector.
+    pub fn from_sorted(ids: Vec<GraphId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly ascending");
+        PostingList { ids }
+    }
+
+    /// Builds a list from arbitrary ids (sorts and deduplicates).
+    pub fn from_unsorted(mut ids: Vec<GraphId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        PostingList { ids }
+    }
+
+    /// The ids as a slice.
+    pub fn as_slice(&self) -> &[GraphId] {
+        &self.ids
+    }
+
+    /// Number of ids.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when no graph contains the feature.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Narrows `set` to the ids also present in this list (streaming, no
+    /// allocation).
+    pub fn intersect_into(&self, set: &mut CandidateSet) {
+        set.retain_sorted(self.ids.iter().copied());
+    }
+
+    /// Materializes this list as a [`CandidateSet`].
+    pub fn to_candidate_set(&self, universe: usize) -> CandidateSet {
+        CandidateSet::from_sorted_ids(universe, &self.ids)
+    }
+
+    /// Estimated heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.ids.capacity() * std::mem::size_of::<GraphId>()
+    }
+}
+
+/// Sorted-sorted intersection of id slices. Size-skewed inputs use a
+/// galloping (exponential) search from the smaller side; similar sizes use
+/// the linear merge. Allocates the output — the methods' hot paths use
+/// [`CandidateSet::retain_sorted`] instead; this exists as the engine's
+/// Vec-producing entry point and as the baseline the micro-benchmarks
+/// compare against.
+pub fn intersect_posting(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return Vec::new();
+    }
+    // Galloping pays off when one side is much smaller.
+    if small.len() * 16 < large.len() {
+        let mut out = Vec::with_capacity(small.len());
+        let mut base = 0usize;
+        for &id in small {
+            if base >= large.len() {
+                break;
+            }
+            // Exponential probe for the first index >= id, then a binary
+            // search inside the bracketed window.
+            let mut offset = 1usize;
+            while base + offset < large.len() && large[base + offset] < id {
+                offset <<= 1;
+            }
+            let window_end = (base + offset + 1).min(large.len());
+            match large[base..window_end].binary_search(&id) {
+                Ok(pos) => {
+                    out.push(id);
+                    base += pos + 1;
+                }
+                Err(pos) => base += pos,
+            }
+        }
+        out
+    } else {
+        crate::intersect_sorted(small, large)
+    }
+}
+
+/// The shared filtering loop: feature posting streams arrive one at a time,
+/// the first seeds the candidate set, later ones narrow it in place, and a
+/// query none of whose features are indexed leaves the fold unconstrained
+/// (every graph is a candidate — the gIndex / Tree+Δ semantics).
+#[derive(Debug)]
+pub struct CandidateFold {
+    universe: usize,
+    set: Option<CandidateSet>,
+}
+
+impl CandidateFold {
+    /// A fold over a dataset of `universe` graphs, initially unconstrained.
+    pub fn new(universe: usize) -> Self {
+        CandidateFold {
+            universe,
+            set: None,
+        }
+    }
+
+    /// Applies one feature's ascending id stream. Returns `false` when the
+    /// candidate set became empty (callers short-circuit).
+    pub fn apply_sorted<I>(&mut self, ids: I) -> bool
+    where
+        I: IntoIterator<Item = GraphId>,
+    {
+        match &mut self.set {
+            None => {
+                let mut set = CandidateSet::empty(self.universe);
+                for id in ids {
+                    set.insert(id);
+                }
+                self.set = Some(set);
+            }
+            Some(set) => set.retain_sorted(ids),
+        }
+        !self.set.as_ref().expect("set was just seeded").is_empty()
+    }
+
+    /// `true` when at least one feature has been applied.
+    pub fn is_constrained(&self) -> bool {
+        self.set.is_some()
+    }
+
+    /// Finishes the fold as a [`CandidateSet`] (unconstrained → full set).
+    pub fn into_set(self) -> CandidateSet {
+        match self.set {
+            Some(set) => set,
+            None => CandidateSet::full(self.universe),
+        }
+    }
+
+    /// Finishes the fold as the sorted candidate vector the [`crate::GraphIndex`]
+    /// contract requires (unconstrained → all ids).
+    pub fn into_sorted_vec(self) -> Vec<GraphId> {
+        match self.set {
+            Some(set) => set.to_sorted_vec(),
+            None => (0..self.universe).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = CandidateSet::empty(130);
+        assert_eq!(e.len(), 0);
+        assert!(e.is_empty());
+        let f = CandidateSet::full(130);
+        assert_eq!(f.len(), 130);
+        assert!(f.contains(0) && f.contains(129));
+        assert!(!f.contains(130));
+        assert_eq!(f.to_sorted_vec(), (0..130).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_universe() {
+        let mut s = CandidateSet::full(0);
+        assert_eq!(s.len(), 0);
+        s.retain_sorted(std::iter::empty());
+        assert!(s.to_sorted_vec().is_empty());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = CandidateSet::empty(100);
+        s.insert(3);
+        s.insert(64);
+        s.insert(99);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.to_sorted_vec(), vec![3, 99]);
+    }
+
+    #[test]
+    fn intersect_and_union_blockwise() {
+        let a = CandidateSet::from_sorted_ids(200, &[1, 63, 64, 128, 199]);
+        let b = CandidateSet::from_sorted_ids(200, &[63, 64, 65, 199]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_sorted_vec(), vec![63, 64, 199]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_sorted_vec(), vec![1, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn retain_sorted_matches_reference_intersection() {
+        let base = vec![0, 5, 63, 64, 65, 127, 128, 190];
+        let streams: Vec<Vec<GraphId>> = vec![
+            vec![],
+            vec![0],
+            vec![5, 64, 128],
+            vec![63, 64, 65],
+            (0..191).collect(),
+            vec![190],
+            vec![1, 2, 3, 4],
+        ];
+        for stream in streams {
+            let mut set = CandidateSet::from_sorted_ids(191, &base);
+            set.retain_sorted(stream.iter().copied());
+            assert_eq!(
+                set.to_sorted_vec(),
+                crate::intersect_sorted(&base, &stream),
+                "stream {stream:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn retain_sorted_on_full_set() {
+        let mut set = CandidateSet::full(150);
+        set.retain_sorted([7usize, 64, 149]);
+        assert_eq!(set.to_sorted_vec(), vec![7, 64, 149]);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let ids = vec![2, 63, 64, 66, 120, 127, 128];
+        let set = CandidateSet::from_sorted_ids(129, &ids);
+        let collected: Vec<GraphId> = set.iter().collect();
+        assert_eq!(collected, ids);
+        assert_eq!(set.len(), ids.len());
+    }
+
+    #[test]
+    fn posting_list_roundtrip() {
+        let p = PostingList::from_unsorted(vec![9, 3, 3, 7]);
+        assert_eq!(p.as_slice(), &[3, 7, 9]);
+        assert_eq!(p.len(), 3);
+        let mut set = CandidateSet::full(10);
+        p.intersect_into(&mut set);
+        assert_eq!(set.to_sorted_vec(), vec![3, 7, 9]);
+        assert_eq!(p.to_candidate_set(10).to_sorted_vec(), vec![3, 7, 9]);
+        assert!(PostingList::default().is_empty());
+    }
+
+    #[test]
+    fn galloping_intersection_agrees_with_merge() {
+        let small: Vec<GraphId> = vec![5, 100, 101, 5000];
+        let large: Vec<GraphId> = (0..6000).filter(|x| x % 5 == 0).collect();
+        let expected = crate::intersect_sorted(&small, &large);
+        assert_eq!(intersect_posting(&small, &large), expected);
+        assert_eq!(intersect_posting(&large, &small), expected);
+        assert_eq!(intersect_posting(&[], &large), Vec::<GraphId>::new());
+        // Similar sizes take the merge path.
+        let a: Vec<GraphId> = (0..100).collect();
+        let b: Vec<GraphId> = (50..150).collect();
+        assert_eq!(intersect_posting(&a, &b), crate::intersect_sorted(&a, &b));
+    }
+
+    #[test]
+    fn fold_unconstrained_yields_all() {
+        let fold = CandidateFold::new(5);
+        assert!(!fold.is_constrained());
+        assert_eq!(fold.into_sorted_vec(), vec![0, 1, 2, 3, 4]);
+        let fold = CandidateFold::new(5);
+        assert_eq!(fold.into_set().len(), 5);
+    }
+
+    #[test]
+    fn fold_narrows_and_short_circuits() {
+        let mut fold = CandidateFold::new(10);
+        assert!(fold.apply_sorted([1usize, 3, 5, 7]));
+        assert!(fold.apply_sorted([3usize, 5, 9]));
+        assert!(fold.is_constrained());
+        let clone_check = fold.into_sorted_vec();
+        assert_eq!(clone_check, vec![3, 5]);
+
+        let mut dead = CandidateFold::new(10);
+        assert!(dead.apply_sorted([2usize]));
+        assert!(!dead.apply_sorted([4usize]));
+        assert_eq!(dead.into_sorted_vec(), Vec::<GraphId>::new());
+    }
+}

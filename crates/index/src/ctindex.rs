@@ -81,6 +81,9 @@ impl GraphIndex for CtIndex {
 
     fn filter(&self, query: &Graph) -> Vec<GraphId> {
         let (query_fp, _) = Self::fingerprint_of(query, &self.config);
+        // A single id-ordered scan with no intersection stage: pushing
+        // matches directly is already sorted output, so (unlike the
+        // posting-fold methods) no CandidateSet is needed here.
         self.fingerprints
             .iter()
             .enumerate()

@@ -310,6 +310,9 @@ impl GraphIndex for GCodeIndex {
 
     fn filter(&self, query: &Graph) -> Vec<GraphId> {
         let query_code = GraphCode::of(query, &self.config);
+        // A single id-ordered scan with no intersection stage: pushing
+        // matches directly is already sorted output, so (unlike the
+        // posting-fold methods) no CandidateSet is needed here.
         self.codes
             .iter()
             .enumerate()

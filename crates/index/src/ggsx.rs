@@ -11,6 +11,7 @@
 //! occurrences than the query requires, and verifies the surviving
 //! candidates with VF2.
 
+use crate::candidates::CandidateFold;
 use crate::config::GgsxConfig;
 use crate::path_trie::PathTrie;
 use crate::{GraphIndex, IndexStats, MethodKind};
@@ -59,17 +60,15 @@ impl GgsxIndex {
         });
         counts
     }
-}
 
-impl GraphIndex for GgsxIndex {
-    fn kind(&self) -> MethodKind {
-        MethodKind::Ggsx
-    }
-
-    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+    /// The seed's `Vec`-per-feature filtering, kept verbatim as the
+    /// reference implementation the bitset engine is property-tested
+    /// against and as the baseline of the `micro_candidates` benchmark.
+    /// Not part of the query path.
+    #[doc(hidden)]
+    pub fn filter_reference(&self, query: &Graph) -> Vec<GraphId> {
         let query_counts = Self::query_path_counts(query, self.config.max_path_edges);
         if query_counts.is_empty() {
-            // Empty query: every graph trivially contains it.
             return (0..self.graph_count).collect();
         }
         let mut candidates: Option<Vec<GraphId>> = None;
@@ -91,6 +90,31 @@ impl GraphIndex for GgsxIndex {
             }
         }
         candidates.unwrap_or_default()
+    }
+}
+
+impl GraphIndex for GgsxIndex {
+    fn kind(&self) -> MethodKind {
+        MethodKind::Ggsx
+    }
+
+    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+        let query_counts = Self::query_path_counts(query, self.config.max_path_edges);
+        if query_counts.is_empty() {
+            // Empty query: every graph trivially contains it.
+            return (0..self.graph_count).collect();
+        }
+        // One bitset narrowed in place per feature — no per-feature Vec.
+        let mut fold = CandidateFold::new(self.graph_count);
+        for (labels, &query_count) in query_counts.iter() {
+            let Some(matching) = self.trie.candidates_with_count(labels, query_count) else {
+                return Vec::new();
+            };
+            if !fold.apply_sorted(matching) {
+                return Vec::new();
+            }
+        }
+        fold.into_sorted_vec()
     }
 
     fn stats(&self) -> IndexStats {

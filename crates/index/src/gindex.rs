@@ -15,6 +15,7 @@
 //! retained by mining simply contribute no constraint. Verification uses the
 //! shared VF2 first-match verifier.
 
+use crate::candidates::CandidateFold;
 use crate::config::GIndexConfig;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::mining::{FeatureKind, MinedFeatures, MiningConfig};
@@ -65,18 +66,12 @@ impl GIndex {
             kind: FeatureKind::Subgraph,
         }
     }
-}
 
-impl GraphIndex for GIndex {
-    fn kind(&self) -> MethodKind {
-        MethodKind::GIndex
-    }
-
-    fn filter(&self, query: &Graph) -> Vec<GraphId> {
-        // Enumerate the query's fragments with the same enumerator used at
-        // build time, then intersect the id lists of those present in the
-        // index. Fragments absent from the index impose no constraint (they
-        // may have been pruned as infrequent or non-discriminative).
+    /// The seed's `Vec`-per-feature filtering, kept verbatim as the
+    /// reference implementation the bitset engine is property-tested
+    /// against. Not part of the query path.
+    #[doc(hidden)]
+    pub fn filter_reference(&self, query: &Graph) -> Vec<GraphId> {
         let miner = FrequentMiner::new(self.mining_config());
         let query_fragments = miner.enumerate_graph(query);
         let mut candidates: Option<Vec<GraphId>> = None;
@@ -92,9 +87,34 @@ impl GraphIndex for GIndex {
                 }
             }
         }
+        candidates.unwrap_or_else(|| (0..self.graph_count).collect())
+    }
+}
+
+impl GraphIndex for GIndex {
+    fn kind(&self) -> MethodKind {
+        MethodKind::GIndex
+    }
+
+    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+        // Enumerate the query's fragments with the same enumerator used at
+        // build time, then intersect the id lists of those present in the
+        // index. Fragments absent from the index impose no constraint (they
+        // may have been pruned as infrequent or non-discriminative).
+        let miner = FrequentMiner::new(self.mining_config());
+        let query_fragments = miner.enumerate_graph(query);
+        // One bitset narrowed in place per indexed fragment's posting list.
+        let mut fold = CandidateFold::new(self.graph_count);
+        for key in query_fragments.keys() {
+            if let Some(feature) = self.features.get(key) {
+                if !fold.apply_sorted(feature.supporting_graphs.iter().copied()) {
+                    return Vec::new();
+                }
+            }
+        }
         // No indexed fragment constrained the query (e.g. an empty query or
         // a query whose every fragment was pruned): all graphs are candidates.
-        candidates.unwrap_or_else(|| (0..self.graph_count).collect())
+        fold.into_sorted_vec()
     }
 
     fn stats(&self) -> IndexStats {

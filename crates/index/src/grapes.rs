@@ -23,13 +23,14 @@
 //! match (the original GRAPES code enumerated all matches; the authors
 //! patched it for the study, and we implement the patched semantics).
 
+use crate::candidates::{CandidateFold, CandidateSet};
 use crate::config::GrapesConfig;
 use crate::ggsx::GgsxIndex;
 use crate::path_trie::PathTrie;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::paths::for_each_path;
 use sqbench_graph::{algo, Dataset, Graph, GraphId, VertexId};
-use sqbench_iso::Vf2Matcher;
+use sqbench_iso::{MatchState, Vf2Matcher};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The Grapes index.
@@ -49,13 +50,13 @@ impl GrapesIndex {
             Self::build_partition(dataset, &config, 0, 1)
         } else {
             // Each worker builds a partial trie over a slice of the dataset;
-            // the partial tries are merged afterwards (crossbeam scoped
-            // threads so we can borrow the dataset without Arc gymnastics).
-            let partials: Vec<PathTrie> = crossbeam::thread::scope(|scope| {
+            // the partial tries are merged afterwards (std scoped threads so
+            // we can borrow the dataset without Arc gymnastics).
+            let partials: Vec<PathTrie> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|worker| {
                         let config = &config;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             Self::build_partition(dataset, config, worker, threads)
                         })
                     })
@@ -64,8 +65,7 @@ impl GrapesIndex {
                     .into_iter()
                     .map(|h| h.join().expect("grapes index worker panicked"))
                     .collect()
-            })
-            .expect("grapes index build scope panicked");
+            });
             let mut iter = partials.into_iter();
             let mut merged = iter.next().expect("at least one partial trie");
             for partial in iter {
@@ -117,37 +117,44 @@ impl GrapesIndex {
             let all: Vec<GraphId> = (0..self.graph_count).collect();
             return (all, BTreeMap::new());
         }
-        let mut candidates: Option<Vec<GraphId>> = None;
+        // One bitset narrowed in place per feature — no per-feature Vec.
+        let mut fold = CandidateFold::new(self.graph_count);
         for (labels, &query_count) in query_counts.iter() {
-            let Some(payload) = self.trie.lookup(labels) else {
+            let Some(matching) = self.trie.candidates_with_count(labels, query_count) else {
                 return (Vec::new(), BTreeMap::new());
             };
-            let matching: Vec<GraphId> = payload
-                .iter()
-                .filter(|(_, entry)| entry.count >= query_count)
-                .map(|(&gid, _)| gid)
-                .collect();
-            candidates = Some(match candidates {
-                None => matching,
-                Some(current) => crate::intersect_sorted(&current, &matching),
-            });
-            if candidates.as_ref().is_some_and(Vec::is_empty) {
+            if !fold.apply_sorted(matching) {
                 return (Vec::new(), BTreeMap::new());
             }
         }
-        let candidates = candidates.unwrap_or_default();
+        let survivors: CandidateSet = fold.into_set();
+        let candidates = survivors.to_sorted_vec();
 
         // Location pass: union the start vertices of every query path over
-        // the surviving candidates.
+        // the surviving candidates. Pick the cheaper side per payload: a
+        // handful of survivors probe the payload map directly; a payload
+        // smaller than the survivor set is walked with bitset membership
+        // probes instead.
         let mut locations: BTreeMap<GraphId, BTreeSet<VertexId>> = BTreeMap::new();
         for labels in query_counts.keys() {
             if let Some(payload) = self.trie.lookup(labels) {
-                for &gid in &candidates {
-                    if let Some(entry) = payload.get(&gid) {
-                        locations
-                            .entry(gid)
-                            .or_default()
-                            .extend(entry.start_vertices.iter().copied());
+                if candidates.len() <= payload.len() {
+                    for &gid in &candidates {
+                        if let Some(entry) = payload.get(&gid) {
+                            locations
+                                .entry(gid)
+                                .or_default()
+                                .extend(entry.start_vertices.iter().copied());
+                        }
+                    }
+                } else {
+                    for (&gid, entry) in payload {
+                        if survivors.contains(gid) {
+                            locations
+                                .entry(gid)
+                                .or_default()
+                                .extend(entry.start_vertices.iter().copied());
+                        }
                     }
                 }
             }
@@ -157,16 +164,18 @@ impl GrapesIndex {
 
     /// Verifies the query against one candidate graph, restricted to the
     /// connected components induced by the candidate's location vertices.
+    /// `state` is the calling worker's reusable VF2 scratch.
     fn verify_candidate(
         query: &Graph,
-        matcher: &Vf2Matcher,
+        matcher: &Vf2Matcher<'_>,
+        state: &mut MatchState,
         graph: &Graph,
         locations: Option<&BTreeSet<VertexId>>,
     ) -> bool {
         // Component-restricted verification is only sound for connected
         // queries (an embedding of a connected query lies in one component).
         if !algo::is_connected(query) {
-            return matcher.matches(graph);
+            return matcher.matches_with(state, graph);
         }
         match locations {
             Some(vertices) if vertices.len() < graph.vertex_count() => {
@@ -174,9 +183,9 @@ impl GrapesIndex {
                 let restricted = graph.induced_subgraph(&vertex_list);
                 algo::component_subgraphs(&restricted)
                     .iter()
-                    .any(|component| matcher.matches(component))
+                    .any(|component| matcher.matches_with(state, component))
             }
-            _ => matcher.matches(graph),
+            _ => matcher.matches_with(state, graph),
         }
     }
 }
@@ -199,12 +208,13 @@ impl GraphIndex for GrapesIndex {
 
     fn verify(&self, dataset: &Dataset, query: &Graph, candidates: &[GraphId]) -> Vec<GraphId> {
         // Direct verification (no location info available for an externally
-        // provided candidate list): parallel whole-graph VF2.
+        // provided candidate list): parallel whole-graph VF2, one reusable
+        // match state per worker.
         let matcher = Vf2Matcher::new(query);
-        parallel_retain(candidates, self.config.threads, |gid| {
+        parallel_retain(candidates, self.config.threads, |state, gid| {
             dataset
                 .graph(gid)
-                .map(|g| matcher.matches(g))
+                .map(|g| matcher.matches_with(state, g))
                 .unwrap_or(false)
         })
     }
@@ -212,10 +222,10 @@ impl GraphIndex for GrapesIndex {
     fn query(&self, dataset: &Dataset, query: &Graph) -> crate::QueryOutcome {
         let (candidates, locations) = self.filter_with_locations(query);
         let matcher = Vf2Matcher::new(query);
-        let answers = parallel_retain(&candidates, self.config.threads, |gid| {
+        let answers = parallel_retain(&candidates, self.config.threads, |state, gid| {
             dataset
                 .graph(gid)
-                .map(|g| Self::verify_candidate(query, &matcher, g, locations.get(&gid)))
+                .map(|g| Self::verify_candidate(query, &matcher, state, g, locations.get(&gid)))
                 .unwrap_or(false)
         });
         crate::QueryOutcome {
@@ -226,30 +236,42 @@ impl GraphIndex for GrapesIndex {
 }
 
 /// Retains the ids for which `keep` returns true, evaluating the predicate
-/// in parallel across `threads` workers while preserving input order.
+/// in parallel across `threads` workers while preserving input order. Every
+/// worker owns one [`MatchState`] for its whole chunk, so verification
+/// scratch is allocated once per worker rather than once per candidate.
 fn parallel_retain<F>(ids: &[GraphId], threads: usize, keep: F) -> Vec<GraphId>
 where
-    F: Fn(GraphId) -> bool + Sync,
+    F: Fn(&mut MatchState, GraphId) -> bool + Sync,
 {
     let threads = threads.max(1).min(ids.len().max(1));
     if threads <= 1 || ids.len() < 4 {
-        return ids.iter().copied().filter(|&gid| keep(gid)).collect();
+        let mut state = MatchState::new();
+        return ids
+            .iter()
+            .copied()
+            .filter(|&gid| keep(&mut state, gid))
+            .collect();
     }
-    let flags: Vec<bool> = crossbeam::thread::scope(|scope| {
+    let flags: Vec<bool> = std::thread::scope(|scope| {
         let chunk_size = ids.len().div_ceil(threads);
         let handles: Vec<_> = ids
             .chunks(chunk_size)
             .map(|chunk| {
                 let keep = &keep;
-                scope.spawn(move |_| chunk.iter().map(|&gid| keep(gid)).collect::<Vec<bool>>())
+                scope.spawn(move || {
+                    let mut state = MatchState::new();
+                    chunk
+                        .iter()
+                        .map(|&gid| keep(&mut state, gid))
+                        .collect::<Vec<bool>>()
+                })
             })
             .collect();
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("grapes verification worker panicked"))
             .collect()
-    })
-    .expect("grapes verification scope panicked");
+    });
     ids.iter()
         .zip(flags)
         .filter_map(|(&gid, keep)| keep.then_some(gid))
@@ -418,9 +440,9 @@ mod tests {
     #[test]
     fn parallel_retain_preserves_order() {
         let ids: Vec<GraphId> = (0..20).collect();
-        let kept = parallel_retain(&ids, 4, |gid| gid % 3 == 0);
+        let kept = parallel_retain(&ids, 4, |_, gid| gid % 3 == 0);
         assert_eq!(kept, vec![0, 3, 6, 9, 12, 15, 18]);
-        let kept_seq = parallel_retain(&ids, 1, |gid| gid % 3 == 0);
+        let kept_seq = parallel_retain(&ids, 1, |_, gid| gid % 3 == 0);
         assert_eq!(kept, kept_seq);
     }
 }

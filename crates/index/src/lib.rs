@@ -3,24 +3,32 @@
 //! The six indexed subgraph query processing methods evaluated in the VLDB
 //! 2015 paper, implemented behind a common [`GraphIndex`] trait:
 //!
-//! | Method | Features | Extraction | Index structure | Location info |
-//! |---|---|---|---|---|
-//! | [`grapes::GrapesIndex`] | paths | exhaustive | trie | yes (start vertices) |
-//! | [`ggsx::GgsxIndex`] (GraphGrepSX) | paths | exhaustive | suffix-tree-style trie | no (counts only) |
-//! | [`ctindex::CtIndex`] | trees + cycles | exhaustive | hashed bit fingerprints | no |
-//! | [`gindex::GIndex`] | subgraphs | frequent mining | feature map (prefix-tree order) | no |
-//! | [`treedelta::TreeDeltaIndex`] | trees (+ on-demand cycles) | frequent mining | hash map | no |
-//! | [`gcode::GCodeIndex`] | paths (encoded) | exhaustive | spectral vertex/graph signatures | no |
+//! | Method | Features | Extraction | Index structure | Location info | Candidate representation |
+//! |---|---|---|---|---|---|
+//! | [`grapes::GrapesIndex`] | paths | exhaustive | trie | yes (start vertices) | [`candidates::CandidateSet`] fold over trie payloads |
+//! | [`ggsx::GgsxIndex`] (GraphGrepSX) | paths | exhaustive | suffix-tree-style trie | no (counts only) | [`candidates::CandidateSet`] fold over trie payloads |
+//! | [`ctindex::CtIndex`] | trees + cycles | exhaustive | hashed bit fingerprints | no | direct sorted scan (no intersection stage) |
+//! | [`gindex::GIndex`] | subgraphs | frequent mining | feature map (prefix-tree order) | no | [`candidates::CandidateSet`] fold over posting lists |
+//! | [`treedelta::TreeDeltaIndex`] | trees (+ on-demand cycles) | frequent mining | hash map | no | [`candidates::CandidateSet`] fold over tree + Δ posting lists |
+//! | [`gcode::GCodeIndex`] | paths (encoded) | exhaustive | spectral vertex/graph signatures | no | direct sorted scan (no intersection stage) |
 //!
 //! All methods follow the same three stages (index construction, filtering,
 //! verification); the trait captures that shape so the experiment harness can
 //! drive any of them interchangeably and measure indexing time, index size,
 //! query time and false positive ratio — the four metrics reported in the
 //! paper.
+//!
+//! The filtering stage of every intersection-based method runs on the shared
+//! bitset engine in [`candidates`]: per-feature id streams narrow one dense
+//! [`candidates::CandidateSet`] in place and the sorted `Vec<GraphId>` the
+//! [`GraphIndex::filter`] contract promises is materialized exactly once per
+//! query. CT-Index and gCode scan per-graph structures in id order and have
+//! no intersection stage, so their filters emit the sorted output directly.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod candidates;
 pub mod config;
 pub mod ctindex;
 pub mod gcode;
@@ -32,8 +40,9 @@ pub mod scan;
 pub mod treedelta;
 
 use sqbench_graph::{Dataset, Graph, GraphId};
-use sqbench_iso::Vf2Matcher;
+use sqbench_iso::{MatchState, Vf2Matcher};
 
+pub use candidates::{CandidateFold, CandidateSet, PostingList};
 pub use config::{
     CtIndexConfig, GCodeConfig, GIndexConfig, GgsxConfig, GrapesConfig, MethodConfig,
     TreeDeltaConfig,
@@ -158,20 +167,33 @@ pub trait GraphIndex: Send + Sync {
     }
 }
 
+std::thread_local! {
+    /// Per-thread VF2 scratch reused by every [`vf2_verify`] call on the
+    /// same worker: the harness batches queries across a thread pool, and
+    /// each worker's verification runs allocation-free after warm-up.
+    static VERIFY_STATE: std::cell::RefCell<MatchState> =
+        std::cell::RefCell::new(MatchState::new());
+}
+
 /// Shared VF2 verification helper: keeps candidates that actually contain
-/// the query, preserving sorted order.
+/// the query, preserving sorted order. The matcher borrows the query (no
+/// clone) and the search scratch is a per-thread [`MatchState`] reused
+/// across candidates *and* across queries served by the same worker thread.
 pub fn vf2_verify(dataset: &Dataset, query: &Graph, candidates: &[GraphId]) -> Vec<GraphId> {
     let matcher = Vf2Matcher::new(query);
-    candidates
-        .iter()
-        .copied()
-        .filter(|&gid| {
-            dataset
-                .graph(gid)
-                .map(|g| matcher.matches(g))
-                .unwrap_or(false)
-        })
-        .collect()
+    VERIFY_STATE.with(|cell| {
+        let state = &mut *cell.borrow_mut();
+        candidates
+            .iter()
+            .copied()
+            .filter(|&gid| {
+                dataset
+                    .graph(gid)
+                    .map(|g| matcher.matches_with(state, g))
+                    .unwrap_or(false)
+            })
+            .collect()
+    })
 }
 
 /// Exhaustive ground truth: the exact answer set computed by running the
@@ -205,8 +227,13 @@ pub fn build_index(
     }
 }
 
-/// Intersects two sorted id lists.
-pub(crate) fn intersect_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+/// Intersects two sorted id lists with the textbook linear merge.
+///
+/// This is the engine the seed implementation used for every per-feature
+/// intersection; it is kept as the reference implementation the
+/// [`candidates`] bitset engine is property-tested against, and as the
+/// baseline of the `micro_candidates` benchmark.
+pub fn intersect_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {

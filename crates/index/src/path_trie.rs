@@ -126,6 +126,24 @@ impl PathTrie {
         }
     }
 
+    /// Streams, in ascending graph-id order, the graphs whose payload at
+    /// `labels` records at least `min_count` traversals — the posting list
+    /// the filtering stage feeds into a
+    /// [`crate::candidates::CandidateSet`] without materializing a `Vec`.
+    /// `None` when no dataset path has this label sequence.
+    pub fn candidates_with_count(
+        &self,
+        labels: &[Label],
+        min_count: u32,
+    ) -> Option<impl Iterator<Item = GraphId> + '_> {
+        self.lookup(labels).map(move |payload| {
+            payload
+                .iter()
+                .filter(move |(_, entry)| entry.count >= min_count)
+                .map(|(&gid, _)| gid)
+        })
+    }
+
     /// Merges another trie into this one, consuming it (used by Grapes'
     /// parallel build: each worker thread builds a partial trie over its
     /// share of the dataset, then the partial tries are merged). Payloads
@@ -181,9 +199,7 @@ impl PathTrie {
             .map(|n| {
                 std::mem::size_of::<TrieNode>()
                     + n.children.len() * (std::mem::size_of::<Label>() + std::mem::size_of::<usize>())
-                    + n.graphs
-                        .iter()
-                        .map(|(_, e)| std::mem::size_of::<GraphId>() + e.memory_bytes())
+                    + n.graphs.values().map(|e| std::mem::size_of::<GraphId>() + e.memory_bytes())
                         .sum::<usize>()
             })
             .sum()

@@ -17,26 +17,31 @@
 //! grows — and its filtering improves — as the workload exercises cyclic
 //! queries.
 
+use crate::candidates::{CandidateFold, CandidateSet, PostingList};
 use crate::config::TreeDeltaConfig;
 use crate::{GraphIndex, IndexStats, MethodKind};
-use parking_lot::RwLock;
 use sqbench_features::canonical::FeatureKey;
 use sqbench_features::cycles::enumerate_cycle_instances;
 use sqbench_features::mining::{FeatureKind, MinedFeatures, MiningConfig};
 use sqbench_features::trees::query_trees;
 use sqbench_features::FrequentMiner;
 use sqbench_graph::{Dataset, Graph, GraphId};
-use sqbench_iso::Vf2Matcher;
+use sqbench_iso::{MatchState, Vf2Matcher};
 use std::collections::BTreeMap;
+use std::sync::RwLock;
 
 /// The Tree+Δ index.
 pub struct TreeDeltaIndex {
     config: TreeDeltaConfig,
     /// Mined frequent tree features.
     tree_features: MinedFeatures,
-    /// Cycle-based Δ features added during query processing:
-    /// canonical cycle key → sorted ids of graphs containing the cycle.
-    delta_features: RwLock<BTreeMap<FeatureKey, Vec<GraphId>>>,
+    /// Cycle-based Δ features added during query processing: canonical
+    /// cycle key → posting list of **all** dataset graphs containing the
+    /// cycle. Supports must cover the whole dataset, not just the learning
+    /// query's candidates — a candidate-scoped list would falsely dismiss
+    /// graphs for later queries that share the cycle but not the learning
+    /// query's trees.
+    delta_features: RwLock<BTreeMap<FeatureKey, PostingList>>,
     /// A copy of the dataset graphs' ids (the Δ discovery step needs to test
     /// candidate graphs for cycle containment; it uses the dataset passed to
     /// `query`, so only the count is stored here).
@@ -76,11 +81,35 @@ impl TreeDeltaIndex {
 
     /// Number of Δ (cycle) features accumulated so far.
     pub fn delta_feature_count(&self) -> usize {
-        self.delta_features.read().len()
+        self.delta_features.read().expect("delta lock poisoned").len()
     }
 
     /// Tree-only filtering (no Δ lookup); exposed for tests and ablations.
     pub fn filter_trees_only(&self, query: &Graph) -> Vec<GraphId> {
+        self.tree_candidate_set(query).to_sorted_vec()
+    }
+
+    /// The tree-feature stage as a bitset: one [`CandidateSet`] narrowed in
+    /// place per indexed subtree's posting list (unconstrained queries get
+    /// the full set).
+    fn tree_candidate_set(&self, query: &Graph) -> CandidateSet {
+        let query_trees = query_trees(query, self.config.max_feature_edges);
+        let mut fold = CandidateFold::new(self.graph_count);
+        for key in query_trees.keys() {
+            if let Some(feature) = self.tree_features.get(key) {
+                if !fold.apply_sorted(feature.supporting_graphs.iter().copied()) {
+                    break;
+                }
+            }
+        }
+        fold.into_set()
+    }
+
+    /// The seed's `Vec`-per-feature filtering (trees, then learned Δ
+    /// features), kept verbatim as the reference implementation the bitset
+    /// engine is property-tested against. Not part of the query path.
+    #[doc(hidden)]
+    pub fn filter_reference(&self, query: &Graph) -> Vec<GraphId> {
         let query_trees = query_trees(query, self.config.max_feature_edges);
         let mut candidates: Option<Vec<GraphId>> = None;
         for key in query_trees.keys() {
@@ -95,18 +124,12 @@ impl TreeDeltaIndex {
                 }
             }
         }
-        candidates.unwrap_or_else(|| (0..self.graph_count).collect())
-    }
-
-    /// Applies any already-learned Δ features to the candidate set.
-    fn apply_delta(&self, query: &Graph, mut candidates: Vec<GraphId>) -> Vec<GraphId> {
-        let delta = self.delta_features.read();
-        if delta.is_empty() {
-            return candidates;
-        }
+        let mut candidates =
+            candidates.unwrap_or_else(|| (0..self.graph_count).collect::<Vec<GraphId>>());
+        let delta = self.delta_features.read().expect("delta lock poisoned");
         for cycle in enumerate_cycle_instances(query, self.config.max_cycle_edges) {
             if let Some(support) = delta.get(&cycle.key) {
-                candidates = crate::intersect_sorted(&candidates, support);
+                candidates = crate::intersect_sorted(&candidates, support.as_slice());
                 if candidates.is_empty() {
                     break;
                 }
@@ -115,11 +138,35 @@ impl TreeDeltaIndex {
         candidates
     }
 
+    /// Applies any already-learned Δ features to the candidate set in place.
+    fn apply_delta(&self, query: &Graph, candidates: &mut CandidateSet) {
+        let delta = self.delta_features.read().expect("delta lock poisoned");
+        if delta.is_empty() {
+            return;
+        }
+        for cycle in enumerate_cycle_instances(query, self.config.max_cycle_edges) {
+            if let Some(support) = delta.get(&cycle.key) {
+                support.intersect_into(candidates);
+                if candidates.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+
     /// The Δ step: for each simple cycle of the query not yet in the Δ
-    /// index, determine which of the current candidates contain it (via a
-    /// VF2 test on the cycle fragment), and remember the feature if it is
-    /// selective enough. Returns the candidate set narrowed by the newly
-    /// learned features.
+    /// index, compute the ids of **all** dataset graphs containing it (via
+    /// a VF2 test on the cycle fragment — once per feature, as the module
+    /// doc promises), and remember the feature if it prunes the current
+    /// candidates well enough. Returns the candidate set narrowed by the
+    /// newly learned features.
+    ///
+    /// The support list deliberately covers the whole dataset rather than
+    /// only the current candidates: a candidate-scoped list would falsely
+    /// dismiss graphs for *later* queries that contain the cycle but not
+    /// this query's tree features. Full-dataset supports also make
+    /// concurrent learning of the same cycle (batched query workers)
+    /// idempotent — both workers compute the identical list.
     fn learn_delta(
         &self,
         dataset: &Dataset,
@@ -132,15 +179,18 @@ impl TreeDeltaIndex {
         }
         let mut narrowed = candidates;
         for cycle in cycles {
-            let already_known = self.delta_features.read().contains_key(&cycle.key);
+            let already_known = self
+                .delta_features
+                .read()
+                .expect("delta lock poisoned")
+                .contains_key(&cycle.key);
             if already_known {
                 continue;
             }
             // Materialize the cycle as a standalone fragment (cycle edges
             // only — chords of the query must not be folded into the
             // feature, or its stored support would be too small for later
-            // queries that contain the plain cycle) and test the current
-            // candidates for containment.
+            // queries that contain the plain cycle).
             let mut fragment = Graph::new("delta-cycle");
             for &v in &cycle.vertices {
                 fragment.add_vertex(query.label(v));
@@ -150,23 +200,27 @@ impl TreeDeltaIndex {
                 let _ = fragment.add_edge_if_absent(i, j);
             }
             let matcher = Vf2Matcher::new(&fragment);
-            let containing: Vec<GraphId> = narrowed
-                .iter()
-                .copied()
+            let mut state = MatchState::new();
+            let support: Vec<GraphId> = dataset
+                .ids()
                 .filter(|&gid| {
                     dataset
                         .graph(gid)
-                        .map(|g| matcher.matches(g))
+                        .map(|g| matcher.matches_with(&mut state, g))
                         .unwrap_or(false)
                 })
                 .collect();
-            let selective = (containing.len() as f64)
+            let contained_in_narrowed = crate::intersect_sorted(&narrowed, &support);
+            // Selectivity is still judged against the current candidates —
+            // the paper's rule: remember the cycle only if it prunes them.
+            let selective = (contained_in_narrowed.len() as f64)
                 <= self.config.delta_support_threshold * narrowed.len() as f64;
             if selective {
                 self.delta_features
                     .write()
-                    .insert(cycle.key.clone(), containing.clone());
-                narrowed = containing;
+                    .expect("delta lock poisoned")
+                    .insert(cycle.key.clone(), PostingList::from_sorted(support));
+                narrowed = contained_in_narrowed;
                 if narrowed.is_empty() {
                     break;
                 }
@@ -182,16 +236,17 @@ impl GraphIndex for TreeDeltaIndex {
     }
 
     fn filter(&self, query: &Graph) -> Vec<GraphId> {
-        let candidates = self.filter_trees_only(query);
-        self.apply_delta(query, candidates)
+        let mut candidates = self.tree_candidate_set(query);
+        self.apply_delta(query, &mut candidates);
+        candidates.to_sorted_vec()
     }
 
     fn stats(&self) -> IndexStats {
         let tree_bytes: usize = self.tree_features.values().map(|f| f.memory_bytes()).sum();
-        let delta = self.delta_features.read();
+        let delta = self.delta_features.read().expect("delta lock poisoned");
         let delta_bytes: usize = delta
             .iter()
-            .map(|(k, v)| k.len_bytes() + v.capacity() * std::mem::size_of::<GraphId>())
+            .map(|(k, v)| k.len_bytes() + v.memory_bytes())
             .sum();
         IndexStats {
             distinct_features: self.tree_features.len() + delta.len(),
@@ -200,9 +255,11 @@ impl GraphIndex for TreeDeltaIndex {
     }
 
     fn query(&self, dataset: &Dataset, query: &Graph) -> crate::QueryOutcome {
-        // Filtering: trees first, then any Δ features already learned.
-        let tree_candidates = self.filter_trees_only(query);
-        let candidates = self.apply_delta(query, tree_candidates);
+        // Filtering: trees first, then any Δ features already learned — one
+        // bitset narrowed in place, materialized once.
+        let mut candidate_set = self.tree_candidate_set(query);
+        self.apply_delta(query, &mut candidate_set);
+        let candidates = candidate_set.to_sorted_vec();
         // Δ learning narrows the candidate set further (and persists the new
         // features for subsequent queries); this happens before verification
         // so its cost is part of query processing time, as in the paper.
@@ -342,6 +399,52 @@ mod tests {
         let after = idx.stats();
         assert!(after.distinct_features >= before.distinct_features);
         assert!(after.size_bytes >= before.size_bytes);
+    }
+
+    #[test]
+    fn delta_supports_cover_the_whole_dataset_not_just_the_learning_query() {
+        // g0: triangle 1-1-1 with a label-2 pendant; g1: plain triangle
+        // 1-1-1 (no pendant); g2, g3: acyclic graphs containing all of q1's
+        // subtrees so q1's tree filter keeps them. q1 (triangle + pendant)
+        // teaches the Δ index the 1-1-1 cycle; its tree features exclude
+        // g1, so a candidate-scoped support list would omit g1 and a later
+        // plain-triangle query would falsely dismiss it.
+        let with_pendant = GraphBuilder::new("g0")
+            .vertices(&[1, 1, 1, 2])
+            .edges(&[(0, 1), (1, 2), (2, 0), (0, 3)])
+            .build()
+            .unwrap();
+        let plain_triangle = GraphBuilder::new("g1")
+            .vertices(&[1, 1, 1])
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        // Contains every subtree of q1 up to 3 edges (including the
+        // 1-1-1-2 path and the 1-centered (1,1,2) star) but no cycle.
+        let acyclic = |name: &str| {
+            GraphBuilder::new(name)
+                .vertices(&[1, 1, 1, 2, 1])
+                .edges(&[(0, 1), (0, 2), (0, 3), (1, 4)])
+                .build()
+                .unwrap()
+        };
+        let ds = Dataset::from_graphs(
+            "delta-soundness",
+            vec![with_pendant, plain_triangle, acyclic("g2"), acyclic("g3")],
+        );
+        let idx = TreeDeltaIndex::build(&ds, test_config());
+
+        let q1 = query(&[1, 1, 1, 2], &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let first = idx.query(&ds, &q1);
+        assert_eq!(first.answers, exhaustive_answers(&ds, &q1));
+        assert!(idx.delta_feature_count() >= 1, "q1 should teach the cycle");
+
+        // The plain triangle query must still find g1 even though g1 was
+        // outside q1's candidate set when the cycle was learned.
+        let q2 = query(&[1, 1, 1], &[(0, 1), (1, 2), (2, 0)]);
+        let second = idx.query(&ds, &q2);
+        assert_eq!(second.answers, exhaustive_answers(&ds, &q2));
+        assert!(second.answers.contains(&1), "learned Δ must not dismiss g1");
     }
 
     #[test]

@@ -9,8 +9,14 @@
 
 use proptest::prelude::*;
 use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
-use sqbench_graph::Dataset;
-use sqbench_index::{build_index, exhaustive_answers, MethodConfig, MethodKind};
+use sqbench_graph::{Dataset, GraphId};
+use sqbench_index::candidates::intersect_posting;
+use sqbench_index::{
+    build_index, exhaustive_answers, ggsx::GgsxIndex, gindex::GIndex, intersect_sorted,
+    GraphIndex,
+    treedelta::TreeDeltaIndex, CandidateFold, CandidateSet, MethodConfig, MethodKind,
+    PostingList,
+};
 
 /// Generates a small synthetic dataset deterministically from a seed.
 fn dataset_from_seed(seed: u64, graphs: usize, nodes: usize, labels: u32) -> Dataset {
@@ -23,6 +29,23 @@ fn dataset_from_seed(seed: u64, graphs: usize, nodes: usize, labels: u32) -> Dat
             .with_seed(seed),
     )
     .generate()
+}
+
+/// Strategy: a sorted, deduplicated id list over `0..universe`.
+fn sorted_ids(universe: usize, max_len: usize) -> impl Strategy<Value = Vec<GraphId>> {
+    proptest::collection::vec(0usize..universe, 0..max_len).prop_map(|mut ids| {
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    })
+}
+
+/// Reference union of two sorted id lists (linear merge).
+fn union_sorted(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
+    let mut out: Vec<GraphId> = a.iter().chain(b.iter()).copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 proptest! {
@@ -62,6 +85,99 @@ proptest! {
                 sorted.dedup();
                 prop_assert_eq!(sorted, outcome.candidates);
             }
+        }
+    }
+
+    /// The bitset engine agrees with the seed's sorted-`Vec` engine
+    /// (`intersect_sorted`) on arbitrary id lists: intersection (streamed,
+    /// set-set and galloping), union, membership and sorted iteration.
+    #[test]
+    fn candidate_engine_agrees_with_sorted_vec_reference(
+        a in sorted_ids(193, 60),
+        b in sorted_ids(193, 60),
+    ) {
+        const UNIVERSE: usize = 193; // force a partial trailing block
+        let expected = intersect_sorted(&a, &b);
+
+        // Streaming retain (the hot path of every filter fold).
+        let mut streamed = CandidateSet::from_sorted_ids(UNIVERSE, &a);
+        streamed.retain_sorted(b.iter().copied());
+        prop_assert_eq!(streamed.to_sorted_vec(), expected.clone());
+        prop_assert_eq!(streamed.len(), expected.len());
+
+        // Set-set intersection and union.
+        let set_a = CandidateSet::from_sorted_ids(UNIVERSE, &a);
+        let set_b = CandidateSet::from_sorted_ids(UNIVERSE, &b);
+        let mut inter = set_a.clone();
+        inter.intersect_with(&set_b);
+        prop_assert_eq!(inter.to_sorted_vec(), expected.clone());
+        let mut uni = set_a.clone();
+        uni.union_with(&set_b);
+        prop_assert_eq!(uni.to_sorted_vec(), union_sorted(&a, &b));
+
+        // Galloping posting-list intersection.
+        prop_assert_eq!(intersect_posting(&a, &b), expected.clone());
+
+        // PostingList bridge.
+        let posting = PostingList::from_sorted(b.clone());
+        let mut via_posting = CandidateSet::from_sorted_ids(UNIVERSE, &a);
+        posting.intersect_into(&mut via_posting);
+        prop_assert_eq!(via_posting.to_sorted_vec(), expected.clone());
+
+        // Iteration is sorted and membership agrees with it.
+        let mut last: Option<GraphId> = None;
+        for id in streamed.iter() {
+            prop_assert!(streamed.contains(id));
+            prop_assert!(last.is_none_or(|prev| prev < id));
+            last = Some(id);
+        }
+    }
+
+    /// Folding many posting lists through one in-place bitset produces the
+    /// same candidates as the seed's pairwise `Vec` intersection chain.
+    #[test]
+    fn candidate_fold_agrees_with_pairwise_intersection(
+        lists in proptest::collection::vec(sorted_ids(150, 40), 1..6),
+    ) {
+        let mut reference: Option<Vec<GraphId>> = None;
+        for list in &lists {
+            reference = Some(match reference {
+                None => list.clone(),
+                Some(current) => intersect_sorted(&current, list),
+            });
+        }
+        let mut fold = CandidateFold::new(150);
+        for list in &lists {
+            fold.apply_sorted(list.iter().copied());
+        }
+        prop_assert_eq!(fold.into_sorted_vec(), reference.unwrap());
+    }
+
+    /// Migration invariance: the three posting-fold methods produce exactly
+    /// the candidate sets of the seed's `Vec`-based filter (kept as
+    /// `filter_reference`), and Grapes — same pruning rule over the same
+    /// trie contents — matches GGSX. Tree+Δ is checked both before and
+    /// after Δ features are learned.
+    #[test]
+    fn method_candidates_unchanged_by_bitset_migration(seed in 0u64..300) {
+        let ds = dataset_from_seed(seed.wrapping_add(5000), 14, 10, 4);
+        let config = MethodConfig::fast();
+        let ggsx = GgsxIndex::build(&ds, config.ggsx.clone());
+        let gindex = GIndex::build(&ds, config.gindex.clone());
+        let treedelta = TreeDeltaIndex::build(&ds, config.treedelta.clone());
+        let grapes = build_index(MethodKind::Grapes, &config, &ds);
+        let queries = QueryGen::new(seed ^ 0x51ab).generate(&ds, 3, 4);
+        for (query, _) in queries.iter() {
+            prop_assert_eq!(ggsx.filter(query), ggsx.filter_reference(query));
+            prop_assert_eq!(gindex.filter(query), gindex.filter_reference(query));
+            prop_assert_eq!(treedelta.filter(query), treedelta.filter_reference(query));
+            // Grapes applies the identical count-pruning rule to a trie with
+            // identical per-graph counts, so its candidates equal GGSX's
+            // when both use the same path length.
+            prop_assert_eq!(grapes.filter(query), ggsx.filter(query));
+            // Δ learning must not break the reference equivalence.
+            let _ = treedelta.query(&ds, query);
+            prop_assert_eq!(treedelta.filter(query), treedelta.filter_reference(query));
         }
     }
 

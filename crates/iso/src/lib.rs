@@ -25,4 +25,7 @@ pub mod tuned;
 pub mod vf2;
 
 pub use tuned::TunedMatcher;
-pub use vf2::{count_embeddings, find_first_embedding, has_subgraph_embedding, Vf2Matcher};
+pub use vf2::{
+    count_embeddings, find_first_embedding, has_subgraph_embedding, MatchState, MatchStats,
+    Vf2Matcher,
+};

@@ -58,10 +58,17 @@ impl TunedMatcher {
         }
 
         let order = tuned_order(query, &target_label_counts);
-        let mut q_to_t = vec![usize::MAX; qn];
-        let mut t_used = vec![false; target.vertex_count()];
-        if search(query, target, &order, 0, &mut q_to_t, &mut t_used) {
-            Some(q_to_t)
+        let mut search = TunedSearch {
+            query,
+            target,
+            order: &order,
+            q_to_t: vec![usize::MAX; qn],
+            t_used: vec![false; target.vertex_count()],
+            q_degrees: Vec::new(),
+            t_degrees: Vec::new(),
+        };
+        if search.search(0) {
+            Some(search.q_to_t)
         } else {
             None
         }
@@ -117,98 +124,124 @@ fn tuned_order(query: &Graph, target_label_counts: &HashMap<Label, usize>) -> Ve
     order
 }
 
-fn search(
-    query: &Graph,
-    target: &Graph,
-    order: &[VertexId],
-    depth: usize,
-    q_to_t: &mut Vec<usize>,
-    t_used: &mut Vec<bool>,
-) -> bool {
-    if depth == order.len() {
-        return true;
-    }
-    let qv = order[depth];
-    let mapped_neighbor = query
-        .neighbors(qv)
-        .iter()
-        .find(|&&w| q_to_t[w] != usize::MAX)
-        .copied();
-    let candidates: Vec<VertexId> = match mapped_neighbor {
-        Some(w) => target.neighbors(q_to_t[w]).to_vec(),
-        None => (0..target.vertex_count()).collect(),
-    };
-    for tv in candidates {
-        if t_used[tv] || !feasible(query, target, q_to_t, t_used, qv, tv) {
-            continue;
-        }
-        q_to_t[qv] = tv;
-        t_used[tv] = true;
-        if search(query, target, order, depth + 1, q_to_t, t_used) {
-            return true;
-        }
-        q_to_t[qv] = usize::MAX;
-        t_used[tv] = false;
-    }
-    false
+struct TunedSearch<'a> {
+    query: &'a Graph,
+    target: &'a Graph,
+    order: &'a [VertexId],
+    q_to_t: Vec<usize>,
+    t_used: Vec<bool>,
+    /// Scratch buffers of the neighbor-degree look-ahead, reused across the
+    /// whole search instead of being reallocated per feasibility check.
+    q_degrees: Vec<usize>,
+    t_degrees: Vec<usize>,
 }
 
-fn feasible(
-    query: &Graph,
-    target: &Graph,
-    q_to_t: &[usize],
-    t_used: &[bool],
-    qv: VertexId,
-    tv: VertexId,
-) -> bool {
-    if query.label(qv) != target.label(tv) {
-        return false;
-    }
-    if target.degree(tv) < query.degree(qv) {
-        return false;
-    }
-    let mut unmapped_neighbors = 0usize;
-    for &qw in query.neighbors(qv) {
-        let mapped = q_to_t[qw];
-        if mapped != usize::MAX {
-            if !target.has_edge(tv, mapped) {
-                return false;
-            }
-        } else {
-            unmapped_neighbors += 1;
+impl TunedSearch<'_> {
+    fn search(&mut self, depth: usize) -> bool {
+        if depth == self.order.len() {
+            return true;
         }
+        let qv = self.order[depth];
+        let mapped_neighbor = self
+            .query
+            .neighbors(qv)
+            .iter()
+            .find(|&&w| self.q_to_t[w] != usize::MAX)
+            .copied();
+        // Walk the adjacency slice of the mapped neighbor's image directly
+        // (`target` is a copied reference, so iterating it does not conflict
+        // with the mutable recursion) instead of materializing a candidate
+        // vector per depth.
+        let target = self.target;
+        match mapped_neighbor {
+            Some(w) => {
+                let image = self.q_to_t[w];
+                for &tv in target.neighbors(image) {
+                    if self.try_extend(depth, qv, tv) {
+                        return true;
+                    }
+                }
+            }
+            None => {
+                for tv in 0..target.vertex_count() {
+                    if self.try_extend(depth, qv, tv) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
     }
-    let free_neighbors = target
-        .neighbors(tv)
-        .iter()
-        .filter(|&&tw| !t_used[tw])
-        .count();
-    if free_neighbors < unmapped_neighbors {
-        return false;
+
+    fn try_extend(&mut self, depth: usize, qv: VertexId, tv: VertexId) -> bool {
+        if self.t_used[tv] || !self.feasible(qv, tv) {
+            return false;
+        }
+        self.q_to_t[qv] = tv;
+        self.t_used[tv] = true;
+        if self.search(depth + 1) {
+            return true;
+        }
+        self.q_to_t[qv] = usize::MAX;
+        self.t_used[tv] = false;
+        false
     }
-    // Neighbor-degree look-ahead: the sorted degrees of tv's neighbors must
-    // dominate the sorted degrees of qv's unmapped neighbors.
-    let mut q_degrees: Vec<usize> = query
-        .neighbors(qv)
-        .iter()
-        .filter(|&&qw| q_to_t[qw] == usize::MAX)
-        .map(|&qw| query.degree(qw))
-        .collect();
-    if q_degrees.is_empty() {
-        return true;
+
+    fn feasible(&mut self, qv: VertexId, tv: VertexId) -> bool {
+        let (query, target) = (self.query, self.target);
+        if query.label(qv) != target.label(tv) {
+            return false;
+        }
+        if target.degree(tv) < query.degree(qv) {
+            return false;
+        }
+        let mut unmapped_neighbors = 0usize;
+        for &qw in query.neighbors(qv) {
+            let mapped = self.q_to_t[qw];
+            if mapped != usize::MAX {
+                if !target.has_edge(tv, mapped) {
+                    return false;
+                }
+            } else {
+                unmapped_neighbors += 1;
+            }
+        }
+        let free_neighbors = target
+            .neighbors(tv)
+            .iter()
+            .filter(|&&tw| !self.t_used[tw])
+            .count();
+        if free_neighbors < unmapped_neighbors {
+            return false;
+        }
+        // Neighbor-degree look-ahead: the sorted degrees of tv's neighbors
+        // must dominate the sorted degrees of qv's unmapped neighbors.
+        self.q_degrees.clear();
+        self.q_degrees.extend(
+            query
+                .neighbors(qv)
+                .iter()
+                .filter(|&&qw| self.q_to_t[qw] == usize::MAX)
+                .map(|&qw| query.degree(qw)),
+        );
+        if self.q_degrees.is_empty() {
+            return true;
+        }
+        self.q_degrees.sort_unstable_by(|a, b| b.cmp(a));
+        self.t_degrees.clear();
+        self.t_degrees.extend(
+            target
+                .neighbors(tv)
+                .iter()
+                .filter(|&&tw| !self.t_used[tw])
+                .map(|&tw| target.degree(tw)),
+        );
+        self.t_degrees.sort_unstable_by(|a, b| b.cmp(a));
+        self.q_degrees
+            .iter()
+            .zip(self.t_degrees.iter())
+            .all(|(qd, td)| td >= qd)
     }
-    q_degrees.sort_unstable_by(|a, b| b.cmp(a));
-    let mut t_degrees: Vec<usize> = target
-        .neighbors(tv)
-        .iter()
-        .filter(|&&tw| !t_used[tw])
-        .map(|&tw| target.degree(tw))
-        .collect();
-    t_degrees.sort_unstable_by(|a, b| b.cmp(a));
-    q_degrees
-        .iter()
-        .zip(t_degrees.iter())
-        .all(|(qd, td)| td >= qd)
 }
 
 #[cfg(test)]

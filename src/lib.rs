@@ -1,0 +1,16 @@
+//! # sqbench
+//!
+//! Umbrella crate of the subgraph-query benchmark workspace. It re-exports
+//! the member crates so integration tests and examples can drive the whole
+//! pipeline (data model → feature extraction → indexes → harness) through a
+//! single dependency.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use sqbench_features as features;
+pub use sqbench_generator as generator;
+pub use sqbench_graph as graph;
+pub use sqbench_harness as harness;
+pub use sqbench_index as index;
+pub use sqbench_iso as iso;

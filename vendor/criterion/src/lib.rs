@@ -1,0 +1,366 @@
+//! Vendored stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups with `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is simple but
+//! honest: each sample times a batch of iterations sized so one sample takes
+//! ≳1 ms, the configured number of samples is collected within the
+//! measurement budget, and the per-iteration **median** is reported. Results
+//! are printed to stdout and appended to `BENCH_<target>.json` in the
+//! directory the bench runs from (the workspace root under `cargo bench`).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from std.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Samples collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+
+/// Measurement configuration shared by groups and bare bench functions.
+#[derive(Debug, Clone)]
+struct MeasureConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Identifier of a parameterized benchmark (`group/function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher<'a> {
+    config: &'a MeasureConfig,
+    result_ns: &'a mut Option<(f64, usize, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Measures `f`, storing the median per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until it takes ≳1 ms.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = t.elapsed();
+            if took >= Duration::from_millis(1) || batch >= 1 << 20 {
+                if Instant::now() >= warm_deadline {
+                    break;
+                }
+            } else {
+                batch = batch.saturating_mul(2);
+            }
+            if Instant::now() >= warm_deadline && took >= Duration::from_micros(100) {
+                break;
+            }
+        }
+        // Sampling.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        let deadline = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline && samples_ns.len() >= 5 {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples_ns[samples_ns.len() / 2];
+        *self.result_ns = Some((median, samples_ns.len(), batch));
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            config: MeasureConfig::default(),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        let config = MeasureConfig::default();
+        run_one(&mut self.results, name.to_string(), &config, f);
+        self
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    results: &mut Vec<BenchResult>,
+    id: String,
+    config: &MeasureConfig,
+    mut f: F,
+) {
+    let mut result_ns: Option<(f64, usize, u64)> = None;
+    let mut bencher = Bencher {
+        config,
+        result_ns: &mut result_ns,
+    };
+    f(&mut bencher);
+    if let Some((median_ns, samples, iters_per_sample)) = result_ns {
+        println!("bench: {id:<60} {:>14.1} ns/iter ({samples} samples)", median_ns);
+        results.push(BenchResult {
+            id,
+            median_ns,
+            samples,
+            iters_per_sample,
+        });
+    }
+}
+
+/// A named group of benchmarks with shared measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    config: MeasureConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(5);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets throughput metadata (accepted and ignored by the stand-in).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `group/name` (the name may be a string or
+    /// a [`BenchmarkId`], as in real criterion).
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into_benchmark_id().id);
+        run_one(&mut self.criterion.results, id, &self.config, f);
+        self
+    }
+
+    /// Benchmarks a closure over an input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&mut self.criterion.results, full, &self.config, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput metadata (accepted and ignored by the stand-in).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Things usable as a benchmark name (strings and [`BenchmarkId`]s).
+pub trait IntoBenchmarkId {
+    /// Converts into a full id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl<T: Display> IntoBenchmarkId for T {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+/// Writes collected results as JSON to `BENCH_<target>.json`.
+pub fn write_report(target: &str, c: &Criterion) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"target\": \"{target}\",\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in c.results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            r.id.replace('"', "'"),
+            r.median_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 == c.results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = workspace_root().join(format!("BENCH_{target}.json"));
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("criterion stand-in: could not write {}: {e}", path.display());
+    } else {
+        println!("criterion stand-in: wrote {}", path.display());
+    }
+}
+
+/// The topmost ancestor of the current directory containing a `Cargo.toml`
+/// (the workspace root under `cargo bench`); falls back to the current
+/// directory.
+fn workspace_root() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut root = cwd.clone();
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.toml").is_file() {
+            root = dir.to_path_buf();
+        }
+    }
+    root
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($f(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the groups and writes the report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let target = std::env::args()
+                .next()
+                .and_then(|p| {
+                    std::path::Path::new(&p)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                })
+                .map(|stem| match stem.rsplit_once('-') {
+                    // Strip cargo's trailing metadata hash if present.
+                    Some((base, hash))
+                        if hash.len() == 16
+                            && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                    {
+                        base.to_string()
+                    }
+                    _ => stem,
+                })
+                .unwrap_or_else(|| "bench".to_string());
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            $crate::write_report(&target, &c);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(10));
+        group.measurement_time(Duration::from_millis(50));
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+        drop(group);
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("build", "Grapes");
+        assert_eq!(id.id, "build/Grapes");
+    }
+}

@@ -1,0 +1,34 @@
+//! Vendored stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The workspace annotates its data-carrying types with
+//! `#[derive(Serialize, Deserialize)]` so a real serde can be dropped in
+//! once the build environment has registry access. Until then the traits
+//! are markers and the derives emit empty impls.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String, char
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl Serialize for std::time::Duration {}
+impl<'de> Deserialize<'de> for std::time::Duration {}
