@@ -11,9 +11,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqbench_bench::{default_dataset, default_workloads};
-use sqbench_index::grapes::GrapesIndex;
 use sqbench_index::ggsx::GgsxIndex;
-use sqbench_index::{GgsxConfig, GraphIndex, GrapesConfig};
+use sqbench_index::grapes::GrapesIndex;
+use sqbench_index::{GgsxConfig, GrapesConfig, GraphIndex};
 
 fn bench_location_info(c: &mut Criterion) {
     let dataset = default_dataset();

@@ -19,7 +19,9 @@ fn feature_posting_lists(universe: usize, k: usize) -> Vec<Vec<usize>> {
     (0..k)
         .map(|i| {
             let stride = i + 2;
-            (0..universe).filter(|id| id % stride == i % stride).collect()
+            (0..universe)
+                .filter(|id| id % stride == i % stride)
+                .collect()
         })
         .collect()
 }
@@ -65,11 +67,9 @@ fn bench_candidates(c: &mut Criterion) {
             &lists,
             |b, lists| b.iter(|| fold_sorted_vec(lists)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("bitset", universe),
-            &lists,
-            |b, lists| b.iter(|| fold_bitset(universe, lists)),
-        );
+        group.bench_with_input(BenchmarkId::new("bitset", universe), &lists, |b, lists| {
+            b.iter(|| fold_bitset(universe, lists))
+        });
     }
     group.finish();
 

@@ -22,11 +22,9 @@ fn bench_table1(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for kind in RealDataset::ALL {
         let dataset = kind.generate(scale.real_dataset_scale, scale.seed);
-        group.bench_with_input(
-            BenchmarkId::new("stats", kind.name()),
-            &dataset,
-            |b, ds| b.iter(|| DatasetStats::of(ds)),
-        );
+        group.bench_with_input(BenchmarkId::new("stats", kind.name()), &dataset, |b, ds| {
+            b.iter(|| DatasetStats::of(ds))
+        });
         group.bench_function(BenchmarkId::new("generate", kind.name()), |b| {
             b.iter(|| kind.generate(scale.real_dataset_scale, scale.seed))
         });

@@ -1,0 +1,185 @@
+//! Bench-regression gate: compares two `BENCH_<target>.json` files (as
+//! written by the vendored criterion stand-in) and fails when any benchmark
+//! shared by both regressed in median throughput by more than the
+//! threshold.
+//!
+//! ```text
+//! bench_compare <baseline.json> <candidate.json> [--threshold 0.20]
+//! ```
+//!
+//! Throughput is `1 / median_ns`, so a throughput drop of more than
+//! `threshold` (default 20%) means `candidate_ns > baseline_ns / (1 − t)`.
+//! Benchmarks present on only one side are reported but never fail the
+//! gate (new benchmarks must be able to land, retired ones to leave).
+//! Exits 0 on pass, 1 on regression, 2 on usage/parse errors.
+
+use std::process::ExitCode;
+
+/// One `{"id": ..., "median_ns": ...}` entry.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    id: String,
+    median_ns: f64,
+}
+
+/// Extracts the string value of `key` from a single JSON object line.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":");
+    let rest = &line[line.find(&marker)? + marker.len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    let close = rest.find('"')?;
+    Some(rest[..close].to_string())
+}
+
+/// Extracts the numeric value of `key` from a single JSON object line.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let rest = &line[line.find(&marker)? + marker.len()..];
+    let value: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    value.parse().ok()
+}
+
+/// Parses the result entries of a `BENCH_<target>.json` report. The format
+/// is the stand-in's: one `{"id": ..., "median_ns": ...}` object per line
+/// inside a `"results"` array.
+fn parse_report(text: &str) -> Vec<Entry> {
+    text.lines()
+        .filter_map(|line| {
+            let id = string_field(line, "id")?;
+            let median_ns = number_field(line, "median_ns")?;
+            Some(Entry { id, median_ns })
+        })
+        .collect()
+}
+
+fn run(baseline_path: &str, candidate_path: &str, threshold: f64) -> Result<bool, String> {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let baseline = parse_report(&read(baseline_path)?);
+    let candidate = parse_report(&read(candidate_path)?);
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: no benchmark entries found"));
+    }
+    if candidate.is_empty() {
+        return Err(format!("{candidate_path}: no benchmark entries found"));
+    }
+
+    let mut ok = true;
+    for base in &baseline {
+        let Some(cand) = candidate.iter().find(|c| c.id == base.id) else {
+            println!("SKIP  {:<50} missing from candidate", base.id);
+            continue;
+        };
+        // throughput ratio = base_ns / cand_ns (1.0 = unchanged, <1 slower)
+        let ratio = base.median_ns / cand.median_ns;
+        let regressed = ratio < 1.0 - threshold;
+        let verdict = if regressed { "FAIL" } else { "ok  " };
+        println!(
+            "{verdict}  {:<50} base {:>12.1} ns  cand {:>12.1} ns  throughput {:>6.2}x",
+            base.id, base.median_ns, cand.median_ns, ratio
+        );
+        if regressed {
+            ok = false;
+        }
+    }
+    for cand in &candidate {
+        if !baseline.iter().any(|b| b.id == cand.id) {
+            println!(
+                "NEW   {:<50} {:>12.1} ns (no baseline)",
+                cand.id, cand.median_ns
+            );
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.20f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            let Some(value) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("--threshold needs a numeric argument");
+                return ExitCode::from(2);
+            };
+            threshold = value;
+            i += 2;
+        } else {
+            paths.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        eprintln!("usage: bench_compare <baseline.json> <candidate.json> [--threshold 0.20]");
+        return ExitCode::from(2);
+    };
+    match run(baseline, candidate, threshold) {
+        Ok(true) => {
+            println!(
+                "bench_compare: no regression beyond {:.0}%",
+                threshold * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!(
+                "bench_compare: median throughput regressed more than {:.0}%",
+                threshold * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "target": "micro_service",
+  "results": [
+    {"id": "micro_service_batch/oneshot/10000", "median_ns": 2000.0, "samples": 15, "iters_per_sample": 8},
+    {"id": "micro_service_batch/workers4/10000", "median_ns": 1000.0, "samples": 15, "iters_per_sample": 8}
+  ]
+}"#;
+
+    #[test]
+    fn parses_standin_report() {
+        let entries = parse_report(SAMPLE);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].id, "micro_service_batch/oneshot/10000");
+        assert_eq!(entries[1].median_ns, 1000.0);
+    }
+
+    #[test]
+    fn field_extraction_handles_whitespace() {
+        let line = r#"  {"id": "a/b/c",   "median_ns":   12.5e1, "samples": 3}"#;
+        assert_eq!(string_field(line, "id").as_deref(), Some("a/b/c"));
+        assert_eq!(number_field(line, "median_ns"), Some(125.0));
+        assert_eq!(number_field(line, "missing"), None);
+    }
+
+    #[test]
+    fn regression_detection_thresholds() {
+        // 1.24x slower: within the 20% throughput threshold (1/1.24 ≈ 0.806).
+        let base = Entry {
+            id: "x".into(),
+            median_ns: 100.0,
+        };
+        let within = 124.0;
+        let beyond = 126.0;
+        assert!(base.median_ns / within >= 0.80);
+        assert!(base.median_ns / beyond < 0.80);
+    }
+}

@@ -28,6 +28,7 @@ pub fn bench_scale() -> ExperimentScale {
         real_dataset_scale: 0.004,
         time_budget: Duration::from_secs(300),
         seed: 20150831, // VLDB 2015 started on August 31st.
+        query_threads: 4,
     }
 }
 

@@ -202,7 +202,10 @@ fn exact_canonical_string(g: &Graph) -> String {
     // generated within each class.
     let mut classes: BTreeMap<(Label, usize), Vec<VertexId>> = BTreeMap::new();
     for v in g.vertices() {
-        classes.entry((g.label(v), g.degree(v))).or_default().push(v);
+        classes
+            .entry((g.label(v), g.degree(v)))
+            .or_default()
+            .push(v);
     }
     let class_list: Vec<Vec<VertexId>> = classes.into_values().collect();
 
@@ -287,8 +290,7 @@ fn wl_refinement_string(g: &Graph, rounds: usize) -> String {
     for _ in 0..rounds {
         let mut next = Vec::with_capacity(colors.len());
         for v in g.vertices() {
-            let mut neighbor_colors: Vec<u64> =
-                g.neighbors(v).iter().map(|&w| colors[w]).collect();
+            let mut neighbor_colors: Vec<u64> = g.neighbors(v).iter().map(|&w| colors[w]).collect();
             neighbor_colors.sort_unstable();
             let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ colors[v];
             for c in neighbor_colors {

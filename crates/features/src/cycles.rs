@@ -33,7 +33,15 @@ pub fn enumerate_cycle_instances(g: &Graph, max_len: usize) -> Vec<CycleInstance
     for start in 0..n {
         path.push(start);
         on_path[start] = true;
-        dfs_cycles(g, start, start, max_len, &mut path, &mut on_path, &mut cycles);
+        dfs_cycles(
+            g,
+            start,
+            start,
+            max_len,
+            &mut path,
+            &mut on_path,
+            &mut cycles,
+        );
         on_path[start] = false;
         path.pop();
     }

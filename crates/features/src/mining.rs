@@ -221,8 +221,7 @@ impl FrequentMiner {
                 FeatureKind::Tree => tree_key(&sub),
             };
             if let Some(parent) = retained.get(&key) {
-                let support: BTreeSet<GraphId> =
-                    parent.supporting_graphs.iter().copied().collect();
+                let support: BTreeSet<GraphId> = parent.supporting_graphs.iter().copied().collect();
                 intersection = Some(match intersection {
                     None => support,
                     Some(acc) => acc.intersection(&support).copied().collect(),
@@ -328,8 +327,7 @@ mod tests {
         let mined = FrequentMiner::new(cfg).mine(&dataset());
         // Edge (1,1) appears in 4 graphs, edge (1,2) in 2, edge (2,1)… same
         // key. Both single-edge keys must be present despite the filters.
-        let single_edge_features: Vec<_> =
-            mined.values().filter(|f| f.edge_count == 1).collect();
+        let single_edge_features: Vec<_> = mined.values().filter(|f| f.edge_count == 1).collect();
         assert_eq!(single_edge_features.len(), 2);
     }
 

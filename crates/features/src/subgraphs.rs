@@ -55,12 +55,7 @@ pub fn for_each_connected_edge_subset<F>(
 }
 
 /// Reports the subset through `visit` if it has not been produced before.
-fn emit<F>(
-    edges: &[EdgeRef],
-    subset: &[usize],
-    seen: &mut HashSet<Vec<u32>>,
-    visit: &mut F,
-) -> bool
+fn emit<F>(edges: &[EdgeRef], subset: &[usize], seen: &mut HashSet<Vec<u32>>, visit: &mut F) -> bool
 where
     F: FnMut(&[EdgeRef]),
 {
@@ -143,7 +138,9 @@ pub fn subgraph_from_edges(g: &Graph, edges: &[EdgeRef]) -> Graph {
     let mut sub = Graph::with_capacity("fragment", edges.len() + 1);
     for &(u, v) in edges {
         for w in [u, v] {
-            mapping.entry(w).or_insert_with(|| sub.add_vertex(g.label(w)));
+            mapping
+                .entry(w)
+                .or_insert_with(|| sub.add_vertex(g.label(w)));
         }
     }
     for &(u, v) in edges {

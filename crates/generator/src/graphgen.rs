@@ -167,7 +167,8 @@ impl GraphGen {
         // in the paper are connected).
         for v in 1..n {
             let u = rng.gen_range(0..v);
-            g.add_edge(u, v).expect("spanning tree edge is always valid");
+            g.add_edge(u, v)
+                .expect("spanning tree edge is always valid");
         }
 
         // Add uniformly random extra edges until the density target is met.
@@ -225,8 +226,12 @@ mod tests {
             .with_avg_nodes(80)
             .with_seed(3);
         let ds = GraphGen::new(cfg).generate();
-        let avg: f64 =
-            ds.graphs().iter().map(|g| g.vertex_count() as f64).sum::<f64>() / ds.len() as f64;
+        let avg: f64 = ds
+            .graphs()
+            .iter()
+            .map(|g| g.vertex_count() as f64)
+            .sum::<f64>()
+            / ds.len() as f64;
         assert!((avg - 80.0).abs() < 3.0, "avg nodes {avg} too far from 80");
     }
 

@@ -46,9 +46,7 @@ impl QueryWorkload {
 
     /// Iterator over `(query, source graph id)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Graph, GraphId)> + '_ {
-        self.queries
-            .iter()
-            .zip(self.source_graphs.iter().copied())
+        self.queries.iter().zip(self.source_graphs.iter().copied())
     }
 }
 
@@ -196,7 +194,11 @@ fn random_walk_subgraph(
             .iter()
             .copied()
             .filter(|&w| {
-                let key = if current < w { (current, w) } else { (w, current) };
+                let key = if current < w {
+                    (current, w)
+                } else {
+                    (w, current)
+                };
                 !edges.contains(&key)
             })
             .collect();

@@ -183,7 +183,14 @@ impl RealDatasetSpec {
         let mut ds = Dataset::new(format!("{}-like", self.dataset.name()));
         for i in 0..graph_count {
             let disconnected = rng.gen::<f64>() < disconnected_fraction;
-            let g = self.generate_graph(&mut rng, i, avg_nodes, stddev_nodes, avg_degree, disconnected);
+            let g = self.generate_graph(
+                &mut rng,
+                i,
+                avg_nodes,
+                stddev_nodes,
+                avg_degree,
+                disconnected,
+            );
             ds.push(g);
         }
         ds
@@ -204,8 +211,8 @@ impl RealDatasetSpec {
     ) -> Graph {
         let n = normal_sample(rng, avg_nodes, stddev_nodes).round().max(4.0) as usize;
         // Per-graph label subset of roughly the published average size.
-        let labels_per_graph = (self.avg_labels_per_graph.round() as usize)
-            .clamp(1, self.label_count as usize);
+        let labels_per_graph =
+            (self.avg_labels_per_graph.round() as usize).clamp(1, self.label_count as usize);
         let mut palette: Vec<Label> = Vec::with_capacity(labels_per_graph);
         while palette.len() < labels_per_graph {
             let l = rng.gen_range(0..self.label_count) as Label;

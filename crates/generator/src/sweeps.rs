@@ -23,9 +23,8 @@ pub const PAPER_DENSITY_SWEEP: &[f64] = &[
 pub const PAPER_LABEL_SWEEP: &[u32] = &[10, 20, 30, 40, 50, 60, 70, 80];
 
 /// Number-of-graphs sweep of §5.2.4 (full paper grid).
-pub const PAPER_GRAPH_COUNT_SWEEP: &[usize] = &[
-    1000, 2500, 5000, 7500, 10000, 25000, 50000, 100000, 500000,
-];
+pub const PAPER_GRAPH_COUNT_SWEEP: &[usize] =
+    &[1000, 2500, 5000, 7500, 10000, 25000, 50000, 100000, 500000];
 
 /// Query sizes (in edges) used throughout the paper (§4.3).
 pub const PAPER_QUERY_SIZES: &[usize] = &[4, 8, 16, 32];
@@ -97,7 +96,9 @@ mod tests {
     #[test]
     fn normal_sample_mean_and_spread() {
         let mut rng = StdRng::seed_from_u64(7);
-        let samples: Vec<f64> = (0..20000).map(|_| normal_sample(&mut rng, 10.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..20000)
+            .map(|_| normal_sample(&mut rng, 10.0, 2.0))
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean {mean}");

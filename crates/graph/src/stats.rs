@@ -179,10 +179,7 @@ mod tests {
 
     #[test]
     fn dataset_stats_aggregates() {
-        let ds = Dataset::from_graphs(
-            "mix",
-            vec![triangle(0), triangle(5), disconnected_pair()],
-        );
+        let ds = Dataset::from_graphs("mix", vec![triangle(0), triangle(5), disconnected_pair()]);
         let s = DatasetStats::of(&ds);
         assert_eq!(s.graph_count, 3);
         assert_eq!(s.disconnected_graphs, 1);

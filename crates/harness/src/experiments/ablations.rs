@@ -29,7 +29,10 @@ use sqbench_index::{MethodConfig, MethodKind};
 /// Default dataset/workload pair for the ablations.
 fn default_setup(
     scale: &ExperimentScale,
-) -> (sqbench_graph::Dataset, Vec<sqbench_generator::QueryWorkload>) {
+) -> (
+    sqbench_graph::Dataset,
+    Vec<sqbench_generator::QueryWorkload>,
+) {
     let dataset = synthetic_dataset(
         scale,
         scale.avg_nodes,
@@ -229,7 +232,12 @@ mod tests {
         // Wider fingerprints never increase the false positive ratio
         // (fewer hash collisions), modulo the tiny workload noise.
         let fps: Vec<f64> = (0..3)
-            .map(|i| report.metrics_at(i, "CT-Index").unwrap().false_positive_ratio)
+            .map(|i| {
+                report
+                    .metrics_at(i, "CT-Index")
+                    .unwrap()
+                    .false_positive_ratio
+            })
             .collect();
         assert!(fps[2] <= fps[0] + 1e-9, "fp ratios {fps:?}");
     }

@@ -53,8 +53,11 @@ pub(crate) fn synthetic_dataset(
 /// Generates the query workloads (one per configured query size) for a
 /// dataset at the given scale.
 pub(crate) fn workloads_for(dataset: &Dataset, scale: &ExperimentScale) -> Vec<QueryWorkload> {
-    QueryGen::new(scale.seed ^ 0x51_00_ad)
-        .generate_all_sizes(dataset, scale.queries_per_size, &scale.query_sizes)
+    QueryGen::new(scale.seed ^ 0x51_00_ad).generate_all_sizes(
+        dataset,
+        scale.queries_per_size,
+        &scale.query_sizes,
+    )
 }
 
 /// Runs all methods over one dataset/workload pair and wraps the result as
@@ -74,10 +77,13 @@ pub(crate) fn measure_point(
 }
 
 /// The run options used by the experiments: default per-method parameters
-/// (§4.1 of the paper) with the scale's time budget.
+/// (§4.1 of the paper) with the scale's time budget and service worker
+/// count — every figure driver serves its workloads through the batch
+/// query service at the scale's `query_threads`.
 pub(crate) fn options_for(scale: &ExperimentScale) -> RunOptions {
     RunOptions {
         time_budget: scale.time_budget,
+        query_threads: scale.query_threads,
         ..RunOptions::default()
     }
 }
@@ -107,10 +113,11 @@ mod tests {
     }
 
     #[test]
-    fn options_for_uses_scale_budget() {
+    fn options_for_uses_scale_budget_and_workers() {
         let scale = ExperimentScale::smoke();
         let options = options_for(&scale);
         assert_eq!(options.time_budget, scale.time_budget);
         assert_eq!(options.methods.len(), 6);
+        assert_eq!(options.query_threads, scale.query_threads);
     }
 }

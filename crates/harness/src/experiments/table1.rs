@@ -55,7 +55,8 @@ pub struct Table1Report {
 impl Table1Report {
     /// Renders the report as text, published vs. measured.
     pub fn render_text(&self) -> String {
-        let mut out = String::from("# Table 1 — real dataset characteristics (published vs. simulated)\n");
+        let mut out =
+            String::from("# Table 1 — real dataset characteristics (published vs. simulated)\n");
         for row in &self.rows {
             out.push_str(&format!(
                 "\n{} (scale {}):\n  published: graphs={} labels={} avg_nodes={:.1} avg_edges={:.1} avg_degree={:.2} avg_labels={:.1}\n  measured : {}\n",

@@ -14,6 +14,9 @@
 //! * [`runner`] — the machinery that builds each index, runs a query
 //!   workload against it and enforces the experiment time budget (the
 //!   paper's 8-hour limit, scaled down);
+//! * [`service`] — the long-lived batch query service the runner routes
+//!   workloads through: a pipelined filter → verify worker pool with
+//!   per-worker candidate arenas and work stealing;
 //! * [`report`] — experiment report data structures plus plain-text and CSV
 //!   rendering of the same rows/series the paper plots;
 //! * [`experiments`] — one module per table/figure of the paper
@@ -39,7 +42,11 @@ pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod service;
 
-pub use metrics::{workload_false_positive_ratio, MethodMetrics};
+pub use metrics::{
+    counted_false_positive_ratio, workload_false_positive_ratio, MethodMetrics, StageTotals,
+};
 pub use report::{ExperimentPoint, ExperimentReport};
 pub use runner::{run_methods, ExperimentScale, RunOptions};
+pub use service::{BatchReport, QueryService, ServiceConfig};

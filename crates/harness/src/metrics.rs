@@ -27,6 +27,12 @@ impl Stopwatch {
     pub fn elapsed_secs(&self) -> f64 {
         self.elapsed().as_secs_f64()
     }
+
+    /// The instant at which `budget` expires, measured from this stopwatch's
+    /// start — what the query service takes as a batch deadline.
+    pub fn deadline_after(&self, budget: Duration) -> Instant {
+        self.start + budget
+    }
 }
 
 impl Default for Stopwatch {
@@ -50,8 +56,93 @@ pub fn workload_false_positive_ratio(outcomes: &[QueryOutcome]) -> f64 {
         / outcomes.len() as f64
 }
 
+/// The false positive ratio of a workload from `(candidates, answers)`
+/// cardinality pairs — the counts-only twin of
+/// [`workload_false_positive_ratio`], used by the batch query service,
+/// which never materializes candidate id lists.
+pub fn counted_false_positive_ratio<I>(counts: I) -> f64
+where
+    I: IntoIterator<Item = (usize, usize)>,
+{
+    let mut sum = 0.0f64;
+    let mut queries = 0usize;
+    for (candidates, answers) in counts {
+        if candidates > 0 {
+            sum += (candidates - answers) as f64 / candidates as f64;
+        }
+        queries += 1;
+    }
+    if queries == 0 {
+        0.0
+    } else {
+        sum / queries as f64
+    }
+}
+
+/// Aggregated per-stage measurements of a batch run through the query
+/// service pipeline: where each query's wall time went (waiting in the
+/// request queue, filtering, verification) and how hard filtering pruned.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTotals {
+    /// Queries the totals cover (executed queries only, not skipped ones).
+    pub queries: u64,
+    /// Total time queries spent queued before their filter stage started.
+    pub queue_wait_s: f64,
+    /// Total time spent in the filtering stage.
+    pub filter_s: f64,
+    /// Total time spent in the verification stage (including any query-time
+    /// index maintenance, e.g. Tree+Δ feature learning).
+    pub verify_s: f64,
+    /// Total graphs pruned by filtering: Σ (universe − |candidates|).
+    pub candidates_pruned: u64,
+}
+
+impl StageTotals {
+    /// Folds one executed query's stage measurements into the totals.
+    pub fn add_query(&mut self, queue_wait_s: f64, filter_s: f64, verify_s: f64, pruned: usize) {
+        self.queries += 1;
+        self.queue_wait_s += queue_wait_s;
+        self.filter_s += filter_s;
+        self.verify_s += verify_s;
+        self.candidates_pruned += pruned as u64;
+    }
+
+    /// Merges another totals record into this one.
+    pub fn merge(&mut self, other: &StageTotals) {
+        self.queries += other.queries;
+        self.queue_wait_s += other.queue_wait_s;
+        self.filter_s += other.filter_s;
+        self.verify_s += other.verify_s;
+        self.candidates_pruned += other.candidates_pruned;
+    }
+
+    fn per_query(&self, total: f64) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            total / self.queries as f64
+        }
+    }
+
+    /// Mean queue wait per executed query, seconds.
+    pub fn avg_queue_wait_s(&self) -> f64 {
+        self.per_query(self.queue_wait_s)
+    }
+
+    /// Mean filtering time per executed query, seconds.
+    pub fn avg_filter_s(&self) -> f64 {
+        self.per_query(self.filter_s)
+    }
+
+    /// Mean verification time per executed query, seconds.
+    pub fn avg_verify_s(&self) -> f64 {
+        self.per_query(self.verify_s)
+    }
+}
+
 /// All measurements collected for one method at one experiment point — the
-/// quantities plotted in panels (a)–(d) of each figure in the paper.
+/// quantities plotted in panels (a)–(d) of each figure in the paper, plus
+/// the per-stage breakdown the pipelined query service records.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MethodMetrics {
     /// Method name (as in the paper's legends).
@@ -72,6 +163,9 @@ pub struct MethodMetrics {
     /// Whether the method exceeded the experiment's time budget (the
     /// scaled-down analogue of the paper's 8-hour DNF entries).
     pub timed_out: bool,
+    /// Per-stage totals from the service pipeline (queue wait, filter,
+    /// verify, candidates pruned) over the executed queries.
+    pub stages: StageTotals,
 }
 
 impl MethodMetrics {
@@ -84,12 +178,15 @@ impl MethodMetrics {
     pub fn to_log_line(&self) -> String {
         format!(
             "{method:12} index_time={it:9.3}s index_size={sz:10.3}MB features={feat:8} \
-             query_time={qt:9.5}s fp_ratio={fp:6.3} queries={q:4}{dnf}",
+             query_time={qt:9.5}s (filter={ft:9.5}s verify={vt:9.5}s) fp_ratio={fp:6.3} \
+             queries={q:4}{dnf}",
             method = self.method,
             it = self.indexing_time_s,
             sz = self.index_size_mb(),
             feat = self.distinct_features,
             qt = self.avg_query_time_s,
+            ft = self.stages.avg_filter_s(),
+            vt = self.stages.avg_verify_s(),
             fp = self.false_positive_ratio,
             q = self.queries_executed,
             dnf = if self.timed_out { " [DNF]" } else { "" },
@@ -136,6 +233,36 @@ mod tests {
     }
 
     #[test]
+    fn counted_fp_ratio_matches_outcome_based_ratio() {
+        let outcomes = vec![outcome(10, 5), outcome(4, 4), outcome(0, 0)];
+        let counted = counted_false_positive_ratio(
+            outcomes
+                .iter()
+                .map(|o| (o.candidates.len(), o.answers.len())),
+        );
+        assert!((counted - workload_false_positive_ratio(&outcomes)).abs() < 1e-12);
+        assert_eq!(counted_false_positive_ratio(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn stage_totals_accumulate_and_average() {
+        let mut totals = StageTotals::default();
+        totals.add_query(0.5, 1.0, 2.0, 90);
+        totals.add_query(1.5, 3.0, 4.0, 10);
+        assert_eq!(totals.queries, 2);
+        assert_eq!(totals.candidates_pruned, 100);
+        assert!((totals.avg_queue_wait_s() - 1.0).abs() < 1e-12);
+        assert!((totals.avg_filter_s() - 2.0).abs() < 1e-12);
+        assert!((totals.avg_verify_s() - 3.0).abs() < 1e-12);
+        let mut merged = StageTotals::default();
+        merged.merge(&totals);
+        merged.merge(&totals);
+        assert_eq!(merged.queries, 4);
+        assert_eq!(merged.candidates_pruned, 200);
+        assert_eq!(StageTotals::default().avg_filter_s(), 0.0);
+    }
+
+    #[test]
     fn metrics_formatting() {
         let m = MethodMetrics {
             method: "Grapes".into(),
@@ -146,6 +273,7 @@ mod tests {
             false_positive_ratio: 0.125,
             queries_executed: 40,
             timed_out: false,
+            stages: StageTotals::default(),
         };
         assert!((m.index_size_mb() - 2.0).abs() < 1e-9);
         let line = m.to_log_line();

@@ -131,16 +131,19 @@ pub fn render_text(report: &ExperimentReport) -> String {
     out
 }
 
-/// Renders the report as CSV with one row per (point, method) pair.
+/// Renders the report as CSV with one row per (point, method) pair,
+/// including the per-stage breakdown recorded by the query service (mean
+/// queue wait / filter / verify seconds and total candidates pruned).
 pub fn render_csv(report: &ExperimentReport) -> String {
     let mut out = String::from(
         "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,distinct_features,\
-         avg_query_time_s,false_positive_ratio,queries_executed,timed_out\n",
+         avg_query_time_s,avg_queue_wait_s,avg_filter_time_s,avg_verify_time_s,\
+         candidates_pruned,false_positive_ratio,queries_executed,timed_out\n",
     );
     for point in &report.points {
         for m in &point.results {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 report.id,
                 point.x_label,
                 point.x_value,
@@ -149,6 +152,10 @@ pub fn render_csv(report: &ExperimentReport) -> String {
                 m.index_size_bytes,
                 m.distinct_features,
                 m.avg_query_time_s,
+                m.stages.avg_queue_wait_s(),
+                m.stages.avg_filter_s(),
+                m.stages.avg_verify_s(),
+                m.stages.candidates_pruned,
                 m.false_positive_ratio,
                 m.queries_executed,
                 m.timed_out
@@ -163,6 +170,10 @@ mod tests {
     use super::*;
 
     fn sample_metrics(method: &str, t: f64) -> MethodMetrics {
+        let mut stages = crate::metrics::StageTotals::default();
+        for _ in 0..8 {
+            stages.add_query(t / 1000.0, t / 400.0, t / 200.0, 12);
+        }
         MethodMetrics {
             method: method.to_string(),
             indexing_time_s: t,
@@ -172,6 +183,7 @@ mod tests {
             false_positive_ratio: 0.5,
             queries_executed: 8,
             timed_out: false,
+            stages,
         }
     }
 
@@ -228,6 +240,9 @@ mod tests {
         let lines: Vec<&str> = csv.trim().lines().collect();
         assert_eq!(lines.len(), 1 + 4); // header + 2 points × 2 methods
         assert!(lines[0].starts_with("experiment,"));
+        assert!(lines[0].contains("avg_filter_time_s"));
+        assert!(lines[0].contains("candidates_pruned"));
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
         assert!(lines[4].contains("true") || lines[3].contains("true")); // the DNF row
     }
 

@@ -1,11 +1,12 @@
 //! Experiment runner: builds indexes, runs query workloads and enforces the
 //! per-method time budget.
 
-use crate::metrics::{workload_false_positive_ratio, MethodMetrics, Stopwatch};
+use crate::metrics::{MethodMetrics, StageTotals, Stopwatch};
+use crate::service::{QueryService, ServiceConfig};
 use serde::{Deserialize, Serialize};
 use sqbench_generator::QueryWorkload;
 use sqbench_graph::Dataset;
-use sqbench_index::{build_index, MethodConfig, MethodKind, QueryOutcome};
+use sqbench_index::{build_index, MethodConfig, MethodKind};
 use std::time::Duration;
 
 /// Scale of an experiment run. The same experiment code is used at three
@@ -40,6 +41,11 @@ pub struct ExperimentScale {
     pub time_budget: Duration,
     /// RNG seed shared by dataset and workload generation.
     pub seed: u64,
+    /// Query-service workers each method's workload is served on (see
+    /// [`RunOptions::query_threads`]). The paper's latency semantics need
+    /// `1`; the smoke/laptop scales use a small pool so every figure run
+    /// exercises (and benefits from) batched serving.
+    pub query_threads: usize,
 }
 
 impl ExperimentScale {
@@ -55,6 +61,7 @@ impl ExperimentScale {
             real_dataset_scale: 0.002,
             time_budget: Duration::from_secs(30),
             seed: 7,
+            query_threads: 2,
         }
     }
 
@@ -70,6 +77,7 @@ impl ExperimentScale {
             real_dataset_scale: 0.01,
             time_budget: Duration::from_secs(120),
             seed: 42,
+            query_threads: 4,
         }
     }
 
@@ -85,6 +93,9 @@ impl ExperimentScale {
             real_dataset_scale: 1.0,
             time_budget: Duration::from_secs(8 * 3600),
             seed: 2015,
+            // The paper reports per-query latencies, which assume one
+            // query in flight at a time.
+            query_threads: 1,
         }
     }
 }
@@ -98,14 +109,20 @@ pub struct RunOptions {
     pub config: MethodConfig,
     /// Per-method time budget (indexing + queries).
     pub time_budget: Duration,
-    /// Worker threads the query workload is batched across. `1` (the
-    /// default) processes queries sequentially, which is what the paper's
-    /// latency measurements assume; higher values split each method's
-    /// workload over a scoped thread pool — every worker keeps its own
-    /// per-thread verification scratch, so throughput scales without
-    /// per-query allocation. Per-query wall times are still recorded but
-    /// overlap under contention, so prefer `1` when comparing latency
-    /// numbers against the paper.
+    /// Worker threads of the query service each method's workload is
+    /// served on. `1` (the default) processes queries in workload order on
+    /// a single worker, which is what the paper's latency measurements
+    /// assume; higher values run the service's pipelined filter → verify
+    /// pool, where every worker owns a reusable candidate arena and its own
+    /// verification scratch, so throughput scales without per-query
+    /// allocation.
+    ///
+    /// The value is an *upper bound*: [`run_methods`] clamps it to the
+    /// number of queries in the flattened workload (a worker without a
+    /// query to claim would only spin), so e.g. `with_query_threads(64)`
+    /// over a 10-query workload runs 10 workers. Per-query stage times are
+    /// still recorded under contention but overlap, so prefer `1` when
+    /// comparing latency numbers against the paper.
     pub query_threads: usize,
 }
 
@@ -136,26 +153,31 @@ impl RunOptions {
         self
     }
 
-    /// Batches each method's query workload across `threads` workers.
+    /// Serves each method's query workload on up to `threads` service
+    /// workers (floored at 1 here; additionally clamped to the workload
+    /// size inside [`run_methods`] — see [`RunOptions::query_threads`]).
     pub fn with_query_threads(mut self, threads: usize) -> Self {
         self.query_threads = threads.max(1);
         self
     }
 }
 
-/// Builds each requested method over `dataset` and runs every query of every
-/// workload against it, returning one [`MethodMetrics`] per method.
+/// Builds each requested method over `dataset` and serves every query of
+/// every workload against it through the batch [`QueryService`], returning
+/// one [`MethodMetrics`] per method (including the per-stage breakdown the
+/// service records).
 ///
 /// The time budget is enforced at two points: after index construction (a
 /// method whose build alone exceeds the budget is marked `timed_out` and
 /// processes no queries — the analogue of the paper's DNF entries) and
-/// between queries. With the default sequential execution
-/// (`query_threads == 1`) the skipped queries are exactly the workload
-/// suffix, so `queries_executed` records how far the method got; with
-/// batched execution each worker stops independently, so a timed-out
-/// method's executed set is a scheduler-dependent subset (the metrics of
-/// *completed* runs are unaffected — batched and sequential runs that
-/// finish within budget execute the same queries).
+/// before each query enters the service pipeline. With one worker
+/// (`query_threads == 1`) queries are claimed in workload order, so the
+/// skipped queries are exactly the workload suffix and `queries_executed`
+/// records how far the method got; with a multi-worker pool the claim
+/// order is still the workload order but completions interleave, so a
+/// timed-out method's executed set is a scheduler-dependent subset (the
+/// metrics of runs that finish within budget are unaffected — pooled and
+/// single-worker runs execute the same queries).
 pub fn run_methods(
     dataset: &Dataset,
     workloads: &[QueryWorkload],
@@ -180,116 +202,43 @@ fn run_single_method(
     let indexing_time_s = build_watch.elapsed_secs();
     let stats = index.stats();
 
-    let mut outcomes: Vec<QueryOutcome> = Vec::new();
-    let mut total_query_time = 0.0f64;
     let mut timed_out = build_watch.elapsed() > budget;
+    let mut stages = StageTotals::default();
+    let mut false_positive_ratio = 0.0;
+    let mut queries_executed = 0usize;
 
     if !timed_out {
-        // Flatten the workloads once; the batched executor chunks this list
-        // across the worker pool.
+        // Flatten the workloads once and serve them as a single batch
+        // through the pipelined query service. The worker bound is clamped
+        // to the batch size (see RunOptions::query_threads).
         let queries: Vec<&sqbench_graph::Graph> = workloads
             .iter()
             .flat_map(|w| w.iter().map(|(query, _)| query))
             .collect();
-        let threads = options.query_threads.max(1).min(queries.len().max(1));
-        let results = if threads <= 1 {
-            run_queries_sequential(&*index, dataset, &queries, &build_watch, budget)
-        } else {
-            run_queries_batched(&*index, dataset, &queries, &build_watch, budget, threads)
-        };
-        for result in results {
-            match result {
-                Some((outcome, secs)) => {
-                    total_query_time += secs;
-                    outcomes.push(outcome);
-                }
-                None => timed_out = true,
-            }
-        }
+        let workers = options.query_threads.max(1).min(queries.len().max(1));
+        let mut service = QueryService::new(&*index, dataset, ServiceConfig::with_workers(workers));
+        let report = service.run_batch(&queries, Some(build_watch.deadline_after(budget)));
+        timed_out = report.timed_out();
+        queries_executed = report.executed();
+        false_positive_ratio = report.false_positive_ratio();
+        stages = report.totals;
     }
 
-    let queries_executed = outcomes.len();
     MethodMetrics {
         method: kind.name().to_string(),
         indexing_time_s,
         index_size_bytes: stats.size_bytes,
         distinct_features: stats.distinct_features,
-        avg_query_time_s: if queries_executed == 0 {
+        avg_query_time_s: if stages.queries == 0 {
             0.0
         } else {
-            total_query_time / queries_executed as f64
+            (stages.filter_s + stages.verify_s) / stages.queries as f64
         },
-        false_positive_ratio: workload_false_positive_ratio(&outcomes),
+        false_positive_ratio,
         queries_executed,
         timed_out,
+        stages,
     }
-}
-
-/// One query's result: `None` when the budget expired before it ran,
-/// otherwise the outcome plus its wall time in seconds.
-type QueryResult = Option<(QueryOutcome, f64)>;
-
-/// Sequential query execution, preserving workload order (and therefore the
-/// paper's "remaining queries are skipped once the budget is exhausted"
-/// prefix semantics).
-fn run_queries_sequential(
-    index: &dyn sqbench_index::GraphIndex,
-    dataset: &Dataset,
-    queries: &[&sqbench_graph::Graph],
-    build_watch: &Stopwatch,
-    budget: Duration,
-) -> Vec<QueryResult> {
-    let mut results = Vec::with_capacity(queries.len());
-    for &query in queries {
-        if build_watch.elapsed() > budget {
-            results.push(None);
-            break;
-        }
-        let qwatch = Stopwatch::start();
-        let outcome = index.query(dataset, query);
-        results.push(Some((outcome, qwatch.elapsed_secs())));
-    }
-    results
-}
-
-/// Batched query execution: the workload is chunked across `threads` scoped
-/// workers that share the index and dataset by reference. Each worker's
-/// verification reuses its thread's match-state scratch, so serving a batch
-/// allocates verification buffers once per worker, not once per query. The
-/// budget is still checked before every query.
-fn run_queries_batched(
-    index: &dyn sqbench_index::GraphIndex,
-    dataset: &Dataset,
-    queries: &[&sqbench_graph::Graph],
-    build_watch: &Stopwatch,
-    budget: Duration,
-    threads: usize,
-) -> Vec<QueryResult> {
-    let chunk_size = queries.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = queries
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&query| {
-                            if build_watch.elapsed() > budget {
-                                return None;
-                            }
-                            let qwatch = Stopwatch::start();
-                            let outcome = index.query(dataset, query);
-                            Some((outcome, qwatch.elapsed_secs()))
-                        })
-                        .collect::<Vec<QueryResult>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("query worker panicked"))
-            .collect()
-    })
 }
 
 #[cfg(test)]
@@ -322,12 +271,25 @@ mod tests {
             assert!(m.indexing_time_s >= 0.0);
             assert!(m.index_size_bytes > 0);
             assert!(m.false_positive_ratio >= 0.0 && m.false_positive_ratio <= 1.0);
+            // Per-stage metrics cover exactly the executed queries, and the
+            // mean query time is the filter + verify split.
+            assert_eq!(m.stages.queries as usize, m.queries_executed);
+            let split = m.stages.avg_filter_s() + m.stages.avg_verify_s();
+            assert!((m.avg_query_time_s - split).abs() < 1e-12);
+            assert!(m.stages.queue_wait_s >= 0.0);
         }
         // All methods returned, in the requested order.
         let names: Vec<&str> = results.iter().map(|m| m.method.as_str()).collect();
         assert_eq!(
             names,
-            vec!["Grapes", "GGSX", "CT-Index", "gIndex", "Tree+Delta", "gCode"]
+            vec![
+                "Grapes",
+                "GGSX",
+                "CT-Index",
+                "gIndex",
+                "Tree+Delta",
+                "gCode"
+            ]
         );
     }
 
@@ -357,7 +319,9 @@ mod tests {
         let batched = run_methods(
             &ds,
             &workloads,
-            &RunOptions::fast().with_methods(&kinds).with_query_threads(3),
+            &RunOptions::fast()
+                .with_methods(&kinds)
+                .with_query_threads(3),
         );
         assert_eq!(sequential.len(), batched.len());
         for (s, b) in sequential.iter().zip(batched.iter()) {
@@ -377,6 +341,33 @@ mod tests {
         let options = RunOptions::fast().with_query_threads(0);
         assert_eq!(options.query_threads, 1);
         assert_eq!(RunOptions::default().query_threads, 1);
+    }
+
+    #[test]
+    fn query_threads_above_workload_size_clamp_inside_run() {
+        // The builder keeps the requested bound verbatim...
+        let options = RunOptions::fast()
+            .with_methods(&[MethodKind::Ggsx])
+            .with_query_threads(64);
+        assert_eq!(options.query_threads, 64);
+        // ...and `run_methods` clamps it to the 4-query workload: the run
+        // completes on 4 workers and reports exactly the serial results.
+        let (ds, workloads) = small_setup();
+        let oversubscribed = run_methods(&ds, &workloads, &options);
+        let serial = run_methods(
+            &ds,
+            &workloads,
+            &RunOptions::fast().with_methods(&[MethodKind::Ggsx]),
+        );
+        assert_eq!(oversubscribed.len(), 1);
+        assert!(!oversubscribed[0].timed_out);
+        assert_eq!(
+            oversubscribed[0].queries_executed,
+            serial[0].queries_executed
+        );
+        assert!(
+            (oversubscribed[0].false_positive_ratio - serial[0].false_positive_ratio).abs() < 1e-12
+        );
     }
 
     #[test]

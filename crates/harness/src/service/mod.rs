@@ -1,0 +1,371 @@
+//! Long-lived batch query service: a pipelined filter → verify worker pool
+//! over one loaded index.
+//!
+//! The paper measures one query at a time; a reproduction that wants to
+//! expose how filtering and verification costs trade off *at scale* has to
+//! serve whole workloads. This module is that serving layer — the
+//! experiment runner and every figure driver route their workloads through
+//! it.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             ┌────────────────────── QueryService ─────────────────────┐
+//!  batch ───► │ BatchQueue (injector, atomic claim = work stealing)     │
+//!             │      │ claim                                            │
+//!             │      ▼                                                  │
+//!             │ ┌─ worker 0 ─┐  ┌─ worker 1 ─┐ … ┌─ worker N ─┐         │
+//!             │ │ filter_into│  │ filter_into│   │ filter_into│  stage 1│
+//!             │ │  (arena)   │  │  (arena)   │   │  (arena)   │         │
+//!             │ │     ▼      │  │     ▼      │   │     ▼      │         │
+//!             │ │ VerifyJob ─┼─► StealDeque per worker ◄──────┼─ steal  │
+//!             │ │     ▼      │  │     ▼      │   │     ▼      │         │
+//!             │ │ verify_set │  │ verify_set │   │ verify_set │  stage 2│
+//!             │ └────────────┘  └────────────┘   └────────────┘         │
+//!             │      ▼ per-query records + stage timings                │
+//!             └──────┴──► BatchReport (records, StageTotals, wall time) │
+//!             └─────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Request queue** ([`queue`]) — the batch is an indexed slice; workers
+//!   claim the next unstarted query with an atomic fetch-add. Claiming is
+//!   the load-balancing mechanism: whichever worker is free takes the next
+//!   query, so skewed per-query costs never idle the pool.
+//! * **Worker pool** ([`pool`]) — workers are scoped threads (they borrow
+//!   the index and dataset; no `Arc` plumbing), but each worker's
+//!   [`pool::WorkerArena`] is owned by the service and **persists across
+//!   batches**: the filter stage narrows a recycled [`CandidateSet`] in
+//!   place via [`GraphIndex::filter_into`] and never materializes a
+//!   `Vec<GraphId>` of candidates.
+//! * **Pipeline stages** ([`stages`]) — filtering produces a
+//!   [`stages::VerifyJob`] carrying the arena; verification runs
+//!   [`GraphIndex::verify_set`] straight off the bits and recycles the
+//!   arena. In a multi-worker pool each worker *filters ahead* by up to two
+//!   queries before verifying, parking the filtered jobs in its
+//!   [`queue::StealDeque`] — while it filters (or grinds through a long
+//!   verification) those parked jobs are stealable by idle workers, which
+//!   is what lets the filter of one query overlap the verification of
+//!   another across the pool.
+//!
+//! # Arena ownership
+//!
+//! A [`CandidateSet`] arena is owned by exactly one [`pool::WorkerArena`]
+//! at rest and by exactly one [`stages::VerifyJob`] in flight. The verify
+//! stage returns the set to the pool of whichever worker ran it (stealing
+//! migrates sets between workers); the filter-ahead bound caps in-flight
+//! jobs at two per worker, so the fleet-wide set count stays a small
+//! multiple of the pool size and reuse is total after warm-up.
+//!
+//! # Determinism
+//!
+//! With one worker the service claims, filters and verifies queries in
+//! batch order — bit-for-bit the sequential runner semantics, including the
+//! order-dependent feature learning of Tree+Δ. With several workers answer
+//! sets are still exact per query (verification is exact regardless of
+//! filtering power); only order-sensitive *candidate* trajectories of
+//! learning methods may differ.
+
+pub mod pool;
+pub mod queue;
+pub mod stages;
+
+use crate::metrics::{counted_false_positive_ratio, StageTotals, Stopwatch};
+use pool::{worker_loop, BatchShared, WorkerArena};
+use sqbench_graph::{Dataset, Graph};
+use sqbench_index::{CandidateSet, GraphIndex};
+use stages::QueryRecord;
+use std::time::Instant;
+
+/// Configuration of a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the pool. Clamped to at least 1; a batch never
+    /// spawns more workers than it has queries.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { workers: 1 }
+    }
+}
+
+impl ServiceConfig {
+    /// A service config with the given worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers: workers.max(1),
+        }
+    }
+}
+
+/// The batch query service. Construct once per loaded index, then feed it
+/// any number of batches; worker arenas persist between batches.
+pub struct QueryService<'a> {
+    index: &'a dyn GraphIndex,
+    dataset: &'a Dataset,
+    arenas: Vec<WorkerArena>,
+}
+
+/// Everything a batch run produced: one record per query (in batch order)
+/// plus aggregate stage totals and the batch wall time.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query records, indexed like the submitted batch. `None` marks a
+    /// query skipped because the deadline expired before it started.
+    pub records: Vec<Option<QueryRecord>>,
+    /// Stage totals over the executed queries.
+    pub totals: StageTotals,
+    /// Wall-clock seconds the batch took end to end.
+    pub wall_s: f64,
+    /// Workers the batch actually ran on (after clamping to batch size).
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Number of queries that executed (claimed before the deadline).
+    pub fn executed(&self) -> usize {
+        self.records.iter().flatten().count()
+    }
+
+    /// `true` when at least one query was skipped on deadline.
+    pub fn timed_out(&self) -> bool {
+        self.records.iter().any(Option::is_none)
+    }
+
+    /// Workload false positive ratio (Equation 3) over executed queries.
+    pub fn false_positive_ratio(&self) -> f64 {
+        counted_false_positive_ratio(
+            self.records
+                .iter()
+                .flatten()
+                .map(|r| (r.candidate_count, r.answer_count())),
+        )
+    }
+
+    /// Executed queries per wall-clock second — the service's throughput.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.executed() as f64 / self.wall_s
+        }
+    }
+}
+
+impl<'a> QueryService<'a> {
+    /// Creates a service over a loaded index and its dataset.
+    pub fn new(index: &'a dyn GraphIndex, dataset: &'a Dataset, config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        QueryService {
+            index,
+            dataset,
+            arenas: (0..workers).map(|_| WorkerArena::default()).collect(),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.arenas.len()
+    }
+
+    /// Candidate sets currently pooled across all worker arenas
+    /// (diagnostics: after a batch this is the in-flight high-water mark).
+    pub fn pooled_sets(&self) -> usize {
+        self.arenas.iter().map(WorkerArena::pooled_sets).sum()
+    }
+
+    /// Runs one batch through the pipeline. Queries claimed after
+    /// `deadline` are skipped (recorded as `None`), mirroring the
+    /// experiment budget semantics; `None` means no deadline.
+    pub fn run_batch(&mut self, queries: &[&Graph], deadline: Option<Instant>) -> BatchReport {
+        let workers = self.arenas.len().min(queries.len()).max(1);
+        let shared = BatchShared::new(queries, workers, deadline);
+        let watch = Stopwatch::start();
+        let completed: Vec<Vec<(usize, Option<QueryRecord>)>> = if workers == 1 {
+            // In-place fast path: no thread spawn, strict batch order.
+            vec![worker_loop(
+                0,
+                &shared,
+                self.index,
+                self.dataset,
+                &mut self.arenas[0],
+            )]
+        } else {
+            let index = self.index;
+            let dataset = self.dataset;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .arenas
+                    .iter_mut()
+                    .take(workers)
+                    .enumerate()
+                    .map(|(w, arena)| {
+                        let shared = &shared;
+                        scope.spawn(move || worker_loop(w, shared, index, dataset, arena))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query service worker panicked"))
+                    .collect()
+            })
+        };
+        let wall_s = watch.elapsed_secs();
+
+        let mut records: Vec<Option<QueryRecord>> = Vec::new();
+        records.resize_with(queries.len(), || None);
+        let mut totals = StageTotals::default();
+        for (idx, record) in completed.into_iter().flatten() {
+            if let Some(r) = &record {
+                totals.add_query(r.queue_wait_s, r.filter_s, r.verify_s, r.candidates_pruned);
+            }
+            records[idx] = record;
+        }
+        BatchReport {
+            records,
+            totals,
+            wall_s,
+            workers,
+        }
+    }
+
+    /// Warm-up helper: pre-sizes every worker's arena pool with one set for
+    /// the index's universe, so even a batch's first queries filter into
+    /// recycled memory.
+    pub fn prewarm(&mut self) {
+        let universe = self.index.universe();
+        for arena in &mut self.arenas {
+            if arena.pooled_sets() == 0 {
+                arena.recycle(CandidateSet::empty(universe));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
+    use sqbench_index::{build_index, MethodConfig, MethodKind};
+    use std::time::Duration;
+
+    fn setup(graphs: usize) -> (Dataset, Vec<sqbench_graph::Graph>) {
+        let ds = GraphGen::new(
+            GraphGenConfig::default()
+                .with_graph_count(graphs)
+                .with_avg_nodes(12)
+                .with_avg_density(0.15)
+                .with_label_count(4)
+                .with_seed(11),
+        )
+        .generate();
+        let workload = QueryGen::new(5).generate(&ds, 8, 4);
+        let queries: Vec<sqbench_graph::Graph> = workload.iter().map(|(q, _)| q.clone()).collect();
+        (ds, queries)
+    }
+
+    #[test]
+    fn single_worker_batch_equals_one_shot_queries() {
+        let (ds, queries) = setup(16);
+        let index = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let mut service = QueryService::new(&*index, &ds, ServiceConfig::default());
+        let report = service.run_batch(&refs, None);
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.executed(), queries.len());
+        assert!(!report.timed_out());
+        for (record, query) in report.records.iter().zip(queries.iter()) {
+            let record = record.as_ref().expect("executed");
+            let outcome = index.query(&ds, query);
+            assert_eq!(record.answers, outcome.answers);
+            assert_eq!(record.candidate_count, outcome.candidates.len());
+        }
+        assert_eq!(report.totals.queries as usize, queries.len());
+        assert!(report.totals.filter_s >= 0.0);
+    }
+
+    #[test]
+    fn multi_worker_batch_matches_single_worker_answers() {
+        let (ds, queries) = setup(20);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        for kind in MethodKind::ALL {
+            let index = build_index(kind, &MethodConfig::fast(), &ds);
+            let mut serial = QueryService::new(&*index, &ds, ServiceConfig::with_workers(1));
+            let serial_report = serial.run_batch(&refs, None);
+            let mut pooled = QueryService::new(&*index, &ds, ServiceConfig::with_workers(4));
+            let pooled_report = pooled.run_batch(&refs, None);
+            assert_eq!(pooled_report.workers, 4.min(queries.len()));
+            for (i, (s, p)) in serial_report
+                .records
+                .iter()
+                .zip(pooled_report.records.iter())
+                .enumerate()
+            {
+                let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+                assert_eq!(
+                    s.answers,
+                    p.answers,
+                    "{}: answers diverged on query {i}",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arenas_persist_and_are_recycled_across_batches() {
+        let (ds, queries) = setup(16);
+        let index = build_index(MethodKind::GIndex, &MethodConfig::fast(), &ds);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(2));
+        service.prewarm();
+        let prewarmed = service.pooled_sets();
+        assert_eq!(prewarmed, 2);
+        let first = service.run_batch(&refs, None);
+        // Every arena returned to a pool; no set leaked into jobs.
+        assert!(service.pooled_sets() >= prewarmed);
+        let second = service.run_batch(&refs, None);
+        assert_eq!(first.executed(), second.executed());
+        for (a, b) in first.records.iter().zip(second.records.iter()) {
+            assert_eq!(a.as_ref().unwrap().answers, b.as_ref().unwrap().answers);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_skips_all_queries() {
+        let (ds, queries) = setup(10);
+        let index = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(2));
+        let past = Instant::now() - Duration::from_secs(1);
+        let report = service.run_batch(&refs, Some(past));
+        assert!(report.timed_out());
+        assert_eq!(report.executed(), 0);
+        assert_eq!(report.false_positive_ratio(), 0.0);
+        assert_eq!(report.throughput_qps(), 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (ds, _) = setup(6);
+        let index = build_index(MethodKind::GCode, &MethodConfig::fast(), &ds);
+        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(3));
+        let report = service.run_batch(&[], None);
+        assert_eq!(report.records.len(), 0);
+        assert_eq!(report.executed(), 0);
+        assert!(!report.timed_out());
+    }
+
+    #[test]
+    fn more_workers_than_queries_clamps() {
+        let (ds, queries) = setup(8);
+        let index = build_index(MethodKind::CtIndex, &MethodConfig::fast(), &ds);
+        let two: Vec<&Graph> = queries.iter().take(2).collect();
+        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(16));
+        assert_eq!(service.worker_count(), 16);
+        let report = service.run_batch(&two, None);
+        assert_eq!(report.workers, 2, "batch must not spawn idle workers");
+        assert_eq!(report.executed(), 2);
+    }
+}

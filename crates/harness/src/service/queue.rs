@@ -1,0 +1,171 @@
+//! Request queue primitives of the batch query service.
+//!
+//! Two queues drive the pipeline:
+//!
+//! * [`BatchQueue`] — the injector the whole batch is submitted to. Workers
+//!   *claim* queries with a single atomic fetch-add, which is both the
+//!   cheapest possible MPMC pop for an indexed batch and a work-stealing
+//!   discipline: an idle worker always takes the next unstarted query, so
+//!   load balances dynamically no matter how skewed per-query costs are.
+//!   Claiming also timestamps the query's queue wait.
+//! * [`StealDeque`] — one double-ended verify queue per worker. The owning
+//!   worker pushes filtered jobs to the back and pops from the back (LIFO —
+//!   its freshest arena contents stay cache-hot); idle workers steal from
+//!   the front (FIFO — the oldest parked job has waited longest).
+
+use sqbench_graph::Graph;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The filter-stage injector: an indexed batch of queries plus an atomic
+/// cursor. See the module docs for the claiming discipline.
+pub struct BatchQueue<'q> {
+    queries: &'q [&'q Graph],
+    next: AtomicUsize,
+    /// Claimed-but-unrecorded queries: incremented by [`BatchQueue::claim`],
+    /// decremented by [`BatchQueue::complete_one`]. Workers may only exit
+    /// when the cursor is exhausted *and* this is zero.
+    in_flight: AtomicUsize,
+    started: Instant,
+}
+
+impl<'q> BatchQueue<'q> {
+    /// Wraps a batch of queries as a queue; queue waits are measured from
+    /// this call.
+    pub fn new(queries: &'q [&'q Graph]) -> Self {
+        BatchQueue {
+            queries,
+            next: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` for an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Claims the next unstarted query: `(index, query, queue wait in
+    /// seconds)`. Returns `None` once every query has been claimed. The
+    /// claim counts as in-flight until [`BatchQueue::complete_one`] is
+    /// called for it.
+    pub fn claim(&self) -> Option<(usize, &'q Graph, f64)> {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed);
+        let query = self.queries.get(idx)?;
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        Some((idx, query, self.started.elapsed().as_secs_f64()))
+    }
+
+    /// Marks one claimed query as fully processed (verified or skipped).
+    pub fn complete_one(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// `true` when every query has been claimed *and* recorded — the
+    /// worker-pool exit condition.
+    pub fn drained(&self) -> bool {
+        self.next.load(Ordering::SeqCst) >= self.queries.len()
+            && self.in_flight.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// A mutex-guarded double-ended job queue with owner-LIFO / thief-FIFO
+/// semantics. The service keeps one per worker for parked verify jobs.
+pub struct StealDeque<T> {
+    jobs: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for StealDeque<T> {
+    fn default() -> Self {
+        StealDeque {
+            jobs: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+impl<T> StealDeque<T> {
+    /// Pushes a job at the owner's end.
+    pub fn push(&self, job: T) {
+        self.jobs
+            .lock()
+            .expect("verify deque poisoned")
+            .push_back(job);
+    }
+
+    /// Pops the owner's most recently pushed job.
+    pub fn pop(&self) -> Option<T> {
+        self.jobs.lock().expect("verify deque poisoned").pop_back()
+    }
+
+    /// Steals the oldest parked job (called by other workers).
+    pub fn steal(&self) -> Option<T> {
+        self.jobs.lock().expect("verify deque poisoned").pop_front()
+    }
+
+    /// Number of parked jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().expect("verify deque poisoned").len()
+    }
+
+    /// `true` when no job is parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqbench_graph::Graph;
+
+    #[test]
+    fn claims_are_exclusive_and_ordered() {
+        let g = Graph::new("q");
+        let queries: Vec<&Graph> = vec![&g, &g, &g];
+        let queue = BatchQueue::new(&queries);
+        assert_eq!(queue.len(), 3);
+        let (i0, _, w0) = queue.claim().unwrap();
+        let (i1, _, _) = queue.claim().unwrap();
+        let (i2, _, _) = queue.claim().unwrap();
+        assert_eq!((i0, i1, i2), (0, 1, 2));
+        assert!(w0 >= 0.0);
+        assert!(queue.claim().is_none());
+        assert!(!queue.drained());
+        queue.complete_one();
+        queue.complete_one();
+        queue.complete_one();
+        assert!(queue.drained());
+    }
+
+    #[test]
+    fn empty_batch_is_immediately_drained() {
+        let queries: Vec<&Graph> = Vec::new();
+        let queue = BatchQueue::new(&queries);
+        assert!(queue.is_empty());
+        assert!(queue.claim().is_none());
+        assert!(queue.drained());
+    }
+
+    #[test]
+    fn deque_owner_lifo_thief_fifo() {
+        let deque: StealDeque<u32> = StealDeque::default();
+        deque.push(1);
+        deque.push(2);
+        deque.push(3);
+        assert_eq!(deque.len(), 3);
+        assert_eq!(deque.steal(), Some(1)); // oldest
+        assert_eq!(deque.pop(), Some(3)); // newest
+        assert_eq!(deque.pop(), Some(2));
+        assert!(deque.is_empty());
+        assert_eq!(deque.pop(), None);
+        assert_eq!(deque.steal(), None);
+    }
+}

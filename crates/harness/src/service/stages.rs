@@ -1,0 +1,135 @@
+//! The two pipeline stages a query passes through, plus the job record that
+//! travels between them.
+//!
+//! The filter stage narrows a worker-owned arena [`CandidateSet`] in place
+//! via [`GraphIndex::filter_into`] — no candidate `Vec` is materialized.
+//! The arena then travels *inside* the [`VerifyJob`] to the verify stage
+//! (usually popped right back by the same worker, sometimes stolen by an
+//! idle one), which runs [`GraphIndex::verify_set`] straight off the bits —
+//! preserving each method's specialized verification (CT-Index's tuned
+//! matcher, Grapes' location-restricted matching, Tree+Δ's Δ learning) —
+//! and hands the set back for recycling.
+
+use crate::metrics::Stopwatch;
+use sqbench_graph::{Dataset, Graph, GraphId};
+use sqbench_index::{CandidateSet, GraphIndex};
+
+/// A query that passed the filter stage and awaits verification, carrying
+/// its candidate arena and the timings recorded so far.
+pub struct VerifyJob<'q> {
+    /// Position of the query in the submitted batch.
+    pub query_index: usize,
+    /// The query graph itself.
+    pub query: &'q Graph,
+    /// The filtered candidate set (an arena on loan from a worker; returned
+    /// to whichever worker verifies the job).
+    pub candidates: CandidateSet,
+    /// Seconds the query waited in the request queue before filtering.
+    pub queue_wait_s: f64,
+    /// Seconds the filter stage took.
+    pub filter_s: f64,
+}
+
+/// What the service records for one executed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRecord {
+    /// Number of graphs that survived filtering.
+    pub candidate_count: usize,
+    /// Graphs pruned by filtering (`universe − candidate_count`).
+    pub candidates_pruned: usize,
+    /// The verified answer ids, sorted ascending.
+    pub answers: Vec<GraphId>,
+    /// Seconds spent waiting in the request queue.
+    pub queue_wait_s: f64,
+    /// Seconds spent in the filter stage.
+    pub filter_s: f64,
+    /// Seconds spent in the verify stage.
+    pub verify_s: f64,
+}
+
+impl QueryRecord {
+    /// Number of verified answers.
+    pub fn answer_count(&self) -> usize {
+        self.answers.len()
+    }
+}
+
+/// Filter stage: narrows the borrowed arena to the query's candidates and
+/// returns the stage's wall time in seconds.
+pub fn filter_stage(index: &dyn GraphIndex, query: &Graph, arena: &mut CandidateSet) -> f64 {
+    let watch = Stopwatch::start();
+    index.filter_into(query, arena);
+    watch.elapsed_secs()
+}
+
+/// Verify stage: consumes a [`VerifyJob`], verifies its candidates straight
+/// off the bitset, and returns the finished record together with the arena
+/// set for recycling.
+pub fn verify_stage(
+    index: &dyn GraphIndex,
+    dataset: &Dataset,
+    job: VerifyJob<'_>,
+) -> (usize, QueryRecord, CandidateSet) {
+    let watch = Stopwatch::start();
+    let answers = index.verify_set(dataset, job.query, &job.candidates);
+    let verify_s = watch.elapsed_secs();
+    let candidate_count = job.candidates.len();
+    let record = QueryRecord {
+        candidate_count,
+        candidates_pruned: job.candidates.universe() - candidate_count,
+        answers,
+        queue_wait_s: job.queue_wait_s,
+        filter_s: job.filter_s,
+        verify_s,
+    };
+    (job.query_index, record, job.candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqbench_graph::GraphBuilder;
+    use sqbench_index::{build_index, MethodConfig, MethodKind};
+
+    #[test]
+    fn stages_compose_into_a_full_query() {
+        let tri = GraphBuilder::new("tri")
+            .vertices(&[1, 1, 2])
+            .edges(&[(0, 1), (1, 2), (2, 0)])
+            .build()
+            .unwrap();
+        let path = GraphBuilder::new("path")
+            .vertices(&[1, 2, 3])
+            .edges(&[(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        let ds = Dataset::from_graphs("ds", vec![tri, path]);
+        let index = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
+        let query = GraphBuilder::new("q")
+            .vertices(&[1, 2])
+            .edge(0, 1)
+            .build()
+            .unwrap();
+
+        let mut arena = CandidateSet::empty(0); // dirty universe on purpose
+        let filter_s = filter_stage(&*index, &query, &mut arena);
+        assert!(filter_s >= 0.0);
+        let job = VerifyJob {
+            query_index: 7,
+            query: &query,
+            candidates: arena,
+            queue_wait_s: 0.0,
+            filter_s,
+        };
+        let (idx, record, recycled) = verify_stage(&*index, &ds, job);
+        assert_eq!(idx, 7);
+        assert_eq!(record.candidate_count + record.candidates_pruned, ds.len());
+        assert_eq!(recycled.universe(), ds.len());
+
+        // The staged result equals the one-shot query path.
+        let outcome = index.query(&ds, &query);
+        assert_eq!(record.answers, outcome.answers);
+        assert_eq!(record.candidate_count, outcome.candidates.len());
+        assert_eq!(record.answer_count(), outcome.answers.len());
+    }
+}

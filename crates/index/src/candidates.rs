@@ -88,13 +88,21 @@ impl CandidateSet {
 
     /// Adds `id` to the set.
     pub fn insert(&mut self, id: GraphId) {
-        debug_assert!(id < self.universe, "id {id} outside universe {}", self.universe);
+        debug_assert!(
+            id < self.universe,
+            "id {id} outside universe {}",
+            self.universe
+        );
         self.blocks[id / BLOCK_BITS] |= 1u64 << (id % BLOCK_BITS);
     }
 
     /// Removes `id` from the set.
     pub fn remove(&mut self, id: GraphId) {
-        debug_assert!(id < self.universe, "id {id} outside universe {}", self.universe);
+        debug_assert!(
+            id < self.universe,
+            "id {id} outside universe {}",
+            self.universe
+        );
         self.blocks[id / BLOCK_BITS] &= !(1u64 << (id % BLOCK_BITS));
     }
 
@@ -106,6 +114,29 @@ impl CandidateSet {
     /// Removes every id (keeps the allocation).
     pub fn clear(&mut self) {
         self.blocks.fill(0);
+    }
+
+    /// Re-targets the set at a possibly different `universe` and empties it,
+    /// reusing the block allocation. This is the arena entry point of the
+    /// borrowed-set filtering contract ([`crate::GraphIndex::filter_into`]):
+    /// a worker-owned set is reset per query instead of reallocated.
+    pub fn reset_empty(&mut self, universe: usize) {
+        let blocks = universe.div_ceil(BLOCK_BITS);
+        self.blocks.truncate(blocks);
+        self.blocks.fill(0);
+        self.blocks.resize(blocks, 0);
+        self.universe = universe;
+    }
+
+    /// Re-targets the set at a possibly different `universe` and fills it
+    /// (every id `0..universe` becomes a member), reusing the allocation.
+    pub fn reset_full(&mut self, universe: usize) {
+        let blocks = universe.div_ceil(BLOCK_BITS);
+        self.blocks.truncate(blocks);
+        self.blocks.fill(!0u64);
+        self.blocks.resize(blocks, !0u64);
+        self.universe = universe;
+        self.mask_tail();
     }
 
     /// In-place intersection: `self &= other`. Both sets must range over the
@@ -141,7 +172,11 @@ impl CandidateSet {
         let mut current = 0usize;
         let mut mask = 0u64;
         for id in ids {
-            debug_assert!(id < self.universe, "id {id} outside universe {}", self.universe);
+            debug_assert!(
+                id < self.universe,
+                "id {id} outside universe {}",
+                self.universe
+            );
             let block = id / BLOCK_BITS;
             debug_assert!(block >= current, "retain_sorted requires ascending ids");
             if block != current {
@@ -206,7 +241,10 @@ pub struct PostingList {
 impl PostingList {
     /// Wraps an already-sorted, deduplicated id vector.
     pub fn from_sorted(ids: Vec<GraphId>) -> Self {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly ascending");
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly ascending"
+        );
         PostingList { ids }
     }
 
@@ -350,6 +388,73 @@ impl CandidateFold {
     }
 }
 
+/// The borrowed-set counterpart of [`CandidateFold`]: the same
+/// seed-then-narrow loop, but folding into a caller-owned arena
+/// [`CandidateSet`] instead of allocating one. This is what the
+/// [`crate::GraphIndex::filter_into`] implementations of the posting-fold
+/// methods run on — a query service hands each worker's reusable arena to
+/// `filter_into` and no per-query set (or `Vec<GraphId>`) is ever allocated.
+///
+/// Dropping the fold without calling [`ArenaFold::finish`] leaves the arena
+/// in whatever narrowed state it reached — callers that short-circuit on an
+/// empty set rely on exactly that.
+#[derive(Debug)]
+pub struct ArenaFold<'a> {
+    set: &'a mut CandidateSet,
+    constrained: bool,
+}
+
+impl<'a> ArenaFold<'a> {
+    /// Starts a fold over `0..universe` in the given arena. The arena is
+    /// reset (and re-targeted at `universe` if it last served a different
+    /// dataset); its allocation is reused.
+    pub fn new(set: &'a mut CandidateSet, universe: usize) -> Self {
+        set.reset_empty(universe);
+        ArenaFold {
+            set,
+            constrained: false,
+        }
+    }
+
+    /// Applies one feature's ascending id stream: the first stream seeds the
+    /// set, later ones narrow it in place. Returns `false` when the set
+    /// became empty (callers short-circuit).
+    pub fn apply_sorted<I>(&mut self, ids: I) -> bool
+    where
+        I: IntoIterator<Item = GraphId>,
+    {
+        if self.constrained {
+            self.set.retain_sorted(ids);
+        } else {
+            for id in ids {
+                self.set.insert(id);
+            }
+            self.constrained = true;
+        }
+        !self.set.is_empty()
+    }
+
+    /// `true` when at least one feature has been applied.
+    pub fn is_constrained(&self) -> bool {
+        self.constrained
+    }
+
+    /// Finishes the fold: an unconstrained fold (no feature applied) means
+    /// "no information", so the arena becomes the full set.
+    pub fn finish(self) {
+        if !self.constrained {
+            let universe = self.set.universe();
+            self.set.reset_full(universe);
+        }
+    }
+
+    /// Finishes the fold as the empty set — the short-circuit for a query
+    /// feature that is absent from the index (no graph can match).
+    pub fn prune_all(self) {
+        self.set.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +567,61 @@ mod tests {
         let a: Vec<GraphId> = (0..100).collect();
         let b: Vec<GraphId> = (50..150).collect();
         assert_eq!(intersect_posting(&a, &b), crate::intersect_sorted(&a, &b));
+    }
+
+    #[test]
+    fn reset_reuses_allocation_across_universes() {
+        let mut set = CandidateSet::from_sorted_ids(200, &[0, 64, 199]);
+        // Shrink to a smaller universe: old bits must not leak through.
+        set.reset_empty(70);
+        assert_eq!(set.universe(), 70);
+        assert!(set.is_empty());
+        set.insert(69);
+        assert_eq!(set.to_sorted_vec(), vec![69]);
+        // Grow again, full: every id present, tail masked.
+        set.reset_full(130);
+        assert_eq!(set.universe(), 130);
+        assert_eq!(set.len(), 130);
+        assert!(!set.contains(130));
+        // Full reset to a smaller universe keeps the tail clean.
+        set.reset_full(65);
+        assert_eq!(set.len(), 65);
+        assert_eq!(set.iter().last(), Some(64));
+    }
+
+    #[test]
+    fn arena_fold_matches_owned_fold() {
+        let lists: Vec<Vec<GraphId>> = vec![vec![1, 3, 5, 7, 64], vec![3, 5, 64], vec![5, 64, 99]];
+        let mut owned = CandidateFold::new(100);
+        for list in &lists {
+            owned.apply_sorted(list.iter().copied());
+        }
+        let mut arena = CandidateSet::full(7); // dirty, wrong universe
+        let mut fold = ArenaFold::new(&mut arena, 100);
+        assert!(!fold.is_constrained());
+        for list in &lists {
+            assert!(fold.apply_sorted(list.iter().copied()));
+        }
+        assert!(fold.is_constrained());
+        fold.finish();
+        assert_eq!(arena.to_sorted_vec(), owned.into_sorted_vec());
+    }
+
+    #[test]
+    fn arena_fold_unconstrained_finishes_full() {
+        let mut arena = CandidateSet::from_sorted_ids(40, &[1, 2]);
+        ArenaFold::new(&mut arena, 9).finish();
+        assert_eq!(arena.to_sorted_vec(), (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn arena_fold_short_circuits_on_empty() {
+        let mut arena = CandidateSet::empty(10);
+        let mut fold = ArenaFold::new(&mut arena, 10);
+        assert!(fold.apply_sorted([2usize]));
+        assert!(!fold.apply_sorted([4usize]));
+        fold.finish(); // constrained: stays empty
+        assert!(arena.is_empty());
     }
 
     #[test]

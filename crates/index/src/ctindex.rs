@@ -12,6 +12,7 @@
 //! extra ordering heuristics, which is how CT-Index compensates for the
 //! filtering power lost to hash collisions.
 
+use crate::candidates::CandidateSet;
 use crate::config::CtIndexConfig;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::cycles::enumerate_cycles;
@@ -79,17 +80,20 @@ impl GraphIndex for CtIndex {
         MethodKind::CtIndex
     }
 
-    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+    fn universe(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
         let (query_fp, _) = Self::fingerprint_of(query, &self.config);
-        // A single id-ordered scan with no intersection stage: pushing
-        // matches directly is already sorted output, so (unlike the
-        // posting-fold methods) no CandidateSet is needed here.
-        self.fingerprints
-            .iter()
-            .enumerate()
-            .filter(|(_, graph_fp)| graph_fp.covers(&query_fp))
-            .map(|(gid, _)| gid)
-            .collect()
+        // A single id-ordered scan with no intersection stage: each covering
+        // fingerprint sets its graph's bit in the borrowed arena.
+        out.reset_empty(self.fingerprints.len());
+        for (gid, graph_fp) in self.fingerprints.iter().enumerate() {
+            if graph_fp.covers(&query_fp) {
+                out.insert(gid);
+            }
+        }
     }
 
     fn stats(&self) -> IndexStats {
@@ -108,6 +112,24 @@ impl GraphIndex for CtIndex {
         candidates
             .iter()
             .copied()
+            .filter(|&gid| {
+                dataset
+                    .graph(gid)
+                    .map(|g| TunedMatcher::matches(query, g))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    fn verify_set(
+        &self,
+        dataset: &Dataset,
+        query: &Graph,
+        candidates: &CandidateSet,
+    ) -> Vec<GraphId> {
+        // Same tuned matcher, iterating the candidate bits directly.
+        candidates
+            .iter()
             .filter(|&gid| {
                 dataset
                     .graph(gid)
@@ -205,7 +227,10 @@ mod tests {
         // unlucky hash collisions at 4096 bits) it is pruned by filtering.
         let q = query(&[1, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
         let candidates = idx.filter(&q);
-        assert!(!candidates.contains(&1), "acyclic graph should be filtered out");
+        assert!(
+            !candidates.contains(&1),
+            "acyclic graph should be filtered out"
+        );
         assert!(candidates.contains(&0));
     }
 

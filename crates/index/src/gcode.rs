@@ -28,6 +28,7 @@
 //! eigenvalues are stored — as in gCode — but serve no pruning purpose
 //! here. This keeps the filter free of false dismissals.
 
+use crate::candidates::CandidateSet;
 use crate::config::GCodeConfig;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_graph::{Dataset, Graph, GraphId, VertexId};
@@ -131,11 +132,10 @@ impl GraphCode {
     /// Second-stage pruning: every query vertex signature must be dominated
     /// by at least one vertex signature of this graph.
     pub fn signatures_cover(&self, query: &GraphCode) -> bool {
-        query.vertex_signatures.iter().all(|qs| {
-            self.vertex_signatures
-                .iter()
-                .any(|gs| gs.dominates(qs))
-        })
+        query
+            .vertex_signatures
+            .iter()
+            .all(|qs| self.vertex_signatures.iter().any(|gs| gs.dominates(qs)))
     }
 
     fn memory_bytes(&self) -> usize {
@@ -308,26 +308,25 @@ impl GraphIndex for GCodeIndex {
         MethodKind::GCode
     }
 
-    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+    fn universe(&self) -> usize {
+        self.codes.len()
+    }
+
+    fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
         let query_code = GraphCode::of(query, &self.config);
-        // A single id-ordered scan with no intersection stage: pushing
-        // matches directly is already sorted output, so (unlike the
-        // posting-fold methods) no CandidateSet is needed here.
-        self.codes
-            .iter()
-            .enumerate()
-            .filter(|(_, code)| code.may_contain(&query_code) && code.signatures_cover(&query_code))
-            .map(|(gid, _)| gid)
-            .collect()
+        // A single id-ordered scan with no intersection stage: each graph
+        // whose spectral code covers the query's sets its bit directly.
+        out.reset_empty(self.codes.len());
+        for (gid, code) in self.codes.iter().enumerate() {
+            if code.may_contain(&query_code) && code.signatures_cover(&query_code) {
+                out.insert(gid);
+            }
+        }
     }
 
     fn stats(&self) -> IndexStats {
         IndexStats {
-            distinct_features: self
-                .codes
-                .iter()
-                .map(|c| c.vertex_signatures.len())
-                .sum(),
+            distinct_features: self.codes.iter().map(|c| c.vertex_signatures.len()).sum(),
             size_bytes: self.codes.iter().map(GraphCode::memory_bytes).sum(),
         }
     }
@@ -373,7 +372,10 @@ mod tests {
         assert_eq!(idx.kind(), MethodKind::GCode);
         for gid in ds.ids() {
             let code = idx.code(gid).unwrap();
-            assert_eq!(code.vertex_signatures.len(), ds.graph(gid).unwrap().vertex_count());
+            assert_eq!(
+                code.vertex_signatures.len(),
+                ds.graph(gid).unwrap().vertex_count()
+            );
             assert_eq!(code.label_counts.len(), 32);
         }
         assert!(idx.stats().size_bytes > 0);

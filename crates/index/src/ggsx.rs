@@ -11,7 +11,7 @@
 //! occurrences than the query requires, and verifies the surviving
 //! candidates with VF2.
 
-use crate::candidates::CandidateFold;
+use crate::candidates::{ArenaFold, CandidateSet};
 use crate::config::GgsxConfig;
 use crate::path_trie::PathTrie;
 use crate::{GraphIndex, IndexStats, MethodKind};
@@ -98,23 +98,26 @@ impl GraphIndex for GgsxIndex {
         MethodKind::Ggsx
     }
 
-    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+    fn universe(&self) -> usize {
+        self.graph_count
+    }
+
+    fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
         let query_counts = Self::query_path_counts(query, self.config.max_path_edges);
-        if query_counts.is_empty() {
-            // Empty query: every graph trivially contains it.
-            return (0..self.graph_count).collect();
-        }
-        // One bitset narrowed in place per feature — no per-feature Vec.
-        let mut fold = CandidateFold::new(self.graph_count);
+        // The borrowed arena is narrowed in place, one feature stream at a
+        // time — no per-feature (or per-query) Vec. An empty query applies
+        // no constraint and finishes as the full set.
+        let mut fold = ArenaFold::new(out, self.graph_count);
         for (labels, &query_count) in query_counts.iter() {
             let Some(matching) = self.trie.candidates_with_count(labels, query_count) else {
-                return Vec::new();
+                fold.prune_all();
+                return;
             };
             if !fold.apply_sorted(matching) {
-                return Vec::new();
+                return;
             }
         }
-        fold.into_sorted_vec()
+        fold.finish();
     }
 
     fn stats(&self) -> IndexStats {
@@ -215,7 +218,10 @@ mod tests {
         let idx = GgsxIndex::build(&ds, GgsxConfig::default());
         let q = query(&[2, 1, 1], &[(0, 1), (0, 2)]);
         let candidates = idx.filter(&q);
-        assert!(!candidates.contains(&1), "path graph should be pruned by counts");
+        assert!(
+            !candidates.contains(&1),
+            "path graph should be pruned by counts"
+        );
         assert_eq!(idx.query(&ds, &q).answers, vec![0, 2]);
     }
 

@@ -15,7 +15,7 @@
 //! retained by mining simply contribute no constraint. Verification uses the
 //! shared VF2 first-match verifier.
 
-use crate::candidates::CandidateFold;
+use crate::candidates::{ArenaFold, CandidateSet};
 use crate::config::GIndexConfig;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::mining::{FeatureKind, MinedFeatures, MiningConfig};
@@ -96,25 +96,27 @@ impl GraphIndex for GIndex {
         MethodKind::GIndex
     }
 
-    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+    fn universe(&self) -> usize {
+        self.graph_count
+    }
+
+    fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
         // Enumerate the query's fragments with the same enumerator used at
         // build time, then intersect the id lists of those present in the
         // index. Fragments absent from the index impose no constraint (they
-        // may have been pruned as infrequent or non-discriminative).
+        // may have been pruned as infrequent or non-discriminative); a query
+        // none of whose fragments are indexed finishes as the full set.
         let miner = FrequentMiner::new(self.mining_config());
         let query_fragments = miner.enumerate_graph(query);
-        // One bitset narrowed in place per indexed fragment's posting list.
-        let mut fold = CandidateFold::new(self.graph_count);
+        let mut fold = ArenaFold::new(out, self.graph_count);
         for key in query_fragments.keys() {
             if let Some(feature) = self.features.get(key) {
                 if !fold.apply_sorted(feature.supporting_graphs.iter().copied()) {
-                    return Vec::new();
+                    return;
                 }
             }
         }
-        // No indexed fragment constrained the query (e.g. an empty query or
-        // a query whose every fragment was pruned): all graphs are candidates.
-        fold.into_sorted_vec()
+        fold.finish();
     }
 
     fn stats(&self) -> IndexStats {

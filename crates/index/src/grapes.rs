@@ -23,13 +23,13 @@
 //! match (the original GRAPES code enumerated all matches; the authors
 //! patched it for the study, and we implement the patched semantics).
 
-use crate::candidates::{CandidateFold, CandidateSet};
+use crate::candidates::{ArenaFold, CandidateSet};
 use crate::config::GrapesConfig;
 use crate::ggsx::GgsxIndex;
 use crate::path_trie::PathTrie;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::paths::for_each_path;
-use sqbench_graph::{algo, Dataset, Graph, GraphId, VertexId};
+use sqbench_graph::{algo, Dataset, Graph, GraphId, Label, VertexId};
 use sqbench_iso::{MatchState, Vf2Matcher};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -56,9 +56,7 @@ impl GrapesIndex {
                 let handles: Vec<_> = (0..threads)
                     .map(|worker| {
                         let config = &config;
-                        scope.spawn(move || {
-                            Self::build_partition(dataset, config, worker, threads)
-                        })
+                        scope.spawn(move || Self::build_partition(dataset, config, worker, threads))
                     })
                     .collect();
                 handles
@@ -112,34 +110,45 @@ impl GrapesIndex {
         &self,
         query: &Graph,
     ) -> (Vec<GraphId>, BTreeMap<GraphId, BTreeSet<VertexId>>) {
+        // One path enumeration feeds both the fold and the location pass.
         let query_counts = GgsxIndex::query_path_counts(query, self.config.max_path_edges);
-        if query_counts.is_empty() {
-            let all: Vec<GraphId> = (0..self.graph_count).collect();
-            return (all, BTreeMap::new());
-        }
-        // One bitset narrowed in place per feature — no per-feature Vec.
-        let mut fold = CandidateFold::new(self.graph_count);
+        let mut survivors = CandidateSet::empty(self.graph_count);
+        self.fold_candidates(&query_counts, &mut survivors);
+        let locations = self.locations_for(&query_counts, &survivors);
+        (survivors.to_sorted_vec(), locations)
+    }
+
+    /// The count-pruning fold over already-enumerated query path counts
+    /// (shared by `filter_into` and `filter_with_locations`).
+    fn fold_candidates(&self, query_counts: &BTreeMap<Vec<Label>, u32>, out: &mut CandidateSet) {
+        let mut fold = ArenaFold::new(out, self.graph_count);
         for (labels, &query_count) in query_counts.iter() {
             let Some(matching) = self.trie.candidates_with_count(labels, query_count) else {
-                return (Vec::new(), BTreeMap::new());
+                fold.prune_all();
+                return;
             };
             if !fold.apply_sorted(matching) {
-                return (Vec::new(), BTreeMap::new());
+                return;
             }
         }
-        let survivors: CandidateSet = fold.into_set();
-        let candidates = survivors.to_sorted_vec();
+        fold.finish();
+    }
 
-        // Location pass: union the start vertices of every query path over
-        // the surviving candidates. Pick the cheaper side per payload: a
-        // handful of survivors probe the payload map directly; a payload
-        // smaller than the survivor set is walked with bitset membership
-        // probes instead.
+    /// Location pass: unions the start vertices of every query path over the
+    /// surviving candidates. Picks the cheaper side per payload: a handful
+    /// of survivors probe the payload map directly; a payload smaller than
+    /// the survivor set is walked with bitset membership probes instead.
+    fn locations_for(
+        &self,
+        query_counts: &BTreeMap<Vec<Label>, u32>,
+        survivors: &CandidateSet,
+    ) -> BTreeMap<GraphId, BTreeSet<VertexId>> {
         let mut locations: BTreeMap<GraphId, BTreeSet<VertexId>> = BTreeMap::new();
+        let survivor_count = survivors.len();
         for labels in query_counts.keys() {
             if let Some(payload) = self.trie.lookup(labels) {
-                if candidates.len() <= payload.len() {
-                    for &gid in &candidates {
+                if survivor_count <= payload.len() {
+                    for gid in survivors.iter() {
                         if let Some(entry) = payload.get(&gid) {
                             locations
                                 .entry(gid)
@@ -159,7 +168,7 @@ impl GrapesIndex {
                 }
             }
         }
-        (candidates, locations)
+        locations
     }
 
     /// Verifies the query against one candidate graph, restricted to the
@@ -195,8 +204,78 @@ impl GraphIndex for GrapesIndex {
         MethodKind::Grapes
     }
 
-    fn filter(&self, query: &Graph) -> Vec<GraphId> {
-        self.filter_with_locations(query).0
+    fn universe(&self) -> usize {
+        self.graph_count
+    }
+
+    fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
+        // Same count-pruning fold as GGSX (identical trie contents); the
+        // location information is *not* computed here — the verification
+        // hooks recover it from the trie for the surviving candidates only,
+        // so the borrowed-set fast path stays allocation-free.
+        let query_counts = GgsxIndex::query_path_counts(query, self.config.max_path_edges);
+        self.fold_candidates(&query_counts, out);
+    }
+
+    fn verify_set(
+        &self,
+        dataset: &Dataset,
+        query: &Graph,
+        candidates: &CandidateSet,
+    ) -> Vec<GraphId> {
+        // Location-restricted verification straight off the bitset: the
+        // location pass probes the trie payloads for the survivors, then
+        // each candidate is verified inside the components its locations
+        // induce, spread over `config.threads` workers exactly like the
+        // one-shot `query` path (the paper runs Grapes with 6; configure
+        // `threads: 1` when an outer worker pool already saturates the
+        // machine). The query's paths are enumerated a second time here
+        // (the staged trait API hands over only the candidate bits); the
+        // one-shot `query` path avoids that via `filter_with_locations`,
+        // and the component restriction the locations buy far outweighs
+        // one extra walk of a small query.
+        let query_counts = GgsxIndex::query_path_counts(query, self.config.max_path_edges);
+        let locations = self.locations_for(&query_counts, candidates);
+        let matcher = Vf2Matcher::new(query);
+        // Per-query thread fan-out only pays for itself on large candidate
+        // sets; below the threshold (the common case once filtering has
+        // done its job) verification stays in place and allocation-free,
+        // which also keeps an outer multi-worker service from multiplying
+        // thread counts on every query.
+        const PARALLEL_VERIFY_MIN_CANDIDATES: usize = 64;
+        if self.config.threads > 1 && candidates.len() >= PARALLEL_VERIFY_MIN_CANDIDATES {
+            let ids = candidates.to_sorted_vec();
+            let threads = self.config.threads.min(ids.len() / 32).max(1);
+            parallel_retain(&ids, threads, |state, gid| {
+                dataset
+                    .graph(gid)
+                    .map(|g| Self::verify_candidate(query, &matcher, state, g, locations.get(&gid)))
+                    .unwrap_or(false)
+            })
+        } else {
+            // Small candidate sets and single-thread configs verify in
+            // place off the bits, allocation-free.
+            crate::VERIFY_STATE.with(|cell| {
+                let state = &mut *cell.borrow_mut();
+                candidates
+                    .iter()
+                    .filter(|&gid| {
+                        dataset
+                            .graph(gid)
+                            .map(|g| {
+                                Self::verify_candidate(
+                                    query,
+                                    &matcher,
+                                    state,
+                                    g,
+                                    locations.get(&gid),
+                                )
+                            })
+                            .unwrap_or(false)
+                    })
+                    .collect()
+            })
+        }
     }
 
     fn stats(&self) -> IndexStats {
@@ -402,10 +481,7 @@ mod tests {
     fn disconnected_query_falls_back_to_whole_graph_verification() {
         let ds = dataset();
         let idx = GrapesIndex::build(&ds, GrapesConfig::default());
-        let q = GraphBuilder::new("q2")
-            .vertices(&[1, 3])
-            .build()
-            .unwrap(); // two isolated vertices, disconnected query
+        let q = GraphBuilder::new("q2").vertices(&[1, 3]).build().unwrap(); // two isolated vertices, disconnected query
         let outcome = idx.query(&ds, &q);
         assert_eq!(outcome.answers, exhaustive_answers(&ds, &q));
     }

@@ -3,14 +3,15 @@
 //! The six indexed subgraph query processing methods evaluated in the VLDB
 //! 2015 paper, implemented behind a common [`GraphIndex`] trait:
 //!
-//! | Method | Features | Extraction | Index structure | Location info | Candidate representation |
+//! | Method | Features | Extraction | Index structure | Location info | Borrowed-set filter ([`GraphIndex::filter_into`]) |
 //! |---|---|---|---|---|---|
-//! | [`grapes::GrapesIndex`] | paths | exhaustive | trie | yes (start vertices) | [`candidates::CandidateSet`] fold over trie payloads |
-//! | [`ggsx::GgsxIndex`] (GraphGrepSX) | paths | exhaustive | suffix-tree-style trie | no (counts only) | [`candidates::CandidateSet`] fold over trie payloads |
-//! | [`ctindex::CtIndex`] | trees + cycles | exhaustive | hashed bit fingerprints | no | direct sorted scan (no intersection stage) |
-//! | [`gindex::GIndex`] | subgraphs | frequent mining | feature map (prefix-tree order) | no | [`candidates::CandidateSet`] fold over posting lists |
-//! | [`treedelta::TreeDeltaIndex`] | trees (+ on-demand cycles) | frequent mining | hash map | no | [`candidates::CandidateSet`] fold over tree + Δ posting lists |
-//! | [`gcode::GCodeIndex`] | paths (encoded) | exhaustive | spectral vertex/graph signatures | no | direct sorted scan (no intersection stage) |
+//! | [`grapes::GrapesIndex`] | paths | exhaustive | trie | yes (start vertices) | [`candidates::ArenaFold`] over trie payloads |
+//! | [`ggsx::GgsxIndex`] (GraphGrepSX) | paths | exhaustive | suffix-tree-style trie | no (counts only) | [`candidates::ArenaFold`] over trie payloads |
+//! | [`ctindex::CtIndex`] | trees + cycles | exhaustive | hashed bit fingerprints | no | direct id-ordered scan, bits set in place |
+//! | [`gindex::GIndex`] | subgraphs | frequent mining | feature map (prefix-tree order) | no | [`candidates::ArenaFold`] over posting lists |
+//! | [`treedelta::TreeDeltaIndex`] | trees (+ on-demand cycles) | frequent mining | hash map | no | [`candidates::ArenaFold`] over tree + Δ posting lists |
+//! | [`gcode::GCodeIndex`] | paths (encoded) | exhaustive | spectral vertex/graph signatures | no | direct id-ordered scan, bits set in place |
+//! | [`scan::ScanBaseline`] (baseline) | — | — | none | no | arena reset to the full set |
 //!
 //! All methods follow the same three stages (index construction, filtering,
 //! verification); the trait captures that shape so the experiment harness can
@@ -20,10 +21,29 @@
 //!
 //! The filtering stage of every intersection-based method runs on the shared
 //! bitset engine in [`candidates`]: per-feature id streams narrow one dense
-//! [`candidates::CandidateSet`] in place and the sorted `Vec<GraphId>` the
-//! [`GraphIndex::filter`] contract promises is materialized exactly once per
-//! query. CT-Index and gCode scan per-graph structures in id order and have
-//! no intersection stage, so their filters emit the sorted output directly.
+//! [`candidates::CandidateSet`] in place. Since the borrowed-set refactor the
+//! primary entry point is [`GraphIndex::filter_into`], which narrows a
+//! **caller-owned** arena set — a query service hands each worker's reusable
+//! arena to it, so serving a query allocates no candidate `Vec` and no fresh
+//! bitset. The legacy [`GraphIndex::filter`] survives as a thin wrapper that
+//! materializes the arena as the sorted `Vec<GraphId>` the original contract
+//! promised. CT-Index and gCode scan per-graph structures in id order and
+//! have no intersection stage; their `filter_into` sets the matching bits
+//! directly.
+//!
+//! ## The borrowed-set filter contract
+//!
+//! `filter_into(&self, query, out)` must:
+//!
+//! 1. reset `out` to this index's [`GraphIndex::universe`] (arena sets are
+//!    reused across queries *and across indexes/datasets*, so stale bits and
+//!    a stale universe must both be overwritten — use
+//!    [`candidates::CandidateSet::reset_empty`] /
+//!    [`candidates::CandidateSet::reset_full`] or
+//!    [`candidates::ArenaFold`], which do this);
+//! 2. leave exactly the filtering-stage candidates set, bit-identical to
+//!    what the legacy `filter()` returns as a sorted `Vec`;
+//! 3. allocate nothing proportional to the candidate count.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -42,7 +62,7 @@ pub mod treedelta;
 use sqbench_graph::{Dataset, Graph, GraphId};
 use sqbench_iso::{MatchState, Vf2Matcher};
 
-pub use candidates::{CandidateFold, CandidateSet, PostingList};
+pub use candidates::{ArenaFold, CandidateFold, CandidateSet, PostingList};
 pub use config::{
     CtIndexConfig, GCodeConfig, GIndexConfig, GgsxConfig, GrapesConfig, MethodConfig,
     TreeDeltaConfig,
@@ -131,16 +151,36 @@ pub struct IndexStats {
 /// Common interface of the six filter-and-verify methods.
 ///
 /// Indexes are built once over a [`Dataset`] (by each method's `build`
-/// constructor) and then answer any number of subgraph queries. The default
-/// `verify`/`query` implementations use the VF2 first-match verifier that
-/// the paper standardizes on; Grapes and CT-Index override `verify` with
-/// their specialized procedures.
+/// constructor) and then answer any number of subgraph queries. Each method
+/// implements the borrowed-set filtering entry point [`GraphIndex::filter_into`]
+/// (see the module docs for the contract); `filter` and `query` are thin
+/// default wrappers over it. The default verification uses the VF2
+/// first-match verifier the paper standardizes on; Grapes and CT-Index
+/// override the verification hooks with their specialized procedures, and
+/// Tree+Δ hooks query-time feature learning into [`GraphIndex::verify_set`].
 pub trait GraphIndex: Send + Sync {
     /// Which method this index implements.
     fn kind(&self) -> MethodKind;
 
-    /// Filtering stage: returns the sorted candidate set for `query`.
-    fn filter(&self, query: &Graph) -> Vec<GraphId>;
+    /// Number of graphs in the dataset this index was built over — the
+    /// universe every candidate set for this index ranges over.
+    fn universe(&self) -> usize;
+
+    /// Borrowed-set filtering stage: resets `out` to [`GraphIndex::universe`]
+    /// and narrows it to the candidate set of `query`, reusing the arena's
+    /// allocation. This is the hot entry point batch serving uses — one
+    /// arena per worker, zero candidate allocation per query.
+    fn filter_into(&self, query: &Graph, out: &mut CandidateSet);
+
+    /// Legacy filtering stage: returns the sorted candidate set for `query`
+    /// as an owned `Vec`. Thin compatibility wrapper over
+    /// [`GraphIndex::filter_into`] that allocates a fresh arena and
+    /// materializes it once.
+    fn filter(&self, query: &Graph) -> Vec<GraphId> {
+        let mut out = CandidateSet::empty(self.universe());
+        self.filter_into(query, &mut out);
+        out.to_sorted_vec()
+    }
 
     /// Index statistics (feature count, size in bytes).
     fn stats(&self) -> IndexStats;
@@ -156,12 +196,30 @@ pub trait GraphIndex: Send + Sync {
         vf2_verify(dataset, query, candidates)
     }
 
-    /// Full query processing: filtering followed by verification.
+    /// Verification straight off a filtered [`CandidateSet`]: iterates the
+    /// set bits in id order without materializing them as a `Vec`. Methods
+    /// with specialized verification override this — CT-Index's tuned
+    /// matcher, Grapes' location-restricted matching, Tree+Δ's query-time Δ
+    /// learning — so a batch service driving `filter_into` + `verify_set`
+    /// preserves each method's published query semantics.
+    fn verify_set(
+        &self,
+        dataset: &Dataset,
+        query: &Graph,
+        candidates: &CandidateSet,
+    ) -> Vec<GraphId> {
+        vf2_verify_set(dataset, query, candidates)
+    }
+
+    /// Full query processing: filtering followed by verification, through
+    /// the borrowed-set stages (one arena, materialized only for the
+    /// returned [`QueryOutcome::candidates`]).
     fn query(&self, dataset: &Dataset, query: &Graph) -> QueryOutcome {
-        let candidates = self.filter(query);
-        let answers = self.verify(dataset, query, &candidates);
+        let mut set = CandidateSet::empty(self.universe());
+        self.filter_into(query, &mut set);
+        let answers = self.verify_set(dataset, query, &set);
         QueryOutcome {
-            candidates,
+            candidates: set.to_sorted_vec(),
             answers,
         }
     }
@@ -186,6 +244,26 @@ pub fn vf2_verify(dataset: &Dataset, query: &Graph, candidates: &[GraphId]) -> V
         candidates
             .iter()
             .copied()
+            .filter(|&gid| {
+                dataset
+                    .graph(gid)
+                    .map(|g| matcher.matches_with(state, g))
+                    .unwrap_or(false)
+            })
+            .collect()
+    })
+}
+
+/// Shared VF2 verification over a candidate bitset: keeps the member ids
+/// that actually contain the query, in ascending id order, without ever
+/// materializing the candidate set as a `Vec`. Same matcher/scratch reuse as
+/// [`vf2_verify`] (per-thread [`MatchState`], query borrowed once).
+pub fn vf2_verify_set(dataset: &Dataset, query: &Graph, candidates: &CandidateSet) -> Vec<GraphId> {
+    let matcher = Vf2Matcher::new(query);
+    VERIFY_STATE.with(|cell| {
+        let state = &mut *cell.borrow_mut();
+        candidates
+            .iter()
             .filter(|&gid| {
                 dataset
                     .graph(gid)

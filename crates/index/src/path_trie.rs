@@ -198,8 +198,11 @@ impl PathTrie {
             .iter()
             .map(|n| {
                 std::mem::size_of::<TrieNode>()
-                    + n.children.len() * (std::mem::size_of::<Label>() + std::mem::size_of::<usize>())
-                    + n.graphs.values().map(|e| std::mem::size_of::<GraphId>() + e.memory_bytes())
+                    + n.children.len()
+                        * (std::mem::size_of::<Label>() + std::mem::size_of::<usize>())
+                    + n.graphs
+                        .values()
+                        .map(|e| std::mem::size_of::<GraphId>() + e.memory_bytes())
                         .sum::<usize>()
             })
             .sum()

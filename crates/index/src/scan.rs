@@ -10,23 +10,21 @@
 //! is useful in ablations ("how much does filtering actually buy?").
 
 use crate::candidates::CandidateSet;
-use crate::{GraphIndex, IndexStats, MethodKind, QueryOutcome};
-use sqbench_graph::{Dataset, Graph, GraphId};
+use crate::{GraphIndex, IndexStats, MethodKind};
+use sqbench_graph::{Dataset, Graph};
 
 /// The sequential-scan baseline.
 #[derive(Debug, Clone)]
 pub struct ScanBaseline {
-    /// The full candidate set, built once at construction time; queries
-    /// materialize it instead of re-collecting `(0..n)` per query.
-    everything: CandidateSet,
+    /// Number of graphs in the dataset (the only thing the baseline knows).
+    graph_count: usize,
 }
 
 impl ScanBaseline {
-    /// "Builds" the baseline (records only the dataset size, as the full
-    /// candidate bitset).
+    /// "Builds" the baseline (records only the dataset size).
     pub fn build(dataset: &Dataset) -> Self {
         ScanBaseline {
-            everything: CandidateSet::full(dataset.len()),
+            graph_count: dataset.len(),
         }
     }
 }
@@ -36,26 +34,23 @@ impl GraphIndex for ScanBaseline {
         MethodKind::Scan
     }
 
-    fn filter(&self, _query: &Graph) -> Vec<GraphId> {
-        self.everything.to_sorted_vec()
+    fn universe(&self) -> usize {
+        self.graph_count
+    }
+
+    fn filter_into(&self, _query: &Graph, out: &mut CandidateSet) {
+        // No index, no pruning: every graph is a candidate. The arena is
+        // reset to the full set in place, so even the baseline serves
+        // queries without a per-query allocation.
+        out.reset_full(self.graph_count);
     }
 
     fn stats(&self) -> IndexStats {
         IndexStats {
             distinct_features: 0,
-            // The cached full bitset is query bookkeeping, not an index:
-            // the paper defines the scan baseline as index-free, and its
+            // The paper defines the scan baseline as index-free; its
             // reported size is the yardstick of the index-size panel.
             size_bytes: std::mem::size_of::<Self>(),
-        }
-    }
-
-    fn query(&self, dataset: &Dataset, query: &Graph) -> QueryOutcome {
-        let candidates = self.filter(query);
-        let answers = crate::vf2_verify(dataset, query, &candidates);
-        QueryOutcome {
-            candidates,
-            answers,
         }
     }
 }

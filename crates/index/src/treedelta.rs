@@ -17,7 +17,7 @@
 //! grows — and its filtering improves — as the workload exercises cyclic
 //! queries.
 
-use crate::candidates::{CandidateFold, CandidateSet, PostingList};
+use crate::candidates::{ArenaFold, CandidateSet, PostingList};
 use crate::config::TreeDeltaConfig;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::canonical::FeatureKey;
@@ -81,28 +81,33 @@ impl TreeDeltaIndex {
 
     /// Number of Δ (cycle) features accumulated so far.
     pub fn delta_feature_count(&self) -> usize {
-        self.delta_features.read().expect("delta lock poisoned").len()
+        self.delta_features
+            .read()
+            .expect("delta lock poisoned")
+            .len()
     }
 
     /// Tree-only filtering (no Δ lookup); exposed for tests and ablations.
     pub fn filter_trees_only(&self, query: &Graph) -> Vec<GraphId> {
-        self.tree_candidate_set(query).to_sorted_vec()
+        let mut set = CandidateSet::empty(self.graph_count);
+        self.tree_candidates_into(query, &mut set);
+        set.to_sorted_vec()
     }
 
-    /// The tree-feature stage as a bitset: one [`CandidateSet`] narrowed in
-    /// place per indexed subtree's posting list (unconstrained queries get
-    /// the full set).
-    fn tree_candidate_set(&self, query: &Graph) -> CandidateSet {
+    /// The tree-feature stage, folded into a borrowed arena: one bitset
+    /// narrowed in place per indexed subtree's posting list (unconstrained
+    /// queries get the full set).
+    fn tree_candidates_into(&self, query: &Graph, out: &mut CandidateSet) {
         let query_trees = query_trees(query, self.config.max_feature_edges);
-        let mut fold = CandidateFold::new(self.graph_count);
+        let mut fold = ArenaFold::new(out, self.graph_count);
         for key in query_trees.keys() {
             if let Some(feature) = self.tree_features.get(key) {
                 if !fold.apply_sorted(feature.supporting_graphs.iter().copied()) {
-                    break;
+                    return;
                 }
             }
         }
-        fold.into_set()
+        fold.finish();
     }
 
     /// The seed's `Vec`-per-feature filtering (trees, then learned Δ
@@ -235,10 +240,15 @@ impl GraphIndex for TreeDeltaIndex {
         MethodKind::TreeDelta
     }
 
-    fn filter(&self, query: &Graph) -> Vec<GraphId> {
-        let mut candidates = self.tree_candidate_set(query);
-        self.apply_delta(query, &mut candidates);
-        candidates.to_sorted_vec()
+    fn universe(&self) -> usize {
+        self.graph_count
+    }
+
+    fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
+        // Trees first, then any Δ features already learned — one borrowed
+        // bitset narrowed in place, never materialized here.
+        self.tree_candidates_into(query, out);
+        self.apply_delta(query, out);
     }
 
     fn stats(&self) -> IndexStats {
@@ -254,21 +264,19 @@ impl GraphIndex for TreeDeltaIndex {
         }
     }
 
-    fn query(&self, dataset: &Dataset, query: &Graph) -> crate::QueryOutcome {
-        // Filtering: trees first, then any Δ features already learned — one
-        // bitset narrowed in place, materialized once.
-        let mut candidate_set = self.tree_candidate_set(query);
-        self.apply_delta(query, &mut candidate_set);
-        let candidates = candidate_set.to_sorted_vec();
+    fn verify_set(
+        &self,
+        dataset: &Dataset,
+        query: &Graph,
+        candidates: &CandidateSet,
+    ) -> Vec<GraphId> {
         // Δ learning narrows the candidate set further (and persists the new
-        // features for subsequent queries); this happens before verification
-        // so its cost is part of query processing time, as in the paper.
-        let narrowed = self.learn_delta(dataset, query, candidates.clone());
-        let answers = self.verify(dataset, query, &narrowed);
-        crate::QueryOutcome {
-            candidates,
-            answers,
-        }
+        // features for subsequent queries) before verification, so its cost
+        // is part of query processing time, as in the paper. Learning needs
+        // the candidates as a sorted id list — the one place Tree+Δ still
+        // materializes one, inherent to the published algorithm.
+        let narrowed = self.learn_delta(dataset, query, candidates.to_sorted_vec());
+        self.verify(dataset, query, &narrowed)
     }
 }
 

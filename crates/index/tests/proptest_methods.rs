@@ -13,8 +13,7 @@ use sqbench_graph::{Dataset, GraphId};
 use sqbench_index::candidates::intersect_posting;
 use sqbench_index::{
     build_index, exhaustive_answers, ggsx::GgsxIndex, gindex::GIndex, intersect_sorted,
-    GraphIndex,
-    treedelta::TreeDeltaIndex, CandidateFold, CandidateSet, MethodConfig, MethodKind,
+    treedelta::TreeDeltaIndex, CandidateFold, CandidateSet, GraphIndex, MethodConfig, MethodKind,
     PostingList,
 };
 
@@ -151,6 +150,55 @@ proptest! {
             fold.apply_sorted(list.iter().copied());
         }
         prop_assert_eq!(fold.into_sorted_vec(), reference.unwrap());
+    }
+
+    /// The borrowed-set contract: `filter_into` must produce candidate sets
+    /// bit-identical to the legacy `filter()` `Vec` contract for all six
+    /// methods plus the scan baseline — *including* when the arena is dirty
+    /// (stale bits, wrong universe) from serving another method's dataset,
+    /// which is exactly how the query service reuses worker arenas.
+    #[test]
+    fn filter_into_bit_identical_to_legacy_filter(seed in 0u64..300) {
+        let ds = dataset_from_seed(seed.wrapping_add(9000), 13, 10, 4);
+        let config = MethodConfig::fast();
+        let kinds = [
+            MethodKind::Grapes,
+            MethodKind::Ggsx,
+            MethodKind::CtIndex,
+            MethodKind::GIndex,
+            MethodKind::TreeDelta,
+            MethodKind::GCode,
+            MethodKind::Scan,
+        ];
+        let indexes: Vec<_> = kinds
+            .iter()
+            .map(|&kind| (kind, build_index(kind, &config, &ds)))
+            .collect();
+        // One shared arena reused across every method and query, seeded
+        // dirty: stale bits over a deliberately wrong universe.
+        let mut arena = CandidateSet::full(7);
+        let queries = QueryGen::new(seed ^ 0xf11e).generate(&ds, 3, 4);
+        for (query, _) in queries.iter() {
+            for (kind, index) in &indexes {
+                let legacy = index.filter(query);
+                index.filter_into(query, &mut arena);
+                prop_assert_eq!(
+                    arena.universe(),
+                    index.universe(),
+                    "{}: arena not re-targeted", kind.name()
+                );
+                prop_assert_eq!(
+                    arena.to_sorted_vec(),
+                    legacy.clone(),
+                    "{}: borrowed-set filter diverged from legacy filter",
+                    kind.name()
+                );
+                // Bit-identity with a freshly materialized set, not just
+                // id-list equality.
+                let fresh = CandidateSet::from_sorted_ids(index.universe(), &legacy);
+                prop_assert_eq!(&arena, &fresh, "{}: sets not bit-identical", kind.name());
+            }
+        }
     }
 
     /// Migration invariance: the three posting-fold methods produce exactly

@@ -262,7 +262,16 @@ mod tests {
         // A hub (label 9) connected to a 4-cycle of label-1 vertices.
         GraphBuilder::new("wheel")
             .vertices(&[9, 1, 1, 1, 1])
-            .edges(&[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (2, 3), (3, 4), (4, 1)])
+            .edges(&[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 1),
+            ])
             .build()
             .unwrap()
     }

@@ -105,7 +105,14 @@ impl<'q> Vf2Matcher<'q> {
     pub fn matches_with(&self, state: &mut MatchState, target: &Graph) -> bool {
         let mut stats = MatchStats::default();
         let mut results = Vec::new();
-        self.run(state, target, 1, CollectMode::Exists, &mut results, &mut stats) > 0
+        self.run(
+            state,
+            target,
+            1,
+            CollectMode::Exists,
+            &mut results,
+            &mut stats,
+        ) > 0
     }
 
     /// Returns the first embedding found, as a vector mapping each query
@@ -142,7 +149,14 @@ impl<'q> Vf2Matcher<'q> {
         stats: &mut MatchStats,
     ) -> Vec<Vec<VertexId>> {
         let mut results = Vec::new();
-        self.run(state, target, limit, CollectMode::Embeddings, &mut results, stats);
+        self.run(
+            state,
+            target,
+            limit,
+            CollectMode::Embeddings,
+            &mut results,
+            stats,
+        );
         results
     }
 
@@ -226,8 +240,7 @@ fn matching_order(query: &Graph) -> Vec<VertexId> {
                 // Strict >: on full ties the earlier (smaller) id wins,
                 // matching the seed implementation's tie-breaking.
                 Some(b) => {
-                    (placed_neighbors[v], query.degree(v))
-                        > (placed_neighbors[b], query.degree(b))
+                    (placed_neighbors[v], query.degree(v)) > (placed_neighbors[b], query.degree(b))
                 }
             };
             if better {

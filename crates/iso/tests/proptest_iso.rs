@@ -34,10 +34,7 @@ fn arb_graph(max_n: usize, max_labels: u32) -> impl Strategy<Value = Graph> {
 }
 
 /// A graph together with a randomly chosen induced subgraph of it.
-fn graph_and_subgraph(
-    max_n: usize,
-    max_labels: u32,
-) -> impl Strategy<Value = (Graph, Graph)> {
+fn graph_and_subgraph(max_n: usize, max_labels: u32) -> impl Strategy<Value = (Graph, Graph)> {
     arb_graph(max_n, max_labels).prop_flat_map(|g| {
         let n = g.vertex_count();
         proptest::collection::vec(any::<bool>(), n).prop_map(move |keep| {

@@ -27,7 +27,10 @@ fn main() {
     println!(
         "workload: {} queries per size, sizes {:?}",
         20,
-        workloads.iter().map(|w| w.edges_per_query).collect::<Vec<_>>()
+        workloads
+            .iter()
+            .map(|w| w.edges_per_query)
+            .collect::<Vec<_>>()
     );
 
     // Run all six methods with the paper's default parameters.

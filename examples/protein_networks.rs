@@ -42,10 +42,8 @@ fn main() {
         // path-based methods practical; the mining and fingerprint methods
         // blow up on dense graphs. Shorter paths (3 edges) keep the dense
         // PCM-like graphs tractable on a single core.
-        let mut options = RunOptions::default().with_methods(&[
-            MethodKind::Grapes,
-            MethodKind::Ggsx,
-        ]);
+        let mut options =
+            RunOptions::default().with_methods(&[MethodKind::Grapes, MethodKind::Ggsx]);
         options.config.grapes.max_path_edges = 3;
         options.config.ggsx.max_path_edges = 3;
         let results = run_methods(&dataset, &workloads, &options);

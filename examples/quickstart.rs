@@ -62,6 +62,9 @@ fn main() {
 
     // 4. Sanity-check against the naive method (VF2 against every graph).
     let truth = exhaustive_answers(&dataset, query);
-    assert_eq!(outcome.answers, truth, "index answers must match ground truth");
+    assert_eq!(
+        outcome.answers, truth,
+        "index answers must match ground truth"
+    );
     println!("answers verified against the exhaustive baseline \u{2713}");
 }

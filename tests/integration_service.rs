@@ -1,0 +1,138 @@
+//! Service-level integration tests: the pipelined batch query service must
+//! agree with the serial runner on every method, and the runner's
+//! service-backed batching must not change any reported correctness metric.
+
+use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
+use sqbench_graph::{Dataset, Graph};
+use sqbench_harness::service::{QueryService, ServiceConfig};
+use sqbench_harness::{run_methods, RunOptions};
+use sqbench_index::{build_index, MethodConfig, MethodKind};
+
+fn setup(graphs: usize, queries: usize) -> (Dataset, Vec<Graph>) {
+    let ds = GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(graphs)
+            .with_avg_nodes(14)
+            .with_avg_density(0.12)
+            .with_label_count(5)
+            .with_seed(41),
+    )
+    .generate();
+    let workload = QueryGen::new(17).generate(&ds, queries, 4);
+    let qs = workload.iter().map(|(q, _)| q.clone()).collect();
+    (ds, qs)
+}
+
+/// A 4-worker batch run returns the same per-query match counts as the
+/// serial runner (one worker, workload order), for every method including
+/// the scan baseline. Answer sets are exact regardless of scheduling, so
+/// this holds even for Tree+Δ, whose *candidate* trajectory is
+/// order-dependent.
+#[test]
+fn four_worker_batch_matches_serial_match_counts() {
+    let (ds, queries) = setup(24, 10);
+    let refs: Vec<&Graph> = queries.iter().collect();
+    let config = MethodConfig::fast();
+    let all_kinds = [
+        MethodKind::Grapes,
+        MethodKind::Ggsx,
+        MethodKind::CtIndex,
+        MethodKind::GIndex,
+        MethodKind::TreeDelta,
+        MethodKind::GCode,
+        MethodKind::Scan,
+    ];
+    for kind in all_kinds {
+        // Fresh indexes for each mode so Tree+Δ starts from the same state.
+        let serial_index = build_index(kind, &config, &ds);
+        let mut serial = QueryService::new(&*serial_index, &ds, ServiceConfig::with_workers(1));
+        let serial_report = serial.run_batch(&refs, None);
+
+        let pooled_index = build_index(kind, &config, &ds);
+        let mut pooled = QueryService::new(&*pooled_index, &ds, ServiceConfig::with_workers(4));
+        let pooled_report = pooled.run_batch(&refs, None);
+
+        assert_eq!(pooled_report.workers, 4, "{}: worker clamp", kind.name());
+        assert_eq!(serial_report.executed(), refs.len());
+        assert_eq!(pooled_report.executed(), refs.len());
+        for (i, (s, p)) in serial_report
+            .records
+            .iter()
+            .zip(pooled_report.records.iter())
+            .enumerate()
+        {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(
+                s.answer_count(),
+                p.answer_count(),
+                "{}: match count diverged on query {i}",
+                kind.name()
+            );
+            assert_eq!(
+                s.answers,
+                p.answers,
+                "{}: answer ids diverged on query {i}",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// The serial service agrees with one-shot `index.query` calls — the
+/// pre-service ground truth — per query, candidates included.
+#[test]
+fn serial_service_equals_one_shot_queries() {
+    let (ds, queries) = setup(18, 8);
+    let refs: Vec<&Graph> = queries.iter().collect();
+    let config = MethodConfig::fast();
+    for kind in MethodKind::ALL {
+        let index = build_index(kind, &config, &ds);
+        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(1));
+        let report = service.run_batch(&refs, None);
+        // One-shot ground truth on a fresh index (Tree+Δ mutates while
+        // querying, so the comparison index must replay the same order).
+        let oracle = build_index(kind, &config, &ds);
+        for (record, query) in report.records.iter().zip(queries.iter()) {
+            let record = record.as_ref().unwrap();
+            let outcome = oracle.query(&ds, query);
+            assert_eq!(record.answers, outcome.answers, "{}", kind.name());
+            assert_eq!(
+                record.candidate_count,
+                outcome.candidates.len(),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+}
+
+/// Routing the runner through the service keeps the workload-level metrics
+/// of deterministic methods identical between 1 and 4 query threads.
+#[test]
+fn runner_batching_preserves_workload_metrics() {
+    let ds = GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(15)
+            .with_avg_nodes(12)
+            .with_avg_density(0.15)
+            .with_label_count(4)
+            .with_seed(3),
+    )
+    .generate();
+    let workloads = QueryGen::new(5).generate_all_sizes(&ds, 3, &[4, 8]);
+    let kinds = [MethodKind::Ggsx, MethodKind::GIndex, MethodKind::GCode];
+    let serial = run_methods(&ds, &workloads, &RunOptions::fast().with_methods(&kinds));
+    let pooled = run_methods(
+        &ds,
+        &workloads,
+        &RunOptions::fast()
+            .with_methods(&kinds)
+            .with_query_threads(4),
+    );
+    for (s, p) in serial.iter().zip(pooled.iter()) {
+        assert_eq!(s.method, p.method);
+        assert_eq!(s.queries_executed, p.queries_executed);
+        assert!((s.false_positive_ratio - p.false_positive_ratio).abs() < 1e-12);
+        assert_eq!(s.stages.candidates_pruned, p.stages.candidates_pruned);
+    }
+}

@@ -37,7 +37,6 @@ pub struct Criterion {
     results: Vec<BenchResult>,
 }
 
-
 /// Measurement configuration shared by groups and bare bench functions.
 #[derive(Debug, Clone)]
 struct MeasureConfig {
@@ -161,7 +160,10 @@ fn run_one<F: FnMut(&mut Bencher<'_>)>(
     };
     f(&mut bencher);
     if let Some((median_ns, samples, iters_per_sample)) = result_ns {
-        println!("bench: {id:<60} {:>14.1} ns/iter ({samples} samples)", median_ns);
+        println!(
+            "bench: {id:<60} {:>14.1} ns/iter ({samples} samples)",
+            median_ns
+        );
         results.push(BenchResult {
             id,
             median_ns,
@@ -278,7 +280,10 @@ pub fn write_report(target: &str, c: &Criterion) {
     json.push_str("  ]\n}\n");
     let path = workspace_root().join(format!("BENCH_{target}.json"));
     if let Err(e) = std::fs::write(&path, &json) {
-        eprintln!("criterion stand-in: could not write {}: {e}", path.display());
+        eprintln!(
+            "criterion stand-in: could not write {}: {e}",
+            path.display()
+        );
     } else {
         println!("criterion stand-in: wrote {}", path.display());
     }
@@ -349,9 +354,7 @@ mod tests {
         group.sample_size(5);
         group.warm_up_time(Duration::from_millis(10));
         group.measurement_time(Duration::from_millis(50));
-        group.bench_function("noop_sum", |b| {
-            b.iter(|| (0..100u64).sum::<u64>())
-        });
+        group.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         group.finish();
         drop(group);
         assert_eq!(c.results().len(), 1);

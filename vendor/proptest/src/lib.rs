@@ -241,7 +241,12 @@ pub mod collection {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.max - self.min) as u64;
-            let len = self.min + if span > 1 { rng.below(span) as usize } else { 0 };
+            let len = self.min
+                + if span > 1 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }

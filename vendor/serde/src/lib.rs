@@ -22,9 +22,7 @@ macro_rules! impl_markers {
     };
 }
 
-impl_markers!(
-    bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String, char
-);
+impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String, char);
 
 impl<T: Serialize> Serialize for Vec<T> {}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
