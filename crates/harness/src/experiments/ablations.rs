@@ -60,6 +60,7 @@ pub fn location_info(scale: &ExperimentScale) -> ExperimentReport {
         config: MethodConfig::default(),
         time_budget: scale.time_budget,
         query_threads: 1,
+        ..RunOptions::default()
     };
     report.push_point(measure_point(
         "sane-defaults",
@@ -88,6 +89,7 @@ pub fn path_length(scale: &ExperimentScale) -> ExperimentReport {
             config,
             time_budget: scale.time_budget,
             query_threads: 1,
+            ..RunOptions::default()
         };
         report.push_point(measure_point(
             format!("len={max_path_edges}"),
@@ -116,6 +118,7 @@ pub fn fingerprint_width(scale: &ExperimentScale) -> ExperimentReport {
             config,
             time_budget: scale.time_budget,
             query_threads: 1,
+            ..RunOptions::default()
         };
         report.push_point(measure_point(
             format!("{bits}bit"),
@@ -145,6 +148,7 @@ pub fn feature_size(scale: &ExperimentScale) -> ExperimentReport {
             config,
             time_budget: scale.time_budget,
             query_threads: 1,
+            ..RunOptions::default()
         };
         report.push_point(measure_point(
             format!("{max_edges}edges"),
@@ -174,6 +178,7 @@ pub fn grapes_threads(scale: &ExperimentScale) -> ExperimentReport {
             config,
             time_budget: scale.time_budget,
             query_threads: 1,
+            ..RunOptions::default()
         };
         report.push_point(measure_point(
             format!("{threads}thr"),

@@ -9,6 +9,7 @@
 //! | [`fig4_query_size`] | Figure 4 | density sweep broken out per query size |
 //! | [`fig5_labels`] | Figure 5 | varying the number of distinct labels |
 //! | [`fig6_numgraphs`] | Figure 6 | varying the number of graphs in the dataset |
+//! | [`fig7_shards`] | beyond the paper | varying the number of dataset shards of the sharded service |
 //! | [`ablations`] | beyond the paper | location info, path length, fingerprint width, mined-fragment size, build threads |
 //!
 //! Every module exposes a `run(&ExperimentScale) -> ExperimentReport`
@@ -23,6 +24,7 @@ pub mod fig3_density;
 pub mod fig4_query_size;
 pub mod fig5_labels;
 pub mod fig6_numgraphs;
+pub mod fig7_shards;
 pub mod table1;
 
 use crate::report::ExperimentPoint;

@@ -14,9 +14,12 @@
 //! * [`runner`] — the machinery that builds each index, runs a query
 //!   workload against it and enforces the experiment time budget (the
 //!   paper's 8-hour limit, scaled down);
-//! * [`service`] — the long-lived batch query service the runner routes
+//! * [`service`] — the long-lived query service the runner routes
 //!   workloads through: a pipelined filter → verify worker pool with
-//!   per-worker candidate arenas and work stealing;
+//!   per-worker candidate arenas and work stealing, plus the sharded
+//!   service (dataset partitioner, per-shard pools, merge stage) and the
+//!   open admission queue (`submit`/`drain` with backpressure and
+//!   per-query deadlines);
 //! * [`report`] — experiment report data structures plus plain-text and CSV
 //!   rendering of the same rows/series the paper plots;
 //! * [`experiments`] — one module per table/figure of the paper
@@ -49,4 +52,7 @@ pub use metrics::{
 };
 pub use report::{ExperimentPoint, ExperimentReport};
 pub use runner::{run_methods, ExperimentScale, RunOptions};
-pub use service::{BatchReport, QueryService, ServiceConfig};
+pub use service::{
+    AdmissionQueue, BatchReport, QueryService, ServiceConfig, ShardStrategy, ShardedConfig,
+    ShardedReport, ShardedService, SubmitError,
+};

@@ -166,12 +166,52 @@ pub struct MethodMetrics {
     /// Per-stage totals from the service pipeline (queue wait, filter,
     /// verify, candidates pruned) over the executed queries.
     pub stages: StageTotals,
+    /// Number of dataset shards the workload was served on (1 = the
+    /// unsharded single-index service).
+    pub shards: usize,
+    /// Per-shard stage totals, indexed by shard, as aggregated by the
+    /// sharded service's merge stage. Empty for unsharded runs.
+    pub shard_stages: Vec<StageTotals>,
 }
 
 impl MethodMetrics {
     /// Index size in megabytes (the unit the paper plots).
     pub fn index_size_mb(&self) -> f64 {
         self.index_size_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Busiest-shard processing time (filter + verify seconds of the shard
+    /// that worked hardest) — the critical path a sharded wave cannot beat.
+    /// Falls back to the workload totals for unsharded runs.
+    pub fn max_shard_time_s(&self) -> f64 {
+        if self.shard_stages.is_empty() {
+            self.stages.filter_s + self.stages.verify_s
+        } else {
+            self.shard_stages
+                .iter()
+                .map(|s| s.filter_s + s.verify_s)
+                .fold(0.0, f64::max)
+        }
+    }
+
+    /// Shard load balance: lightest-shard over heaviest-shard processing
+    /// time, in `[0, 1]` with `1.0` meaning perfectly even (also reported
+    /// for unsharded runs and for idle waves, where there is nothing to
+    /// balance).
+    pub fn shard_balance(&self) -> f64 {
+        if self.shard_stages.len() <= 1 {
+            return 1.0;
+        }
+        let times: Vec<f64> = self
+            .shard_stages
+            .iter()
+            .map(|s| s.filter_s + s.verify_s)
+            .collect();
+        let max = times.iter().copied().fold(0.0, f64::max);
+        if max <= 0.0 {
+            return 1.0;
+        }
+        times.iter().copied().fold(f64::INFINITY, f64::min) / max
     }
 
     /// Formats the record as a single log line.
@@ -274,6 +314,8 @@ mod tests {
             queries_executed: 40,
             timed_out: false,
             stages: StageTotals::default(),
+            shards: 1,
+            shard_stages: Vec::new(),
         };
         assert!((m.index_size_mb() - 2.0).abs() < 1e-9);
         let line = m.to_log_line();
@@ -284,5 +326,59 @@ mod tests {
             ..m
         };
         assert!(dnf.to_log_line().contains("DNF"));
+    }
+
+    fn stage(filter_s: f64, verify_s: f64) -> StageTotals {
+        let mut s = StageTotals::default();
+        s.add_query(0.0, filter_s, verify_s, 0);
+        s
+    }
+
+    #[test]
+    fn shard_accessors_fall_back_for_unsharded_runs() {
+        let mut stages = StageTotals::default();
+        stages.add_query(0.1, 2.0, 3.0, 5);
+        let m = MethodMetrics {
+            method: "GGSX".into(),
+            indexing_time_s: 0.0,
+            index_size_bytes: 1,
+            distinct_features: 1,
+            avg_query_time_s: 0.0,
+            false_positive_ratio: 0.0,
+            queries_executed: 1,
+            timed_out: false,
+            stages,
+            shards: 1,
+            shard_stages: Vec::new(),
+        };
+        assert!((m.max_shard_time_s() - 5.0).abs() < 1e-12);
+        assert_eq!(m.shard_balance(), 1.0);
+    }
+
+    #[test]
+    fn shard_accessors_report_critical_path_and_balance() {
+        let m = MethodMetrics {
+            method: "GGSX".into(),
+            indexing_time_s: 0.0,
+            index_size_bytes: 1,
+            distinct_features: 1,
+            avg_query_time_s: 0.0,
+            false_positive_ratio: 0.0,
+            queries_executed: 4,
+            timed_out: false,
+            stages: StageTotals::default(),
+            shards: 3,
+            shard_stages: vec![stage(1.0, 1.0), stage(0.5, 0.5), stage(2.0, 2.0)],
+        };
+        assert!((m.max_shard_time_s() - 4.0).abs() < 1e-12);
+        assert!((m.shard_balance() - 0.25).abs() < 1e-12);
+        // An idle sharded wave balances trivially instead of dividing 0/0.
+        let idle = MethodMetrics {
+            shard_stages: vec![StageTotals::default(); 3],
+            ..m
+        };
+        assert_eq!(idle.shard_balance(), 1.0);
+        assert_eq!(idle.max_shard_time_s(), 0.0);
+        assert!(idle.shard_balance().is_finite());
     }
 }

@@ -2,7 +2,7 @@
 //! per-method time budget.
 
 use crate::metrics::{MethodMetrics, StageTotals, Stopwatch};
-use crate::service::{QueryService, ServiceConfig};
+use crate::service::{QueryService, ServiceConfig, ShardStrategy, ShardedConfig, ShardedService};
 use serde::{Deserialize, Serialize};
 use sqbench_generator::QueryWorkload;
 use sqbench_graph::Dataset;
@@ -124,6 +124,18 @@ pub struct RunOptions {
     /// still recorded under contention but overlap, so prefer `1` when
     /// comparing latency numbers against the paper.
     pub query_threads: usize,
+    /// Dataset shards each method is built and served over. `1` (the
+    /// default) is the single-index service; higher values partition the
+    /// dataset with [`RunOptions::shard_strategy`], build one index per
+    /// shard and serve every workload wave across all shard pools
+    /// concurrently (each shard pool running up to
+    /// [`RunOptions::query_threads`] workers). Answer sets are identical to
+    /// the unsharded run; candidate counts (and so the false positive
+    /// ratio) may differ because each shard mines features over its own
+    /// slice.
+    pub shards: usize,
+    /// How graphs are assigned to shards when [`RunOptions::shards`] > 1.
+    pub shard_strategy: ShardStrategy,
 }
 
 impl Default for RunOptions {
@@ -133,6 +145,8 @@ impl Default for RunOptions {
             config: MethodConfig::default(),
             time_budget: Duration::from_secs(120),
             query_threads: 1,
+            shards: 1,
+            shard_strategy: ShardStrategy::RoundRobin,
         }
     }
 }
@@ -158,6 +172,19 @@ impl RunOptions {
     /// size inside [`run_methods`] — see [`RunOptions::query_threads`]).
     pub fn with_query_threads(mut self, threads: usize) -> Self {
         self.query_threads = threads.max(1);
+        self
+    }
+
+    /// Partitions the dataset over `shards` cooperating shard services
+    /// (floored at 1 = unsharded; see [`RunOptions::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the shard partitioning strategy (see [`ShardStrategy`]).
+    pub fn with_shard_strategy(mut self, strategy: ShardStrategy) -> Self {
+        self.shard_strategy = strategy;
         self
     }
 }
@@ -196,6 +223,9 @@ fn run_single_method(
     workloads: &[QueryWorkload],
     options: &RunOptions,
 ) -> MethodMetrics {
+    if options.shards > 1 {
+        return run_sharded_method(kind, dataset, workloads, options);
+    }
     let budget = options.time_budget;
     let build_watch = Stopwatch::start();
     let index = build_index(kind, &options.config, dataset);
@@ -238,6 +268,67 @@ fn run_single_method(
         queries_executed,
         timed_out,
         stages,
+        shards: 1,
+        shard_stages: Vec::new(),
+    }
+}
+
+/// The sharded twin of `run_single_method`: partitions the dataset, builds
+/// one index per shard (indexing time covers all shard builds) and serves
+/// the flattened workload as one wave across every shard pool. `timed_out`
+/// means at least one query missed the budget deadline on some shard.
+fn run_sharded_method(
+    kind: MethodKind,
+    dataset: &Dataset,
+    workloads: &[QueryWorkload],
+    options: &RunOptions,
+) -> MethodMetrics {
+    let budget = options.time_budget;
+    let sharded_config = ShardedConfig {
+        shards: options.shards,
+        workers_per_shard: options.query_threads.max(1),
+        strategy: options.shard_strategy,
+    };
+    let build_watch = Stopwatch::start();
+    let mut service = ShardedService::build(kind, &options.config, dataset, &sharded_config);
+    let indexing_time_s = build_watch.elapsed_secs();
+    let stats = service.stats();
+
+    let mut timed_out = build_watch.elapsed() > budget;
+    let mut stages = StageTotals::default();
+    let mut shard_stages = vec![StageTotals::default(); service.shard_count()];
+    let mut false_positive_ratio = 0.0;
+    let mut queries_executed = 0usize;
+
+    if !timed_out {
+        let queries: Vec<&sqbench_graph::Graph> = workloads
+            .iter()
+            .flat_map(|w| w.iter().map(|(query, _)| query))
+            .collect();
+        let report = service.run_wave(&queries, Some(build_watch.deadline_after(budget)));
+        timed_out = report.expired() > 0;
+        queries_executed = report.executed();
+        false_positive_ratio = report.false_positive_ratio();
+        stages = report.totals;
+        shard_stages = report.per_shard;
+    }
+
+    MethodMetrics {
+        method: kind.name().to_string(),
+        indexing_time_s,
+        index_size_bytes: stats.size_bytes,
+        distinct_features: stats.distinct_features,
+        avg_query_time_s: if stages.queries == 0 {
+            0.0
+        } else {
+            (stages.filter_s + stages.verify_s) / stages.queries as f64
+        },
+        false_positive_ratio,
+        queries_executed,
+        timed_out,
+        stages,
+        shards: service.shard_count(),
+        shard_stages,
     }
 }
 
@@ -341,6 +432,60 @@ mod tests {
         let options = RunOptions::fast().with_query_threads(0);
         assert_eq!(options.query_threads, 1);
         assert_eq!(RunOptions::default().query_threads, 1);
+    }
+
+    #[test]
+    fn shards_builder_clamps_and_defaults_to_unsharded() {
+        assert_eq!(RunOptions::default().shards, 1);
+        assert_eq!(RunOptions::fast().with_shards(0).shards, 1);
+        let options = RunOptions::fast()
+            .with_shards(3)
+            .with_shard_strategy(ShardStrategy::SizeBalanced);
+        assert_eq!(options.shards, 3);
+        assert_eq!(options.shard_strategy, ShardStrategy::SizeBalanced);
+    }
+
+    #[test]
+    fn sharded_run_reports_per_shard_stages_and_same_answers() {
+        let (ds, workloads) = small_setup();
+        let kinds = [MethodKind::Ggsx, MethodKind::GCode];
+        let unsharded = run_methods(&ds, &workloads, &RunOptions::fast().with_methods(&kinds));
+        let sharded = run_methods(
+            &ds,
+            &workloads,
+            &RunOptions::fast().with_methods(&kinds).with_shards(3),
+        );
+        for (u, s) in unsharded.iter().zip(sharded.iter()) {
+            assert_eq!(u.method, s.method);
+            assert!(!s.timed_out);
+            assert_eq!(s.shards, 3);
+            assert_eq!(s.shard_stages.len(), 3);
+            assert_eq!(u.queries_executed, s.queries_executed);
+            // Per-shard totals cover every (query, shard) execution.
+            let shard_queries: u64 = s.shard_stages.iter().map(|t| t.queries).sum();
+            assert_eq!(shard_queries as usize, 3 * s.queries_executed);
+            assert!(s.shard_balance() >= 0.0 && s.shard_balance() <= 1.0);
+            assert!(s.max_shard_time_s() <= s.stages.filter_s + s.stages.verify_s + 1e-12);
+            // Sharded index stats aggregate real per-shard indexes.
+            assert!(s.index_size_bytes > 0);
+        }
+        // Unsharded runs leave the shard columns degenerate.
+        assert_eq!(unsharded[0].shards, 1);
+        assert!(unsharded[0].shard_stages.is_empty());
+    }
+
+    #[test]
+    fn sharded_zero_budget_marks_methods_as_timed_out() {
+        let (ds, workloads) = small_setup();
+        let mut options = RunOptions::fast()
+            .with_methods(&[MethodKind::Ggsx])
+            .with_shards(2);
+        options.time_budget = Duration::from_secs(0);
+        let results = run_methods(&ds, &workloads, &options);
+        assert!(results[0].timed_out);
+        assert_eq!(results[0].queries_executed, 0);
+        assert_eq!(results[0].avg_query_time_s, 0.0);
+        assert!(results[0].false_positive_ratio.is_finite());
     }
 
     #[test]

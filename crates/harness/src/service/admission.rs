@@ -1,0 +1,303 @@
+//! Open query admission: a bounded, continuously-admitting queue in front
+//! of the (sharded) query service.
+//!
+//! The closed `run_batch` entry point assumes the whole workload exists up
+//! front — fine for reproducing the paper's figures, wrong for a service
+//! facing open traffic. [`AdmissionQueue`] decouples the two sides:
+//!
+//! * **Producers** call [`AdmissionQueue::submit`] (blocking) or
+//!   [`AdmissionQueue::try_submit`] (non-blocking) from any number of
+//!   threads. Each admitted query gets a unique, monotonically increasing
+//!   [`Ticket`] and may carry its own deadline. The queue is *bounded*:
+//!   when `capacity` queries are pending, `submit` blocks on a condvar
+//!   until the consumer drains (backpressure), and `try_submit` returns
+//!   [`SubmitError::Full`] so callers can shed load instead.
+//! * **The consumer** (whoever owns the service) calls
+//!   [`AdmissionQueue::drain_pending`] to take everything currently
+//!   admitted as one wave, in admission order, and serves it. Draining
+//!   frees capacity and wakes blocked producers.
+//! * [`AdmissionQueue::close`] ends admission: subsequent submits fail with
+//!   [`SubmitError::Closed`] and blocked producers are released, so a
+//!   consumer loop can terminate cleanly once `is_closed() && is_empty()`.
+//!
+//! The queue owns its queries (`Graph` values, not borrows) — producers
+//! hand them over and move on, which is what lets submission outlive any
+//! particular wave.
+
+use sqbench_graph::Graph;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Identifier of one admitted query, unique per queue and monotonically
+/// increasing in admission order.
+pub type Ticket = u64;
+
+/// One query accepted into the admission queue, waiting to be drained.
+#[derive(Debug)]
+pub struct AdmittedQuery {
+    /// The queue-unique admission ticket.
+    pub ticket: Ticket,
+    /// The query graph (owned by the queue until drained).
+    pub query: Graph,
+    /// When the query was admitted (for queue-wait accounting).
+    pub submitted_at: Instant,
+    /// The producer-supplied deadline: the query must *start* executing
+    /// before this instant or be recorded as expired.
+    pub deadline: Option<Instant>,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue has been closed; no further queries are admitted.
+    Closed,
+    /// The queue is at capacity ([`AdmissionQueue::try_submit`] only —
+    /// the blocking [`AdmissionQueue::submit`] waits instead).
+    Full,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Closed => write!(f, "admission queue is closed"),
+            SubmitError::Full => write!(f, "admission queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[derive(Debug)]
+struct AdmissionState {
+    pending: VecDeque<AdmittedQuery>,
+    next_ticket: Ticket,
+    closed: bool,
+}
+
+/// The bounded multi-producer admission queue. See the module docs.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    state: Mutex<AdmissionState>,
+    /// Signalled whenever capacity frees up (drain) or the queue closes.
+    space: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue admitting at most `capacity` pending queries
+    /// (clamped to at least 1 — a zero-capacity queue could never admit).
+    pub fn with_capacity(capacity: usize) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(AdmissionState {
+                pending: VecDeque::new(),
+                next_ticket: 0,
+                closed: false,
+            }),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of queries currently pending (admitted, not yet drained).
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("admission queue poisoned")
+            .pending
+            .len()
+    }
+
+    /// `true` when no query is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` once [`AdmissionQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("admission queue poisoned").closed
+    }
+
+    /// Total queries ever admitted (the next ticket to be handed out).
+    pub fn admitted(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("admission queue poisoned")
+            .next_ticket
+    }
+
+    /// Admits `query`, blocking while the queue is full (backpressure).
+    /// Returns the query's admission ticket, or [`SubmitError::Closed`] if
+    /// the queue closed before the query could be admitted.
+    pub fn submit(&self, query: Graph, deadline: Option<Instant>) -> Result<Ticket, SubmitError> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed);
+            }
+            if state.pending.len() < self.capacity {
+                return Ok(Self::admit(&mut state, query, deadline));
+            }
+            state = self.space.wait(state).expect("admission queue poisoned");
+        }
+    }
+
+    /// Non-blocking admission: errors with [`SubmitError::Full`] instead of
+    /// waiting when the queue is at capacity.
+    pub fn try_submit(
+        &self,
+        query: Graph,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, SubmitError> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.pending.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        Ok(Self::admit(&mut state, query, deadline))
+    }
+
+    fn admit(state: &mut AdmissionState, query: Graph, deadline: Option<Instant>) -> Ticket {
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.pending.push_back(AdmittedQuery {
+            ticket,
+            query,
+            submitted_at: Instant::now(),
+            deadline,
+        });
+        ticket
+    }
+
+    /// Takes every currently pending query, in admission order, freeing the
+    /// queue's capacity and waking blocked producers. Returns an empty
+    /// vector (without blocking) when nothing is pending — the consumer
+    /// loop decides how to pace itself.
+    pub fn drain_pending(&self) -> Vec<AdmittedQuery> {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        let wave: Vec<AdmittedQuery> = state.pending.drain(..).collect();
+        drop(state);
+        if !wave.is_empty() {
+            self.space.notify_all();
+        }
+        wave
+    }
+
+    /// Closes the queue: pending queries remain drainable, but no further
+    /// submissions are admitted, and producers blocked in
+    /// [`AdmissionQueue::submit`] are released with
+    /// [`SubmitError::Closed`].
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("admission queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn q(name: &str) -> Graph {
+        Graph::new(name)
+    }
+
+    #[test]
+    fn tickets_are_unique_and_ordered() {
+        let queue = AdmissionQueue::with_capacity(8);
+        let t0 = queue.submit(q("a"), None).unwrap();
+        let t1 = queue.submit(q("b"), None).unwrap();
+        assert_eq!((t0, t1), (0, 1));
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.admitted(), 2);
+        let wave = queue.drain_pending();
+        assert_eq!(wave.len(), 2);
+        assert_eq!(wave[0].ticket, 0);
+        assert_eq!(wave[1].ticket, 1);
+        assert!(queue.is_empty());
+        // Tickets keep increasing across waves.
+        assert_eq!(queue.submit(q("c"), None).unwrap(), 2);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_at_capacity() {
+        let queue = AdmissionQueue::with_capacity(2);
+        queue.try_submit(q("a"), None).unwrap();
+        queue.try_submit(q("b"), None).unwrap();
+        assert_eq!(queue.try_submit(q("c"), None), Err(SubmitError::Full));
+        queue.drain_pending();
+        assert!(queue.try_submit(q("c"), None).is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let queue = AdmissionQueue::with_capacity(0);
+        assert_eq!(queue.capacity(), 1);
+        queue.try_submit(q("a"), None).unwrap();
+        assert_eq!(queue.try_submit(q("b"), None), Err(SubmitError::Full));
+    }
+
+    #[test]
+    fn close_rejects_submissions_and_releases_blocked_producers() {
+        let queue = Arc::new(AdmissionQueue::with_capacity(1));
+        queue.submit(q("a"), None).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.submit(q("blocked"), None))
+        };
+        // Give the producer a moment to block on the full queue, then close.
+        std::thread::sleep(Duration::from_millis(20));
+        queue.close();
+        assert_eq!(producer.join().unwrap(), Err(SubmitError::Closed));
+        assert!(queue.is_closed());
+        // The pending query survives the close and is still drainable.
+        assert_eq!(queue.drain_pending().len(), 1);
+        assert_eq!(queue.submit(q("late"), None), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn blocked_producer_resumes_after_drain() {
+        let queue = Arc::new(AdmissionQueue::with_capacity(1));
+        queue.submit(q("first"), None).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.submit(q("second"), None))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(queue.drain_pending().len(), 1);
+        let ticket = producer.join().unwrap().unwrap();
+        assert_eq!(ticket, 1);
+        let wave = queue.drain_pending();
+        assert_eq!(wave.len(), 1);
+        assert_eq!(wave[0].query.name(), "second");
+    }
+
+    #[test]
+    fn deadlines_travel_with_the_admitted_query() {
+        let queue = AdmissionQueue::with_capacity(4);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        queue.submit(q("a"), Some(deadline)).unwrap();
+        queue.submit(q("b"), None).unwrap();
+        let wave = queue.drain_pending();
+        assert_eq!(wave[0].deadline, Some(deadline));
+        assert_eq!(wave[1].deadline, None);
+        assert!(wave[0].submitted_at <= Instant::now());
+    }
+
+    #[test]
+    fn empty_drain_returns_immediately() {
+        let queue = AdmissionQueue::with_capacity(4);
+        assert!(queue.drain_pending().is_empty());
+        assert!(queue.drain_pending().is_empty());
+    }
+}

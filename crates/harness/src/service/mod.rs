@@ -64,10 +64,30 @@
 //! sets are still exact per query (verification is exact regardless of
 //! filtering power); only order-sensitive *candidate* trajectories of
 //! learning methods may differ.
+//!
+//! # Beyond one index and one closed batch
+//!
+//! Two sibling modules generalize this serving layer:
+//!
+//! * [`sharded`] — partitions the dataset across N cooperating shard pools
+//!   (each with its own index and arenas), fans every wave out to all
+//!   shards concurrently and merges the per-shard match sets back into
+//!   global answers;
+//! * [`admission`] — a bounded, continuously-admitting query queue
+//!   (`submit`/`drain` with backpressure and per-query deadlines) that
+//!   replaces the closed `run_batch`-only entry point for open traffic.
 
+pub mod admission;
 pub mod pool;
 pub mod queue;
+pub mod sharded;
 pub mod stages;
+
+pub use admission::{AdmissionQueue, AdmittedQuery, SubmitError, Ticket};
+pub use sharded::{
+    partition_dataset, ShardPart, ShardStrategy, ShardedConfig, ShardedQueryRecord, ShardedReport,
+    ShardedService,
+};
 
 use crate::metrics::{counted_false_positive_ratio, StageTotals, Stopwatch};
 use pool::{worker_loop, BatchShared, WorkerArena};
@@ -134,6 +154,8 @@ impl BatchReport {
     }
 
     /// Workload false positive ratio (Equation 3) over executed queries.
+    /// `0.0` for an empty batch (no executed queries) — never NaN, so the
+    /// value is always safe to write into a CSV report.
     pub fn false_positive_ratio(&self) -> f64 {
         counted_false_positive_ratio(
             self.records
@@ -144,8 +166,10 @@ impl BatchReport {
     }
 
     /// Executed queries per wall-clock second — the service's throughput.
+    /// `0.0` for an empty or zero-duration batch (and for a corrupted
+    /// non-finite wall time) — never NaN or infinity.
     pub fn throughput_qps(&self) -> f64 {
-        if self.wall_s <= 0.0 {
+        if self.executed() == 0 || self.wall_s <= 0.0 || !self.wall_s.is_finite() {
             0.0
         } else {
             self.executed() as f64 / self.wall_s
@@ -179,55 +203,36 @@ impl<'a> QueryService<'a> {
     /// `deadline` are skipped (recorded as `None`), mirroring the
     /// experiment budget semantics; `None` means no deadline.
     pub fn run_batch(&mut self, queries: &[&Graph], deadline: Option<Instant>) -> BatchReport {
-        let workers = self.arenas.len().min(queries.len()).max(1);
-        let shared = BatchShared::new(queries, workers, deadline);
-        let watch = Stopwatch::start();
-        let completed: Vec<Vec<(usize, Option<QueryRecord>)>> = if workers == 1 {
-            // In-place fast path: no thread spawn, strict batch order.
-            vec![worker_loop(
-                0,
-                &shared,
-                self.index,
-                self.dataset,
-                &mut self.arenas[0],
-            )]
-        } else {
-            let index = self.index;
-            let dataset = self.dataset;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .arenas
-                    .iter_mut()
-                    .take(workers)
-                    .enumerate()
-                    .map(|(w, arena)| {
-                        let shared = &shared;
-                        scope.spawn(move || worker_loop(w, shared, index, dataset, arena))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("query service worker panicked"))
-                    .collect()
-            })
-        };
-        let wall_s = watch.elapsed_secs();
+        run_batch_on(
+            self.index,
+            self.dataset,
+            &mut self.arenas,
+            queries,
+            deadline,
+            None,
+        )
+    }
 
-        let mut records: Vec<Option<QueryRecord>> = Vec::new();
-        records.resize_with(queries.len(), || None);
-        let mut totals = StageTotals::default();
-        for (idx, record) in completed.into_iter().flatten() {
-            if let Some(r) = &record {
-                totals.add_query(r.queue_wait_s, r.filter_s, r.verify_s, r.candidates_pruned);
-            }
-            records[idx] = record;
-        }
-        BatchReport {
-            records,
-            totals,
-            wall_s,
-            workers,
-        }
+    /// Like [`QueryService::run_batch`], but additionally honouring a
+    /// per-query deadline slice (indexed like `queries`): a query whose own
+    /// deadline has passed when a worker claims it is skipped even if the
+    /// batch-wide deadline is still open. This is the entry point the open
+    /// admission path uses — each submitted query carries the deadline its
+    /// producer attached.
+    pub fn run_batch_with_deadlines(
+        &mut self,
+        queries: &[&Graph],
+        deadline: Option<Instant>,
+        per_query: &[Option<Instant>],
+    ) -> BatchReport {
+        run_batch_on(
+            self.index,
+            self.dataset,
+            &mut self.arenas,
+            queries,
+            deadline,
+            Some(per_query),
+        )
     }
 
     /// Warm-up helper: pre-sizes every worker's arena pool with one set for
@@ -240,6 +245,65 @@ impl<'a> QueryService<'a> {
                 arena.recycle(CandidateSet::empty(universe));
             }
         }
+    }
+}
+
+/// Runs one batch of queries through the pipelined worker pool, drawing the
+/// per-worker candidate arenas from `arenas` (which persist across calls —
+/// this is the body of [`QueryService::run_batch`], factored out so callers
+/// that *own* their index and dataset, like the sharded service's per-shard
+/// pools, can reuse it without the service's borrowed-lifetime plumbing).
+///
+/// `deadline` is the batch-wide cutoff; `per_query` optionally attaches an
+/// individual deadline to each query (indexed like `queries`). Workers spawn
+/// up to `arenas.len()` strong, clamped to the batch size.
+pub(crate) fn run_batch_on(
+    index: &dyn GraphIndex,
+    dataset: &Dataset,
+    arenas: &mut [WorkerArena],
+    queries: &[&Graph],
+    deadline: Option<Instant>,
+    per_query: Option<&[Option<Instant>]>,
+) -> BatchReport {
+    let workers = arenas.len().min(queries.len()).max(1);
+    let shared = BatchShared::with_deadlines(queries, workers, deadline, per_query);
+    let watch = Stopwatch::start();
+    let completed: Vec<Vec<(usize, Option<QueryRecord>)>> = if workers == 1 {
+        // In-place fast path: no thread spawn, strict batch order.
+        vec![worker_loop(0, &shared, index, dataset, &mut arenas[0])]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = arenas
+                .iter_mut()
+                .take(workers)
+                .enumerate()
+                .map(|(w, arena)| {
+                    let shared = &shared;
+                    scope.spawn(move || worker_loop(w, shared, index, dataset, arena))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query service worker panicked"))
+                .collect()
+        })
+    };
+    let wall_s = watch.elapsed_secs();
+
+    let mut records: Vec<Option<QueryRecord>> = Vec::new();
+    records.resize_with(queries.len(), || None);
+    let mut totals = StageTotals::default();
+    for (idx, record) in completed.into_iter().flatten() {
+        if let Some(r) = &record {
+            totals.add_query(r.queue_wait_s, r.filter_s, r.verify_s, r.candidates_pruned);
+        }
+        records[idx] = record;
+    }
+    BatchReport {
+        records,
+        totals,
+        wall_s,
+        workers,
     }
 }
 
@@ -355,6 +419,53 @@ mod tests {
         assert_eq!(report.records.len(), 0);
         assert_eq!(report.executed(), 0);
         assert!(!report.timed_out());
+    }
+
+    /// Empty batches must not leak NaN (0/0) or infinity into the metrics
+    /// that end up in CSV reports — every ratio degrades to exactly 0.0.
+    #[test]
+    fn empty_batch_divisions_are_zero_not_nan() {
+        let report = BatchReport {
+            records: Vec::new(),
+            totals: StageTotals::default(),
+            wall_s: 0.0, // degenerate wall time on top of zero queries
+            workers: 1,
+        };
+        assert_eq!(report.false_positive_ratio(), 0.0);
+        assert_eq!(report.throughput_qps(), 0.0);
+        assert!(report.false_positive_ratio().is_finite());
+        assert!(report.throughput_qps().is_finite());
+        let corrupt = BatchReport {
+            records: vec![None],
+            totals: StageTotals::default(),
+            wall_s: f64::NAN,
+            workers: 1,
+        };
+        assert_eq!(corrupt.throughput_qps(), 0.0);
+        assert_eq!(corrupt.false_positive_ratio(), 0.0);
+    }
+
+    #[test]
+    fn per_query_deadlines_skip_only_expired_queries() {
+        let (ds, queries) = setup(12);
+        let index = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(2));
+        let past = Instant::now() - Duration::from_secs(1);
+        let mut per_query: Vec<Option<Instant>> = vec![None; refs.len()];
+        per_query[1] = Some(past);
+        per_query[4] = Some(past);
+        let report = service.run_batch_with_deadlines(&refs, None, &per_query);
+        assert!(report.timed_out());
+        assert_eq!(report.executed(), refs.len() - 2);
+        for (i, record) in report.records.iter().enumerate() {
+            if i == 1 || i == 4 {
+                assert!(record.is_none(), "expired query {i} must be skipped");
+            } else {
+                let record = record.as_ref().expect("live query executed");
+                assert_eq!(record.answers, index.query(&ds, &queries[i]).answers);
+            }
+        }
     }
 
     #[test]

@@ -50,9 +50,17 @@ pub(super) struct BatchShared<'q> {
 }
 
 impl<'q> BatchShared<'q> {
-    pub fn new(queries: &'q [&'q Graph], workers: usize, deadline: Option<Instant>) -> Self {
+    /// Wraps a batch for a pool of `workers`, with an optional batch-wide
+    /// deadline and an optional per-query deadline slice (indexed like
+    /// `queries`).
+    pub fn with_deadlines(
+        queries: &'q [&'q Graph],
+        workers: usize,
+        deadline: Option<Instant>,
+        per_query: Option<&'q [Option<Instant>]>,
+    ) -> Self {
         BatchShared {
-            queue: BatchQueue::new(queries),
+            queue: BatchQueue::with_deadlines(queries, per_query),
             verify_queues: (0..workers).map(|_| StealDeque::default()).collect(),
             deadline,
         }
@@ -70,8 +78,12 @@ impl<'q> BatchShared<'q> {
             .find_map(StealDeque::steal)
     }
 
-    fn past_deadline(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() > d)
+    /// `true` when query `idx` may no longer start: either the batch-wide
+    /// deadline or the query's own admission deadline has passed.
+    fn past_deadline(&self, idx: usize) -> bool {
+        let now = Instant::now();
+        self.deadline.is_some_and(|d| now > d)
+            || self.queue.deadline_of(idx).is_some_and(|d| now > d)
     }
 }
 
@@ -103,8 +115,9 @@ pub(super) fn worker_loop<'q>(
         if shared.verify_queues[worker].len() < filter_ahead {
             if let Some((idx, query, queue_wait_s)) = shared.queue.claim() {
                 idle_rounds = 0;
-                if shared.past_deadline() {
-                    // Budget exhausted before this query started: skip it,
+                if shared.past_deadline(idx) {
+                    // Budget exhausted (or the query's own admission
+                    // deadline expired) before this query started: skip it,
                     // like the sequential runner's "remaining queries are
                     // skipped" semantics.
                     completed.push((idx, None));

@@ -23,6 +23,11 @@ use std::time::Instant;
 /// cursor. See the module docs for the claiming discipline.
 pub struct BatchQueue<'q> {
     queries: &'q [&'q Graph],
+    /// Optional per-query deadlines, indexed like `queries`. A query whose
+    /// deadline has passed when a worker claims it is skipped, independent
+    /// of the batch-wide deadline — this is how the open admission path
+    /// honours the deadline each caller attached at `submit` time.
+    deadlines: Option<&'q [Option<Instant>]>,
     next: AtomicUsize,
     /// Claimed-but-unrecorded queries: incremented by [`BatchQueue::claim`],
     /// decremented by [`BatchQueue::complete_one`]. Workers may only exit
@@ -35,12 +40,38 @@ impl<'q> BatchQueue<'q> {
     /// Wraps a batch of queries as a queue; queue waits are measured from
     /// this call.
     pub fn new(queries: &'q [&'q Graph]) -> Self {
+        Self::with_deadlines(queries, None)
+    }
+
+    /// Like [`BatchQueue::new`], but attaching a per-query deadline slice
+    /// (indexed like `queries`; `None` entries mean no individual deadline).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the deadline slice length differs from the batch length.
+    pub fn with_deadlines(
+        queries: &'q [&'q Graph],
+        deadlines: Option<&'q [Option<Instant>]>,
+    ) -> Self {
+        if let Some(d) = deadlines {
+            assert_eq!(
+                d.len(),
+                queries.len(),
+                "per-query deadline slice must match the batch length"
+            );
+        }
         BatchQueue {
             queries,
+            deadlines,
             next: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// The individual deadline attached to query `idx`, if any.
+    pub fn deadline_of(&self, idx: usize) -> Option<Instant> {
+        self.deadlines.and_then(|d| d.get(idx).copied().flatten())
     }
 
     /// Number of queries in the batch.
@@ -143,6 +174,29 @@ mod tests {
         queue.complete_one();
         queue.complete_one();
         assert!(queue.drained());
+    }
+
+    #[test]
+    fn per_query_deadlines_are_indexed_like_the_batch() {
+        let g = Graph::new("q");
+        let queries: Vec<&Graph> = vec![&g, &g];
+        let past = Instant::now() - std::time::Duration::from_secs(1);
+        let deadlines = [Some(past), None];
+        let queue = BatchQueue::with_deadlines(&queries, Some(&deadlines));
+        assert_eq!(queue.deadline_of(0), Some(past));
+        assert_eq!(queue.deadline_of(1), None);
+        assert_eq!(queue.deadline_of(7), None); // out of range is just "none"
+        let plain = BatchQueue::new(&queries);
+        assert_eq!(plain.deadline_of(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline slice must match")]
+    fn mismatched_deadline_slice_panics() {
+        let g = Graph::new("q");
+        let queries: Vec<&Graph> = vec![&g, &g];
+        let deadlines = [None];
+        let _ = BatchQueue::with_deadlines(&queries, Some(&deadlines));
     }
 
     #[test]

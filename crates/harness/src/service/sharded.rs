@@ -1,0 +1,712 @@
+//! Sharded query service: partition the dataset, build one index per
+//! shard, fan every query wave out to all shard pools concurrently, and
+//! merge the per-shard match sets back into global answers.
+//!
+//! The paper's study (and the batch [`QueryService`]) serves one index over
+//! one dataset. That stops scaling when the dataset outgrows a single
+//! index build — the regime the billion-node partition-then-match line of
+//! work targets. This module generalizes the serving path to N shards:
+//!
+//! ```text
+//!              ┌────────────────────── ShardedService ──────────────────────┐
+//!  submit ───► │ AdmissionQueue (bounded, multi-producer, per-query         │
+//!  submit ───► │                 deadlines)                                 │
+//!              │      │ drain → wave (admission order)                      │
+//!              │      ▼                                                     │
+//!              │ ┌─ shard 0 ──────┐ ┌─ shard 1 ──────┐ … ┌─ shard N ──────┐ │
+//!              │ │ Dataset slice  │ │ Dataset slice  │   │ Dataset slice  │ │
+//!              │ │ own GraphIndex │ │ own GraphIndex │   │ own GraphIndex │ │
+//!              │ │ worker pool +  │ │ worker pool +  │   │ worker pool +  │ │
+//!              │ │ arenas         │ │ arenas         │   │ arenas         │ │
+//!              │ └───────┬────────┘ └───────┬────────┘   └───────┬────────┘ │
+//!              │         ▼ local ids        ▼                    ▼          │
+//!              │      merge: map → global ids, union answers, aggregate     │
+//!              │             per-shard StageTotals                          │
+//!              └──────────► ShardedReport (records in wave order) ──────────┘
+//! ```
+//!
+//! * **Partitioner** — [`partition_dataset`] splits the dataset by
+//!   [`ShardStrategy`]: `RoundRobin` (graph *i* → shard *i mod N*; keeps
+//!   id-adjacent graphs apart, good when sizes are i.i.d.) or
+//!   `SizeBalanced` (longest-processing-time greedy on vertex+edge weight;
+//!   good when graph sizes are skewed). Each shard remembers its
+//!   local→global id mapping.
+//! * **Per-shard pools** — each shard owns its dataset slice, its index and
+//!   its worker arenas; a wave runs one [`run_batch_on`] pool per shard on
+//!   scoped threads, so shards progress concurrently and arenas persist
+//!   across waves exactly like the single-index service.
+//! * **Merge** — per query, shard-local answer ids are mapped through the
+//!   shard's id table and unioned. Shards partition the dataset, so the
+//!   union is disjoint and the merged answer set is *bit-identical* to the
+//!   unsharded service's (verification is exact on every shard); only
+//!   filtering power — and therefore candidate counts — may differ, because
+//!   each shard mines/encodes features over its own slice.
+//!
+//! A query expires if *any* shard had to skip it on deadline — a partially
+//! executed query would otherwise report a silently incomplete answer set.
+
+use super::admission::{AdmissionQueue, AdmittedQuery, Ticket};
+use super::pool::WorkerArena;
+use super::{run_batch_on, BatchReport};
+use crate::metrics::{counted_false_positive_ratio, StageTotals, Stopwatch};
+use sqbench_graph::{Dataset, Graph, GraphId};
+use sqbench_index::{build_index, GraphIndex, IndexStats, MethodConfig, MethodKind};
+use std::time::Instant;
+
+/// How [`partition_dataset`] assigns graphs to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Graph `i` goes to shard `i % shards`. Deterministic, streaming, and
+    /// even by *count*; the default.
+    #[default]
+    RoundRobin,
+    /// Longest-processing-time greedy by graph weight (vertices + edges):
+    /// graphs are placed heaviest-first onto the currently lightest shard,
+    /// evening out total shard *size* when graph sizes are skewed.
+    SizeBalanced,
+}
+
+impl ShardStrategy {
+    /// Short name used in logs, CSV descriptions and bench ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardStrategy::RoundRobin => "round-robin",
+            ShardStrategy::SizeBalanced => "size-balanced",
+        }
+    }
+}
+
+/// Configuration of a [`ShardedService`].
+#[derive(Debug, Clone)]
+pub struct ShardedConfig {
+    /// Number of shards (clamped to at least 1).
+    pub shards: usize,
+    /// Worker threads per shard pool (clamped to at least 1).
+    pub workers_per_shard: usize,
+    /// How graphs are assigned to shards.
+    pub strategy: ShardStrategy,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            strategy: ShardStrategy::RoundRobin,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// A config with the given shard count (one worker per shard,
+    /// round-robin placement).
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedConfig {
+            shards: shards.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the partitioning strategy.
+    pub fn strategy(mut self, strategy: ShardStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the per-shard worker-pool size.
+    pub fn workers_per_shard(mut self, workers: usize) -> Self {
+        self.workers_per_shard = workers.max(1);
+        self
+    }
+}
+
+/// One partition of a dataset: the shard-local dataset plus the mapping
+/// from shard-local [`GraphId`]s back to ids in the original dataset.
+#[derive(Debug, Clone)]
+pub struct ShardPart {
+    /// The shard's slice of the dataset (ids re-densified to `0..len`).
+    pub dataset: Dataset,
+    /// `to_global[local_id]` is the graph's id in the unsharded dataset.
+    pub to_global: Vec<GraphId>,
+}
+
+/// Splits `dataset` into `shards` parts by `strategy`. Every graph lands in
+/// exactly one part; parts may be empty when the dataset has fewer graphs
+/// than shards (the service handles empty shards — they simply answer
+/// nothing). Deterministic for a given dataset/strategy/shard count.
+///
+/// Each part owns a *clone* of its graphs: in a real deployment every
+/// shard loads only its slice from storage and the global dataset never
+/// exists in one process, which this models — but in-process it means the
+/// partition duplicates the dataset's memory next to the caller's copy.
+/// Sharing graphs (`Arc<Graph>` inside `Dataset`) would remove the copy at
+/// the cost of reshaping the whole data model; tracked in ROADMAP.md.
+pub fn partition_dataset(
+    dataset: &Dataset,
+    shards: usize,
+    strategy: ShardStrategy,
+) -> Vec<ShardPart> {
+    let shards = shards.max(1);
+    let mut assignment: Vec<Vec<GraphId>> = vec![Vec::new(); shards];
+    match strategy {
+        ShardStrategy::RoundRobin => {
+            for id in dataset.ids() {
+                assignment[id % shards].push(id);
+            }
+        }
+        ShardStrategy::SizeBalanced => {
+            // LPT greedy: heaviest graph first onto the lightest shard.
+            // Ties break on the lower id / lower shard index, keeping the
+            // partition deterministic.
+            let mut by_weight: Vec<(usize, GraphId)> = dataset
+                .iter()
+                .map(|(id, g)| (g.vertex_count() + g.edge_count(), id))
+                .collect();
+            by_weight.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let mut loads = vec![0usize; shards];
+            for (weight, id) in by_weight {
+                let lightest = loads
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(shard, &load)| (load, shard))
+                    .map(|(shard, _)| shard)
+                    .expect("at least one shard");
+                loads[lightest] += weight;
+                assignment[lightest].push(id);
+            }
+            // Keep shard-local id order aligned with global id order so a
+            // shard's answers come out sorted after mapping.
+            for ids in &mut assignment {
+                ids.sort_unstable();
+            }
+        }
+    }
+    assignment
+        .into_iter()
+        .enumerate()
+        .map(|(shard, ids)| {
+            let graphs: Vec<Graph> = ids
+                .iter()
+                .map(|&id| dataset.graph_unchecked(id).clone())
+                .collect();
+            ShardPart {
+                dataset: Dataset::from_graphs(
+                    format!("{}[shard {shard}/{shards}]", dataset.name()),
+                    graphs,
+                ),
+                to_global: ids,
+            }
+        })
+        .collect()
+}
+
+/// One shard of the service: its dataset slice, its own index, its id
+/// mapping and the worker arenas that persist across waves.
+struct Shard {
+    dataset: Dataset,
+    index: Box<dyn GraphIndex>,
+    to_global: Vec<GraphId>,
+    arenas: Vec<WorkerArena>,
+}
+
+/// What the sharded service records for one query of a wave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedQueryRecord {
+    /// The query's admission ticket (for open waves) or its position in the
+    /// submitted slice (for closed waves).
+    pub ticket: Ticket,
+    /// Merged verified answers as *global* graph ids, sorted ascending.
+    pub answers: Vec<GraphId>,
+    /// Candidates surviving filtering, summed across shards.
+    pub candidate_count: usize,
+    /// Graphs pruned by filtering, summed across shards.
+    pub candidates_pruned: usize,
+    /// Longest queue wait across shards (the query is not done before its
+    /// slowest shard picks it up), plus — for open waves served through
+    /// [`ShardedService::drain`] — the time the query spent pending in the
+    /// [`AdmissionQueue`] before the wave started.
+    pub queue_wait_s: f64,
+    /// Filter work summed across shards (total work, not critical path).
+    pub filter_s: f64,
+    /// Verify work summed across shards (total work, not critical path).
+    pub verify_s: f64,
+    /// `true` when the query missed its deadline on at least one shard and
+    /// was skipped there — its answers are dropped rather than reported
+    /// incomplete.
+    pub expired: bool,
+}
+
+impl ShardedQueryRecord {
+    /// Number of verified answers (0 for expired queries).
+    pub fn answer_count(&self) -> usize {
+        self.answers.len()
+    }
+}
+
+/// Everything one wave (closed batch or admission drain) produced.
+#[derive(Debug)]
+pub struct ShardedReport {
+    /// Per-query records, in wave order.
+    pub records: Vec<ShardedQueryRecord>,
+    /// Stage totals per shard, indexed by shard — the balance view the
+    /// shard-count experiments plot.
+    pub per_shard: Vec<StageTotals>,
+    /// Merged stage totals over executed (non-expired) queries: queue wait
+    /// is the per-query max across shards, filter/verify are total work.
+    pub totals: StageTotals,
+    /// Wall-clock seconds the wave took end to end across all shards.
+    pub wall_s: f64,
+    /// Number of shards the wave ran on.
+    pub shards: usize,
+}
+
+impl ShardedReport {
+    /// Queries that executed on every shard (i.e. not expired).
+    pub fn executed(&self) -> usize {
+        self.records.iter().filter(|r| !r.expired).count()
+    }
+
+    /// Queries dropped because a deadline expired before execution.
+    pub fn expired(&self) -> usize {
+        self.records.iter().filter(|r| r.expired).count()
+    }
+
+    /// Workload false positive ratio (Equation 3) over executed queries,
+    /// with the sharded candidate sets. `0.0` for an empty wave — never
+    /// NaN, so CSV reports stay well-formed.
+    pub fn false_positive_ratio(&self) -> f64 {
+        counted_false_positive_ratio(
+            self.records
+                .iter()
+                .filter(|r| !r.expired)
+                .map(|r| (r.candidate_count, r.answer_count())),
+        )
+    }
+
+    /// Executed queries per wall-clock second. `0.0` for an empty or
+    /// zero-duration wave — never NaN or infinity.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_s > 0.0 && self.wall_s.is_finite() {
+            self.executed() as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The sharded query service: N shard pools behind one admission front.
+/// Construct with [`ShardedService::build`], then either serve closed
+/// waves ([`ShardedService::run_wave`]) or drain an open
+/// [`AdmissionQueue`] ([`ShardedService::drain`]).
+pub struct ShardedService {
+    shards: Vec<Shard>,
+    strategy: ShardStrategy,
+}
+
+impl ShardedService {
+    /// Partitions `dataset`, builds one `kind` index per shard and sets up
+    /// the per-shard worker pools. Building is sequential per shard; the
+    /// returned service serves waves across all shards concurrently.
+    pub fn build(
+        kind: MethodKind,
+        method_config: &MethodConfig,
+        dataset: &Dataset,
+        config: &ShardedConfig,
+    ) -> Self {
+        let workers = config.workers_per_shard.max(1);
+        let shards = partition_dataset(dataset, config.shards, config.strategy)
+            .into_iter()
+            .map(|part| {
+                let index = build_index(kind, method_config, &part.dataset);
+                Shard {
+                    dataset: part.dataset,
+                    index,
+                    to_global: part.to_global,
+                    arenas: (0..workers).map(|_| WorkerArena::default()).collect(),
+                }
+            })
+            .collect();
+        ShardedService {
+            shards,
+            strategy: config.strategy,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partitioning strategy the service was built with.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Graphs per shard, indexed by shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.dataset.len()).collect()
+    }
+
+    /// Aggregated index statistics: feature counts and sizes summed over
+    /// all shard indexes.
+    pub fn stats(&self) -> IndexStats {
+        let mut total = IndexStats {
+            distinct_features: 0,
+            size_bytes: 0,
+        };
+        for shard in &self.shards {
+            let stats = shard.index.stats();
+            total.distinct_features += stats.distinct_features;
+            total.size_bytes += stats.size_bytes;
+        }
+        total
+    }
+
+    /// Serves one closed wave of queries against every shard concurrently
+    /// and merges the results. Records come back in wave order with the
+    /// query's position as its ticket. `deadline` is wave-wide; see
+    /// [`ShardedService::drain`] for per-query deadlines.
+    pub fn run_wave(&mut self, queries: &[&Graph], deadline: Option<Instant>) -> ShardedReport {
+        let tickets: Vec<Ticket> = (0..queries.len() as u64).collect();
+        self.run_wave_inner(queries, deadline, None, &tickets, None)
+    }
+
+    /// Drains every query currently admitted to `queue` and serves them as
+    /// one wave, honouring each query's own admission deadline. Returns
+    /// immediately with an empty report when nothing is pending — the
+    /// caller's consumer loop paces itself. The queue is deliberately
+    /// external to the service so any number of producer threads can
+    /// `submit` against it while the consumer drains.
+    pub fn drain(&mut self, queue: &AdmissionQueue, deadline: Option<Instant>) -> ShardedReport {
+        let wave: Vec<AdmittedQuery> = queue.drain_pending();
+        if wave.is_empty() {
+            return ShardedReport {
+                records: Vec::new(),
+                per_shard: vec![StageTotals::default(); self.shards.len()],
+                totals: StageTotals::default(),
+                wall_s: 0.0,
+                shards: self.shards.len(),
+            };
+        }
+        let queries: Vec<&Graph> = wave.iter().map(|a| &a.query).collect();
+        let per_query: Vec<Option<Instant>> = wave.iter().map(|a| a.deadline).collect();
+        let tickets: Vec<Ticket> = wave.iter().map(|a| a.ticket).collect();
+        // Queue-wait accounting starts at submission, not at wave start: a
+        // query that sat in a backed-up admission queue carries that wait
+        // into its record on top of the in-wave shard queue wait.
+        let drained_at = Instant::now();
+        let admission_wait_s: Vec<f64> = wave
+            .iter()
+            .map(|a| {
+                drained_at
+                    .saturating_duration_since(a.submitted_at)
+                    .as_secs_f64()
+            })
+            .collect();
+        self.run_wave_inner(
+            &queries,
+            deadline,
+            Some(&per_query),
+            &tickets,
+            Some(&admission_wait_s),
+        )
+    }
+
+    fn run_wave_inner(
+        &mut self,
+        queries: &[&Graph],
+        deadline: Option<Instant>,
+        per_query: Option<&[Option<Instant>]>,
+        tickets: &[Ticket],
+        admission_wait_s: Option<&[f64]>,
+    ) -> ShardedReport {
+        let shard_count = self.shards.len();
+        let watch = Stopwatch::start();
+        // Fan the wave out: one worker pool per shard, all shards in
+        // flight at once (scoped threads so shards' indexes stay borrowed).
+        let reports: Vec<BatchReport> = if shard_count == 1 {
+            let shard = &mut self.shards[0];
+            vec![run_batch_on(
+                &*shard.index,
+                &shard.dataset,
+                &mut shard.arenas,
+                queries,
+                deadline,
+                per_query,
+            )]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            run_batch_on(
+                                &*shard.index,
+                                &shard.dataset,
+                                &mut shard.arenas,
+                                queries,
+                                deadline,
+                                per_query,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard pool panicked"))
+                    .collect()
+            })
+        };
+        let wall_s = watch.elapsed_secs();
+
+        // Merge stage: per query, union the shard-local answers (mapped to
+        // global ids) and fold the stage timings; per shard, keep the
+        // aggregate totals for the balance view.
+        let per_shard: Vec<StageTotals> = reports.iter().map(|r| r.totals.clone()).collect();
+        let mut records = Vec::with_capacity(queries.len());
+        let mut totals = StageTotals::default();
+        for (qi, &ticket) in tickets.iter().enumerate() {
+            let mut merged = ShardedQueryRecord {
+                ticket,
+                answers: Vec::new(),
+                candidate_count: 0,
+                candidates_pruned: 0,
+                queue_wait_s: 0.0,
+                filter_s: 0.0,
+                verify_s: 0.0,
+                expired: false,
+            };
+            let mut shard_wait_s = 0.0f64;
+            for (shard, report) in self.shards.iter().zip(reports.iter()) {
+                match &report.records[qi] {
+                    Some(record) => {
+                        merged
+                            .answers
+                            .extend(record.answers.iter().map(|&local| shard.to_global[local]));
+                        merged.candidate_count += record.candidate_count;
+                        merged.candidates_pruned += record.candidates_pruned;
+                        shard_wait_s = shard_wait_s.max(record.queue_wait_s);
+                        merged.filter_s += record.filter_s;
+                        merged.verify_s += record.verify_s;
+                    }
+                    None => merged.expired = true,
+                }
+            }
+            // Total queue wait = time pending in the admission queue (open
+            // waves only) + the in-wave wait for the slowest shard.
+            merged.queue_wait_s = admission_wait_s.map_or(0.0, |w| w[qi]) + shard_wait_s;
+            if merged.expired {
+                // A partially executed query must not report an incomplete
+                // answer set: drop what the faster shards found.
+                merged.answers.clear();
+                merged.candidate_count = 0;
+                merged.candidates_pruned = 0;
+            } else {
+                // Shards partition the id space, so the concatenation is
+                // duplicate-free; sorting restores global id order.
+                merged.answers.sort_unstable();
+                totals.add_query(
+                    merged.queue_wait_s,
+                    merged.filter_s,
+                    merged.verify_s,
+                    merged.candidates_pruned,
+                );
+            }
+            records.push(merged);
+        }
+        ShardedReport {
+            records,
+            per_shard,
+            totals,
+            wall_s,
+            shards: shard_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
+    use std::time::Duration;
+
+    fn setup(graphs: usize, queries: usize) -> (Dataset, Vec<Graph>) {
+        let ds = GraphGen::new(
+            GraphGenConfig::default()
+                .with_graph_count(graphs)
+                .with_avg_nodes(12)
+                .with_avg_density(0.15)
+                .with_label_count(4)
+                .with_seed(23),
+        )
+        .generate();
+        let workload = QueryGen::new(9).generate(&ds, queries, 4);
+        let qs = workload.iter().map(|(q, _)| q.clone()).collect();
+        (ds, qs)
+    }
+
+    #[test]
+    fn round_robin_partition_covers_every_graph_once() {
+        let (ds, _) = setup(13, 1);
+        for shards in [1, 2, 4, 7] {
+            let parts = partition_dataset(&ds, shards, ShardStrategy::RoundRobin);
+            assert_eq!(parts.len(), shards);
+            let mut seen: Vec<GraphId> = parts.iter().flat_map(|p| p.to_global.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..ds.len()).collect::<Vec<_>>());
+            for part in &parts {
+                assert_eq!(part.dataset.len(), part.to_global.len());
+                // Local id order tracks global id order.
+                assert!(part.to_global.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn size_balanced_partition_covers_every_graph_once_and_balances() {
+        let (ds, _) = setup(12, 1);
+        let parts = partition_dataset(&ds, 3, ShardStrategy::SizeBalanced);
+        let mut seen: Vec<GraphId> = parts.iter().flat_map(|p| p.to_global.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..ds.len()).collect::<Vec<_>>());
+        for part in &parts {
+            assert!(part.to_global.windows(2).all(|w| w[0] < w[1]));
+        }
+        // LPT keeps the heaviest shard within 2x of the lightest on any
+        // non-degenerate dataset (loose bound; the partition is greedy).
+        let weights: Vec<usize> = parts
+            .iter()
+            .map(|p| {
+                p.dataset
+                    .iter()
+                    .map(|(_, g)| g.vertex_count() + g.edge_count())
+                    .sum()
+            })
+            .collect();
+        let max = *weights.iter().max().unwrap();
+        let min = *weights.iter().min().unwrap();
+        assert!(max <= min.max(1) * 2, "badly unbalanced: {weights:?}");
+    }
+
+    #[test]
+    fn more_shards_than_graphs_leaves_empty_shards() {
+        let (ds, _) = setup(3, 1);
+        let parts = partition_dataset(&ds, 5, ShardStrategy::RoundRobin);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().filter(|p| p.dataset.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn sharded_wave_matches_unsharded_answers() {
+        let (ds, queries) = setup(17, 6);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let config = MethodConfig::fast();
+        for strategy in [ShardStrategy::RoundRobin, ShardStrategy::SizeBalanced] {
+            let mut service = ShardedService::build(
+                MethodKind::Ggsx,
+                &config,
+                &ds,
+                &ShardedConfig::with_shards(4).strategy(strategy),
+            );
+            assert_eq!(service.shard_count(), 4);
+            let report = service.run_wave(&refs, None);
+            assert_eq!(report.executed(), queries.len());
+            assert_eq!(report.expired(), 0);
+            let oracle = build_index(MethodKind::Ggsx, &config, &ds);
+            for (record, query) in report.records.iter().zip(queries.iter()) {
+                let outcome = oracle.query(&ds, query);
+                assert_eq!(record.answers, outcome.answers, "{}", strategy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn drain_serves_admitted_queries_and_honours_expired_deadlines() {
+        let (ds, queries) = setup(10, 4);
+        let mut service = ShardedService::build(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            &ShardedConfig::with_shards(2),
+        );
+        let queue = AdmissionQueue::with_capacity(8);
+        let past = Instant::now() - Duration::from_secs(1);
+        let live = queue.submit(queries[0].clone(), None).unwrap();
+        let dead = queue.submit(queries[1].clone(), Some(past)).unwrap();
+        let report = service.drain(&queue, None);
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[0].ticket, live);
+        assert!(!report.records[0].expired);
+        assert_eq!(report.records[1].ticket, dead);
+        assert!(report.records[1].expired);
+        assert!(report.records[1].answers.is_empty());
+        assert_eq!(report.executed(), 1);
+        assert_eq!(report.expired(), 1);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn drain_accounts_time_pending_in_the_admission_queue() {
+        let (ds, queries) = setup(8, 1);
+        let mut service = ShardedService::build(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            &ShardedConfig::with_shards(2),
+        );
+        let queue = AdmissionQueue::with_capacity(4);
+        queue.submit(queries[0].clone(), None).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        let report = service.drain(&queue, None);
+        let record = &report.records[0];
+        assert!(
+            record.queue_wait_s >= 0.04,
+            "queue wait {} must include the ~40 ms spent pending in the \
+             admission queue before the wave started",
+            record.queue_wait_s
+        );
+        assert!((report.totals.queue_wait_s - record.queue_wait_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_drain_and_empty_shards_do_not_hang() {
+        let (ds, queries) = setup(2, 2); // fewer graphs than shards
+        let mut service = ShardedService::build(
+            MethodKind::GCode,
+            &MethodConfig::fast(),
+            &ds,
+            &ShardedConfig::with_shards(4),
+        );
+        assert_eq!(service.shard_sizes().iter().filter(|&&n| n == 0).count(), 2);
+        let queue = AdmissionQueue::with_capacity(4);
+        let report = service.drain(&queue, None);
+        assert!(report.records.is_empty());
+        assert_eq!(report.false_positive_ratio(), 0.0);
+        assert_eq!(report.throughput_qps(), 0.0);
+        // A real wave over the partly-empty shards still completes.
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let wave = service.run_wave(&refs, None);
+        assert_eq!(wave.executed(), 2);
+        let oracle = build_index(MethodKind::GCode, &MethodConfig::fast(), &ds);
+        for (record, query) in wave.records.iter().zip(queries.iter()) {
+            assert_eq!(record.answers, oracle.query(&ds, query).answers);
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_over_shards() {
+        let (ds, _) = setup(12, 1);
+        let service = ShardedService::build(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            &ShardedConfig::with_shards(3).workers_per_shard(2),
+        );
+        let stats = service.stats();
+        assert!(stats.size_bytes > 0);
+        assert!(stats.distinct_features > 0);
+        assert_eq!(service.shard_sizes().iter().sum::<usize>(), ds.len());
+        assert_eq!(service.strategy(), ShardStrategy::RoundRobin);
+    }
+}

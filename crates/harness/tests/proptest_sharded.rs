@@ -1,0 +1,110 @@
+//! Property test: sharding is invisible in match sets.
+//!
+//! For every method (the six indexed ones plus the scan baseline), serving
+//! a workload over {1, 2, 4, 7} shards must return exactly the same
+//! graph-id match sets as the unsharded one-shot `query()` path — on both
+//! partitioning strategies, including shard counts that do not divide the
+//! dataset evenly (the generated datasets have 10–18 graphs, so 4 and 7
+//! leave ragged and even empty shards). Filtering power may differ per
+//! shard; answers may not.
+
+use proptest::prelude::*;
+use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
+use sqbench_graph::{Dataset, Graph, GraphId};
+use sqbench_harness::service::{ShardStrategy, ShardedConfig, ShardedService};
+use sqbench_index::{build_index, MethodConfig, MethodKind};
+
+const ALL_METHODS: [MethodKind; 7] = [
+    MethodKind::Grapes,
+    MethodKind::Ggsx,
+    MethodKind::CtIndex,
+    MethodKind::GIndex,
+    MethodKind::TreeDelta,
+    MethodKind::GCode,
+    MethodKind::Scan,
+];
+
+fn dataset_from_seed(seed: u64, graphs: usize) -> Dataset {
+    GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(graphs)
+            .with_avg_nodes(10)
+            .with_avg_density(0.14)
+            .with_label_count(4)
+            .with_seed(seed),
+    )
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sharded answers equal unsharded answers for every method, shard
+    /// count and placement strategy.
+    #[test]
+    fn sharded_matches_unsharded_for_all_methods(
+        seed in 0u64..300,
+        graphs in 10usize..19,
+    ) {
+        let ds = dataset_from_seed(seed, graphs);
+        let config = MethodConfig::fast();
+        let queries: Vec<Graph> = QueryGen::new(seed ^ 0x5a4d)
+            .generate(&ds, 3, 4)
+            .iter()
+            .map(|(q, _)| q.clone())
+            .collect();
+        let refs: Vec<&Graph> = queries.iter().collect();
+
+        for kind in ALL_METHODS {
+            // Unsharded ground truth on a fresh index per query order
+            // (Tree+Δ mutates its index while querying).
+            let oracle = build_index(kind, &config, &ds);
+            let expected: Vec<Vec<GraphId>> = queries
+                .iter()
+                .map(|q| oracle.query(&ds, q).answers)
+                .collect();
+
+            for strategy in [ShardStrategy::RoundRobin, ShardStrategy::SizeBalanced] {
+                for shards in [1usize, 2, 4, 7] {
+                    let mut service = ShardedService::build(
+                        kind,
+                        &config,
+                        &ds,
+                        &ShardedConfig::with_shards(shards).strategy(strategy),
+                    );
+                    prop_assert_eq!(service.shard_count(), shards);
+                    prop_assert_eq!(
+                        service.shard_sizes().iter().sum::<usize>(),
+                        ds.len(),
+                        "partition must cover the dataset exactly once"
+                    );
+                    let report = service.run_wave(&refs, None);
+                    prop_assert_eq!(report.executed(), queries.len());
+                    prop_assert_eq!(report.expired(), 0);
+                    for (qi, record) in report.records.iter().enumerate() {
+                        prop_assert_eq!(
+                            &record.answers,
+                            &expected[qi],
+                            "{} diverged on query {} with {} shards ({})",
+                            kind.name(),
+                            qi,
+                            shards,
+                            strategy.name()
+                        );
+                        // Merged answers are sorted, deduplicated global ids.
+                        prop_assert!(record.answers.windows(2).all(|w| w[0] < w[1]));
+                        prop_assert!(record
+                            .answers
+                            .iter()
+                            .all(|&id| id < ds.len()));
+                        // No filtering false dismissals survive the merge:
+                        // candidates cover the answers on every shard, so the
+                        // merged candidate count can never undercut the
+                        // merged answer count.
+                        prop_assert!(record.candidate_count >= record.answer_count());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -3,13 +3,14 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release --example scalability_sweep -- [fig1|fig2|fig3|fig4|fig5|fig6] [smoke|laptop|paper]
+//! cargo run --release --example scalability_sweep -- [fig1|fig2|fig3|fig4|fig5|fig6|fig7] [smoke|laptop|paper]
 //! ```
 //!
 //! The first argument picks the experiment (default `fig2`, the
-//! number-of-nodes sweep), the second the scale (default `smoke`). Output is
-//! the four text panels of the figure plus a CSV block that can be piped
-//! into a plotting tool.
+//! number-of-nodes sweep; `fig7` is the beyond-the-paper shard-count sweep,
+//! run for both partitioning strategies), the second the scale (default
+//! `smoke`). Output is the four text panels of the figure plus a CSV block
+//! that can be piped into a plotting tool.
 
 use sqbench_harness::{experiments, report, ExperimentScale};
 
@@ -29,8 +30,15 @@ fn main() {
         "fig4" => experiments::fig4_query_size::run(&scale),
         "fig5" => vec![experiments::fig5_labels::run(&scale)],
         "fig6" => vec![experiments::fig6_numgraphs::run(&scale)],
+        "fig7" => vec![
+            experiments::fig7_shards::run(&scale),
+            experiments::fig7_shards::run_with_strategy(
+                &scale,
+                sqbench_harness::ShardStrategy::SizeBalanced,
+            ),
+        ],
         other => {
-            eprintln!("unknown experiment {other:?}; use fig1..fig6");
+            eprintln!("unknown experiment {other:?}; use fig1..fig7");
             std::process::exit(2);
         }
     };

@@ -1,0 +1,114 @@
+//! Golden-file test for the CSV report format.
+//!
+//! The figure scripts downstream of `render_csv` parse columns by name; a
+//! silent header or field-order change corrupts every plot regenerated
+//! after it. This test pins the exact bytes `render_csv` produces for a
+//! small deterministic report — header plus one unsharded and one sharded
+//! row — against `tests/data/golden_report.csv`.
+//!
+//! When a format change is *intentional*, regenerate the golden file with
+//!
+//! ```text
+//! REGENERATE_GOLDEN=1 cargo test -p sqbench --test golden_report
+//! ```
+//!
+//! and commit the diff together with the change that caused it.
+
+use sqbench_harness::metrics::{MethodMetrics, StageTotals};
+use sqbench_harness::report::{render_csv, ExperimentPoint, ExperimentReport};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden_report.csv");
+
+fn stage_totals(queries: usize, queue_wait_s: f64, filter_s: f64, verify_s: f64) -> StageTotals {
+    let mut totals = StageTotals::default();
+    for _ in 0..queries {
+        totals.add_query(queue_wait_s, filter_s, verify_s, 15);
+    }
+    totals
+}
+
+/// A fully deterministic two-row report: no clocks, no RNG — every field
+/// is a hand-picked value that formats exactly the same on every run.
+fn golden_report() -> ExperimentReport {
+    let unsharded = MethodMetrics {
+        method: "GGSX".to_string(),
+        indexing_time_s: 1.25,
+        index_size_bytes: 2048,
+        distinct_features: 10,
+        avg_query_time_s: 1.5,
+        false_positive_ratio: 0.125,
+        queries_executed: 2,
+        timed_out: false,
+        stages: stage_totals(2, 0.25, 0.5, 1.0),
+        shards: 1,
+        shard_stages: Vec::new(),
+    };
+    let sharded = MethodMetrics {
+        method: "Grapes".to_string(),
+        indexing_time_s: 0.75,
+        index_size_bytes: 4096,
+        distinct_features: 24,
+        avg_query_time_s: 2.5,
+        false_positive_ratio: 0.25,
+        queries_executed: 1,
+        timed_out: true,
+        stages: stage_totals(1, 0.5, 0.75, 1.75),
+        shards: 2,
+        shard_stages: vec![
+            stage_totals(1, 0.0, 0.5, 1.5),   // busy shard: 2.0 s
+            stage_totals(1, 0.0, 0.25, 0.25), // light shard: 0.5 s
+        ],
+    };
+    let mut report = ExperimentReport::new(
+        "golden",
+        "CSV format pin",
+        "deterministic two-row report guarding the CSV contract",
+    );
+    report.push_point(ExperimentPoint {
+        x_label: "p0".to_string(),
+        x_value: 1.5,
+        results: vec![unsharded, sharded],
+    });
+    report
+}
+
+#[test]
+fn csv_format_matches_the_committed_golden_file() {
+    let rendered = render_csv(&golden_report());
+    if std::env::var_os("REGENERATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden file");
+        eprintln!("regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/data/golden_report.csv missing — run with REGENERATE_GOLDEN=1 to create it");
+    for (i, (got, want)) in rendered.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(
+            got, want,
+            "CSV line {i} diverged from the golden file; if the format change \
+             is intentional, regenerate with REGENERATE_GOLDEN=1 and commit"
+        );
+    }
+    assert_eq!(
+        rendered.lines().count(),
+        golden.lines().count(),
+        "CSV row count diverged from the golden file"
+    );
+    // Belt and braces: the exact bytes, not just line-wise equality.
+    assert_eq!(rendered, golden);
+}
+
+/// The golden fixture itself exercises the derived shard columns, so a
+/// regression in their math shows up here too, with fixed numbers.
+#[test]
+fn golden_fixture_shard_columns_have_expected_values() {
+    let report = golden_report();
+    let unsharded = &report.points[0].results[0];
+    assert_eq!(unsharded.shards, 1);
+    assert!((unsharded.max_shard_time_s() - 3.0).abs() < 1e-12); // 2×(0.5+1.0)
+    assert_eq!(unsharded.shard_balance(), 1.0);
+    let sharded = &report.points[0].results[1];
+    assert_eq!(sharded.shards, 2);
+    assert!((sharded.max_shard_time_s() - 2.0).abs() < 1e-12);
+    assert!((sharded.shard_balance() - 0.25).abs() < 1e-12);
+}
