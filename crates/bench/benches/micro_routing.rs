@@ -1,0 +1,162 @@
+//! Throughput micro-benchmark of selective shard routing on a
+//! label-skewed dataset: full fan-out vs. synopsis-routed waves.
+//!
+//! The dataset is 10k graphs in four **label-disjoint families**,
+//! interleaved so round-robin placement over 4 shards keeps each family on
+//! its own shard — the regime shard routing exists for. Three modes serve
+//! the same 24-query workload (each query is a random walk inside one
+//! family, so exactly one shard can hold its matches):
+//!
+//! * `fanout4` — 4 shards, every query probed on every shard (the PR 3
+//!   baseline);
+//! * `routed4` — the same 4 shards behind the synopsis [`Router`]: each
+//!   query probes only the shards whose synopsis admits it (here: 1 of 4);
+//! * `plan_only` — just the routing decision ([`Router::plan`] over the
+//!   whole wave), isolating the overhead the router adds per wave.
+//!
+//! Before timing, the bench asserts the correctness gate: fanout, routed
+//! and the oneshot `index.query()` answers are identical, and the routed
+//! wave probes **strictly fewer** shards than fan-out. Routing savings are
+//! real work avoided (index probe + filter + merge per skipped shard), so
+//! unlike raw shard parallelism they show up even on a single core. The
+//! committed `BENCH_micro_routing.json` baseline records this machine's
+//! numbers for the CI regression gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqbench_generator::{label_clustered, GraphGenConfig, QueryGen};
+use sqbench_graph::{Dataset, Graph, GraphId};
+use sqbench_harness::service::{RoutingMode, ShardedConfig, ShardedService};
+use sqbench_index::{build_index, MethodConfig, MethodKind};
+
+const UNIVERSE: usize = 10_000;
+const BATCH: usize = 24;
+const SHARDS: usize = 4;
+const FAMILIES: u32 = 4;
+
+fn skewed_dataset() -> Dataset {
+    label_clustered(
+        &GraphGenConfig::default()
+            .with_graph_count(UNIVERSE)
+            .with_avg_nodes(10)
+            .with_avg_density(0.2)
+            .with_label_count(6)
+            .with_seed(20150831),
+        FAMILIES,
+    )
+}
+
+fn skewed_queries(dataset: &Dataset) -> Vec<Graph> {
+    QueryGen::new(0x0040_07ed)
+        .generate(dataset, BATCH, 4)
+        .iter()
+        .map(|(q, _)| q.clone())
+        .collect()
+}
+
+/// One closed wave; answer counts only — the value the timed loops fold.
+fn run_wave(service: &mut ShardedService, queries: &[&Graph]) -> Vec<usize> {
+    service
+        .run_wave(queries, None)
+        .records
+        .iter()
+        .map(|r| r.answer_count())
+        .collect()
+}
+
+/// One closed wave keeping the full answer id lists — what the
+/// correctness gate compares, so a bug that returns the right *number* of
+/// wrong graph ids cannot slip past it.
+fn gate_wave(service: &mut ShardedService, queries: &[&Graph]) -> (Vec<Vec<GraphId>>, u64) {
+    let report = service.run_wave(queries, None);
+    let answers = report.records.iter().map(|r| r.answers.clone()).collect();
+    (answers, report.shards_probed())
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let dataset = skewed_dataset();
+    let config = MethodConfig::default();
+    let queries = skewed_queries(&dataset);
+    let refs: Vec<&Graph> = queries.iter().collect();
+
+    let mut fanout = ShardedService::build(
+        MethodKind::Ggsx,
+        &config,
+        &dataset,
+        &ShardedConfig::with_shards(SHARDS),
+    );
+    let mut routed = ShardedService::build(
+        MethodKind::Ggsx,
+        &config,
+        &dataset,
+        &ShardedConfig::with_shards(SHARDS).routing(RoutingMode::Synopsis),
+    );
+
+    // Correctness gate before any timing: routing must be invisible in the
+    // match sets — the full graph-id lists, not just their sizes — and
+    // must actually skip shards on this skewed dataset.
+    let index = build_index(MethodKind::Ggsx, &config, &dataset);
+    let oneshot: Vec<Vec<GraphId>> = refs
+        .iter()
+        .map(|q| index.query(&dataset, q).answers)
+        .collect();
+    let (fanout_answers, fanout_probes) = gate_wave(&mut fanout, &refs);
+    let (routed_answers, routed_probes) = gate_wave(&mut routed, &refs);
+    assert_eq!(oneshot, fanout_answers, "fan-out diverged from oneshot");
+    assert_eq!(oneshot, routed_answers, "routing changed a match set");
+    assert_eq!(fanout_probes, (SHARDS * BATCH) as u64);
+    assert!(
+        routed_probes < fanout_probes,
+        "routing probed {routed_probes} of {fanout_probes} — no savings on a label-skewed dataset"
+    );
+
+    let mut group = c.benchmark_group("micro_routing_wave");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.bench_with_input(BenchmarkId::new("fanout4", UNIVERSE), &refs, |b, refs| {
+        b.iter(|| run_wave(&mut fanout, refs))
+    });
+    group.bench_with_input(BenchmarkId::new("routed4", UNIVERSE), &refs, |b, refs| {
+        b.iter(|| run_wave(&mut routed, refs))
+    });
+    group.bench_with_input(BenchmarkId::new("plan_only", UNIVERSE), &refs, |b, refs| {
+        let router = routed.router();
+        b.iter(|| {
+            router
+                .plan(refs, RoutingMode::Synopsis)
+                .iter()
+                .map(Vec::len)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+
+    // Throughput summary straight from the recorded medians.
+    let results = c.results();
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.id == format!("micro_routing_wave/{name}/{UNIVERSE}"))
+            .map(|r| r.median_ns)
+    };
+    if let (Some(fan), Some(route), Some(plan)) =
+        (median("fanout4"), median("routed4"), median("plan_only"))
+    {
+        let qps = |ns: f64| BATCH as f64 / (ns / 1e9);
+        println!(
+            "routing throughput @ {UNIVERSE} graphs / {BATCH}-query wave: \
+             fanout4 {:.1} q/s, routed4 {:.1} q/s ({:.2}x; probes {} -> {}), \
+             plan overhead {:.1} µs/wave ({:.4}% of the routed wave)",
+            qps(fan),
+            qps(route),
+            fan / route,
+            fanout_probes,
+            routed_probes,
+            plan / 1e3,
+            100.0 * plan / route,
+        );
+    }
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -189,6 +189,56 @@ impl GraphGen {
     }
 }
 
+/// Generates a dataset of `families` **label-disjoint graph families**,
+/// interleaved so that graph `i` belongs to family `i % families`.
+///
+/// Family `f` is generated with the base configuration (graph counts split
+/// as evenly as possible, seeds decorrelated per family) and then shifted
+/// into its own label range `[f * label_count, (f + 1) * label_count)`, so
+/// no label — and no edge label pair — ever crosses families. This is the
+/// adversarial skew the shard-routing layer thrives on: round-robin
+/// partitioning over `N` shards sends family `f` to shard(s)
+/// `{s : s ≡ f (mod families)}` whenever `families` and `N` divide one
+/// another, so a query drawn from one family (as random-walk queries are)
+/// can only ever match inside that family's shards and a sound synopsis
+/// router skips all others.
+pub fn label_clustered(config: &GraphGenConfig, families: u32) -> Dataset {
+    let families = families.max(1);
+    let mut family_graphs: Vec<std::vec::IntoIter<Graph>> = (0..families)
+        .map(|f| {
+            let count = config.graph_count / families as usize
+                + usize::from((f as usize) < config.graph_count % families as usize);
+            let sub = GraphGen::new(
+                config
+                    .clone()
+                    .with_graph_count(count)
+                    // Decorrelate families: same shape parameters, fresh
+                    // stream per family, still deterministic overall.
+                    .with_seed(config.seed.wrapping_add(0x9e37_79b9 * (f as u64 + 1))),
+            )
+            .generate();
+            let offset = f * config.label_count.max(1);
+            let graphs: Vec<Graph> = sub
+                .into_iter()
+                .map(|mut g| {
+                    g.map_labels(|label| label + offset);
+                    g.set_name(format!("family{f}-{}", g.name()));
+                    g
+                })
+                .collect();
+            graphs.into_iter()
+        })
+        .collect();
+    let mut ds = Dataset::new(format!("{}-fam{families}", config.tag()));
+    for i in 0..config.graph_count {
+        let g = family_graphs[i % families as usize]
+            .next()
+            .expect("per-family counts sum to graph_count in interleave order");
+        ds.push(g);
+    }
+    ds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +341,29 @@ mod tests {
         let ds = GraphGen::new(cfg).generate();
         let cyclic = ds.graphs().iter().filter(|g| algo::has_cycle(g)).count();
         assert!(cyclic >= 95, "only {cyclic}/100 graphs contain cycles");
+    }
+
+    #[test]
+    fn label_clustered_families_are_label_disjoint_and_interleaved() {
+        let cfg = GraphGenConfig::small()
+            .with_graph_count(23)
+            .with_label_count(6)
+            .with_seed(9);
+        let ds = label_clustered(&cfg, 4);
+        assert_eq!(ds.len(), 23);
+        for (id, g) in ds.iter() {
+            let family = (id % 4) as u32;
+            let range = (family * 6)..((family + 1) * 6);
+            assert!(
+                g.labels().iter().all(|l| range.contains(l)),
+                "graph {id} leaked outside family {family}'s label range"
+            );
+            assert!(algo::is_connected(g));
+        }
+        // Deterministic for a fixed configuration.
+        assert_eq!(label_clustered(&cfg, 4), label_clustered(&cfg, 4));
+        // One family degenerates to a plain (relabeled-by-identity) dataset.
+        assert_eq!(label_clustered(&cfg, 1).len(), 23);
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod query;
 pub mod real_like;
 pub mod sweeps;
 
-pub use graphgen::{GraphGen, GraphGenConfig};
+pub use graphgen::{label_clustered, GraphGen, GraphGenConfig};
 pub use query::{QueryGen, QueryWorkload};
 pub use real_like::{RealDataset, RealDatasetSpec};

@@ -232,6 +232,16 @@ impl Graph {
             .collect()
     }
 
+    /// Rewrites every vertex label through `f` in place. Used by the
+    /// label-clustered dataset generators, which shift each graph family
+    /// into its own disjoint label range so shard synopses can tell the
+    /// families apart.
+    pub fn map_labels(&mut self, mut f: impl FnMut(Label) -> Label) {
+        for label in &mut self.labels {
+            *label = f(*label);
+        }
+    }
+
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
         self.adjacency.iter().map(Vec::len).max().unwrap_or(0)
@@ -414,6 +424,15 @@ mod tests {
         let sub = g.induced_subgraph(&[0, 0, 1, 99]);
         assert_eq!(sub.vertex_count(), 2);
         assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn map_labels_rewrites_in_place() {
+        let mut g = path_graph(4); // labels 0,1,2,0
+        g.map_labels(|l| l + 10);
+        assert_eq!(g.labels(), &[10, 11, 12, 10]);
+        assert_eq!(g.edge_count(), 3, "structure is untouched");
+        assert_eq!(g.vertices_with_label(10), vec![0, 3]);
     }
 
     #[test]

@@ -60,4 +60,4 @@ pub use builder::GraphBuilder;
 pub use dataset::{Dataset, GraphId};
 pub use error::{GraphError, Result};
 pub use graph::{Graph, Label, VertexId};
-pub use stats::{DatasetStats, GraphStats};
+pub use stats::{DatasetStats, GraphStats, GraphSynopsis, ShardSynopsis};

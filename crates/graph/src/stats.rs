@@ -1,15 +1,26 @@
-//! Per-graph and per-dataset statistics.
+//! Per-graph and per-dataset statistics, plus the routing synopses the
+//! sharded query service consults before fanning a query out.
 //!
 //! [`DatasetStats`] computes exactly the columns of Table 1 in the paper:
 //! number of graphs, number of disconnected graphs, number of distinct
 //! labels, average / standard deviation of the number of nodes per graph,
 //! average number of edges, average density, average degree, and average
 //! number of distinct labels per graph.
+//!
+//! [`GraphSynopsis`] and [`ShardSynopsis`] summarize what a graph (or a
+//! shard's worth of graphs) *could possibly contain*: label multiplicities,
+//! a cumulative degree histogram, the set of edge label pairs, and
+//! vertex/edge maxima. [`ShardSynopsis::admits`] is a **sound necessary
+//! condition** for a subgraph match existing inside the shard — it may
+//! admit a shard that holds no match (a false positive, resolved by the
+//! index + verifier), but it never rejects a shard that does (no false
+//! negatives), mirroring the paper's filtering contract.
 
 use crate::algo::is_connected;
 use crate::dataset::Dataset;
-use crate::graph::Graph;
+use crate::graph::{Graph, Label};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Summary statistics of a single graph.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,6 +149,168 @@ impl DatasetStats {
     }
 }
 
+/// A cheap, order-independent summary of what one graph could contain,
+/// used on both sides of the shard-routing admissibility test: computed
+/// per query at routing time and folded into a [`ShardSynopsis`] per data
+/// graph at partition time.
+///
+/// Every field is *monotone under subgraph embedding*: if `q` is a
+/// subgraph of `g` (injective, label-preserving, edge-preserving — the
+/// paper's Definition 2), then field-by-field `q`'s synopsis is dominated
+/// by `g`'s. That monotonicity is what makes [`ShardSynopsis::admits`] a
+/// sound necessary condition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphSynopsis {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Vertices per label: `label_counts[l]` is how many vertices carry
+    /// label `l`. An embedding maps the query's `l`-labeled vertices
+    /// injectively onto the data graph's, so each count is monotone.
+    pub label_counts: BTreeMap<Label, usize>,
+    /// Cumulative degree histogram: `degree_ge[d]` is the number of
+    /// vertices with degree **at least** `d` (so `degree_ge[0]` is the
+    /// vertex count; the vector has `max_degree + 1` entries, empty for
+    /// the empty graph). An embedding maps a query vertex of degree `d`
+    /// to a data vertex of degree ≥ `d` (its neighbors map to distinct
+    /// neighbors), so each cumulative count is monotone.
+    pub degree_ge: Vec<usize>,
+    /// The set of unordered endpoint-label pairs `(a, b)` with `a <= b`
+    /// over all edges. Every query edge must reappear (label-for-label)
+    /// in the data graph, so the query's pair set is a subset of the data
+    /// graph's.
+    pub label_pairs: BTreeSet<(Label, Label)>,
+}
+
+impl GraphSynopsis {
+    /// Computes the synopsis of one graph in a single pass over its
+    /// vertices and edges.
+    pub fn of(g: &Graph) -> Self {
+        let mut label_counts: BTreeMap<Label, usize> = BTreeMap::new();
+        for &label in g.labels() {
+            *label_counts.entry(label).or_insert(0) += 1;
+        }
+        let mut degree_ge = vec![0usize; if g.is_empty() { 0 } else { g.max_degree() + 1 }];
+        for v in g.vertices() {
+            // Count per exact degree first; suffix-sum below turns the
+            // histogram into cumulative "degree at least d" counts.
+            degree_ge[g.degree(v)] += 1;
+        }
+        for d in (0..degree_ge.len().saturating_sub(1)).rev() {
+            degree_ge[d] += degree_ge[d + 1];
+        }
+        let label_pairs = g
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (g.label(u), g.label(v));
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        GraphSynopsis {
+            vertices: g.vertex_count(),
+            edges: g.edge_count(),
+            label_counts,
+            degree_ge,
+            label_pairs,
+        }
+    }
+}
+
+/// Per-shard routing synopsis: the field-wise *maximum* of the shard's
+/// per-graph [`GraphSynopsis`]es (and the union of their label-pair sets).
+///
+/// A subgraph query answers per graph, so the shard can hold a match only
+/// if **some single graph** dominates the query's synopsis. Taking the
+/// per-field maximum over graphs relaxes that (the dominating values may
+/// come from different graphs), which keeps the synopsis tiny at the cost
+/// of extra admissions — never missed ones: if `q ⊆ g` for a graph `g` in
+/// the shard, every field of `q`'s synopsis is ≤ `g`'s ≤ the shard's
+/// maximum, and `q`'s label pairs are inside `g`'s ⊆ the shard's union.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardSynopsis {
+    /// Number of graphs summarized.
+    pub graphs: usize,
+    /// Largest vertex count of any single graph.
+    pub max_vertices: usize,
+    /// Largest edge count of any single graph.
+    pub max_edges: usize,
+    /// Per label: the largest number of vertices carrying it in any
+    /// single graph (a query needing 3 `L7` vertices skips shards whose
+    /// best graph has ≤ 2).
+    pub max_label_counts: BTreeMap<Label, usize>,
+    /// Per degree `d`: the largest `degree_ge[d]` of any single graph.
+    pub degree_ge_max: Vec<usize>,
+    /// Union of the graphs' edge label-pair sets.
+    pub label_pairs: BTreeSet<(Label, Label)>,
+}
+
+impl ShardSynopsis {
+    /// Computes the synopsis of a whole dataset (one shard's slice).
+    pub fn of(dataset: &Dataset) -> Self {
+        let mut synopsis = ShardSynopsis::default();
+        for (_, g) in dataset.iter() {
+            synopsis.absorb(&GraphSynopsis::of(g));
+        }
+        synopsis
+    }
+
+    /// Folds one graph's synopsis into the shard summary.
+    pub fn absorb(&mut self, g: &GraphSynopsis) {
+        self.graphs += 1;
+        self.max_vertices = self.max_vertices.max(g.vertices);
+        self.max_edges = self.max_edges.max(g.edges);
+        for (&label, &count) in &g.label_counts {
+            let entry = self.max_label_counts.entry(label).or_insert(0);
+            *entry = (*entry).max(count);
+        }
+        if g.degree_ge.len() > self.degree_ge_max.len() {
+            self.degree_ge_max.resize(g.degree_ge.len(), 0);
+        }
+        for (d, &count) in g.degree_ge.iter().enumerate() {
+            self.degree_ge_max[d] = self.degree_ge_max[d].max(count);
+        }
+        self.label_pairs.extend(g.label_pairs.iter().copied());
+    }
+
+    /// Sound admissibility test: `false` **proves** no graph in the shard
+    /// contains the query (safe to skip the shard); `true` means a match
+    /// is possible and the shard must be probed.
+    ///
+    /// Every check tests a condition that `q ⊆ g` implies for each graph
+    /// `g` in the shard (see the field docs), so rejecting requires *all*
+    /// graphs to fail at least one monotone bound — a necessary-condition
+    /// filter with no false negatives, exactly the contract the paper
+    /// demands of index filtering.
+    pub fn admits(&self, q: &GraphSynopsis) -> bool {
+        if q.vertices > self.max_vertices || q.edges > self.max_edges {
+            return false;
+        }
+        if q.degree_ge.len() > self.degree_ge_max.len() {
+            return false; // the query needs a higher degree than any graph has
+        }
+        for (d, &needed) in q.degree_ge.iter().enumerate() {
+            if needed > self.degree_ge_max[d] {
+                return false;
+            }
+        }
+        for (label, &needed) in &q.label_counts {
+            if self.max_label_counts.get(label).copied().unwrap_or(0) < needed {
+                return false;
+            }
+        }
+        q.label_pairs.is_subset(&self.label_pairs)
+    }
+
+    /// Estimated heap bytes of the synopsis — the routing layer's whole
+    /// memory cost, reported alongside index sizes.
+    pub fn memory_bytes(&self) -> usize {
+        self.max_label_counts.len() * std::mem::size_of::<(Label, usize)>()
+            + self.degree_ge_max.capacity() * std::mem::size_of::<usize>()
+            + self.label_pairs.len() * std::mem::size_of::<(Label, Label)>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,5 +386,134 @@ mod tests {
         assert!(row.contains("rowtest"));
         assert!(row.contains("graphs="));
         assert!(row.contains("avg_density="));
+    }
+
+    // ------------------------------------------------------------------
+    // Routing synopses. The soundness contract under test: whenever the
+    // query IS a subgraph of some shard graph the synopsis MUST admit;
+    // rejections are only allowed when a monotone bound proves no graph
+    // can contain the query.
+    // ------------------------------------------------------------------
+
+    /// A labeled path `labels[0] - labels[1] - ...`.
+    fn path(labels: &[u32]) -> Graph {
+        let edges: Vec<(usize, usize)> = (1..labels.len()).map(|i| (i - 1, i)).collect();
+        GraphBuilder::new("path")
+            .vertices(labels)
+            .edges(&edges)
+            .build()
+            .unwrap()
+    }
+
+    /// A star: `center` linked to each leaf label.
+    fn star(center: u32, leaves: &[u32]) -> Graph {
+        let mut labels = vec![center];
+        labels.extend_from_slice(leaves);
+        let edges: Vec<(usize, usize)> = (1..=leaves.len()).map(|leaf| (0, leaf)).collect();
+        GraphBuilder::new("star")
+            .vertices(&labels)
+            .edges(&edges)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn graph_synopsis_counts_labels_degrees_and_pairs() {
+        let s = GraphSynopsis::of(&triangle(0)); // labels 0, 0, 1
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.label_counts[&0], 2);
+        assert_eq!(s.label_counts[&1], 1);
+        // All three triangle vertices have degree 2.
+        assert_eq!(s.degree_ge, vec![3, 3, 3]);
+        assert!(s.label_pairs.contains(&(0, 0)));
+        assert!(s.label_pairs.contains(&(0, 1)));
+        assert_eq!(s.label_pairs.len(), 2);
+        // The empty graph has an empty synopsis.
+        assert_eq!(
+            GraphSynopsis::of(&Graph::new("e")),
+            GraphSynopsis::default()
+        );
+    }
+
+    #[test]
+    fn synopsis_must_admit_actual_subgraphs() {
+        // Queries carved out of a shard graph must always be admitted —
+        // the no-false-negative half of the contract, checked exhaustively
+        // over every induced subgraph of every shard graph.
+        let shard = Dataset::from_graphs(
+            "shard",
+            vec![triangle(0), star(7, &[1, 2, 3]), path(&[4, 5, 4, 5])],
+        );
+        let synopsis = ShardSynopsis::of(&shard);
+        for (_, g) in shard.iter() {
+            for mask in 1u32..(1 << g.vertex_count()) {
+                let vertices: Vec<usize> = (0..g.vertex_count())
+                    .filter(|v| mask & (1 << v) != 0)
+                    .collect();
+                let sub = g.induced_subgraph(&vertices);
+                assert!(
+                    synopsis.admits(&GraphSynopsis::of(&sub)),
+                    "synopsis rejected an actual subgraph of {} (mask {mask:b})",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synopsis_safely_rejects_impossible_queries() {
+        let shard = Dataset::from_graphs("shard", vec![triangle(0), path(&[0, 1, 0])]);
+        let synopsis = ShardSynopsis::of(&shard);
+        // More `0`-labeled vertices than any single graph has (2 + 1 split
+        // across graphs does not help — matches are per graph).
+        assert!(!synopsis.admits(&GraphSynopsis::of(&path(&[0, 0, 0]))));
+        // A label absent from the shard.
+        assert!(!synopsis.admits(&GraphSynopsis::of(&path(&[9, 0]))));
+        // A degree no shard vertex reaches (star center: degree 3 > 2).
+        assert!(!synopsis.admits(&GraphSynopsis::of(&star(0, &[0, 1, 1]))));
+        // An edge label pair the shard never contains: (1, 1).
+        assert!(!synopsis.admits(&GraphSynopsis::of(&path(&[1, 1]))));
+        // More vertices than the largest graph.
+        assert!(!synopsis.admits(&GraphSynopsis::of(&path(&[0, 1, 0, 1]))));
+    }
+
+    #[test]
+    fn empty_shard_rejects_everything_but_the_empty_query() {
+        let synopsis = ShardSynopsis::of(&Dataset::new("empty"));
+        assert_eq!(synopsis.graphs, 0);
+        assert!(!synopsis.admits(&GraphSynopsis::of(&path(&[0]))));
+        assert!(!synopsis.admits(&GraphSynopsis::of(&triangle(0))));
+        // The empty query is vacuously contained everywhere; admitting it
+        // is sound (probing an empty shard simply answers nothing).
+        assert!(synopsis.admits(&GraphSynopsis::default()));
+    }
+
+    #[test]
+    fn single_label_universe_routes_on_structure_alone() {
+        // Every vertex carries label 0, so labels cannot discriminate —
+        // admissibility must fall back to size and degree bounds.
+        let shard = Dataset::from_graphs("mono", vec![path(&[0, 0, 0])]);
+        let synopsis = ShardSynopsis::of(&shard);
+        assert!(synopsis.admits(&GraphSynopsis::of(&path(&[0, 0]))));
+        assert!(synopsis.admits(&GraphSynopsis::of(&path(&[0, 0, 0]))));
+        // Too many vertices for the single 3-vertex graph.
+        assert!(!synopsis.admits(&GraphSynopsis::of(&path(&[0, 0, 0, 0]))));
+        // Degree-3 hub exceeds the path's maximum degree of 2.
+        assert!(!synopsis.admits(&GraphSynopsis::of(&star(0, &[0, 0, 0]))));
+    }
+
+    #[test]
+    fn shard_synopsis_absorb_matches_batch_construction() {
+        let graphs = vec![triangle(0), star(3, &[4, 5, 6]), path(&[1, 2])];
+        let batch = ShardSynopsis::of(&Dataset::from_graphs("ds", graphs.clone()));
+        let mut incremental = ShardSynopsis::default();
+        for g in &graphs {
+            incremental.absorb(&GraphSynopsis::of(g));
+        }
+        assert_eq!(batch, incremental);
+        assert_eq!(batch.graphs, 3);
+        assert_eq!(batch.max_vertices, 4);
+        assert!(batch.memory_bytes() > 0);
     }
 }

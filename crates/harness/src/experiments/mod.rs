@@ -10,6 +10,7 @@
 //! | [`fig5_labels`] | Figure 5 | varying the number of distinct labels |
 //! | [`fig6_numgraphs`] | Figure 6 | varying the number of graphs in the dataset |
 //! | [`fig7_shards`] | beyond the paper | varying the number of dataset shards of the sharded service |
+//! | [`fig8_routing`] | beyond the paper | synopsis shard routing vs. full fan-out on a label-clustered dataset |
 //! | [`ablations`] | beyond the paper | location info, path length, fingerprint width, mined-fragment size, build threads |
 //!
 //! Every module exposes a `run(&ExperimentScale) -> ExperimentReport`
@@ -25,6 +26,7 @@ pub mod fig4_query_size;
 pub mod fig5_labels;
 pub mod fig6_numgraphs;
 pub mod fig7_shards;
+pub mod fig8_routing;
 pub mod table1;
 
 use crate::report::ExperimentPoint;

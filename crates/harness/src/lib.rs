@@ -53,6 +53,6 @@ pub use metrics::{
 pub use report::{ExperimentPoint, ExperimentReport};
 pub use runner::{run_methods, ExperimentScale, RunOptions};
 pub use service::{
-    AdmissionQueue, BatchReport, QueryService, ServiceConfig, ShardStrategy, ShardedConfig,
-    ShardedReport, ShardedService, SubmitError,
+    AdmissionQueue, BatchReport, QueryService, Router, RoutingMode, ServiceConfig, ShardStrategy,
+    ShardedConfig, ShardedReport, ShardedService, SubmitError,
 };

@@ -169,6 +169,16 @@ pub struct MethodMetrics {
     /// Number of dataset shards the workload was served on (1 = the
     /// unsharded single-index service).
     pub shards: usize,
+    /// Total `(query, shard)` index probes dispatched over the executed
+    /// workload. A fanned-out sharded run probes `queries × shards`; an
+    /// unsharded run probes its single index once per query; synopsis
+    /// routing probes fewer.
+    pub shards_probed: u64,
+    /// Total `(query, shard)` probes the routing tier skipped because the
+    /// shard synopsis proved no match was possible. 0 for unsharded and
+    /// fanned-out runs; `shards_probed + shards_skipped` always equals
+    /// `queries_executed × shards`.
+    pub shards_skipped: u64,
     /// Per-shard stage totals, indexed by shard, as aggregated by the
     /// sharded service's merge stage. Empty for unsharded runs.
     pub shard_stages: Vec<StageTotals>,
@@ -198,15 +208,21 @@ impl MethodMetrics {
     /// time, in `[0, 1]` with `1.0` meaning perfectly even (also reported
     /// for unsharded runs and for idle waves, where there is nothing to
     /// balance).
+    ///
+    /// Only *probed* shards — shards that executed at least one query —
+    /// participate: when routing dispatches a wave to a shard subset, the
+    /// skipped shards sit idle by design, and counting their zero seconds
+    /// would misreport a perfectly routed wave as maximally unbalanced.
     pub fn shard_balance(&self) -> f64 {
-        if self.shard_stages.len() <= 1 {
-            return 1.0;
-        }
         let times: Vec<f64> = self
             .shard_stages
             .iter()
+            .filter(|s| s.queries > 0)
             .map(|s| s.filter_s + s.verify_s)
             .collect();
+        if times.len() <= 1 {
+            return 1.0; // nothing (or only one shard's load) to balance
+        }
         let max = times.iter().copied().fold(0.0, f64::max);
         if max <= 0.0 {
             return 1.0;
@@ -315,6 +331,8 @@ mod tests {
             timed_out: false,
             stages: StageTotals::default(),
             shards: 1,
+            shards_probed: 0,
+            shards_skipped: 0,
             shard_stages: Vec::new(),
         };
         assert!((m.index_size_mb() - 2.0).abs() < 1e-9);
@@ -349,6 +367,8 @@ mod tests {
             timed_out: false,
             stages,
             shards: 1,
+            shards_probed: 0,
+            shards_skipped: 0,
             shard_stages: Vec::new(),
         };
         assert!((m.max_shard_time_s() - 5.0).abs() < 1e-12);
@@ -368,6 +388,8 @@ mod tests {
             timed_out: false,
             stages: StageTotals::default(),
             shards: 3,
+            shards_probed: 12,
+            shards_skipped: 0,
             shard_stages: vec![stage(1.0, 1.0), stage(0.5, 0.5), stage(2.0, 2.0)],
         };
         assert!((m.max_shard_time_s() - 4.0).abs() < 1e-12);
@@ -380,5 +402,42 @@ mod tests {
         assert_eq!(idle.shard_balance(), 1.0);
         assert_eq!(idle.max_shard_time_s(), 0.0);
         assert!(idle.shard_balance().is_finite());
+    }
+
+    /// Regression: when routing probes only a shard subset, the skipped
+    /// shards' zero seconds must not drag the balance to 0 — balance is
+    /// computed over probed shards only.
+    #[test]
+    fn shard_balance_ignores_unprobed_shards() {
+        let m = MethodMetrics {
+            method: "GGSX".into(),
+            indexing_time_s: 0.0,
+            index_size_bytes: 1,
+            distinct_features: 1,
+            avg_query_time_s: 0.0,
+            false_positive_ratio: 0.0,
+            queries_executed: 2,
+            timed_out: false,
+            stages: StageTotals::default(),
+            shards: 3,
+            shards_probed: 2,
+            shards_skipped: 4,
+            // Two probed shards (2 s and 1 s) and one the router skipped
+            // for the whole wave (no queries, zero time).
+            shard_stages: vec![stage(1.0, 1.0), stage(0.5, 0.5), StageTotals::default()],
+        };
+        assert!(
+            (m.shard_balance() - 0.5).abs() < 1e-12,
+            "balance must be 1s/2s over the probed shards, got {}",
+            m.shard_balance()
+        );
+        // A wave where only one shard was probed has nothing to balance.
+        let single = MethodMetrics {
+            shard_stages: vec![stage(1.0, 1.0), StageTotals::default()],
+            ..m
+        };
+        assert_eq!(single.shard_balance(), 1.0);
+        // max_shard_time_s still reports the busiest probed shard.
+        assert!((single.max_shard_time_s() - 2.0).abs() < 1e-12);
     }
 }

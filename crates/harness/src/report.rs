@@ -134,9 +134,10 @@ pub fn render_text(report: &ExperimentReport) -> String {
 /// Renders the report as CSV with one row per (point, method) pair,
 /// including the per-stage breakdown recorded by the query service (mean
 /// queue wait / filter / verify seconds and total candidates pruned) and
-/// the sharding columns (`shards`, the busiest shard's processing seconds,
-/// and the lightest/heaviest shard balance — 1 and degenerate values for
-/// unsharded runs).
+/// the sharding columns (`shards`, the total `(query, shard)` probes the
+/// routing tier dispatched and skipped, the busiest shard's processing
+/// seconds, and the lightest/heaviest *probed*-shard balance — 1 and
+/// degenerate values for unsharded runs).
 ///
 /// The exact header and field order are pinned by the golden-file test in
 /// `tests/golden_report.rs`; figure scripts parse these columns by name, so
@@ -145,13 +146,13 @@ pub fn render_csv(report: &ExperimentReport) -> String {
     let mut out = String::from(
         "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,distinct_features,\
          avg_query_time_s,avg_queue_wait_s,avg_filter_time_s,avg_verify_time_s,\
-         candidates_pruned,false_positive_ratio,queries_executed,shards,max_shard_time_s,\
-         shard_balance,timed_out\n",
+         candidates_pruned,false_positive_ratio,queries_executed,shards,shards_probed,\
+         shards_skipped,max_shard_time_s,shard_balance,timed_out\n",
     );
     for point in &report.points {
         for m in &point.results {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 report.id,
                 point.x_label,
                 point.x_value,
@@ -167,6 +168,8 @@ pub fn render_csv(report: &ExperimentReport) -> String {
                 m.false_positive_ratio,
                 m.queries_executed,
                 m.shards,
+                m.shards_probed,
+                m.shards_skipped,
                 m.max_shard_time_s(),
                 m.shard_balance(),
                 m.timed_out
@@ -196,6 +199,8 @@ mod tests {
             timed_out: false,
             stages,
             shards: 1,
+            shards_probed: 0,
+            shards_skipped: 0,
             shard_stages: Vec::new(),
         }
     }
@@ -255,7 +260,9 @@ mod tests {
         assert!(lines[0].starts_with("experiment,"));
         assert!(lines[0].contains("avg_filter_time_s"));
         assert!(lines[0].contains("candidates_pruned"));
-        assert!(lines[0].contains("shards,max_shard_time_s,shard_balance"));
+        assert!(
+            lines[0].contains("shards,shards_probed,shards_skipped,max_shard_time_s,shard_balance")
+        );
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
         assert!(lines[4].contains("true") || lines[3].contains("true")); // the DNF row
     }

@@ -2,7 +2,9 @@
 //! per-method time budget.
 
 use crate::metrics::{MethodMetrics, StageTotals, Stopwatch};
-use crate::service::{QueryService, ServiceConfig, ShardStrategy, ShardedConfig, ShardedService};
+use crate::service::{
+    QueryService, RoutingMode, ServiceConfig, ShardStrategy, ShardedConfig, ShardedService,
+};
 use serde::{Deserialize, Serialize};
 use sqbench_generator::QueryWorkload;
 use sqbench_graph::Dataset;
@@ -136,6 +138,11 @@ pub struct RunOptions {
     pub shards: usize,
     /// How graphs are assigned to shards when [`RunOptions::shards`] > 1.
     pub shard_strategy: ShardStrategy,
+    /// Whether sharded waves fan out to every shard
+    /// ([`RoutingMode::Fanout`], the default) or consult the per-shard
+    /// synopses and probe only shards that can hold a match
+    /// ([`RoutingMode::Synopsis`]). Ignored for unsharded runs.
+    pub routing: RoutingMode,
 }
 
 impl Default for RunOptions {
@@ -147,6 +154,7 @@ impl Default for RunOptions {
             query_threads: 1,
             shards: 1,
             shard_strategy: ShardStrategy::RoundRobin,
+            routing: RoutingMode::Fanout,
         }
     }
 }
@@ -185,6 +193,12 @@ impl RunOptions {
     /// Sets the shard partitioning strategy (see [`ShardStrategy`]).
     pub fn with_shard_strategy(mut self, strategy: ShardStrategy) -> Self {
         self.shard_strategy = strategy;
+        self
+    }
+
+    /// Sets the shard routing mode (see [`RoutingMode`]).
+    pub fn with_routing(mut self, routing: RoutingMode) -> Self {
+        self.routing = routing;
         self
     }
 }
@@ -269,6 +283,9 @@ fn run_single_method(
         timed_out,
         stages,
         shards: 1,
+        // The unsharded service probes its single index once per query.
+        shards_probed: queries_executed as u64,
+        shards_skipped: 0,
         shard_stages: Vec::new(),
     }
 }
@@ -288,6 +305,7 @@ fn run_sharded_method(
         shards: options.shards,
         workers_per_shard: options.query_threads.max(1),
         strategy: options.shard_strategy,
+        routing: options.routing,
     };
     let build_watch = Stopwatch::start();
     let mut service = ShardedService::build(kind, &options.config, dataset, &sharded_config);
@@ -299,6 +317,8 @@ fn run_sharded_method(
     let mut shard_stages = vec![StageTotals::default(); service.shard_count()];
     let mut false_positive_ratio = 0.0;
     let mut queries_executed = 0usize;
+    let mut shards_probed = 0u64;
+    let mut shards_skipped = 0u64;
 
     if !timed_out {
         let queries: Vec<&sqbench_graph::Graph> = workloads
@@ -309,6 +329,8 @@ fn run_sharded_method(
         timed_out = report.expired() > 0;
         queries_executed = report.executed();
         false_positive_ratio = report.false_positive_ratio();
+        shards_probed = report.shards_probed();
+        shards_skipped = report.shards_skipped();
         stages = report.totals;
         shard_stages = report.per_shard;
     }
@@ -328,6 +350,8 @@ fn run_sharded_method(
         timed_out,
         stages,
         shards: service.shard_count(),
+        shards_probed,
+        shards_skipped,
         shard_stages,
     }
 }

@@ -67,12 +67,16 @@
 //!
 //! # Beyond one index and one closed batch
 //!
-//! Two sibling modules generalize this serving layer:
+//! Three sibling modules generalize this serving layer:
 //!
 //! * [`sharded`] — partitions the dataset across N cooperating shard pools
-//!   (each with its own index and arenas), fans every wave out to all
+//!   (each with its own index and arenas), fans every wave out across the
 //!   shards concurrently and merges the per-shard match sets back into
 //!   global answers;
+//! * [`synopsis`] — the selective shard-routing tier: per-shard label /
+//!   degree / size synopses and the [`Router`] that lets a wave skip
+//!   shards which provably hold no match, instead of fanning every query
+//!   to every shard;
 //! * [`admission`] — a bounded, continuously-admitting query queue
 //!   (`submit`/`drain` with backpressure and per-query deadlines) that
 //!   replaces the closed `run_batch`-only entry point for open traffic.
@@ -82,12 +86,14 @@ pub mod pool;
 pub mod queue;
 pub mod sharded;
 pub mod stages;
+pub mod synopsis;
 
 pub use admission::{AdmissionQueue, AdmittedQuery, SubmitError, Ticket};
 pub use sharded::{
     partition_dataset, ShardPart, ShardStrategy, ShardedConfig, ShardedQueryRecord, ShardedReport,
     ShardedService,
 };
+pub use synopsis::{Router, RoutingMode};
 
 use crate::metrics::{counted_false_positive_ratio, StageTotals, Stopwatch};
 use pool::{worker_loop, BatchShared, WorkerArena};

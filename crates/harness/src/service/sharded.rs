@@ -35,6 +35,12 @@
 //!   its worker arenas; a wave runs one [`run_batch_on`] pool per shard on
 //!   scoped threads, so shards progress concurrently and arenas persist
 //!   across waves exactly like the single-index service.
+//! * **Router** — before fan-out, the wave consults the per-shard
+//!   [`Router`] synopses (under [`RoutingMode::Synopsis`]) and dispatches
+//!   each query only to shards that can possibly hold a match; skipped
+//!   shards are proven matchless, so routed answers stay bit-identical.
+//!   Per-query [`ShardedQueryRecord::shards_probed`] /
+//!   [`ShardedQueryRecord::shards_skipped`] account for the savings.
 //! * **Merge** — per query, shard-local answer ids are mapped through the
 //!   shard's id table and unioned. Shards partition the dataset, so the
 //!   union is disjoint and the merged answer set is *bit-identical* to the
@@ -47,6 +53,7 @@
 
 use super::admission::{AdmissionQueue, AdmittedQuery, Ticket};
 use super::pool::WorkerArena;
+use super::synopsis::{Router, RoutingMode};
 use super::{run_batch_on, BatchReport};
 use crate::metrics::{counted_false_positive_ratio, StageTotals, Stopwatch};
 use sqbench_graph::{Dataset, Graph, GraphId};
@@ -85,6 +92,9 @@ pub struct ShardedConfig {
     pub workers_per_shard: usize,
     /// How graphs are assigned to shards.
     pub strategy: ShardStrategy,
+    /// Whether waves fan out to every shard or consult the per-shard
+    /// synopses and probe only shards that can possibly hold a match.
+    pub routing: RoutingMode,
 }
 
 impl Default for ShardedConfig {
@@ -93,6 +103,7 @@ impl Default for ShardedConfig {
             shards: 1,
             workers_per_shard: 1,
             strategy: ShardStrategy::RoundRobin,
+            routing: RoutingMode::Fanout,
         }
     }
 }
@@ -116,6 +127,12 @@ impl ShardedConfig {
     /// Sets the per-shard worker-pool size.
     pub fn workers_per_shard(mut self, workers: usize) -> Self {
         self.workers_per_shard = workers.max(1);
+        self
+    }
+
+    /// Sets the routing mode (see [`RoutingMode`]).
+    pub fn routing(mut self, routing: RoutingMode) -> Self {
+        self.routing = routing;
         self
     }
 }
@@ -230,10 +247,18 @@ pub struct ShardedQueryRecord {
     pub filter_s: f64,
     /// Verify work summed across shards (total work, not critical path).
     pub verify_s: f64,
-    /// `true` when the query missed its deadline on at least one shard and
-    /// was skipped there — its answers are dropped rather than reported
-    /// incomplete.
+    /// `true` when the query missed its deadline on at least one *probed*
+    /// shard and was skipped there — its answers are dropped rather than
+    /// reported incomplete.
     pub expired: bool,
+    /// Shards this query was actually dispatched to. Equals the shard
+    /// count under [`RoutingMode::Fanout`]; under [`RoutingMode::Synopsis`]
+    /// it can be as low as 0 (no shard can possibly match — the query is
+    /// answered empty without touching any index).
+    pub shards_probed: usize,
+    /// Shards the router proved could hold no match and skipped.
+    /// `shards_probed + shards_skipped` always equals the shard count.
+    pub shards_skipped: usize,
 }
 
 impl ShardedQueryRecord {
@@ -292,6 +317,27 @@ impl ShardedReport {
             0.0
         }
     }
+
+    /// Total `(query, shard)` probes the wave dispatched, over executed
+    /// queries. A fanned-out wave probes `executed × shards`; the routed
+    /// wave's savings show up as [`ShardedReport::shards_skipped`].
+    pub fn shards_probed(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| !r.expired)
+            .map(|r| r.shards_probed as u64)
+            .sum()
+    }
+
+    /// Total `(query, shard)` probes the router skipped, over executed
+    /// queries. Always 0 under [`RoutingMode::Fanout`].
+    pub fn shards_skipped(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| !r.expired)
+            .map(|r| r.shards_skipped as u64)
+            .sum()
+    }
 }
 
 /// The sharded query service: N shard pools behind one admission front.
@@ -301,12 +347,15 @@ impl ShardedReport {
 pub struct ShardedService {
     shards: Vec<Shard>,
     strategy: ShardStrategy,
+    routing: RoutingMode,
+    router: Router,
 }
 
 impl ShardedService {
-    /// Partitions `dataset`, builds one `kind` index per shard and sets up
-    /// the per-shard worker pools. Building is sequential per shard; the
-    /// returned service serves waves across all shards concurrently.
+    /// Partitions `dataset`, builds one `kind` index per shard, computes
+    /// each shard's routing synopsis and sets up the per-shard worker
+    /// pools. Building is sequential per shard; the returned service
+    /// serves waves across all shards concurrently.
     pub fn build(
         kind: MethodKind,
         method_config: &MethodConfig,
@@ -314,7 +363,7 @@ impl ShardedService {
         config: &ShardedConfig,
     ) -> Self {
         let workers = config.workers_per_shard.max(1);
-        let shards = partition_dataset(dataset, config.shards, config.strategy)
+        let shards: Vec<Shard> = partition_dataset(dataset, config.shards, config.strategy)
             .into_iter()
             .map(|part| {
                 let index = build_index(kind, method_config, &part.dataset);
@@ -326,9 +375,15 @@ impl ShardedService {
                 }
             })
             .collect();
+        // The router is always built (one cheap pass per shard slice) so a
+        // service can serve both modes and diagnostics can inspect the
+        // synopses; `routing` only decides whether waves consult it.
+        let router = Router::build(shards.iter().map(|s| &s.dataset));
         ShardedService {
             shards,
             strategy: config.strategy,
+            routing: config.routing,
+            router,
         }
     }
 
@@ -340,6 +395,17 @@ impl ShardedService {
     /// The partitioning strategy the service was built with.
     pub fn strategy(&self) -> ShardStrategy {
         self.strategy
+    }
+
+    /// The routing mode waves run under.
+    pub fn routing(&self) -> RoutingMode {
+        self.routing
+    }
+
+    /// The routing planner (one synopsis per shard), consultable even when
+    /// the service was built in [`RoutingMode::Fanout`].
+    pub fn router(&self) -> &Router {
+        &self.router
     }
 
     /// Graphs per shard, indexed by shard.
@@ -422,50 +488,94 @@ impl ShardedService {
     ) -> ShardedReport {
         let shard_count = self.shards.len();
         let watch = Stopwatch::start();
+        // Routing stage: per shard, the ascending wave indices of the
+        // queries it must serve. Fanout keeps the pre-routing zero-copy
+        // path (every shard serves the wave slice as-is, no plan is
+        // materialized); synopsis routing builds per-shard subsets,
+        // skipping shards the summary proves empty of matches — soundly,
+        // so the merge below stays bit-identical.
+        let plan: Option<Vec<Vec<usize>>> = match self.routing {
+            RoutingMode::Fanout => None,
+            RoutingMode::Synopsis => Some(self.router.plan(queries, RoutingMode::Synopsis)),
+        };
         // Fan the wave out: one worker pool per shard, all shards in
         // flight at once (scoped threads so shards' indexes stay borrowed).
-        let reports: Vec<BatchReport> = if shard_count == 1 {
-            let shard = &mut self.shards[0];
-            vec![run_batch_on(
+        let run_shard = |shard: &mut Shard, admitted: Option<&[usize]>| match admitted {
+            None => run_batch_on(
                 &*shard.index,
                 &shard.dataset,
                 &mut shard.arenas,
                 queries,
                 deadline,
                 per_query,
-            )]
+            ),
+            Some(admitted) => {
+                let sub_queries: Vec<&Graph> = admitted.iter().map(|&qi| queries[qi]).collect();
+                let sub_deadlines: Option<Vec<Option<Instant>>> =
+                    per_query.map(|all| admitted.iter().map(|&qi| all[qi]).collect());
+                run_batch_on(
+                    &*shard.index,
+                    &shard.dataset,
+                    &mut shard.arenas,
+                    &sub_queries,
+                    deadline,
+                    sub_deadlines.as_deref(),
+                )
+            }
+        };
+        fn admitted_of(plan: &Option<Vec<Vec<usize>>>, s: usize) -> Option<&[usize]> {
+            plan.as_ref().map(|p| p[s].as_slice())
+        }
+        // A shard the router left without a single admitted query is idle
+        // this wave: synthesize its empty report instead of paying a
+        // thread spawn/join for it — on label-coherent data that is most
+        // shards of every wave, the exact regime routing targets.
+        let idle_report = || BatchReport {
+            records: Vec::new(),
+            totals: StageTotals::default(),
+            wall_s: 0.0,
+            workers: 0,
+        };
+        let reports: Vec<BatchReport> = if shard_count == 1 {
+            vec![run_shard(&mut self.shards[0], admitted_of(&plan, 0))]
         } else {
             std::thread::scope(|scope| {
+                let run_shard = &run_shard;
                 let handles: Vec<_> = self
                     .shards
                     .iter_mut()
-                    .map(|shard| {
-                        scope.spawn(move || {
-                            run_batch_on(
-                                &*shard.index,
-                                &shard.dataset,
-                                &mut shard.arenas,
-                                queries,
-                                deadline,
-                                per_query,
-                            )
-                        })
+                    .enumerate()
+                    .map(|(s, shard)| {
+                        let admitted = admitted_of(&plan, s);
+                        if admitted.is_some_and(|a| a.is_empty()) {
+                            None
+                        } else {
+                            Some(scope.spawn(move || run_shard(shard, admitted)))
+                        }
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("shard pool panicked"))
+                    .map(|handle| match handle {
+                        Some(handle) => handle.join().expect("shard pool panicked"),
+                        None => idle_report(),
+                    })
                     .collect()
             })
         };
         let wall_s = watch.elapsed_secs();
 
         // Merge stage: per query, union the shard-local answers (mapped to
-        // global ids) and fold the stage timings; per shard, keep the
-        // aggregate totals for the balance view.
+        // global ids) of the shards that probed it and fold the stage
+        // timings; per shard, keep the aggregate totals for the balance
+        // view. Skipped (query, shard) pairs contribute nothing — the
+        // router proved those shards hold no answers.
         let per_shard: Vec<StageTotals> = reports.iter().map(|r| r.totals.clone()).collect();
         let mut records = Vec::with_capacity(queries.len());
         let mut totals = StageTotals::default();
+        // Walk each shard's admitted list in lockstep with the wave index
+        // instead of binary-searching per (query, shard) pair.
+        let mut cursors = vec![0usize; shard_count];
         for (qi, &ticket) in tickets.iter().enumerate() {
             let mut merged = ShardedQueryRecord {
                 ticket,
@@ -476,10 +586,28 @@ impl ShardedService {
                 filter_s: 0.0,
                 verify_s: 0.0,
                 expired: false,
+                shards_probed: 0,
+                shards_skipped: 0,
             };
             let mut shard_wait_s = 0.0f64;
-            for (shard, report) in self.shards.iter().zip(reports.iter()) {
-                match &report.records[qi] {
+            for (s, (shard, report)) in self.shards.iter().zip(reports.iter()).enumerate() {
+                // A fanned-out shard's records line up with the wave; a
+                // routed shard's line up with its admitted subset.
+                let local = match &plan {
+                    None => qi,
+                    Some(plan) => {
+                        let cursor = &mut cursors[s];
+                        if plan[s].get(*cursor) != Some(&qi) {
+                            merged.shards_skipped += 1;
+                            continue;
+                        }
+                        let position = *cursor;
+                        *cursor += 1;
+                        position
+                    }
+                };
+                merged.shards_probed += 1;
+                match &report.records[local] {
                     Some(record) => {
                         merged
                             .answers
@@ -496,6 +624,19 @@ impl ShardedService {
             // Total queue wait = time pending in the admission queue (open
             // waves only) + the in-wave wait for the slowest shard.
             merged.queue_wait_s = admission_wait_s.map_or(0.0, |w| w[qi]) + shard_wait_s;
+            // Deadline parity with fan-out for zero-probe queries: a
+            // fanned-out wave would have had every shard skip a
+            // past-deadline query (expired), so a routed query that no
+            // shard admits must not dodge its deadline just because its
+            // (empty) answer was free — same `now > deadline` predicate
+            // the workers apply at claim time.
+            if merged.shards_probed == 0 && !merged.expired {
+                let now = Instant::now();
+                let past = |d: Option<Instant>| d.is_some_and(|d| now > d);
+                if past(deadline) || past(per_query.and_then(|p| p[qi])) {
+                    merged.expired = true;
+                }
+            }
             if merged.expired {
                 // A partially executed query must not report an incomplete
                 // answer set: drop what the faster shards found.
@@ -692,6 +833,126 @@ mod tests {
         for (record, query) in wave.records.iter().zip(queries.iter()) {
             assert_eq!(record.answers, oracle.query(&ds, query).answers);
         }
+    }
+
+    #[test]
+    fn routed_wave_matches_fanout_and_skips_label_disjoint_shards() {
+        // Four label-disjoint families interleaved i % 4: with 4 shards,
+        // round-robin sends each family to its own shard, so a routed
+        // query probes exactly the shards of its family.
+        let ds = sqbench_generator::label_clustered(
+            &GraphGenConfig::default()
+                .with_graph_count(16)
+                .with_avg_nodes(10)
+                .with_avg_density(0.16)
+                .with_label_count(3)
+                .with_seed(77),
+            4,
+        );
+        let queries: Vec<Graph> = QueryGen::new(13)
+            .generate(&ds, 6, 4)
+            .iter()
+            .map(|(q, _)| q.clone())
+            .collect();
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let config = MethodConfig::fast();
+        let mut fanout = ShardedService::build(
+            MethodKind::Ggsx,
+            &config,
+            &ds,
+            &ShardedConfig::with_shards(4),
+        );
+        let mut routed = ShardedService::build(
+            MethodKind::Ggsx,
+            &config,
+            &ds,
+            &ShardedConfig::with_shards(4).routing(RoutingMode::Synopsis),
+        );
+        assert_eq!(fanout.routing(), RoutingMode::Fanout);
+        assert_eq!(routed.routing(), RoutingMode::Synopsis);
+        let fanout_report = fanout.run_wave(&refs, None);
+        let routed_report = routed.run_wave(&refs, None);
+        for (f, r) in fanout_report
+            .records
+            .iter()
+            .zip(routed_report.records.iter())
+        {
+            assert_eq!(f.answers, r.answers, "routing changed a match set");
+            assert_eq!(f.shards_probed, 4);
+            assert_eq!(f.shards_skipped, 0);
+            assert_eq!(r.shards_probed + r.shards_skipped, 4);
+            // Label-disjoint families: each query's labels live on exactly
+            // one shard, so routing must skip the other three.
+            assert_eq!(r.shards_probed, 1, "query leaked outside its family");
+        }
+        assert_eq!(fanout_report.shards_probed(), 4 * queries.len() as u64);
+        assert_eq!(fanout_report.shards_skipped(), 0);
+        assert_eq!(routed_report.shards_probed(), queries.len() as u64);
+        assert_eq!(routed_report.shards_skipped(), 3 * queries.len() as u64);
+        assert!(routed.router().memory_bytes() > 0);
+    }
+
+    #[test]
+    fn query_admitted_by_no_shard_executes_with_empty_answers() {
+        let (ds, _) = setup(9, 1);
+        let mut service = ShardedService::build(
+            MethodKind::Scan,
+            &MethodConfig::fast(),
+            &ds,
+            &ShardedConfig::with_shards(3).routing(RoutingMode::Synopsis),
+        );
+        // A query over a label far outside the generated alphabet: every
+        // shard synopsis rejects it, no index is probed, and the (correct)
+        // empty answer comes back as an executed record.
+        let mut impossible = Graph::new("impossible");
+        let a = impossible.add_vertex(9_999);
+        let b = impossible.add_vertex(9_999);
+        impossible.add_edge(a, b).unwrap();
+        let report = service.run_wave(&[&impossible], None);
+        assert_eq!(report.executed(), 1);
+        let record = &report.records[0];
+        assert!(!record.expired);
+        assert!(record.answers.is_empty());
+        assert_eq!(record.shards_probed, 0);
+        assert_eq!(record.shards_skipped, 3);
+        assert_eq!(record.candidate_count, 0);
+        assert_eq!(report.shards_probed(), 0);
+
+        // Deadline parity with fan-out: had the wave fanned out, every
+        // shard would have skipped this past-deadline query (expired), so
+        // the zero-probe path must report expired too — not sneak the
+        // free empty answer past the deadline.
+        let past = Instant::now() - Duration::from_secs(1);
+        let late = service.run_wave(&[&impossible], Some(past));
+        assert_eq!(late.expired(), 1);
+        assert!(late.records[0].expired);
+        assert_eq!(late.executed(), 0);
+    }
+
+    #[test]
+    fn routed_drain_honours_deadlines_and_accounts_probes() {
+        let (ds, queries) = setup(12, 4);
+        let mut service = ShardedService::build(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            &ShardedConfig::with_shards(2).routing(RoutingMode::Synopsis),
+        );
+        let queue = AdmissionQueue::with_capacity(8);
+        let past = Instant::now() - Duration::from_secs(1);
+        queue.submit(queries[0].clone(), None).unwrap();
+        queue.submit(queries[1].clone(), Some(past)).unwrap();
+        let report = service.drain(&queue, None);
+        assert_eq!(report.records.len(), 2);
+        assert!(!report.records[0].expired);
+        assert!(report.records[0].shards_probed <= 2);
+        assert!(report.records[1].expired);
+        assert!(report.records[1].answers.is_empty());
+        // Expired queries are excluded from the probe totals.
+        assert_eq!(
+            report.shards_probed() + report.shards_skipped(),
+            2 // one executed query × two shards accounted either way
+        );
     }
 
     #[test]

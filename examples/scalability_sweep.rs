@@ -3,14 +3,15 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release --example scalability_sweep -- [fig1|fig2|fig3|fig4|fig5|fig6|fig7] [smoke|laptop|paper]
+//! cargo run --release --example scalability_sweep -- [fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8] [smoke|laptop|paper]
 //! ```
 //!
 //! The first argument picks the experiment (default `fig2`, the
-//! number-of-nodes sweep; `fig7` is the beyond-the-paper shard-count sweep,
-//! run for both partitioning strategies), the second the scale (default
-//! `smoke`). Output is the four text panels of the figure plus a CSV block
-//! that can be piped into a plotting tool.
+//! number-of-nodes sweep; `fig7` is the beyond-the-paper shard-count
+//! sweep, run for both partitioning strategies; `fig8` the shard-routing
+//! sweep, fanout vs. routed over a label-clustered dataset), the second
+//! the scale (default `smoke`). Output is the four text panels of the
+//! figure plus a CSV block that can be piped into a plotting tool.
 
 use sqbench_harness::{experiments, report, ExperimentScale};
 
@@ -37,8 +38,9 @@ fn main() {
                 sqbench_harness::ShardStrategy::SizeBalanced,
             ),
         ],
+        "fig8" => vec![experiments::fig8_routing::run(&scale)],
         other => {
-            eprintln!("unknown experiment {other:?}; use fig1..fig7");
+            eprintln!("unknown experiment {other:?}; use fig1..fig8");
             std::process::exit(2);
         }
     };

@@ -41,6 +41,8 @@ fn golden_report() -> ExperimentReport {
         timed_out: false,
         stages: stage_totals(2, 0.25, 0.5, 1.0),
         shards: 1,
+        shards_probed: 2,
+        shards_skipped: 0,
         shard_stages: Vec::new(),
     };
     let sharded = MethodMetrics {
@@ -54,6 +56,8 @@ fn golden_report() -> ExperimentReport {
         timed_out: true,
         stages: stage_totals(1, 0.5, 0.75, 1.75),
         shards: 2,
+        shards_probed: 1,
+        shards_skipped: 1,
         shard_stages: vec![
             stage_totals(1, 0.0, 0.5, 1.5),   // busy shard: 2.0 s
             stage_totals(1, 0.0, 0.25, 0.25), // light shard: 0.5 s
@@ -96,6 +100,28 @@ fn csv_format_matches_the_committed_golden_file() {
     );
     // Belt and braces: the exact bytes, not just line-wise equality.
     assert_eq!(rendered, golden);
+}
+
+/// Pins the exact CSV header — the contract figure scripts parse columns
+/// by. Stronger than the byte-wise golden diff alone: when the golden file
+/// is regenerated, this assertion still fails loudly if a column was
+/// dropped or reordered by accident rather than intent.
+#[test]
+fn csv_header_is_pinned_including_routing_columns() {
+    let rendered = render_csv(&golden_report());
+    let header = rendered.lines().next().expect("csv has a header line");
+    assert_eq!(
+        header,
+        "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,\
+         distinct_features,avg_query_time_s,avg_queue_wait_s,avg_filter_time_s,\
+         avg_verify_time_s,candidates_pruned,false_positive_ratio,queries_executed,\
+         shards,shards_probed,shards_skipped,max_shard_time_s,shard_balance,timed_out"
+    );
+    // Every data row carries exactly as many fields as the header names.
+    let columns = header.split(',').count();
+    for line in rendered.lines().skip(1) {
+        assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+    }
 }
 
 /// The golden fixture itself exercises the derived shard columns, so a

@@ -18,7 +18,7 @@
 use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
 use sqbench_graph::{Dataset, Graph, GraphId};
 use sqbench_harness::service::{
-    AdmissionQueue, ShardStrategy, ShardedConfig, ShardedService, SubmitError,
+    AdmissionQueue, RoutingMode, ShardStrategy, ShardedConfig, ShardedService, SubmitError,
 };
 use sqbench_index::{build_index, MethodConfig, MethodKind};
 use std::time::{Duration, Instant};
@@ -172,6 +172,105 @@ fn soak_multi_producer_admission_loses_and_duplicates_nothing() {
         let qi = by_ticket[*ticket as usize].expect("ticket was submitted");
         assert!(!expired, "no deadline was set, nothing may expire");
         assert_eq!(answers, &expected[qi], "ticket {ticket} got wrong answers");
+    }
+}
+
+/// The routed twin of the admission soak: 240 queries from 4 producers
+/// through the same capacity-16 queue, drained by a service that consults
+/// the shard synopses before every wave. Routing must change *nothing*
+/// about the admission contract — no ticket lost or duplicated, every
+/// answer exact — while every record's probe accounting stays within the
+/// shard count.
+#[test]
+fn soak_with_routing_enabled_loses_nothing_and_bounds_probes() {
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: usize = 60;
+    const TOTAL: usize = PRODUCERS * PER_PRODUCER;
+    const SHARDS: usize = 3;
+
+    let (ds, queries) = setup(18, 8, 5);
+    let config = MethodConfig::fast();
+    let oracle = build_index(MethodKind::Ggsx, &config, &ds);
+    let expected: Vec<Vec<GraphId>> = queries
+        .iter()
+        .map(|q| oracle.query(&ds, q).answers)
+        .collect();
+
+    let mut service = ShardedService::build(
+        MethodKind::Ggsx,
+        &config,
+        &ds,
+        &ShardedConfig::with_shards(SHARDS)
+            .workers_per_shard(2)
+            .routing(RoutingMode::Synopsis),
+    );
+    assert_eq!(service.routing(), RoutingMode::Synopsis);
+    let queue = AdmissionQueue::with_capacity(16);
+
+    let mut submissions: Vec<(u64, usize)> = Vec::with_capacity(TOTAL);
+    let mut collected: Vec<(u64, Vec<GraphId>, bool, usize, usize)> = Vec::with_capacity(TOTAL);
+    std::thread::scope(|scope| {
+        let producer_handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let queue = &queue;
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut mine = Vec::with_capacity(PER_PRODUCER);
+                    for i in 0..PER_PRODUCER {
+                        let qi = (p + i * PRODUCERS) % queries.len();
+                        let ticket = queue
+                            .submit(queries[qi].clone(), None)
+                            .expect("queue open while producers run");
+                        mine.push((ticket, qi));
+                    }
+                    mine
+                })
+            })
+            .collect();
+
+        while collected.len() < TOTAL {
+            let report = service.drain(&queue, None);
+            for record in report.records {
+                collected.push((
+                    record.ticket,
+                    record.answers,
+                    record.expired,
+                    record.shards_probed,
+                    record.shards_skipped,
+                ));
+            }
+            std::thread::yield_now();
+        }
+        for handle in producer_handles {
+            submissions.extend(handle.join().expect("producer panicked"));
+        }
+    });
+
+    // No lost or duplicated records, exactly as in the fanned-out soak.
+    assert_eq!(collected.len(), TOTAL);
+    let mut tickets: Vec<u64> = collected.iter().map(|(t, ..)| *t).collect();
+    tickets.sort_unstable();
+    assert_eq!(tickets, (0..TOTAL as u64).collect::<Vec<_>>());
+    assert!(queue.is_empty());
+
+    let mut by_ticket: Vec<Option<usize>> = vec![None; TOTAL];
+    for (ticket, qi) in submissions {
+        assert!(by_ticket[ticket as usize].replace(qi).is_none());
+    }
+    for (ticket, answers, expired, probed, skipped) in &collected {
+        let qi = by_ticket[*ticket as usize].expect("ticket was submitted");
+        assert!(!expired, "no deadline was set, nothing may expire");
+        assert_eq!(answers, &expected[qi], "ticket {ticket} got wrong answers");
+        // Probe accounting: within the shard count on every record, and
+        // the two sides always partition the shards.
+        assert!(
+            *probed <= SHARDS,
+            "ticket {ticket} probed {probed} of {SHARDS} shards"
+        );
+        assert_eq!(probed + skipped, SHARDS);
+        // Every query is a subgraph of some dataset graph, so a sound
+        // router must probe at least that graph's shard.
+        assert!(*probed >= 1, "ticket {ticket} was routed to no shard");
     }
 }
 
