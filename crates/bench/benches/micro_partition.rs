@@ -1,0 +1,268 @@
+//! Micro-benchmark of the shared-storage data model: zero-copy dataset
+//! partitioning vs. the deep-copying layout it replaced, plus what
+//! label-aware placement buys synopsis routing on interleaved ingest.
+//!
+//! The dataset is 10k graphs in four **label-disjoint families**
+//! interleaved `i % 4`, served on **3 shards** — a shard count coprime to
+//! the family count, so round-robin placement smears every family across
+//! every shard and routing can skip nothing, while
+//! [`ShardStrategy::LabelAware`] re-clusters the families and routed
+//! queries probe a strict shard subset. Timed modes:
+//!
+//! * `partition/deep_copy` — partition then deep-clone every graph into
+//!   its shard (the pre-refactor `partition_dataset` behaviour, O(bytes));
+//! * `partition/zero_copy_rr` / `partition/zero_copy_label_aware` — the
+//!   shared-storage partitioner (`Arc::clone` per graph, O(pointers));
+//! * `routed_wave/round_robin3` / `routed_wave/label_aware3` — one
+//!   synopsis-routed wave under each placement, same queries, same shards.
+//!
+//! Before timing, the correctness gate asserts the zero-copy contract
+//! (`Arc::ptr_eq` per shard graph, incremental partition memory ≤1% of
+//! `Dataset::memory_bytes` at 10k graphs — it was ~100%), answer
+//! equivalence of both placements against fan-out and the oneshot index,
+//! and that label-aware placement probes strictly fewer shards than
+//! round-robin. The committed `BENCH_micro_partition.json` baseline feeds
+//! the CI bench-regression gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqbench_generator::{label_clustered, GraphGenConfig, QueryGen};
+use sqbench_graph::{Dataset, Graph, GraphId};
+use sqbench_harness::service::{
+    partition_dataset, RoutingMode, ShardStrategy, ShardedConfig, ShardedService,
+};
+use sqbench_index::{build_index, MethodConfig, MethodKind};
+use std::sync::Arc;
+
+const UNIVERSE: usize = 10_000;
+const BATCH: usize = 24;
+const SHARDS: usize = 3;
+const FAMILIES: u32 = 4;
+
+fn interleaved_dataset() -> Dataset {
+    label_clustered(
+        &GraphGenConfig::default()
+            .with_graph_count(UNIVERSE)
+            .with_avg_nodes(14)
+            .with_avg_density(0.18)
+            .with_label_count(6)
+            .with_seed(0x9a47),
+        FAMILIES,
+    )
+}
+
+/// The pre-refactor partition cost model: assign, then deep-clone every
+/// graph into its shard — what `partition_dataset` did before `Dataset`
+/// moved to shared `Arc<Graph>` storage.
+fn partition_deep_copy(dataset: &Dataset, shards: usize, strategy: ShardStrategy) -> Vec<Dataset> {
+    partition_dataset(dataset, shards, strategy)
+        .into_iter()
+        .map(|part| {
+            let graphs: Vec<Graph> = part.dataset.iter().map(|(_, g)| g.clone()).collect();
+            Dataset::from_graphs(part.dataset.name().to_string(), graphs)
+        })
+        .collect()
+}
+
+fn gate_wave(service: &mut ShardedService, queries: &[&Graph]) -> (Vec<Vec<GraphId>>, u64) {
+    let report = service.run_wave(queries, None);
+    let answers = report.records.iter().map(|r| r.answers.clone()).collect();
+    (answers, report.shards_probed())
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let dataset = interleaved_dataset();
+    let config = MethodConfig::default();
+    let queries: Vec<Graph> = QueryGen::new(0x5_4a7d)
+        .generate(&dataset, BATCH, 4)
+        .iter()
+        .map(|(q, _)| q.clone())
+        .collect();
+    let refs: Vec<&Graph> = queries.iter().collect();
+
+    // ---- correctness gate: the zero-copy contract -------------------
+    let dataset_bytes = dataset.memory_bytes();
+    let mut incremental_bytes = 0usize;
+    for strategy in ShardStrategy::ALL {
+        let parts = partition_dataset(&dataset, SHARDS, strategy);
+        let mut covered = 0usize;
+        for part in &parts {
+            for (local, &global) in part.to_global.iter().enumerate() {
+                covered += 1;
+                assert!(
+                    Arc::ptr_eq(
+                        part.dataset.shared_unchecked(local),
+                        dataset.shared_unchecked(global)
+                    ),
+                    "{}: shard graph deep-copied",
+                    strategy.name()
+                );
+            }
+        }
+        assert_eq!(covered, dataset.len());
+        let incremental: usize = parts.iter().map(|p| p.dataset.owned_memory_bytes()).sum();
+        assert!(
+            incremental * 100 <= dataset_bytes,
+            "{}: partition added {incremental} of {dataset_bytes} bytes (> 1%)",
+            strategy.name()
+        );
+        incremental_bytes = incremental;
+    }
+    let deep_bytes: usize = partition_deep_copy(&dataset, SHARDS, ShardStrategy::RoundRobin)
+        .iter()
+        .map(Dataset::memory_bytes)
+        .sum();
+
+    // ---- correctness gate: placement is invisible in match sets -----
+    let index = build_index(MethodKind::Ggsx, &config, &dataset);
+    let oneshot: Vec<Vec<GraphId>> = refs
+        .iter()
+        .map(|q| index.query(&dataset, q).answers)
+        .collect();
+    let mut fanout_rr = ShardedService::build(
+        MethodKind::Ggsx,
+        &config,
+        &dataset,
+        &ShardedConfig::with_shards(SHARDS),
+    );
+    let mut routed_rr = ShardedService::build(
+        MethodKind::Ggsx,
+        &config,
+        &dataset,
+        &ShardedConfig::with_shards(SHARDS).routing(RoutingMode::Synopsis),
+    );
+    let mut routed_la = ShardedService::build(
+        MethodKind::Ggsx,
+        &config,
+        &dataset,
+        &ShardedConfig::with_shards(SHARDS)
+            .strategy(ShardStrategy::LabelAware)
+            .routing(RoutingMode::Synopsis),
+    );
+    let (fanout_answers, fanout_probes) = gate_wave(&mut fanout_rr, &refs);
+    let (rr_answers, rr_probes) = gate_wave(&mut routed_rr, &refs);
+    let (la_answers, la_probes) = gate_wave(&mut routed_la, &refs);
+    assert_eq!(oneshot, fanout_answers, "fan-out diverged from oneshot");
+    assert_eq!(oneshot, rr_answers, "round-robin routing changed answers");
+    assert_eq!(oneshot, la_answers, "label-aware placement changed answers");
+    assert_eq!(fanout_probes, (SHARDS * BATCH) as u64);
+    assert!(
+        la_probes < rr_probes,
+        "label-aware probed {la_probes} of round-robin's {rr_probes} — \
+         clustering bought nothing on interleaved ingest"
+    );
+
+    // ---- timed sections ---------------------------------------------
+    let mut group = c.benchmark_group("micro_partition");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_with_input(
+        BenchmarkId::new("partition_deep_copy", UNIVERSE),
+        &dataset,
+        |b, ds| {
+            b.iter(|| {
+                partition_deep_copy(ds, SHARDS, ShardStrategy::RoundRobin)
+                    .iter()
+                    .map(Dataset::len)
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("partition_zero_copy_rr", UNIVERSE),
+        &dataset,
+        |b, ds| {
+            b.iter(|| {
+                partition_dataset(ds, SHARDS, ShardStrategy::RoundRobin)
+                    .iter()
+                    .map(|p| p.dataset.len())
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("partition_zero_copy_label_aware", UNIVERSE),
+        &dataset,
+        |b, ds| {
+            b.iter(|| {
+                partition_dataset(ds, SHARDS, ShardStrategy::LabelAware)
+                    .iter()
+                    .map(|p| p.dataset.len())
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("routed_wave_round_robin3", UNIVERSE),
+        &refs,
+        |b, refs| {
+            b.iter(|| {
+                routed_rr
+                    .run_wave(refs, None)
+                    .records
+                    .iter()
+                    .map(|r| r.answer_count())
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("routed_wave_label_aware3", UNIVERSE),
+        &refs,
+        |b, refs| {
+            b.iter(|| {
+                routed_la
+                    .run_wave(refs, None)
+                    .records
+                    .iter()
+                    .map(|r| r.answer_count())
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+
+    // Summary straight from the recorded medians.
+    let results = c.results();
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.id == format!("micro_partition/{name}/{UNIVERSE}"))
+            .map(|r| r.median_ns)
+    };
+    if let (Some(deep), Some(arc_rr), Some(arc_la)) = (
+        median("partition_deep_copy"),
+        median("partition_zero_copy_rr"),
+        median("partition_zero_copy_label_aware"),
+    ) {
+        println!(
+            "partition @ {UNIVERSE} graphs / {SHARDS} shards: deep copy {:.2} ms, \
+             zero-copy rr {:.3} ms ({:.1}x), zero-copy label-aware {:.3} ms ({:.1}x); \
+             incremental bytes {} vs deep {} ({:.2}% of the {}-byte dataset)",
+            deep / 1e6,
+            arc_rr / 1e6,
+            deep / arc_rr,
+            arc_la / 1e6,
+            deep / arc_la,
+            incremental_bytes,
+            deep_bytes,
+            100.0 * incremental_bytes as f64 / dataset_bytes as f64,
+            dataset_bytes,
+        );
+    }
+    if let (Some(rr), Some(la)) = (
+        median("routed_wave_round_robin3"),
+        median("routed_wave_label_aware3"),
+    ) {
+        println!(
+            "routing under placement @ {BATCH}-query wave: round-robin {:.2} ms \
+             (probes {rr_probes}), label-aware {:.2} ms (probes {la_probes}, {:.2}x)",
+            rr / 1e6,
+            la / 1e6,
+            rr / la,
+        );
+    }
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -293,7 +293,7 @@ mod tests {
             .with_avg_density(0.08)
             .with_seed(4);
         let ds = GraphGen::new(cfg).generate();
-        let avg: f64 = ds.graphs().iter().map(Graph::density).sum::<f64>() / ds.len() as f64;
+        let avg: f64 = ds.graphs().iter().map(|g| g.density()).sum::<f64>() / ds.len() as f64;
         assert!(
             (avg - 0.08).abs() < 0.02,
             "avg density {avg} too far from 0.08"

@@ -1,8 +1,17 @@
 //! Datasets: ordered collections of graphs over which indexes are built.
+//!
+//! Graph storage is **shared**: a [`Dataset`] holds its graphs behind
+//! [`Arc`], so derived datasets — shard partitions, truncated prefixes,
+//! placement experiments — reference the same allocations instead of deep
+//! copying them. Sharing is invisible to readers (every accessor still
+//! hands out plain `&Graph`); it only changes what cloning costs
+//! (O(pointers), not O(bytes)) and what the memory accounting reports
+//! (see [`Dataset::owned_memory_bytes`] / [`Dataset::shared_memory_bytes`]).
 
 use crate::error::{GraphError, Result};
 use crate::graph::Graph;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Identifier of a graph inside a [`Dataset`]. Graph ids are dense and equal
 /// to the graph's position in insertion order, matching how every index
@@ -12,10 +21,14 @@ pub type GraphId = usize;
 /// A collection of labeled graphs — the unit against which subgraph queries
 /// are answered. A query `q` must return the ids of all graphs in the
 /// dataset that contain `q` (Definition 3).
+///
+/// Graphs are stored as `Arc<Graph>`: [`Dataset::clone`],
+/// [`Dataset::truncated`] and the sharded service's `partition_dataset`
+/// share the underlying graph allocations instead of copying them.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Dataset {
     name: String,
-    graphs: Vec<Graph>,
+    graphs: Vec<Arc<Graph>>,
 }
 
 impl Dataset {
@@ -27,8 +40,19 @@ impl Dataset {
         }
     }
 
-    /// Creates a dataset from an existing vector of graphs.
+    /// Creates a dataset from an existing vector of graphs, taking unique
+    /// ownership of each (the graphs become shareable from here on).
     pub fn from_graphs(name: impl Into<String>, graphs: Vec<Graph>) -> Self {
+        Dataset {
+            name: name.into(),
+            graphs: graphs.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// Creates a dataset from already-shared graph handles without copying
+    /// any graph storage — the zero-copy constructor `partition_dataset`
+    /// and [`Dataset::truncated`] build on.
+    pub fn from_shared(name: impl Into<String>, graphs: Vec<Arc<Graph>>) -> Self {
         Dataset {
             name: name.into(),
             graphs,
@@ -47,6 +71,11 @@ impl Dataset {
 
     /// Appends a graph and returns its id.
     pub fn push(&mut self, graph: Graph) -> GraphId {
+        self.push_shared(Arc::new(graph))
+    }
+
+    /// Appends an already-shared graph handle (no copy) and returns its id.
+    pub fn push_shared(&mut self, graph: Arc<Graph>) -> GraphId {
         let id = self.graphs.len();
         self.graphs.push(graph);
         id
@@ -64,10 +93,7 @@ impl Dataset {
 
     /// The graph with the given id, or an error if it does not exist.
     pub fn graph(&self, id: GraphId) -> Result<&Graph> {
-        self.graphs.get(id).ok_or(GraphError::UnknownGraph {
-            graph: id,
-            graph_count: self.graphs.len(),
-        })
+        self.shared(id).map(|g| &**g)
     }
 
     /// Unchecked indexed access; panics on out-of-range ids.
@@ -75,13 +101,38 @@ impl Dataset {
         &self.graphs[id]
     }
 
+    /// The shared handle of the graph with the given id, or an error if it
+    /// does not exist. `Arc::clone` the result to reference the graph from
+    /// another dataset without copying it.
+    pub fn shared(&self, id: GraphId) -> Result<&Arc<Graph>> {
+        self.graphs.get(id).ok_or(GraphError::UnknownGraph {
+            graph: id,
+            graph_count: self.graphs.len(),
+        })
+    }
+
+    /// Unchecked shared-handle access; panics on out-of-range ids.
+    pub fn shared_unchecked(&self, id: GraphId) -> &Arc<Graph> {
+        &self.graphs[id]
+    }
+
     /// Iterator over `(GraphId, &Graph)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> {
+        self.graphs.iter().enumerate().map(|(id, g)| (id, &**g))
+    }
+
+    /// Iterator over `(GraphId, &Arc<Graph>)` pairs in id order — the
+    /// handle-level twin of [`Dataset::iter`] for callers that share
+    /// graphs onward.
+    pub fn iter_shared(&self) -> impl Iterator<Item = (GraphId, &Arc<Graph>)> {
         self.graphs.iter().enumerate()
     }
 
-    /// All graphs as a slice, indexed by [`GraphId`].
-    pub fn graphs(&self) -> &[Graph] {
+    /// All graph handles as a slice, indexed by [`GraphId`]. The element
+    /// type is `Arc<Graph>`, which derefs to [`Graph`], so
+    /// `ds.graphs().iter().map(|g| g.vertex_count())`-style reads work
+    /// unchanged.
+    pub fn graphs(&self) -> &[Arc<Graph>] {
         &self.graphs
     }
 
@@ -92,12 +143,12 @@ impl Dataset {
 
     /// Total number of vertices across all graphs.
     pub fn total_vertices(&self) -> usize {
-        self.graphs.iter().map(Graph::vertex_count).sum()
+        self.graphs.iter().map(|g| g.vertex_count()).sum()
     }
 
     /// Total number of edges across all graphs.
     pub fn total_edges(&self) -> usize {
-        self.graphs.iter().map(Graph::edge_count).sum()
+        self.graphs.iter().map(|g| g.edge_count()).sum()
     }
 
     /// Number of distinct labels used across the whole dataset.
@@ -112,13 +163,55 @@ impl Dataset {
         labels.len()
     }
 
-    /// Estimated heap bytes used by all graphs in the dataset.
-    pub fn memory_bytes(&self) -> usize {
-        self.graphs.iter().map(Graph::memory_bytes).sum()
+    /// Heap bytes of the `Arc<Graph>` spine itself — the cost a zero-copy
+    /// derived dataset pays per graph (one pointer), independent of graph
+    /// sizes.
+    fn spine_bytes(&self) -> usize {
+        self.graphs.capacity() * std::mem::size_of::<Arc<Graph>>()
     }
 
-    /// Returns a new dataset containing only the first `n` graphs. Useful for
-    /// scaling experiments that sweep the number of graphs.
+    /// Estimated heap bytes *reachable* from the dataset: every graph's
+    /// storage plus the handle spine. Graphs shared with other datasets are
+    /// counted in full — this is the resident-set view; see
+    /// [`Dataset::owned_memory_bytes`] for the incremental view.
+    pub fn memory_bytes(&self) -> usize {
+        self.graphs
+            .iter()
+            .map(|g| g.memory_bytes() + std::mem::size_of::<Graph>())
+            .sum::<usize>()
+            + self.spine_bytes()
+    }
+
+    /// Estimated heap bytes this dataset *uniquely* owns: the handle spine
+    /// plus the storage of graphs no other handle references
+    /// (`Arc::strong_count == 1`). For a shard partition or truncated
+    /// prefix taken while the source dataset is alive, this is the
+    /// partition's true incremental memory cost — the spine only, a few
+    /// bytes per graph instead of a full copy.
+    ///
+    /// The split is a point-in-time snapshot: dropping the last other
+    /// holder of a shared graph silently moves its bytes from shared to
+    /// owned.
+    pub fn owned_memory_bytes(&self) -> usize {
+        self.graphs
+            .iter()
+            .filter(|g| Arc::strong_count(g) == 1)
+            .map(|g| g.memory_bytes() + std::mem::size_of::<Graph>())
+            .sum::<usize>()
+            + self.spine_bytes()
+    }
+
+    /// Estimated heap bytes reachable from this dataset but shared with at
+    /// least one other graph handle. Always
+    /// `memory_bytes() - owned_memory_bytes()`.
+    pub fn shared_memory_bytes(&self) -> usize {
+        self.memory_bytes() - self.owned_memory_bytes()
+    }
+
+    /// Returns a new dataset containing only the first `n` graphs, sharing
+    /// their storage with `self` (`Arc::clone` per graph — O(pointers), no
+    /// graph bytes are copied). Useful for scaling experiments that sweep
+    /// the number of graphs over many prefixes of one generated dataset.
     pub fn truncated(&self, n: usize) -> Dataset {
         Dataset {
             name: format!("{}[0..{}]", self.name, n.min(self.graphs.len())),
@@ -129,19 +222,31 @@ impl Dataset {
 
 impl IntoIterator for Dataset {
     type Item = Graph;
-    type IntoIter = std::vec::IntoIter<Graph>;
+    type IntoIter = std::iter::Map<std::vec::IntoIter<Arc<Graph>>, fn(Arc<Graph>) -> Graph>;
 
+    /// Consumes the dataset into owned graphs. Graphs not shared with any
+    /// other dataset are moved out of their `Arc` without copying; shared
+    /// ones are cloned (the other holders keep the original).
     fn into_iter(self) -> Self::IntoIter {
-        self.graphs.into_iter()
+        self.graphs.into_iter().map(Arc::unwrap_or_clone)
     }
+}
+
+/// `&Arc<Graph>` → `&Graph`, named so it can be a `fn`-pointer iterator
+/// adapter in `IntoIterator for &Dataset`.
+fn deref_graph(g: &Arc<Graph>) -> &Graph {
+    g
 }
 
 impl<'a> IntoIterator for &'a Dataset {
     type Item = &'a Graph;
-    type IntoIter = std::slice::Iter<'a, Graph>;
+    type IntoIter =
+        std::iter::Map<std::slice::Iter<'a, Arc<Graph>>, fn(&'a Arc<Graph>) -> &'a Graph>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.graphs.iter()
+        self.graphs
+            .iter()
+            .map(deref_graph as fn(&Arc<Graph>) -> &Graph)
     }
 }
 
@@ -171,6 +276,8 @@ mod tests {
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.graph(id1).unwrap().vertex_count(), 4);
         assert!(ds.graph(7).is_err());
+        assert!(ds.shared(7).is_err());
+        assert_eq!(ds.shared(0).unwrap().vertex_count(), 3);
     }
 
     #[test]
@@ -189,6 +296,8 @@ mod tests {
         assert_eq!(ids, vec![0, 1]);
         let sizes: Vec<_> = (&ds).into_iter().map(Graph::vertex_count).collect();
         assert_eq!(sizes, vec![1, 2]);
+        let shared_ids: Vec<_> = ds.iter_shared().map(|(id, _)| id).collect();
+        assert_eq!(shared_ids, vec![0, 1]);
     }
 
     #[test]
@@ -205,10 +314,72 @@ mod tests {
     }
 
     #[test]
+    fn truncated_shares_graph_storage() {
+        let ds = Dataset::from_graphs("ds", vec![tiny_graph(2, 0), tiny_graph(3, 0)]);
+        let t = ds.truncated(2);
+        for id in t.ids() {
+            assert!(
+                Arc::ptr_eq(t.shared_unchecked(id), ds.shared_unchecked(id)),
+                "truncated graph {id} was deep-copied"
+            );
+        }
+        // The prefix uniquely owns only its pointer spine: every graph
+        // byte it can reach is shared with the source dataset.
+        let graph_bytes: usize = t
+            .iter()
+            .map(|(_, g)| g.memory_bytes() + std::mem::size_of::<Graph>())
+            .sum();
+        assert_eq!(t.owned_memory_bytes() + graph_bytes, t.memory_bytes());
+        assert_eq!(
+            t.memory_bytes(),
+            t.owned_memory_bytes() + t.shared_memory_bytes()
+        );
+    }
+
+    #[test]
+    fn owned_and_shared_bytes_partition_memory_bytes() {
+        let mut ds = Dataset::from_graphs("ds", vec![tiny_graph(4, 0), tiny_graph(5, 1)]);
+        // A freshly built dataset owns everything it can reach.
+        assert_eq!(ds.owned_memory_bytes(), ds.memory_bytes());
+        assert_eq!(ds.shared_memory_bytes(), 0);
+        // Share one graph into a second dataset: its bytes flip to shared
+        // on both sides; the unshared graph's bytes stay owned.
+        let mut other = Dataset::new("other");
+        other.push_shared(Arc::clone(ds.shared(0).unwrap()));
+        assert!(ds.shared_memory_bytes() > 0);
+        assert!(ds.owned_memory_bytes() < ds.memory_bytes());
+        assert_eq!(
+            ds.owned_memory_bytes() + ds.shared_memory_bytes(),
+            ds.memory_bytes()
+        );
+        assert!(other.shared_memory_bytes() > 0);
+        // Dropping the sharer returns the bytes to owned.
+        drop(other);
+        assert_eq!(ds.owned_memory_bytes(), ds.memory_bytes());
+        // Keep `ds` mutable use meaningful: pushing stays cheap and owned.
+        let id = ds.push(tiny_graph(2, 2));
+        assert!(Arc::strong_count(ds.shared_unchecked(id)) == 1);
+    }
+
+    #[test]
+    fn into_iter_moves_unshared_graphs_and_clones_shared_ones() {
+        let ds = Dataset::from_graphs("ds", vec![tiny_graph(2, 0), tiny_graph(3, 1)]);
+        let keep = Arc::clone(ds.shared(1).unwrap());
+        let owned: Vec<Graph> = ds.into_iter().collect();
+        assert_eq!(owned.len(), 2);
+        assert_eq!(owned[1].vertex_count(), 3);
+        // The shared graph survived the consuming iteration.
+        assert_eq!(keep.vertex_count(), 3);
+    }
+
+    #[test]
     fn empty_dataset() {
         let ds = Dataset::new("empty");
         assert!(ds.is_empty());
         assert_eq!(ds.total_vertices(), 0);
         assert_eq!(ds.distinct_label_count(), 0);
+        assert_eq!(ds.memory_bytes(), 0);
+        assert_eq!(ds.owned_memory_bytes(), 0);
+        assert_eq!(ds.shared_memory_bytes(), 0);
     }
 }

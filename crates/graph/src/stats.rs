@@ -99,7 +99,7 @@ impl DatasetStats {
                 avg_labels_per_graph: 0.0,
             };
         }
-        let per_graph: Vec<GraphStats> = ds.graphs().iter().map(GraphStats::of).collect();
+        let per_graph: Vec<GraphStats> = ds.iter().map(|(_, g)| GraphStats::of(g)).collect();
         let nf = n as f64;
         let avg_nodes = per_graph.iter().map(|s| s.vertices as f64).sum::<f64>() / nf;
         let var_nodes = per_graph

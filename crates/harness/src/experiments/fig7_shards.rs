@@ -6,9 +6,12 @@
 //! every query fanned out to all shards and merged): indexing time falls
 //! per shard but feature mining over smaller slices changes filtering
 //! power, so the false positive ratio drifts while answer sets stay
-//! exact. Run once per partitioning strategy to compare round-robin
-//! against size-balanced placement; the per-shard CSV columns
-//! (`shards`, `max_shard_time_s`, `shard_balance`) carry the balance view.
+//! exact. Run once per partitioning strategy to compare round-robin,
+//! size-balanced and label-aware placement; the per-shard CSV columns
+//! (`shards`, `max_shard_time_s`, `shard_balance`,
+//! `partition_overhead_bytes`) carry the balance and memory view —
+//! partitioning shares graph storage with the source dataset, so the
+//! overhead column stays pointer-sized at every point.
 
 use crate::experiments::{measure_point, options_for, synthetic_dataset, workloads_for};
 use crate::report::ExperimentReport;
@@ -118,5 +121,32 @@ mod tests {
         let report = run_with_strategy(&scale, ShardStrategy::SizeBalanced);
         assert!(report.id.contains("size_balanced"));
         assert_eq!(report.points.len(), sweep_for(&scale).len());
+    }
+
+    #[test]
+    fn label_aware_strategy_runs_and_reports_pointer_sized_overhead() {
+        let scale = ExperimentScale::smoke();
+        let report = run_with_strategy(&scale, ShardStrategy::LabelAware);
+        assert!(report.id.contains("label_aware"));
+        assert_eq!(report.points.len(), sweep_for(&scale).len());
+        for point in &report.points {
+            for m in &point.results {
+                if m.shards > 1 {
+                    // Zero-copy partition: the overhead column carries the
+                    // Arc spines, roughly one pointer per graph per shard
+                    // layout — never a second copy of the dataset.
+                    assert!(m.partition_overhead_bytes > 0);
+                    assert!(
+                        m.partition_overhead_bytes
+                            <= scale.graph_count * 2 * std::mem::size_of::<usize>(),
+                        "{}: overhead {} is not pointer-sized",
+                        m.method,
+                        m.partition_overhead_bytes
+                    );
+                } else {
+                    assert_eq!(m.partition_overhead_bytes, 0);
+                }
+            }
+        }
     }
 }

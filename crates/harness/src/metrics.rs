@@ -182,6 +182,10 @@ pub struct MethodMetrics {
     /// Per-shard stage totals, indexed by shard, as aggregated by the
     /// sharded service's merge stage. Empty for unsharded runs.
     pub shard_stages: Vec<StageTotals>,
+    /// Incremental heap bytes the shard partition added on top of the
+    /// source dataset (the shards' `Arc` pointer spines — graph storage is
+    /// shared, not copied). 0 for unsharded runs.
+    pub partition_overhead_bytes: usize,
 }
 
 impl MethodMetrics {
@@ -334,6 +338,7 @@ mod tests {
             shards_probed: 0,
             shards_skipped: 0,
             shard_stages: Vec::new(),
+            partition_overhead_bytes: 0,
         };
         assert!((m.index_size_mb() - 2.0).abs() < 1e-9);
         let line = m.to_log_line();
@@ -370,6 +375,7 @@ mod tests {
             shards_probed: 0,
             shards_skipped: 0,
             shard_stages: Vec::new(),
+            partition_overhead_bytes: 0,
         };
         assert!((m.max_shard_time_s() - 5.0).abs() < 1e-12);
         assert_eq!(m.shard_balance(), 1.0);
@@ -391,6 +397,7 @@ mod tests {
             shards_probed: 12,
             shards_skipped: 0,
             shard_stages: vec![stage(1.0, 1.0), stage(0.5, 0.5), stage(2.0, 2.0)],
+            partition_overhead_bytes: 96,
         };
         assert!((m.max_shard_time_s() - 4.0).abs() < 1e-12);
         assert!((m.shard_balance() - 0.25).abs() < 1e-12);
@@ -425,6 +432,7 @@ mod tests {
             // Two probed shards (2 s and 1 s) and one the router skipped
             // for the whole wave (no queries, zero time).
             shard_stages: vec![stage(1.0, 1.0), stage(0.5, 0.5), StageTotals::default()],
+            partition_overhead_bytes: 48,
         };
         assert!(
             (m.shard_balance() - 0.5).abs() < 1e-12,

@@ -136,8 +136,9 @@ pub fn render_text(report: &ExperimentReport) -> String {
 /// queue wait / filter / verify seconds and total candidates pruned) and
 /// the sharding columns (`shards`, the total `(query, shard)` probes the
 /// routing tier dispatched and skipped, the busiest shard's processing
-/// seconds, and the lightest/heaviest *probed*-shard balance — 1 and
-/// degenerate values for unsharded runs).
+/// seconds, the lightest/heaviest *probed*-shard balance, and the
+/// incremental `partition_overhead_bytes` the shard partition cost on top
+/// of the source dataset — 1, 0 and degenerate values for unsharded runs).
 ///
 /// The exact header and field order are pinned by the golden-file test in
 /// `tests/golden_report.rs`; figure scripts parse these columns by name, so
@@ -147,12 +148,12 @@ pub fn render_csv(report: &ExperimentReport) -> String {
         "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,distinct_features,\
          avg_query_time_s,avg_queue_wait_s,avg_filter_time_s,avg_verify_time_s,\
          candidates_pruned,false_positive_ratio,queries_executed,shards,shards_probed,\
-         shards_skipped,max_shard_time_s,shard_balance,timed_out\n",
+         shards_skipped,max_shard_time_s,shard_balance,partition_overhead_bytes,timed_out\n",
     );
     for point in &report.points {
         for m in &point.results {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 report.id,
                 point.x_label,
                 point.x_value,
@@ -172,6 +173,7 @@ pub fn render_csv(report: &ExperimentReport) -> String {
                 m.shards_skipped,
                 m.max_shard_time_s(),
                 m.shard_balance(),
+                m.partition_overhead_bytes,
                 m.timed_out
             ));
         }
@@ -202,6 +204,7 @@ mod tests {
             shards_probed: 0,
             shards_skipped: 0,
             shard_stages: Vec::new(),
+            partition_overhead_bytes: 0,
         }
     }
 

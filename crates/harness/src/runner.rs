@@ -287,6 +287,7 @@ fn run_single_method(
         shards_probed: queries_executed as u64,
         shards_skipped: 0,
         shard_stages: Vec::new(),
+        partition_overhead_bytes: 0,
     }
 }
 
@@ -353,6 +354,7 @@ fn run_sharded_method(
         shards_probed,
         shards_skipped,
         shard_stages,
+        partition_overhead_bytes: service.partition_overhead_bytes(),
     }
 }
 

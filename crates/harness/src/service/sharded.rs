@@ -27,10 +27,14 @@
 //!
 //! * **Partitioner** — [`partition_dataset`] splits the dataset by
 //!   [`ShardStrategy`]: `RoundRobin` (graph *i* → shard *i mod N*; keeps
-//!   id-adjacent graphs apart, good when sizes are i.i.d.) or
-//!   `SizeBalanced` (longest-processing-time greedy on vertex+edge weight;
-//!   good when graph sizes are skewed). Each shard remembers its
-//!   local→global id mapping.
+//!   id-adjacent graphs apart, good when sizes are i.i.d.), `SizeBalanced`
+//!   (longest-processing-time greedy on vertex+edge weight; good when
+//!   graph sizes are skewed) or `LabelAware` (greedy dominant-label
+//!   clustering under a balance cap; co-locates label-coherent graphs so
+//!   synopsis routing skips shards even on interleaved ingest). Each shard
+//!   remembers its local→global id mapping, and its dataset slice
+//!   **shares** graph storage with the source dataset (`Arc` handles, no
+//!   deep copies), so partitioning costs pointers, not bytes.
 //! * **Per-shard pools** — each shard owns its dataset slice, its index and
 //!   its worker arenas; a wave runs one [`run_batch_on`] pool per shard on
 //!   scoped threads, so shards progress concurrently and arenas persist
@@ -71,14 +75,32 @@ pub enum ShardStrategy {
     /// graphs are placed heaviest-first onto the currently lightest shard,
     /// evening out total shard *size* when graph sizes are skewed.
     SizeBalanced,
+    /// Label-affinity greedy clustering: graphs are placed heaviest-first
+    /// onto the shard whose resident label set their own labels overlap
+    /// most (dominant labels weigh proportionally to their multiplicity),
+    /// under a per-shard weight cap that keeps the partition balanced.
+    /// Label-coherent graph families end up co-located, which is what
+    /// makes [`RoutingMode::Synopsis`] skip shards even when ingest
+    /// interleaves the families — the regime where round-robin placement
+    /// smears every family across every shard and routing saves nothing.
+    LabelAware,
 }
 
 impl ShardStrategy {
+    /// Every strategy, in documentation order — what sweeps and proptests
+    /// iterate.
+    pub const ALL: [ShardStrategy; 3] = [
+        ShardStrategy::RoundRobin,
+        ShardStrategy::SizeBalanced,
+        ShardStrategy::LabelAware,
+    ];
+
     /// Short name used in logs, CSV descriptions and bench ids.
     pub fn name(&self) -> &'static str {
         match self {
             ShardStrategy::RoundRobin => "round-robin",
             ShardStrategy::SizeBalanced => "size-balanced",
+            ShardStrategy::LabelAware => "label-aware",
         }
     }
 }
@@ -141,7 +163,8 @@ impl ShardedConfig {
 /// from shard-local [`GraphId`]s back to ids in the original dataset.
 #[derive(Debug, Clone)]
 pub struct ShardPart {
-    /// The shard's slice of the dataset (ids re-densified to `0..len`).
+    /// The shard's slice of the dataset (ids re-densified to `0..len`),
+    /// sharing graph storage with the source dataset.
     pub dataset: Dataset,
     /// `to_global[local_id]` is the graph's id in the unsharded dataset.
     pub to_global: Vec<GraphId>,
@@ -152,12 +175,14 @@ pub struct ShardPart {
 /// than shards (the service handles empty shards — they simply answer
 /// nothing). Deterministic for a given dataset/strategy/shard count.
 ///
-/// Each part owns a *clone* of its graphs: in a real deployment every
-/// shard loads only its slice from storage and the global dataset never
-/// exists in one process, which this models — but in-process it means the
-/// partition duplicates the dataset's memory next to the caller's copy.
-/// Sharing graphs (`Arc<Graph>` inside `Dataset`) would remove the copy at
-/// the cost of reshaping the whole data model; tracked in ROADMAP.md.
+/// Partitioning is **zero-copy**: each part holds `Arc` handles onto the
+/// source dataset's graphs (`Arc::clone` per graph — O(pointers), not
+/// O(bytes)), so the incremental memory of a full partition is the parts'
+/// pointer spines, not a second copy of the dataset. That is what makes
+/// placement experiments — re-partitioning the same dataset under several
+/// strategies and shard counts — cheap enough to run side by side; the
+/// `ShardPart::dataset.owned_memory_bytes()` sum is the honest overhead
+/// figure the harness reports as `partition_overhead_bytes`.
 pub fn partition_dataset(
     dataset: &Dataset,
     shards: usize,
@@ -191,23 +216,27 @@ pub fn partition_dataset(
                 loads[lightest] += weight;
                 assignment[lightest].push(id);
             }
-            // Keep shard-local id order aligned with global id order so a
-            // shard's answers come out sorted after mapping.
-            for ids in &mut assignment {
-                ids.sort_unstable();
-            }
         }
+        ShardStrategy::LabelAware => {
+            assignment = label_aware_assignment(dataset, shards);
+        }
+    }
+    // Keep shard-local id order aligned with global id order so a shard's
+    // answers come out sorted after mapping (round-robin emits ids in
+    // order already; the greedy strategies do not).
+    for ids in &mut assignment {
+        ids.sort_unstable();
     }
     assignment
         .into_iter()
         .enumerate()
         .map(|(shard, ids)| {
-            let graphs: Vec<Graph> = ids
+            let graphs: Vec<std::sync::Arc<Graph>> = ids
                 .iter()
-                .map(|&id| dataset.graph_unchecked(id).clone())
+                .map(|&id| std::sync::Arc::clone(dataset.shared_unchecked(id)))
                 .collect();
             ShardPart {
-                dataset: Dataset::from_graphs(
+                dataset: Dataset::from_shared(
                     format!("{}[shard {shard}/{shards}]", dataset.name()),
                     graphs,
                 ),
@@ -215,6 +244,66 @@ pub fn partition_dataset(
             }
         })
         .collect()
+}
+
+/// The [`ShardStrategy::LabelAware`] placement: greedy dominant-label
+/// clustering under a balance cap.
+///
+/// Graphs are processed heaviest-first (LPT order, ties on lower id). Each
+/// graph scores every shard by **label affinity** — the number of its
+/// vertices whose label the shard already hosts, so a graph's dominant
+/// labels dominate its placement — and goes to the highest-affinity shard
+/// whose load stays within the cap `max(ceil(total_weight / shards),
+/// heaviest graph)`; ties break on lighter load, then lower shard index.
+/// The cap is what keeps a uniform-label dataset from collapsing onto one
+/// shard: once every shard hosts the whole alphabet, affinity ties and the
+/// load tie-break takes over, degrading gracefully to size-balanced
+/// placement. Deterministic for a given dataset and shard count.
+fn label_aware_assignment(dataset: &Dataset, shards: usize) -> Vec<Vec<GraphId>> {
+    use std::collections::BTreeSet;
+    let weight = |g: &Graph| g.vertex_count() + g.edge_count();
+    let total: usize = dataset.iter().map(|(_, g)| weight(g)).sum();
+    let heaviest = dataset.iter().map(|(_, g)| weight(g)).max().unwrap_or(0);
+    let cap = total.div_ceil(shards).max(heaviest);
+    let mut order: Vec<GraphId> = dataset.ids().collect();
+    order.sort_by_key(|&id| (std::cmp::Reverse(weight(dataset.graph_unchecked(id))), id));
+    let mut assignment: Vec<Vec<GraphId>> = vec![Vec::new(); shards];
+    let mut loads = vec![0usize; shards];
+    let mut shard_labels: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); shards];
+    for id in order {
+        let g = dataset.graph_unchecked(id);
+        let w = weight(g);
+        let affinity = |shard: usize| -> usize {
+            g.labels()
+                .iter()
+                .filter(|label| shard_labels[shard].contains(label))
+                .count()
+        };
+        // Highest affinity among shards with room; if every shard is at
+        // the cap (possible when heavy graphs round badly), fall back to
+        // the globally lightest shard so the partition always completes.
+        let best = (0..shards)
+            .filter(|&s| loads[s] + w <= cap)
+            .max_by_key(|&s| {
+                (
+                    affinity(s),
+                    std::cmp::Reverse(loads[s]),
+                    std::cmp::Reverse(s),
+                )
+            })
+            .unwrap_or_else(|| {
+                loads
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(shard, &load)| (load, shard))
+                    .map(|(shard, _)| shard)
+                    .expect("at least one shard")
+            });
+        loads[best] += w;
+        shard_labels[best].extend(g.labels().iter().copied());
+        assignment[best].push(id);
+    }
+    assignment
 }
 
 /// One shard of the service: its dataset slice, its own index, its id
@@ -349,6 +438,7 @@ pub struct ShardedService {
     strategy: ShardStrategy,
     routing: RoutingMode,
     router: Router,
+    partition_overhead_bytes: usize,
 }
 
 impl ShardedService {
@@ -363,7 +453,16 @@ impl ShardedService {
         config: &ShardedConfig,
     ) -> Self {
         let workers = config.workers_per_shard.max(1);
-        let shards: Vec<Shard> = partition_dataset(dataset, config.shards, config.strategy)
+        let parts = partition_dataset(dataset, config.shards, config.strategy);
+        // The partition shares graph storage with `dataset`, so each
+        // part's uniquely-owned bytes are its pointer spine — summed here
+        // while the source dataset is provably still alive, this is the
+        // honest incremental memory the sharded layout costs on top of it.
+        let partition_overhead_bytes = parts
+            .iter()
+            .map(|part| part.dataset.owned_memory_bytes())
+            .sum();
+        let shards: Vec<Shard> = parts
             .into_iter()
             .map(|part| {
                 let index = build_index(kind, method_config, &part.dataset);
@@ -384,7 +483,17 @@ impl ShardedService {
             strategy: config.strategy,
             routing: config.routing,
             router,
+            partition_overhead_bytes,
         }
+    }
+
+    /// Incremental heap bytes the shard partition added on top of the
+    /// source dataset at build time: the shards' `Arc` pointer spines.
+    /// Before the shared-storage data model this was a full second copy of
+    /// the dataset (~100% of `Dataset::memory_bytes`); now it is
+    /// O(pointers).
+    pub fn partition_overhead_bytes(&self) -> usize {
+        self.partition_overhead_bytes
     }
 
     /// Number of shards.
@@ -728,6 +837,132 @@ mod tests {
         let max = *weights.iter().max().unwrap();
         let min = *weights.iter().min().unwrap();
         assert!(max <= min.max(1) * 2, "badly unbalanced: {weights:?}");
+    }
+
+    #[test]
+    fn partition_shares_graph_storage_with_the_source() {
+        let (ds, _) = setup(14, 1);
+        for strategy in ShardStrategy::ALL {
+            let parts = partition_dataset(&ds, 3, strategy);
+            for part in &parts {
+                for (local, global) in part.to_global.iter().enumerate() {
+                    assert!(
+                        std::sync::Arc::ptr_eq(
+                            part.dataset.shared_unchecked(local),
+                            ds.shared_unchecked(*global)
+                        ),
+                        "{}: shard graph {local} is not the source allocation",
+                        strategy.name()
+                    );
+                }
+                // Each part uniquely owns only its pointer spine.
+                assert_eq!(
+                    part.dataset.owned_memory_bytes() + part.dataset.shared_memory_bytes(),
+                    part.dataset.memory_bytes()
+                );
+                if !part.dataset.is_empty() {
+                    assert!(part.dataset.shared_memory_bytes() > 0);
+                }
+            }
+            let overhead: usize = parts.iter().map(|p| p.dataset.owned_memory_bytes()).sum();
+            assert!(
+                overhead < ds.memory_bytes() / 10,
+                "{}: partition overhead {overhead} not pointer-sized vs {}",
+                strategy.name(),
+                ds.memory_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn label_aware_partition_covers_every_graph_once_and_stays_balanced() {
+        let (ds, _) = setup(16, 1);
+        let parts = partition_dataset(&ds, 4, ShardStrategy::LabelAware);
+        let mut seen: Vec<GraphId> = parts.iter().flat_map(|p| p.to_global.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..ds.len()).collect::<Vec<_>>());
+        for part in &parts {
+            assert!(part.to_global.windows(2).all(|w| w[0] < w[1]));
+        }
+        // The balance cap keeps any shard at roughly total/shards weight
+        // even when label affinity pulls everything together (the uniform
+        // generated dataset shares one label alphabet).
+        let weights: Vec<usize> = parts
+            .iter()
+            .map(|p| {
+                p.dataset
+                    .iter()
+                    .map(|(_, g)| g.vertex_count() + g.edge_count())
+                    .sum()
+            })
+            .collect();
+        let total: usize = weights.iter().sum();
+        let cap = total.div_ceil(4);
+        for (shard, &w) in weights.iter().enumerate() {
+            assert!(
+                w <= cap + total / ds.len().max(1),
+                "shard {shard} weight {w} blew past the cap {cap} ({weights:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn label_aware_clusters_interleaved_families_and_routes_past_round_robin() {
+        // Four label-disjoint families interleaved i % 4, served on 3
+        // shards: round-robin smears every family across all shards (4 and
+        // 3 are coprime), so routing cannot skip anything; label-aware
+        // placement re-clusters the families, so each query's labels live
+        // on a strict shard subset.
+        let ds = sqbench_generator::label_clustered(
+            &GraphGenConfig::default()
+                .with_graph_count(24)
+                .with_avg_nodes(10)
+                .with_avg_density(0.16)
+                .with_label_count(3)
+                .with_seed(91),
+            4,
+        );
+        let queries: Vec<Graph> = QueryGen::new(17)
+            .generate(&ds, 8, 4)
+            .iter()
+            .map(|(q, _)| q.clone())
+            .collect();
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let config = MethodConfig::fast();
+        let build = |strategy| {
+            ShardedService::build(
+                MethodKind::Ggsx,
+                &config,
+                &ds,
+                &ShardedConfig::with_shards(3)
+                    .strategy(strategy)
+                    .routing(RoutingMode::Synopsis),
+            )
+        };
+        let mut round_robin = build(ShardStrategy::RoundRobin);
+        let mut label_aware = build(ShardStrategy::LabelAware);
+        let rr_report = round_robin.run_wave(&refs, None);
+        let la_report = label_aware.run_wave(&refs, None);
+        // Placement must be invisible in the answers...
+        let oracle = build_index(MethodKind::Ggsx, &config, &ds);
+        for ((rr, la), query) in rr_report
+            .records
+            .iter()
+            .zip(la_report.records.iter())
+            .zip(queries.iter())
+        {
+            let expected = oracle.query(&ds, query).answers;
+            assert_eq!(rr.answers, expected);
+            assert_eq!(la.answers, expected);
+        }
+        // ...and label-aware placement must make routing strictly cheaper
+        // than round-robin on this interleaved ingest.
+        assert!(
+            la_report.shards_probed() < rr_report.shards_probed(),
+            "label-aware probed {} vs round-robin {} — placement bought nothing",
+            la_report.shards_probed(),
+            rr_report.shards_probed()
+        );
     }
 
     #[test]

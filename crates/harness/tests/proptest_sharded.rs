@@ -15,6 +15,13 @@
 //! discriminate) and on adversarially label-skewed ones (where routing
 //! skips most shards — the exact regime where an unsound synopsis would
 //! silently drop answers).
+//!
+//! Both matrices run over **all three** placement strategies —
+//! round-robin, size-balanced (LPT) and label-aware clustering — so a
+//! placement bug can never hide behind one layout; a final property pins
+//! the point of label-aware placement itself: on interleaved
+//! label-clustered ingest with a shard count coprime to the family count,
+//! it must let routing probe strictly fewer shards than round-robin.
 
 use proptest::prelude::*;
 use sqbench_generator::{label_clustered, GraphGen, GraphGenConfig, QueryGen};
@@ -88,7 +95,7 @@ proptest! {
                 .map(|q| oracle.query(&ds, q).answers)
                 .collect();
 
-            for strategy in [ShardStrategy::RoundRobin, ShardStrategy::SizeBalanced] {
+            for strategy in ShardStrategy::ALL {
                 for shards in [1usize, 2, 4, 7] {
                     let mut service = ShardedService::build(
                         kind,
@@ -166,7 +173,7 @@ proptest! {
                 .map(|q| oracle.query(&ds, q).answers)
                 .collect();
 
-            for strategy in [ShardStrategy::RoundRobin, ShardStrategy::SizeBalanced] {
+            for strategy in ShardStrategy::ALL {
                 for shards in [2usize, 4, 7] {
                     let base = ShardedConfig::with_shards(shards).strategy(strategy);
                     let mut fanout = ShardedService::build(
@@ -234,5 +241,65 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The reason [`ShardStrategy::LabelAware`] exists: on interleaved
+    /// label-clustered ingest with a shard count that does not divide the
+    /// family count (here 3 shards over 4 families — round-robin smears
+    /// every family across every shard), label-aware placement must let
+    /// synopsis routing probe strictly fewer shards than round-robin,
+    /// while staying bit-identical to the unsharded oracle.
+    #[test]
+    fn label_aware_placement_beats_round_robin_on_interleaved_ingest(
+        seed in 0u64..200,
+        graphs in 16usize..25,
+    ) {
+        let ds = skewed_dataset_from_seed(seed, graphs);
+        let config = MethodConfig::fast();
+        let queries: Vec<Graph> = QueryGen::new(seed ^ 0x91ace)
+            .generate(&ds, 4, 4)
+            .iter()
+            .map(|(q, _)| q.clone())
+            .collect();
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let kind = MethodKind::Ggsx;
+        let oracle = build_index(kind, &config, &ds);
+        let expected: Vec<Vec<GraphId>> = queries
+            .iter()
+            .map(|q| oracle.query(&ds, q).answers)
+            .collect();
+        let mut reports = Vec::new();
+        for strategy in [ShardStrategy::RoundRobin, ShardStrategy::LabelAware] {
+            let mut service = ShardedService::build(
+                kind,
+                &config,
+                &ds,
+                &ShardedConfig::with_shards(3)
+                    .strategy(strategy)
+                    .routing(RoutingMode::Synopsis),
+            );
+            let report = service.run_wave(&refs, None);
+            for (qi, record) in report.records.iter().enumerate() {
+                prop_assert_eq!(
+                    &record.answers,
+                    &expected[qi],
+                    "{} placement changed query {}'s match set",
+                    strategy.name(),
+                    qi
+                );
+            }
+            reports.push(report);
+        }
+        let (rr, la) = (&reports[0], &reports[1]);
+        prop_assert!(
+            la.shards_probed() < rr.shards_probed(),
+            "label-aware probed {} of round-robin's {} — clustering bought nothing",
+            la.shards_probed(),
+            rr.shards_probed()
+        );
     }
 }

@@ -1,0 +1,131 @@
+//! Regression tests for the shared-storage data model: partitioning and
+//! prefix truncation must *reference* the source dataset's graphs, never
+//! copy them.
+//!
+//! Before `Dataset` moved to `Arc<Graph>` storage, `partition_dataset`
+//! deep-cloned every graph into its shard (doubling resident memory the
+//! moment a dataset was sharded) and `Dataset::truncated` deep-cloned
+//! every sweep prefix. These tests pin the zero-copy contract two ways:
+//! **pointer identity** (`Arc::ptr_eq` against the source allocations — a
+//! reintroduced deep copy cannot fake that) and **memory accounting**
+//! (a partition's uniquely-owned bytes are pointer spines, a vanishing
+//! fraction of the dataset's graph storage).
+
+use sqbench_generator::{GraphGen, GraphGenConfig};
+use sqbench_graph::Dataset;
+use sqbench_harness::service::{partition_dataset, ShardStrategy};
+use std::sync::Arc;
+
+fn dataset(graphs: usize) -> Dataset {
+    GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(graphs)
+            .with_avg_nodes(16)
+            .with_avg_density(0.16)
+            .with_label_count(6)
+            .with_seed(0xa11c),
+    )
+    .generate()
+}
+
+#[test]
+fn partition_reuses_the_source_allocations_for_every_strategy() {
+    let ds = dataset(60);
+    for strategy in ShardStrategy::ALL {
+        for shards in [1usize, 2, 4, 7] {
+            let parts = partition_dataset(&ds, shards, strategy);
+            assert_eq!(parts.len(), shards);
+            let mut covered = 0usize;
+            for part in &parts {
+                assert_eq!(part.dataset.len(), part.to_global.len());
+                for (local, &global) in part.to_global.iter().enumerate() {
+                    covered += 1;
+                    assert!(
+                        Arc::ptr_eq(
+                            part.dataset.shared_unchecked(local),
+                            ds.shared_unchecked(global)
+                        ),
+                        "{} @ {shards} shards: local {local} / global {global} \
+                         is a fresh allocation, not the source graph",
+                        strategy.name()
+                    );
+                }
+            }
+            assert_eq!(covered, ds.len(), "partition must cover every graph");
+        }
+    }
+}
+
+#[test]
+fn truncated_prefixes_reuse_the_source_allocations() {
+    let ds = dataset(40);
+    for n in [0usize, 1, 7, 39, 40, 100] {
+        let prefix = ds.truncated(n);
+        assert_eq!(prefix.len(), n.min(ds.len()));
+        for id in prefix.ids() {
+            assert!(
+                Arc::ptr_eq(prefix.shared_unchecked(id), ds.shared_unchecked(id)),
+                "truncated({n}) deep-copied graph {id}"
+            );
+        }
+        // A prefix owns nothing but its pointer spine while the source
+        // dataset is alive.
+        assert_eq!(
+            prefix.shared_memory_bytes() + prefix.owned_memory_bytes(),
+            prefix.memory_bytes()
+        );
+        if n > 0 {
+            assert!(prefix.shared_memory_bytes() > 0);
+        }
+    }
+}
+
+/// The memory-accounting half of the acceptance criterion: a full
+/// partition of a large dataset adds only pointer spines — ≤1% of the
+/// dataset's graph storage, where the deep-copying implementation added
+/// ~100%.
+#[test]
+fn partition_incremental_memory_is_pointer_sized() {
+    let ds = dataset(3000);
+    let dataset_bytes = ds.memory_bytes();
+    for strategy in ShardStrategy::ALL {
+        let parts = partition_dataset(&ds, 4, strategy);
+        let incremental: usize = parts.iter().map(|p| p.dataset.owned_memory_bytes()).sum();
+        let resident: usize = parts.iter().map(|p| p.dataset.memory_bytes()).sum();
+        assert!(
+            incremental * 100 <= dataset_bytes,
+            "{}: partition added {incremental} bytes on a {dataset_bytes}-byte \
+             dataset (> 1%) — a deep copy crept back in",
+            strategy.name()
+        );
+        // The parts still *reach* the whole dataset's graph storage; they
+        // just do not own it.
+        assert!(resident >= dataset_bytes - incremental);
+    }
+}
+
+/// Re-partitioning the same dataset under every strategy and several shard
+/// counts — the placement-experiment pattern — must not accumulate graph
+/// copies: all partitions alias the same allocations, so their combined
+/// unique footprint stays within a few percent of the single dataset.
+#[test]
+fn repeated_placement_experiments_share_one_copy_of_the_graphs() {
+    let ds = dataset(500);
+    let dataset_bytes = ds.memory_bytes();
+    let mut partitions = Vec::new();
+    for strategy in ShardStrategy::ALL {
+        for shards in [2usize, 4] {
+            partitions.push(partition_dataset(&ds, shards, strategy));
+        }
+    }
+    let incremental: usize = partitions
+        .iter()
+        .flatten()
+        .map(|p| p.dataset.owned_memory_bytes())
+        .sum();
+    assert!(
+        incremental * 20 <= dataset_bytes,
+        "six concurrent partitions added {incremental} bytes on a \
+         {dataset_bytes}-byte dataset — graph storage is being copied"
+    );
+}

@@ -8,10 +8,14 @@
 //!
 //! The first argument picks the experiment (default `fig2`, the
 //! number-of-nodes sweep; `fig7` is the beyond-the-paper shard-count
-//! sweep, run for both partitioning strategies; `fig8` the shard-routing
-//! sweep, fanout vs. routed over a label-clustered dataset), the second
-//! the scale (default `smoke`). Output is the four text panels of the
-//! figure plus a CSV block that can be piped into a plotting tool.
+//! sweep, run for all three partitioning strategies — round-robin,
+//! size-balanced and label-aware; `fig8` the shard-routing sweep, fanout
+//! vs. routed over a label-clustered dataset), the second the scale
+//! (default `smoke`). Output is the four text panels of the figure plus a
+//! CSV block that can be piped into a plotting tool. Sweeps like `fig6`
+//! re-partition and truncate one generated dataset many times — cheap,
+//! because datasets share graph storage (`Arc<Graph>`) instead of copying
+//! it per point.
 
 use sqbench_harness::{experiments, report, ExperimentScale};
 
@@ -36,6 +40,10 @@ fn main() {
             experiments::fig7_shards::run_with_strategy(
                 &scale,
                 sqbench_harness::ShardStrategy::SizeBalanced,
+            ),
+            experiments::fig7_shards::run_with_strategy(
+                &scale,
+                sqbench_harness::ShardStrategy::LabelAware,
             ),
         ],
         "fig8" => vec![experiments::fig8_routing::run(&scale)],

@@ -44,6 +44,7 @@ fn golden_report() -> ExperimentReport {
         shards_probed: 2,
         shards_skipped: 0,
         shard_stages: Vec::new(),
+        partition_overhead_bytes: 0,
     };
     let sharded = MethodMetrics {
         method: "Grapes".to_string(),
@@ -62,6 +63,8 @@ fn golden_report() -> ExperimentReport {
             stage_totals(1, 0.0, 0.5, 1.5),   // busy shard: 2.0 s
             stage_totals(1, 0.0, 0.25, 0.25), // light shard: 0.5 s
         ],
+        // Two shards' Arc pointer spines over a 20-graph dataset.
+        partition_overhead_bytes: 160,
     };
     let mut report = ExperimentReport::new(
         "golden",
@@ -115,7 +118,8 @@ fn csv_header_is_pinned_including_routing_columns() {
         "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,\
          distinct_features,avg_query_time_s,avg_queue_wait_s,avg_filter_time_s,\
          avg_verify_time_s,candidates_pruned,false_positive_ratio,queries_executed,\
-         shards,shards_probed,shards_skipped,max_shard_time_s,shard_balance,timed_out"
+         shards,shards_probed,shards_skipped,max_shard_time_s,shard_balance,\
+         partition_overhead_bytes,timed_out"
     );
     // Every data row carries exactly as many fields as the header names.
     let columns = header.split(',').count();

@@ -26,6 +26,14 @@ impl_markers!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64
 
 impl<T: Serialize> Serialize for Vec<T> {}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+// Transparent `Arc<T>` support, mirroring upstream serde's `rc` feature:
+// an `Arc<T>` serializes exactly like the `T` it points to (sharing is not
+// preserved on the wire; deserializing allocates a fresh `Arc`). Needed by
+// `sqbench_graph::Dataset`, whose graphs are stored as `Vec<Arc<Graph>>`.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {}
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::rc::Rc<T> {}
 impl<T: Serialize> Serialize for Option<T> {}
 impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
 impl Serialize for std::time::Duration {}
