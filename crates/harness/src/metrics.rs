@@ -163,6 +163,18 @@ pub struct MethodMetrics {
     /// Whether the method exceeded the experiment's time budget (the
     /// scaled-down analogue of the paper's 8-hour DNF entries).
     pub timed_out: bool,
+    /// Queries answered with a sound partial union because one or more
+    /// shards missed their deadline budget (always 0 for unsharded runs,
+    /// whose single index either answers in full or times out).
+    pub queries_degraded: usize,
+    /// Queries whose every probe failed (panicked or lost its worker) and
+    /// whose retry budget was exhausted.
+    pub queries_failed: usize,
+    /// Queries rejected at admission by cost-aware load shedding (only the
+    /// open-admission serving path sheds; batch runs report 0).
+    pub queries_shed: usize,
+    /// Total per-shard retry probes dispatched after transient failures.
+    pub retries: u64,
     /// Per-stage totals from the service pipeline (queue wait, filter,
     /// verify, candidates pruned) over the executed queries.
     pub stages: StageTotals,
@@ -333,6 +345,10 @@ mod tests {
             false_positive_ratio: 0.125,
             queries_executed: 40,
             timed_out: false,
+            queries_degraded: 0,
+            queries_failed: 0,
+            queries_shed: 0,
+            retries: 0,
             stages: StageTotals::default(),
             shards: 1,
             shards_probed: 0,
@@ -370,6 +386,10 @@ mod tests {
             false_positive_ratio: 0.0,
             queries_executed: 1,
             timed_out: false,
+            queries_degraded: 0,
+            queries_failed: 0,
+            queries_shed: 0,
+            retries: 0,
             stages,
             shards: 1,
             shards_probed: 0,
@@ -392,6 +412,10 @@ mod tests {
             false_positive_ratio: 0.0,
             queries_executed: 4,
             timed_out: false,
+            queries_degraded: 0,
+            queries_failed: 0,
+            queries_shed: 0,
+            retries: 0,
             stages: StageTotals::default(),
             shards: 3,
             shards_probed: 12,
@@ -425,6 +449,10 @@ mod tests {
             false_positive_ratio: 0.0,
             queries_executed: 2,
             timed_out: false,
+            queries_degraded: 0,
+            queries_failed: 0,
+            queries_shed: 0,
+            retries: 0,
             stages: StageTotals::default(),
             shards: 3,
             shards_probed: 2,

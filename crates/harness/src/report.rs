@@ -140,6 +140,12 @@ pub fn render_text(report: &ExperimentReport) -> String {
 /// incremental `partition_overhead_bytes` the shard partition cost on top
 /// of the source dataset — 1, 0 and degenerate values for unsharded runs).
 ///
+/// The outcome columns (`queries_degraded`, `queries_failed`,
+/// `queries_shed`, `retries`) report the fault-tolerance accounting: how
+/// many queries returned a sound partial answer, how many exhausted their
+/// retry budget, how many were shed at admission, and how many retry
+/// probes were dispatched — all 0 on a healthy fault-free run.
+///
 /// The exact header and field order are pinned by the golden-file test in
 /// `tests/golden_report.rs`; figure scripts parse these columns by name, so
 /// changes here must update the golden file deliberately.
@@ -148,12 +154,13 @@ pub fn render_csv(report: &ExperimentReport) -> String {
         "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,distinct_features,\
          avg_query_time_s,avg_queue_wait_s,avg_filter_time_s,avg_verify_time_s,\
          candidates_pruned,false_positive_ratio,queries_executed,shards,shards_probed,\
-         shards_skipped,max_shard_time_s,shard_balance,partition_overhead_bytes,timed_out\n",
+         shards_skipped,max_shard_time_s,shard_balance,partition_overhead_bytes,\
+         queries_degraded,queries_failed,queries_shed,retries,timed_out\n",
     );
     for point in &report.points {
         for m in &point.results {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 report.id,
                 point.x_label,
                 point.x_value,
@@ -174,6 +181,10 @@ pub fn render_csv(report: &ExperimentReport) -> String {
                 m.max_shard_time_s(),
                 m.shard_balance(),
                 m.partition_overhead_bytes,
+                m.queries_degraded,
+                m.queries_failed,
+                m.queries_shed,
+                m.retries,
                 m.timed_out
             ));
         }
@@ -199,6 +210,10 @@ mod tests {
             false_positive_ratio: 0.5,
             queries_executed: 8,
             timed_out: false,
+            queries_degraded: 0,
+            queries_failed: 0,
+            queries_shed: 0,
+            retries: 0,
             stages,
             shards: 1,
             shards_probed: 0,
@@ -266,6 +281,7 @@ mod tests {
         assert!(
             lines[0].contains("shards,shards_probed,shards_skipped,max_shard_time_s,shard_balance")
         );
+        assert!(lines[0].contains("queries_degraded,queries_failed,queries_shed,retries,timed_out"));
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
         assert!(lines[4].contains("true") || lines[3].contains("true")); // the DNF row
     }

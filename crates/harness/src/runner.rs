@@ -250,6 +250,7 @@ fn run_single_method(
     let mut stages = StageTotals::default();
     let mut false_positive_ratio = 0.0;
     let mut queries_executed = 0usize;
+    let mut queries_failed = 0usize;
 
     if !timed_out {
         // Flatten the workloads once and serve them as a single batch
@@ -264,6 +265,7 @@ fn run_single_method(
         let report = service.run_batch(&queries, Some(build_watch.deadline_after(budget)));
         timed_out = report.timed_out();
         queries_executed = report.executed();
+        queries_failed = report.failed();
         false_positive_ratio = report.false_positive_ratio();
         stages = report.totals;
     }
@@ -281,6 +283,12 @@ fn run_single_method(
         false_positive_ratio,
         queries_executed,
         timed_out,
+        // The unsharded single-index service cannot answer partially and
+        // the batch path never sheds or retries.
+        queries_degraded: 0,
+        queries_failed,
+        queries_shed: 0,
+        retries: 0,
         stages,
         shards: 1,
         // The unsharded service probes its single index once per query.
@@ -307,6 +315,9 @@ fn run_sharded_method(
         workers_per_shard: options.query_threads.max(1),
         strategy: options.shard_strategy,
         routing: options.routing,
+        // Benchmark runs keep the default bounded-retry policy and never
+        // inject faults — so fault-free metrics stay comparable across PRs.
+        ..ShardedConfig::default()
     };
     let build_watch = Stopwatch::start();
     let mut service = ShardedService::build(kind, &options.config, dataset, &sharded_config);
@@ -318,6 +329,9 @@ fn run_sharded_method(
     let mut shard_stages = vec![StageTotals::default(); service.shard_count()];
     let mut false_positive_ratio = 0.0;
     let mut queries_executed = 0usize;
+    let mut queries_degraded = 0usize;
+    let mut queries_failed = 0usize;
+    let mut retries = 0u64;
     let mut shards_probed = 0u64;
     let mut shards_skipped = 0u64;
 
@@ -329,6 +343,9 @@ fn run_sharded_method(
         let report = service.run_wave(&queries, Some(build_watch.deadline_after(budget)));
         timed_out = report.expired() > 0;
         queries_executed = report.executed();
+        queries_degraded = report.degraded();
+        queries_failed = report.failed();
+        retries = report.retries();
         false_positive_ratio = report.false_positive_ratio();
         shards_probed = report.shards_probed();
         shards_skipped = report.shards_skipped();
@@ -349,6 +366,11 @@ fn run_sharded_method(
         false_positive_ratio,
         queries_executed,
         timed_out,
+        queries_degraded,
+        queries_failed,
+        // Batch waves bypass admission, so nothing is ever shed here.
+        queries_shed: 0,
+        retries,
         stages,
         shards: service.shard_count(),
         shards_probed,

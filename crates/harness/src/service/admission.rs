@@ -24,10 +24,12 @@
 //! hand them over and move on, which is what lets submission outlive any
 //! particular wave.
 
+use super::fault::FaultPlan;
 use sqbench_graph::Graph;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Identifier of one admitted query, unique per queue and monotonically
 /// increasing in admission order.
@@ -55,6 +57,19 @@ pub enum SubmitError {
     /// The queue is at capacity ([`AdmissionQueue::try_submit`] only —
     /// the blocking [`AdmissionQueue::submit`] waits instead).
     Full,
+    /// The query was shed by cost-aware admission
+    /// ([`AdmissionQueue::submit_or_shed`]): its deadline had already
+    /// expired at submission, or the queue was full and the backlog made
+    /// the deadline infeasible. Shedding at the door is the service's
+    /// answer to sustained overload — a query that cannot possibly meet
+    /// its deadline should not consume queue capacity and worker time just
+    /// to expire later.
+    Shed,
+    /// A deterministic fault-injection plan rejected this submission (test
+    /// harness only — see [`FaultPlan::fail_admission`]). The would-be
+    /// ticket is *not* consumed, so a retrying producer observes a dense
+    /// ticket space.
+    Injected,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -62,6 +77,8 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Closed => write!(f, "admission queue is closed"),
             SubmitError::Full => write!(f, "admission queue is full"),
+            SubmitError::Shed => write!(f, "query shed: deadline infeasible under current load"),
+            SubmitError::Injected => write!(f, "submission rejected by fault injection"),
         }
     }
 }
@@ -82,6 +99,11 @@ pub struct AdmissionQueue {
     /// Signalled whenever capacity frees up (drain) or the queue closes.
     space: Condvar,
     capacity: usize,
+    /// Queries rejected by cost-aware shedding ([`SubmitError::Shed`]).
+    shed: AtomicU64,
+    /// Deterministic fault-injection hook; `None` (the production default)
+    /// costs one branch per submission.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl AdmissionQueue {
@@ -96,7 +118,26 @@ impl AdmissionQueue {
             }),
             space: Condvar::new(),
             capacity: capacity.max(1),
+            shed: AtomicU64::new(0),
+            faults: None,
         }
+    }
+
+    /// Like [`AdmissionQueue::with_capacity`], with a fault-injection plan
+    /// armed: submissions whose would-be ticket the plan targets fail with
+    /// [`SubmitError::Injected`] without consuming the ticket.
+    pub fn with_faults(capacity: usize, faults: Arc<FaultPlan>) -> Self {
+        let mut queue = Self::with_capacity(capacity);
+        queue.faults = Some(faults);
+        queue
+    }
+
+    /// Poison-tolerant lock: every guarded section is a short queue
+    /// mutation that either completes or leaves the state consistent, so a
+    /// producer that panicked elsewhere must not wedge admission for every
+    /// other producer — recover the guard instead of cascading.
+    fn lock(&self) -> MutexGuard<'_, AdmissionState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The configured capacity bound.
@@ -106,11 +147,7 @@ impl AdmissionQueue {
 
     /// Number of queries currently pending (admitted, not yet drained).
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .expect("admission queue poisoned")
-            .pending
-            .len()
+        self.lock().pending.len()
     }
 
     /// `true` when no query is pending.
@@ -120,30 +157,36 @@ impl AdmissionQueue {
 
     /// `true` once [`AdmissionQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("admission queue poisoned").closed
+        self.lock().closed
     }
 
     /// Total queries ever admitted (the next ticket to be handed out).
     pub fn admitted(&self) -> u64 {
-        self.state
-            .lock()
-            .expect("admission queue poisoned")
-            .next_ticket
+        self.lock().next_ticket
+    }
+
+    /// Queries rejected by cost-aware shedding so far.
+    pub fn shed_queries(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Admits `query`, blocking while the queue is full (backpressure).
     /// Returns the query's admission ticket, or [`SubmitError::Closed`] if
     /// the queue closed before the query could be admitted.
     pub fn submit(&self, query: Graph, deadline: Option<Instant>) -> Result<Ticket, SubmitError> {
-        let mut state = self.state.lock().expect("admission queue poisoned");
+        let mut state = self.lock();
         loop {
             if state.closed {
                 return Err(SubmitError::Closed);
             }
             if state.pending.len() < self.capacity {
+                self.check_injected(&state)?;
                 return Ok(Self::admit(&mut state, query, deadline));
             }
-            state = self.space.wait(state).expect("admission queue poisoned");
+            state = self
+                .space
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -154,14 +197,72 @@ impl AdmissionQueue {
         query: Graph,
         deadline: Option<Instant>,
     ) -> Result<Ticket, SubmitError> {
-        let mut state = self.state.lock().expect("admission queue poisoned");
+        let mut state = self.lock();
         if state.closed {
             return Err(SubmitError::Closed);
         }
         if state.pending.len() >= self.capacity {
             return Err(SubmitError::Full);
         }
+        self.check_injected(&state)?;
         Ok(Self::admit(&mut state, query, deadline))
+    }
+
+    /// Cost-aware admission: sheds ([`SubmitError::Shed`]) instead of
+    /// queueing a query whose `deadline` cannot plausibly be met —
+    /// because it has already expired at submission, or because the queue
+    /// is at capacity and the backlog (estimated at `cost_hint` per
+    /// pending query) would outlast the deadline anyway. Deadline-feasible
+    /// queries behave exactly like [`AdmissionQueue::submit`], including
+    /// blocking on a full queue. Queries without a deadline are never
+    /// shed.
+    pub fn submit_or_shed(
+        &self,
+        query: Graph,
+        deadline: Option<Instant>,
+        cost_hint: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return Err(SubmitError::Closed);
+            }
+            if let Some(deadline) = deadline {
+                let now = Instant::now();
+                // Already expired at the door: executing it would only
+                // burn a queue slot to report `TimedOut` later.
+                let hopeless = now >= deadline
+                    // Full queue: everything pending is served first, so
+                    // the earliest this query could finish is roughly
+                    // now + backlog × cost_hint.
+                    || (state.pending.len() >= self.capacity
+                        && now + cost_hint * (state.pending.len() as u32) >= deadline);
+                if hopeless {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(SubmitError::Shed);
+                }
+            }
+            if state.pending.len() < self.capacity {
+                self.check_injected(&state)?;
+                return Ok(Self::admit(&mut state, query, deadline));
+            }
+            state = self
+                .space
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Fault hook: rejects the submission that would receive the next
+    /// ticket when the armed plan targets it. The ticket is not consumed —
+    /// a retrying producer keeps the ticket space dense.
+    fn check_injected(&self, state: &AdmissionState) -> Result<(), SubmitError> {
+        if let Some(plan) = &self.faults {
+            if plan.take_admission_failure(state.next_ticket) {
+                return Err(SubmitError::Injected);
+            }
+        }
+        Ok(())
     }
 
     fn admit(state: &mut AdmissionState, query: Graph, deadline: Option<Instant>) -> Ticket {
@@ -181,7 +282,7 @@ impl AdmissionQueue {
     /// vector (without blocking) when nothing is pending — the consumer
     /// loop decides how to pace itself.
     pub fn drain_pending(&self) -> Vec<AdmittedQuery> {
-        let mut state = self.state.lock().expect("admission queue poisoned");
+        let mut state = self.lock();
         let wave: Vec<AdmittedQuery> = state.pending.drain(..).collect();
         drop(state);
         if !wave.is_empty() {
@@ -195,7 +296,7 @@ impl AdmissionQueue {
     /// [`AdmissionQueue::submit`] are released with
     /// [`SubmitError::Closed`].
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("admission queue poisoned");
+        let mut state = self.lock();
         state.closed = true;
         drop(state);
         self.space.notify_all();
@@ -299,5 +400,97 @@ mod tests {
         let queue = AdmissionQueue::with_capacity(4);
         assert!(queue.drain_pending().is_empty());
         assert!(queue.drain_pending().is_empty());
+    }
+
+    /// Satellite edge case: every submission flavour on a closed queue
+    /// returns the typed `Closed` error — no panic, no admission.
+    #[test]
+    fn every_submit_flavour_fails_typed_after_close() {
+        let queue = AdmissionQueue::with_capacity(4);
+        queue.close();
+        assert_eq!(queue.submit(q("a"), None), Err(SubmitError::Closed));
+        assert_eq!(queue.try_submit(q("b"), None), Err(SubmitError::Closed));
+        assert_eq!(
+            queue.submit_or_shed(q("c"), None, Duration::from_millis(1)),
+            Err(SubmitError::Closed)
+        );
+        assert_eq!(queue.admitted(), 0);
+        assert!(queue.is_empty());
+    }
+
+    /// Satellite edge case: a deadline that has already expired at submit
+    /// time. Plain `submit` still admits (the wave reports it `TimedOut` —
+    /// backwards compatible); `submit_or_shed` rejects it at the door.
+    #[test]
+    fn deadline_already_expired_at_submit() {
+        let queue = AdmissionQueue::with_capacity(4);
+        let past = Instant::now() - Duration::from_secs(1);
+        // The non-shedding paths admit: deadline enforcement happens at
+        // claim time in the wave.
+        assert!(queue.submit(q("a"), Some(past)).is_ok());
+        assert!(queue.try_submit(q("b"), Some(past)).is_ok());
+        // The cost-aware path refuses to burn a slot on a hopeless query.
+        assert_eq!(
+            queue.submit_or_shed(q("c"), Some(past), Duration::from_millis(1)),
+            Err(SubmitError::Shed)
+        );
+        assert_eq!(queue.shed_queries(), 1);
+        assert_eq!(queue.len(), 2);
+        // Shedding does not consume a ticket: the space stays dense.
+        assert_eq!(queue.submit(q("d"), None), Ok(2));
+    }
+
+    #[test]
+    fn cost_aware_shedding_rejects_infeasible_deadlines_when_full() {
+        let queue = AdmissionQueue::with_capacity(2);
+        queue.submit(q("a"), None).unwrap();
+        queue.submit(q("b"), None).unwrap();
+        // Full queue + 10 ms/query backlog estimate ≫ 1 ms of budget: shed.
+        let tight = Instant::now() + Duration::from_millis(1);
+        assert_eq!(
+            queue.submit_or_shed(q("c"), Some(tight), Duration::from_millis(10)),
+            Err(SubmitError::Shed)
+        );
+        assert_eq!(queue.shed_queries(), 1);
+        // A no-deadline query is never shed — it blocks like `submit`
+        // until the consumer drains.
+        let queue = Arc::new(queue);
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                queue.submit_or_shed(q("d"), None, Duration::from_millis(10))
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(queue.drain_pending().len(), 2);
+        assert_eq!(producer.join().unwrap(), Ok(2));
+    }
+
+    #[test]
+    fn feasible_deadline_is_admitted_not_shed() {
+        let queue = AdmissionQueue::with_capacity(4);
+        let roomy = Instant::now() + Duration::from_secs(60);
+        let ticket = queue
+            .submit_or_shed(q("a"), Some(roomy), Duration::from_millis(1))
+            .unwrap();
+        assert_eq!(ticket, 0);
+        assert_eq!(queue.shed_queries(), 0);
+        let wave = queue.drain_pending();
+        assert_eq!(wave[0].deadline, Some(roomy));
+    }
+
+    #[test]
+    fn injected_admission_failure_is_transient_and_keeps_tickets_dense() {
+        let plan = Arc::new(FaultPlan::new().fail_admission(1, 1));
+        let queue = AdmissionQueue::with_faults(8, Arc::clone(&plan));
+        assert_eq!(queue.submit(q("a"), None), Ok(0));
+        // The submission that would get ticket 1 is rejected once...
+        assert_eq!(queue.submit(q("b"), None), Err(SubmitError::Injected));
+        // ...and the retry gets the *same* ticket: no hole in the space.
+        assert_eq!(queue.submit(q("b"), None), Ok(1));
+        assert_eq!(queue.submit(q("c"), None), Ok(2));
+        assert_eq!(plan.injected_admission_failures(), 1);
+        let tickets: Vec<Ticket> = queue.drain_pending().iter().map(|a| a.ticket).collect();
+        assert_eq!(tickets, vec![0, 1, 2]);
     }
 }

@@ -1,0 +1,344 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! A production-shaped service has to treat worker panics, stalled shards
+//! and admission failures as *normal events* — but none of those occur on a
+//! healthy test box, so every recovery path would ship untested. This
+//! module closes that gap with a seeded, fully deterministic [`FaultPlan`]
+//! that the service consults at three injection points:
+//!
+//! * **panic-in-verify** — [`FaultPlan::fire_verify_panic`] panics (with an
+//!   [`InjectedPanic`] payload) inside the worker's verify stage for a
+//!   chosen ticket, exercising the `catch_unwind` isolation in
+//!   `worker_loop` and the per-shard retry path in the sharded merge;
+//! * **shard stall** — [`FaultPlan::take_stall`] makes a shard sleep before
+//!   serving its first wave, exercising deadline-budgeted degradation (the
+//!   merge returns the partial union of the healthy shards, flagged
+//!   [`super::QueryOutcome::Degraded`]);
+//! * **admission failure** — [`FaultPlan::take_admission_failure`] makes
+//!   the admission queue reject the submission that would have received a
+//!   chosen ticket, exercising producer-side retry and load shedding.
+//!
+//! Every fault is *budgeted*: it fires a configured number of times and
+//! then stops, so a bounded retry can observe the transient clearing. The
+//! hook is zero-cost when disabled — services hold an
+//! `Option<Arc<FaultPlan>>` and the fault-free path is a `None` check.
+//!
+//! Counter accessors ([`FaultPlan::injected_panics`] and friends) let soak
+//! tests assert that every configured fault class actually fired, so a
+//! refactor cannot silently route around an injection point.
+
+use super::admission::Ticket;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Panic payload of an injected verify panic — lets a custom panic hook
+/// (see [`silence_injected_panics`]) distinguish deliberate test faults
+/// from real bugs.
+#[derive(Debug)]
+pub struct InjectedPanic {
+    /// The admission ticket (or batch position, for closed waves) whose
+    /// verify stage was poisoned.
+    pub ticket: Ticket,
+}
+
+/// A seeded, deterministic set of faults to inject into the service stack.
+/// Build one explicitly ([`FaultPlan::new`] + the builder methods) or
+/// derive one from a seed ([`FaultPlan::seeded`]); share it between the
+/// admission queue and the sharded service via `Arc`.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Remaining verify panics per ticket: the verify stage of ticket `t`
+    /// panics while `verify_panics[t] > 0`, decrementing per firing.
+    verify_panics: Mutex<HashMap<Ticket, u32>>,
+    /// One-shot stall budget per shard: the shard sleeps this long before
+    /// its next wave, then the entry is consumed.
+    shard_stalls: Mutex<HashMap<usize, Duration>>,
+    /// Remaining admission failures per would-be ticket: the submission
+    /// that would receive ticket `t` is rejected while the budget lasts
+    /// (the ticket is *not* consumed — the retry gets it).
+    admission_failures: Mutex<HashMap<Ticket, u32>>,
+    injected_panics: AtomicU64,
+    injected_stalls: AtomicU64,
+    injected_admission_failures: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults). Compose with the builder methods.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arms the verify stage of `ticket` to panic on its next `times`
+    /// executions (attempts beyond that succeed — how retry tests model a
+    /// transient fault).
+    pub fn panic_in_verify(self, ticket: Ticket, times: u32) -> Self {
+        lock(&self.verify_panics).insert(ticket, times);
+        self
+    }
+
+    /// Arms shard `shard` to stall for `stall` before serving its next
+    /// wave (one-shot: consumed by the first wave that touches the shard).
+    pub fn stall_shard(self, shard: usize, stall: Duration) -> Self {
+        lock(&self.shard_stalls).insert(shard, stall);
+        self
+    }
+
+    /// Arms the admission queue to reject the next `times` submissions
+    /// that would have received `ticket`.
+    pub fn fail_admission(self, ticket: Ticket, times: u32) -> Self {
+        lock(&self.admission_failures).insert(ticket, times);
+        self
+    }
+
+    /// Derives a deterministic plan from `seed`: `spec.panic_queries`
+    /// distinct tickets panic in verify (each `spec.panic_times` times),
+    /// `spec.stalled_shards` distinct shards stall for `spec.stall`, and
+    /// `spec.admission_failures` distinct tickets fail admission once.
+    /// The same seed and spec always produce the same plan.
+    pub fn seeded(seed: u64, spec: &FaultSpec) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        for ticket in rng.distinct(spec.panic_queries, spec.tickets) {
+            plan = plan.panic_in_verify(ticket, spec.panic_times);
+        }
+        for shard in rng.distinct(spec.stalled_shards.min(spec.shards) as usize, spec.shards) {
+            plan = plan.stall_shard(shard as usize, spec.stall);
+        }
+        for ticket in rng.distinct(spec.admission_failures, spec.tickets) {
+            plan = plan.fail_admission(ticket, 1);
+        }
+        plan
+    }
+
+    /// Verify-stage hook: panics (with an [`InjectedPanic`] payload) when
+    /// `ticket` still has panic budget, decrementing it first so a bounded
+    /// retry eventually succeeds. No-op for unarmed tickets.
+    #[inline]
+    pub fn fire_verify_panic(&self, ticket: Ticket) {
+        let mut armed = lock(&self.verify_panics);
+        if let Some(remaining) = armed.get_mut(&ticket) {
+            if *remaining > 0 {
+                *remaining -= 1;
+                drop(armed); // do not poison or hold the plan lock across the unwind
+                self.injected_panics.fetch_add(1, Ordering::Relaxed);
+                std::panic::panic_any(InjectedPanic { ticket });
+            }
+        }
+    }
+
+    /// Shard hook: takes shard `shard`'s one-shot stall budget, if armed.
+    /// The caller is expected to sleep for the returned duration before
+    /// serving its wave.
+    #[inline]
+    pub fn take_stall(&self, shard: usize) -> Option<Duration> {
+        let stall = lock(&self.shard_stalls).remove(&shard);
+        if stall.is_some() {
+            self.injected_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+        stall
+    }
+
+    /// Admission hook: `true` when the submission that would receive
+    /// `ticket` must be rejected (consumes one unit of that ticket's
+    /// failure budget).
+    #[inline]
+    pub fn take_admission_failure(&self, ticket: Ticket) -> bool {
+        let mut armed = lock(&self.admission_failures);
+        match armed.get_mut(&ticket) {
+            Some(remaining) if *remaining > 0 => {
+                *remaining -= 1;
+                drop(armed);
+                self.injected_admission_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Verify panics fired so far.
+    pub fn injected_panics(&self) -> u64 {
+        self.injected_panics.load(Ordering::Relaxed)
+    }
+
+    /// Shard stalls fired so far.
+    pub fn injected_stalls(&self) -> u64 {
+        self.injected_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Admission failures fired so far.
+    pub fn injected_admission_failures(&self) -> u64 {
+        self.injected_admission_failures.load(Ordering::Relaxed)
+    }
+}
+
+/// Shape of a [`FaultPlan::seeded`] plan: how many of each fault class to
+/// arm over a `tickets`-query, `shards`-shard run.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Tickets the run will admit (faulted tickets are drawn from
+    /// `0..tickets`).
+    pub tickets: u64,
+    /// Shards the service runs (stalled shards are drawn from
+    /// `0..shards`).
+    pub shards: u64,
+    /// Distinct tickets whose verify stage panics.
+    pub panic_queries: usize,
+    /// Panics injected per faulted ticket before it recovers (set above
+    /// the retry bound to exercise permanent failures, at or below it to
+    /// exercise recovery).
+    pub panic_times: u32,
+    /// Distinct shards that stall once.
+    pub stalled_shards: u64,
+    /// How long a stalled shard sleeps before its wave.
+    pub stall: Duration,
+    /// Distinct tickets whose admission fails once.
+    pub admission_failures: usize,
+}
+
+/// Installs a process-wide panic hook that swallows [`InjectedPanic`]
+/// payloads (they are caught and recorded by the worker loop anyway) while
+/// delegating every real panic to the previous hook. Idempotent enough for
+/// tests: installing twice just chains two filters.
+pub fn silence_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().is::<InjectedPanic>() {
+            return;
+        }
+        previous(info);
+    }));
+}
+
+/// Poison-tolerant lock: fault bookkeeping is a plain map update, so a
+/// panic elsewhere can never leave it half-written — recover the guard
+/// instead of cascading the poison.
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// SplitMix64 — tiny, seedable, deterministic; good enough to scatter
+/// fault sites without dragging a full RNG dependency into the service.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// `count` distinct values in `0..bound` (all of them when `bound`
+    /// is not larger than `count`), in deterministic order.
+    fn distinct(&mut self, count: usize, bound: u64) -> Vec<u64> {
+        let mut picked = Vec::new();
+        if bound == 0 {
+            return picked;
+        }
+        let count = count.min(bound as usize);
+        while picked.len() < count {
+            let candidate = self.next() % bound;
+            if !picked.contains(&candidate) {
+                picked.push(candidate);
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_budget_decrements_and_clears() {
+        let plan = FaultPlan::new().panic_in_verify(3, 2);
+        for attempt in 0..2 {
+            let caught = std::panic::catch_unwind(|| plan.fire_verify_panic(3));
+            let payload = caught.expect_err("armed ticket must panic");
+            let injected = payload
+                .downcast_ref::<InjectedPanic>()
+                .expect("payload is the typed injection marker");
+            assert_eq!(injected.ticket, 3, "attempt {attempt}");
+        }
+        // Budget exhausted: the third attempt sails through.
+        plan.fire_verify_panic(3);
+        plan.fire_verify_panic(4); // never armed
+        assert_eq!(plan.injected_panics(), 2);
+    }
+
+    #[test]
+    fn stall_is_one_shot() {
+        let plan = FaultPlan::new().stall_shard(1, Duration::from_millis(5));
+        assert_eq!(plan.take_stall(0), None);
+        assert_eq!(plan.take_stall(1), Some(Duration::from_millis(5)));
+        assert_eq!(plan.take_stall(1), None);
+        assert_eq!(plan.injected_stalls(), 1);
+    }
+
+    #[test]
+    fn admission_failure_budget_is_consumed() {
+        let plan = FaultPlan::new().fail_admission(7, 1);
+        assert!(!plan.take_admission_failure(6));
+        assert!(plan.take_admission_failure(7));
+        assert!(!plan.take_admission_failure(7));
+        assert_eq!(plan.injected_admission_failures(), 1);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_in_bounds() {
+        let spec = FaultSpec {
+            tickets: 40,
+            shards: 4,
+            panic_queries: 5,
+            panic_times: 1,
+            stalled_shards: 2,
+            stall: Duration::from_millis(3),
+            admission_failures: 3,
+        };
+        let a = FaultPlan::seeded(99, &spec);
+        let b = FaultPlan::seeded(99, &spec);
+        let c = FaultPlan::seeded(100, &spec);
+        let fired = |plan: &FaultPlan| -> (Vec<u64>, Vec<usize>, Vec<u64>) {
+            let mut panics: Vec<u64> = (0..40)
+                .filter(|&t| std::panic::catch_unwind(|| plan.fire_verify_panic(t)).is_err())
+                .collect();
+            panics.sort_unstable();
+            let stalls: Vec<usize> = (0..4).filter(|&s| plan.take_stall(s).is_some()).collect();
+            let mut fails: Vec<u64> = (0..40)
+                .filter(|&t| plan.take_admission_failure(t))
+                .collect();
+            fails.sort_unstable();
+            (panics, stalls, fails)
+        };
+        let fa = fired(&a);
+        assert_eq!(fa, fired(&b), "same seed must produce the same plan");
+        assert_ne!(fa, fired(&c), "different seeds should differ");
+        assert_eq!(fa.0.len(), 5);
+        assert_eq!(fa.1.len(), 2);
+        assert_eq!(fa.2.len(), 3);
+        assert!(fa.0.iter().all(|&t| t < 40));
+        assert!(fa.2.iter().all(|&t| t < 40));
+    }
+
+    #[test]
+    fn distinct_handles_small_bounds() {
+        let mut rng = SplitMix64::new(1);
+        assert!(rng.distinct(3, 0).is_empty());
+        let mut all = rng.distinct(10, 4);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+}

@@ -82,6 +82,7 @@
 //!   replaces the closed `run_batch`-only entry point for open traffic.
 
 pub mod admission;
+pub mod fault;
 pub mod pool;
 pub mod queue;
 pub mod sharded;
@@ -89,14 +90,16 @@ pub mod stages;
 pub mod synopsis;
 
 pub use admission::{AdmissionQueue, AdmittedQuery, SubmitError, Ticket};
+pub use fault::{silence_injected_panics, FaultPlan, FaultSpec, InjectedPanic};
 pub use sharded::{
-    partition_dataset, ShardPart, ShardStrategy, ShardedConfig, ShardedQueryRecord, ShardedReport,
-    ShardedService,
+    partition_dataset, RetryPolicy, ShardPart, ShardStrategy, ShardedConfig, ShardedQueryRecord,
+    ShardedReport, ShardedService,
 };
+pub use stages::QueryOutcome;
 pub use synopsis::{Router, RoutingMode};
 
 use crate::metrics::{counted_false_positive_ratio, StageTotals, Stopwatch};
-use pool::{worker_loop, BatchShared, WorkerArena};
+use pool::{worker_loop, BatchShared, WaveFaults, WorkerArena};
 use sqbench_graph::{Dataset, Graph};
 use sqbench_index::{CandidateSet, GraphIndex};
 use stages::QueryRecord;
@@ -138,8 +141,15 @@ pub struct QueryService<'a> {
 #[derive(Debug)]
 pub struct BatchReport {
     /// Per-query records, indexed like the submitted batch. `None` marks a
-    /// query skipped because the deadline expired before it started.
+    /// query that produced no record — skipped on deadline or failed (see
+    /// the matching [`BatchReport::outcomes`] entry for which).
     pub records: Vec<Option<QueryRecord>>,
+    /// Per-query outcomes, indexed like the submitted batch. At this layer
+    /// the vocabulary is `Complete` (record present), `TimedOut` (skipped
+    /// on deadline) or `Failed` (the query's execution panicked, or its
+    /// worker died before reporting); the sharded merge refines these
+    /// across shards.
+    pub outcomes: Vec<QueryOutcome>,
     /// Stage totals over the executed queries.
     pub totals: StageTotals,
     /// Wall-clock seconds the batch took end to end.
@@ -156,7 +166,17 @@ impl BatchReport {
 
     /// `true` when at least one query was skipped on deadline.
     pub fn timed_out(&self) -> bool {
-        self.records.iter().any(Option::is_none)
+        self.outcomes
+            .iter()
+            .any(|o| matches!(o, QueryOutcome::TimedOut))
+    }
+
+    /// Number of queries whose execution failed (panicked or lost).
+    pub fn failed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, QueryOutcome::Failed))
+            .count()
     }
 
     /// Workload false positive ratio (Equation 3) over executed queries.
@@ -216,6 +236,7 @@ impl<'a> QueryService<'a> {
             queries,
             deadline,
             None,
+            None,
         )
     }
 
@@ -238,6 +259,7 @@ impl<'a> QueryService<'a> {
             queries,
             deadline,
             Some(per_query),
+            None,
         )
     }
 
@@ -261,8 +283,10 @@ impl<'a> QueryService<'a> {
 /// pools, can reuse it without the service's borrowed-lifetime plumbing).
 ///
 /// `deadline` is the batch-wide cutoff; `per_query` optionally attaches an
-/// individual deadline to each query (indexed like `queries`). Workers spawn
-/// up to `arenas.len()` strong, clamped to the batch size.
+/// individual deadline to each query (indexed like `queries`); `faults`
+/// optionally arms the fault-injection hooks (tickets indexed like
+/// `queries`). Workers spawn up to `arenas.len()` strong, clamped to the
+/// batch size.
 pub(crate) fn run_batch_on(
     index: &dyn GraphIndex,
     dataset: &Dataset,
@@ -270,11 +294,12 @@ pub(crate) fn run_batch_on(
     queries: &[&Graph],
     deadline: Option<Instant>,
     per_query: Option<&[Option<Instant>]>,
+    faults: Option<WaveFaults<'_>>,
 ) -> BatchReport {
     let workers = arenas.len().min(queries.len()).max(1);
-    let shared = BatchShared::with_deadlines(queries, workers, deadline, per_query);
+    let shared = BatchShared::with_deadlines(queries, workers, deadline, per_query, faults);
     let watch = Stopwatch::start();
-    let completed: Vec<Vec<(usize, Option<QueryRecord>)>> = if workers == 1 {
+    let completed: Vec<Vec<(usize, QueryOutcome, Option<QueryRecord>)>> = if workers == 1 {
         // In-place fast path: no thread spawn, strict batch order.
         vec![worker_loop(0, &shared, index, dataset, &mut arenas[0])]
     } else {
@@ -288,25 +313,32 @@ pub(crate) fn run_batch_on(
                     scope.spawn(move || worker_loop(w, shared, index, dataset, arena))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("query service worker panicked"))
-                .collect()
+            // Per-query panics are caught inside `worker_loop`, so a join
+            // error means the worker died in pool infrastructure. Don't
+            // take the whole batch down with it: the queries that worker
+            // claimed but never reported keep their `Failed` default
+            // below, and the sharded layer's retry can still recover them.
+            handles.into_iter().filter_map(|h| h.join().ok()).collect()
         })
     };
     let wall_s = watch.elapsed_secs();
 
     let mut records: Vec<Option<QueryRecord>> = Vec::new();
     records.resize_with(queries.len(), || None);
+    // Failed-by-default: a query nobody reported (its worker died) must
+    // still carry an explicit outcome.
+    let mut outcomes = vec![QueryOutcome::Failed; queries.len()];
     let mut totals = StageTotals::default();
-    for (idx, record) in completed.into_iter().flatten() {
+    for (idx, outcome, record) in completed.into_iter().flatten() {
         if let Some(r) = &record {
             totals.add_query(r.queue_wait_s, r.filter_s, r.verify_s, r.candidates_pruned);
         }
         records[idx] = record;
+        outcomes[idx] = outcome;
     }
     BatchReport {
         records,
+        outcomes,
         totals,
         wall_s,
         workers,
@@ -433,6 +465,7 @@ mod tests {
     fn empty_batch_divisions_are_zero_not_nan() {
         let report = BatchReport {
             records: Vec::new(),
+            outcomes: Vec::new(),
             totals: StageTotals::default(),
             wall_s: 0.0, // degenerate wall time on top of zero queries
             workers: 1,
@@ -443,6 +476,7 @@ mod tests {
         assert!(report.throughput_qps().is_finite());
         let corrupt = BatchReport {
             records: vec![None],
+            outcomes: vec![QueryOutcome::TimedOut],
             totals: StageTotals::default(),
             wall_s: f64::NAN,
             workers: 1,
@@ -472,6 +506,68 @@ mod tests {
                 assert_eq!(record.answers, index.query(&ds, &queries[i]).answers);
             }
         }
+    }
+
+    /// Tentpole: a query whose verify stage panics is recorded as `Failed`
+    /// while every other query of the batch still completes — on the
+    /// single-worker fast path and on a multi-worker pool (where the
+    /// panicking claim must not deadlock the other workers' drain).
+    #[test]
+    fn injected_verify_panic_is_isolated_to_its_query() {
+        fault::silence_injected_panics();
+        let (ds, queries) = setup(14);
+        let index = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let tickets: Vec<Ticket> = (0..refs.len() as u64).collect();
+        for workers in [1usize, 4] {
+            let plan = FaultPlan::new().panic_in_verify(2, 1).panic_in_verify(5, 1);
+            let mut arenas: Vec<WorkerArena> =
+                (0..workers).map(|_| WorkerArena::default()).collect();
+            let report = run_batch_on(
+                &*index,
+                &ds,
+                &mut arenas,
+                &refs,
+                None,
+                None,
+                Some(WaveFaults {
+                    plan: &plan,
+                    tickets: &tickets,
+                }),
+            );
+            assert_eq!(plan.injected_panics(), 2, "{workers} workers");
+            assert_eq!(report.failed(), 2);
+            assert_eq!(report.executed(), refs.len() - 2);
+            assert!(!report.timed_out());
+            for (i, (record, outcome)) in report
+                .records
+                .iter()
+                .zip(report.outcomes.iter())
+                .enumerate()
+            {
+                if i == 2 || i == 5 {
+                    assert_eq!(*outcome, QueryOutcome::Failed);
+                    assert!(record.is_none());
+                } else {
+                    assert_eq!(*outcome, QueryOutcome::Complete);
+                    let record = record.as_ref().expect("healthy query completed");
+                    assert_eq!(record.answers, index.query(&ds, &queries[i]).answers);
+                }
+            }
+        }
+    }
+
+    /// The fault hook really is zero-cost-off: a fault-free batch reports
+    /// all-complete outcomes and bit-identical answers with `faults: None`.
+    #[test]
+    fn fault_free_batch_reports_all_complete() {
+        let (ds, queries) = setup(10);
+        let index = build_index(MethodKind::Grapes, &MethodConfig::fast(), &ds);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(3));
+        let report = service.run_batch(&refs, None);
+        assert_eq!(report.failed(), 0);
+        assert!(report.outcomes.iter().all(|o| *o == QueryOutcome::Complete));
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //! [`crate::service::QueryService`] and persist across batches — after the
 //! first batch a worker's filter stage runs entirely in recycled memory.
 
+use super::admission::Ticket;
+use super::fault::FaultPlan;
 use super::queue::{BatchQueue, StealDeque};
-use super::stages::{filter_stage, verify_stage, QueryRecord, VerifyJob};
+use super::stages::{filter_stage, verify_stage, QueryOutcome, QueryRecord, VerifyJob};
 use sqbench_graph::{Dataset, Graph};
 use sqbench_index::{CandidateSet, GraphIndex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// One worker's reusable filtering memory: a pool of [`CandidateSet`]s the
@@ -42,27 +45,41 @@ impl WorkerArena {
     }
 }
 
+/// The fault-injection view of one (sub-)batch: the shared plan plus the
+/// admission tickets of the batch's queries (indexed like the batch), so
+/// the worker loop can fire ticket-keyed faults at the right query even on
+/// routed subsets and retry sub-batches.
+#[derive(Clone, Copy)]
+pub(crate) struct WaveFaults<'q> {
+    pub plan: &'q FaultPlan,
+    pub tickets: &'q [Ticket],
+}
+
 /// Everything a batch's workers share by reference.
 pub(super) struct BatchShared<'q> {
     pub queue: BatchQueue<'q>,
     pub verify_queues: Vec<StealDeque<VerifyJob<'q>>>,
     pub deadline: Option<Instant>,
+    /// Fault-injection hook; `None` on the (zero-cost) production path.
+    pub faults: Option<WaveFaults<'q>>,
 }
 
 impl<'q> BatchShared<'q> {
     /// Wraps a batch for a pool of `workers`, with an optional batch-wide
-    /// deadline and an optional per-query deadline slice (indexed like
-    /// `queries`).
+    /// deadline, an optional per-query deadline slice (indexed like
+    /// `queries`) and an optional fault-injection plan.
     pub fn with_deadlines(
         queries: &'q [&'q Graph],
         workers: usize,
         deadline: Option<Instant>,
         per_query: Option<&'q [Option<Instant>]>,
+        faults: Option<WaveFaults<'q>>,
     ) -> Self {
         BatchShared {
             queue: BatchQueue::with_deadlines(queries, per_query),
             verify_queues: (0..workers).map(|_| StealDeque::default()).collect(),
             deadline,
+            faults,
         }
     }
 
@@ -96,16 +113,25 @@ impl<'q> BatchShared<'q> {
 /// it), which degenerates to strict claim → filter → verify batch order —
 /// the sequential-runner semantics, order-dependent Tree+Δ learning
 /// included. When no work is claimable or stealable the worker polls with
-/// exponential backoff until the batch drains. Returns the records of every
-/// query this worker completed, tagged with their batch positions (`None` =
-/// claimed after the deadline and skipped).
+/// exponential backoff until the batch drains. Returns every query this
+/// worker completed, tagged with its batch position and outcome.
+///
+/// # Panic isolation
+///
+/// Both pipeline stages run under `catch_unwind`: a query whose filter or
+/// verification panics is recorded as [`QueryOutcome::Failed`] (losing at
+/// most its in-flight arena set) and the worker keeps serving. Crucially
+/// the poisoned query is still marked complete on the batch queue, so the
+/// other workers' drain condition cannot deadlock on a claim that will
+/// never finish. The loop itself therefore never unwinds across a claimed
+/// query.
 pub(super) fn worker_loop<'q>(
     worker: usize,
     shared: &BatchShared<'q>,
     index: &dyn GraphIndex,
     dataset: &Dataset,
     arena: &mut WorkerArena,
-) -> Vec<(usize, Option<QueryRecord>)> {
+) -> Vec<(usize, QueryOutcome, Option<QueryRecord>)> {
     let filter_ahead = if shared.verify_queues.len() > 1 { 2 } else { 1 };
     let mut completed = Vec::new();
     let mut idle_rounds: u32 = 0;
@@ -120,27 +146,55 @@ pub(super) fn worker_loop<'q>(
                     // deadline expired) before this query started: skip it,
                     // like the sequential runner's "remaining queries are
                     // skipped" semantics.
-                    completed.push((idx, None));
+                    completed.push((idx, QueryOutcome::TimedOut, None));
                     shared.queue.complete_one();
                     continue;
                 }
                 let mut set = arena.take_set();
-                let filter_s = filter_stage(index, query, &mut set);
-                shared.verify_queues[worker].push(VerifyJob {
-                    query_index: idx,
-                    query,
-                    candidates: set,
-                    queue_wait_s,
-                    filter_s,
-                });
+                // `set` is only borrowed by the closure, so it survives an
+                // unwind (possibly half-filtered — `filter_into` re-targets
+                // it on next use, so recycling stays safe).
+                let filtered =
+                    catch_unwind(AssertUnwindSafe(|| filter_stage(index, query, &mut set)));
+                match filtered {
+                    Ok(filter_s) => {
+                        shared.verify_queues[worker].push(VerifyJob {
+                            query_index: idx,
+                            query,
+                            candidates: set,
+                            queue_wait_s,
+                            filter_s,
+                        });
+                    }
+                    Err(_) => {
+                        arena.recycle(set);
+                        completed.push((idx, QueryOutcome::Failed, None));
+                        shared.queue.complete_one();
+                    }
+                }
                 continue;
             }
         }
         // Stage 2: verify parked work (own first, then stolen).
         if let Some(job) = shared.pop_verify(worker) {
-            let (idx, record, set) = verify_stage(index, dataset, job);
-            arena.recycle(set);
-            completed.push((idx, Some(record)));
+            let idx = job.query_index;
+            // The job (and its arena set) moves into the guarded closure:
+            // on a panic mid-verification the set is dropped with the
+            // unwind — the arena reallocates on next take — but the query
+            // is still accounted for and the pool keeps serving.
+            let verified = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(faults) = &shared.faults {
+                    faults.plan.fire_verify_panic(faults.tickets[idx]);
+                }
+                verify_stage(index, dataset, job)
+            }));
+            match verified {
+                Ok((idx, record, set)) => {
+                    arena.recycle(set);
+                    completed.push((idx, QueryOutcome::Complete, Some(record)));
+                }
+                Err(_) => completed.push((idx, QueryOutcome::Failed, None)),
+            }
             shared.queue.complete_one();
             idle_rounds = 0;
             continue;

@@ -16,7 +16,7 @@
 use sqbench_graph::Graph;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// The filter-stage injector: an indexed batch of queries plus an atomic
@@ -123,27 +123,33 @@ impl<T> Default for StealDeque<T> {
 }
 
 impl<T> StealDeque<T> {
+    /// Poison-tolerant lock. The guarded `VecDeque` operations are single
+    /// push/pop calls that either complete or leave the deque untouched, so
+    /// a panic on some *other* worker's stack (per-query faults are caught,
+    /// but defence in depth) must not cascade into every queue access —
+    /// recover the guard instead.
+    fn jobs(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Pushes a job at the owner's end.
     pub fn push(&self, job: T) {
-        self.jobs
-            .lock()
-            .expect("verify deque poisoned")
-            .push_back(job);
+        self.jobs().push_back(job);
     }
 
     /// Pops the owner's most recently pushed job.
     pub fn pop(&self) -> Option<T> {
-        self.jobs.lock().expect("verify deque poisoned").pop_back()
+        self.jobs().pop_back()
     }
 
     /// Steals the oldest parked job (called by other workers).
     pub fn steal(&self) -> Option<T> {
-        self.jobs.lock().expect("verify deque poisoned").pop_front()
+        self.jobs().pop_front()
     }
 
     /// Number of parked jobs.
     pub fn len(&self) -> usize {
-        self.jobs.lock().expect("verify deque poisoned").len()
+        self.jobs().len()
     }
 
     /// `true` when no job is parked.

@@ -56,13 +56,16 @@
 //! executed query would otherwise report a silently incomplete answer set.
 
 use super::admission::{AdmissionQueue, AdmittedQuery, Ticket};
-use super::pool::WorkerArena;
+use super::fault::FaultPlan;
+use super::pool::{WaveFaults, WorkerArena};
+use super::stages::QueryOutcome;
 use super::synopsis::{Router, RoutingMode};
 use super::{run_batch_on, BatchReport};
 use crate::metrics::{counted_false_positive_ratio, StageTotals, Stopwatch};
 use sqbench_graph::{Dataset, Graph, GraphId};
 use sqbench_index::{build_index, GraphIndex, IndexStats, MethodConfig, MethodKind};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How [`partition_dataset`] assigns graphs to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -105,6 +108,37 @@ impl ShardStrategy {
     }
 }
 
+/// Bounded retry with exponential backoff for *failed* per-shard
+/// executions (panics, dead pools — transient by assumption until the
+/// bound is spent). Timed-out shards are never retried: their budget is
+/// already gone by definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry rounds per wave (0 disables retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry round; doubles every round.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_micros(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (failures surface immediately).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
 /// Configuration of a [`ShardedService`].
 #[derive(Debug, Clone)]
 pub struct ShardedConfig {
@@ -117,6 +151,11 @@ pub struct ShardedConfig {
     /// Whether waves fan out to every shard or consult the per-shard
     /// synopses and probe only shards that can possibly hold a match.
     pub routing: RoutingMode,
+    /// Retry policy for failed per-shard executions.
+    pub retry: RetryPolicy,
+    /// Deterministic fault-injection plan (tests/soaks only). `None` — the
+    /// default — is the zero-cost production path.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ShardedConfig {
@@ -126,6 +165,8 @@ impl Default for ShardedConfig {
             workers_per_shard: 1,
             strategy: ShardStrategy::RoundRobin,
             routing: RoutingMode::Fanout,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
     }
 }
@@ -155,6 +196,18 @@ impl ShardedConfig {
     /// Sets the routing mode (see [`RoutingMode`]).
     pub fn routing(mut self, routing: RoutingMode) -> Self {
         self.routing = routing;
+        self
+    }
+
+    /// Sets the retry policy for failed per-shard executions.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan (see [`FaultPlan`]).
+    pub fn faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -336,10 +389,21 @@ pub struct ShardedQueryRecord {
     pub filter_s: f64,
     /// Verify work summed across shards (total work, not critical path).
     pub verify_s: f64,
-    /// `true` when the query missed its deadline on at least one *probed*
-    /// shard and was skipped there — its answers are dropped rather than
-    /// reported incomplete.
-    pub expired: bool,
+    /// How the query's execution ended across its probed shards:
+    ///
+    /// * [`QueryOutcome::Complete`] — every probed shard verified it; the
+    ///   answer set is exact.
+    /// * [`QueryOutcome::Degraded`] — some probed shards finished, others
+    ///   failed or ran out of deadline budget; the answers are the partial
+    ///   union of the finished shards (sound — every id is a verified
+    ///   match — but possibly incomplete).
+    /// * [`QueryOutcome::TimedOut`] — the deadline expired before the
+    ///   query could start on any shard; answers are dropped.
+    /// * [`QueryOutcome::Failed`] — execution failed on every shard that
+    ///   could have answered and retries did not recover it.
+    pub outcome: QueryOutcome,
+    /// Per-shard retry attempts spent on this query (0 on the happy path).
+    pub retries: u32,
     /// Shards this query was actually dispatched to. Equals the shard
     /// count under [`RoutingMode::Fanout`]; under [`RoutingMode::Synopsis`]
     /// it can be as low as 0 (no shard can possibly match — the query is
@@ -351,9 +415,16 @@ pub struct ShardedQueryRecord {
 }
 
 impl ShardedQueryRecord {
-    /// Number of verified answers (0 for expired queries).
+    /// Number of verified answers (0 for expired/failed queries).
     pub fn answer_count(&self) -> usize {
         self.answers.len()
+    }
+
+    /// `true` when the query's deadline expired before it could start —
+    /// the pre-outcome `expired` flag, kept as the deadline-accounting
+    /// vocabulary of the soak tests and sweeps.
+    pub fn expired(&self) -> bool {
+        matches!(self.outcome, QueryOutcome::TimedOut)
     }
 }
 
@@ -375,14 +446,47 @@ pub struct ShardedReport {
 }
 
 impl ShardedReport {
-    /// Queries that executed on every shard (i.e. not expired).
+    /// Queries that produced an answer set: [`QueryOutcome::Complete`]
+    /// plus [`QueryOutcome::Degraded`].
     pub fn executed(&self) -> usize {
-        self.records.iter().filter(|r| !r.expired).count()
+        self.records
+            .iter()
+            .filter(|r| r.outcome.is_executed())
+            .count()
     }
 
     /// Queries dropped because a deadline expired before execution.
     pub fn expired(&self) -> usize {
-        self.records.iter().filter(|r| r.expired).count()
+        self.records.iter().filter(|r| r.expired()).count()
+    }
+
+    /// Queries whose every probed shard completed (exact answers).
+    pub fn complete(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == QueryOutcome::Complete)
+            .count()
+    }
+
+    /// Queries answered partially within the deadline budget.
+    pub fn degraded(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.outcome, QueryOutcome::Degraded { .. }))
+            .count()
+    }
+
+    /// Queries whose execution failed beyond retry on every shard.
+    pub fn failed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == QueryOutcome::Failed)
+            .count()
+    }
+
+    /// Total per-shard retry attempts the wave spent recovering failures.
+    pub fn retries(&self) -> u64 {
+        self.records.iter().map(|r| r.retries as u64).sum()
     }
 
     /// Workload false positive ratio (Equation 3) over executed queries,
@@ -392,7 +496,7 @@ impl ShardedReport {
         counted_false_positive_ratio(
             self.records
                 .iter()
-                .filter(|r| !r.expired)
+                .filter(|r| r.outcome.is_executed())
                 .map(|r| (r.candidate_count, r.answer_count())),
         )
     }
@@ -413,7 +517,7 @@ impl ShardedReport {
     pub fn shards_probed(&self) -> u64 {
         self.records
             .iter()
-            .filter(|r| !r.expired)
+            .filter(|r| r.outcome.is_executed())
             .map(|r| r.shards_probed as u64)
             .sum()
     }
@@ -423,7 +527,7 @@ impl ShardedReport {
     pub fn shards_skipped(&self) -> u64 {
         self.records
             .iter()
-            .filter(|r| !r.expired)
+            .filter(|r| r.outcome.is_executed())
             .map(|r| r.shards_skipped as u64)
             .sum()
     }
@@ -438,6 +542,8 @@ pub struct ShardedService {
     strategy: ShardStrategy,
     routing: RoutingMode,
     router: Router,
+    retry: RetryPolicy,
+    faults: Option<Arc<FaultPlan>>,
     partition_overhead_bytes: usize,
 }
 
@@ -483,6 +589,8 @@ impl ShardedService {
             strategy: config.strategy,
             routing: config.routing,
             router,
+            retry: config.retry,
+            faults: config.faults.clone(),
             partition_overhead_bytes,
         }
     }
@@ -607,29 +715,47 @@ impl ShardedService {
             RoutingMode::Fanout => None,
             RoutingMode::Synopsis => Some(self.router.plan(queries, RoutingMode::Synopsis)),
         };
+        let faults: Option<&FaultPlan> = self.faults.as_deref();
         // Fan the wave out: one worker pool per shard, all shards in
         // flight at once (scoped threads so shards' indexes stay borrowed).
-        let run_shard = |shard: &mut Shard, admitted: Option<&[usize]>| match admitted {
-            None => run_batch_on(
-                &*shard.index,
-                &shard.dataset,
-                &mut shard.arenas,
-                queries,
-                deadline,
-                per_query,
-            ),
-            Some(admitted) => {
-                let sub_queries: Vec<&Graph> = admitted.iter().map(|&qi| queries[qi]).collect();
-                let sub_deadlines: Option<Vec<Option<Instant>>> =
-                    per_query.map(|all| admitted.iter().map(|&qi| all[qi]).collect());
-                run_batch_on(
+        let run_shard = |s: usize, shard: &mut Shard, admitted: Option<&[usize]>| {
+            if let Some(plan) = faults {
+                // Injected stall: the shard sleeps before serving, the way
+                // a GC pause, page-cache miss storm or noisy neighbour
+                // delays a real shard. Queries with deadlines expire here
+                // and degrade at the merge; the rest just arrive late.
+                if let Some(stall) = plan.take_stall(s) {
+                    std::thread::sleep(stall);
+                }
+            }
+            match admitted {
+                None => run_batch_on(
                     &*shard.index,
                     &shard.dataset,
                     &mut shard.arenas,
-                    &sub_queries,
+                    queries,
                     deadline,
-                    sub_deadlines.as_deref(),
-                )
+                    per_query,
+                    faults.map(|plan| WaveFaults { plan, tickets }),
+                ),
+                Some(admitted) => {
+                    let sub_queries: Vec<&Graph> = admitted.iter().map(|&qi| queries[qi]).collect();
+                    let sub_deadlines: Option<Vec<Option<Instant>>> =
+                        per_query.map(|all| admitted.iter().map(|&qi| all[qi]).collect());
+                    let sub_tickets: Vec<Ticket> = admitted.iter().map(|&qi| tickets[qi]).collect();
+                    run_batch_on(
+                        &*shard.index,
+                        &shard.dataset,
+                        &mut shard.arenas,
+                        &sub_queries,
+                        deadline,
+                        sub_deadlines.as_deref(),
+                        faults.map(|plan| WaveFaults {
+                            plan,
+                            tickets: &sub_tickets,
+                        }),
+                    )
+                }
             }
         };
         fn admitted_of(plan: &Option<Vec<Vec<usize>>>, s: usize) -> Option<&[usize]> {
@@ -641,12 +767,25 @@ impl ShardedService {
         // shards of every wave, the exact regime routing targets.
         let idle_report = || BatchReport {
             records: Vec::new(),
+            outcomes: Vec::new(),
             totals: StageTotals::default(),
             wall_s: 0.0,
             workers: 0,
         };
-        let reports: Vec<BatchReport> = if shard_count == 1 {
-            vec![run_shard(&mut self.shards[0], admitted_of(&plan, 0))]
+        // A shard whose pool died before reporting (per-query panics are
+        // caught inside the workers, so this is pool infrastructure
+        // failing): every query it was serving is `Failed` — eligible for
+        // the retry rounds below — instead of taking the wave down.
+        let failed_report = |served: usize| BatchReport {
+            records: (0..served).map(|_| None).collect(),
+            outcomes: vec![QueryOutcome::Failed; served],
+            totals: StageTotals::default(),
+            wall_s: 0.0,
+            workers: 0,
+        };
+        let served_of = |s: usize| admitted_of(&plan, s).map_or(queries.len(), <[usize]>::len);
+        let mut reports: Vec<BatchReport> = if shard_count == 1 {
+            vec![run_shard(0, &mut self.shards[0], admitted_of(&plan, 0))]
         } else {
             std::thread::scope(|scope| {
                 let run_shard = &run_shard;
@@ -659,19 +798,99 @@ impl ShardedService {
                         if admitted.is_some_and(|a| a.is_empty()) {
                             None
                         } else {
-                            Some(scope.spawn(move || run_shard(shard, admitted)))
+                            Some(scope.spawn(move || run_shard(s, shard, admitted)))
                         }
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|handle| match handle {
-                        Some(handle) => handle.join().expect("shard pool panicked"),
+                    .enumerate()
+                    .map(|(s, handle)| match handle {
+                        Some(handle) => handle
+                            .join()
+                            .unwrap_or_else(|_| failed_report(served_of(s))),
                         None => idle_report(),
                     })
                     .collect()
             })
         };
+
+        // Retry rounds: failed (query, shard) executions are transient
+        // until proven otherwise — re-run them with exponential backoff
+        // while the query's deadline budget allows. Timed-out slots are
+        // never retried (their budget is spent by definition), and a wave
+        // with no failures pays one outcome scan per shard and exits.
+        let wave_index = |s: usize, local: usize| -> usize {
+            match &plan {
+                None => local,
+                Some(plan) => plan[s][local],
+            }
+        };
+        let deadline_for = |qi: usize| -> Option<Instant> {
+            let own = per_query.and_then(|p| p[qi]);
+            match (deadline, own) {
+                (Some(wave), Some(own)) => Some(wave.min(own)),
+                (Some(wave), None) => Some(wave),
+                (None, own) => own,
+            }
+        };
+        let mut retries_of = vec![0u32; queries.len()];
+        for round in 0..self.retry.max_retries {
+            let backoff = self.retry.backoff * 2u32.saturating_pow(round);
+            let now = Instant::now();
+            let todo: Vec<(usize, Vec<usize>)> = reports
+                .iter()
+                .enumerate()
+                .map(|(s, report)| {
+                    let positions: Vec<usize> = report
+                        .outcomes
+                        .iter()
+                        .enumerate()
+                        .filter(|&(local, outcome)| {
+                            *outcome == QueryOutcome::Failed
+                                && deadline_for(wave_index(s, local))
+                                    .is_none_or(|d| now + backoff < d)
+                        })
+                        .map(|(local, _)| local)
+                        .collect();
+                    (s, positions)
+                })
+                .filter(|(_, positions)| !positions.is_empty())
+                .collect();
+            if todo.is_empty() {
+                break;
+            }
+            std::thread::sleep(backoff);
+            for (s, positions) in todo {
+                let wave_indices: Vec<usize> = positions
+                    .iter()
+                    .map(|&local| wave_index(s, local))
+                    .collect();
+                let sub_queries: Vec<&Graph> = wave_indices.iter().map(|&qi| queries[qi]).collect();
+                let sub_deadlines: Option<Vec<Option<Instant>>> =
+                    per_query.map(|all| wave_indices.iter().map(|&qi| all[qi]).collect());
+                let sub_tickets: Vec<Ticket> = wave_indices.iter().map(|&qi| tickets[qi]).collect();
+                let shard = &mut self.shards[s];
+                let mut retried = run_batch_on(
+                    &*shard.index,
+                    &shard.dataset,
+                    &mut shard.arenas,
+                    &sub_queries,
+                    deadline,
+                    sub_deadlines.as_deref(),
+                    faults.map(|plan| WaveFaults {
+                        plan,
+                        tickets: &sub_tickets,
+                    }),
+                );
+                reports[s].totals.merge(&retried.totals);
+                for (i, &local) in positions.iter().enumerate() {
+                    reports[s].records[local] = retried.records[i].take();
+                    reports[s].outcomes[local] = retried.outcomes[i];
+                    retries_of[wave_indices[i]] += 1;
+                }
+            }
+        }
         let wall_s = watch.elapsed_secs();
 
         // Merge stage: per query, union the shard-local answers (mapped to
@@ -694,11 +913,13 @@ impl ShardedService {
                 queue_wait_s: 0.0,
                 filter_s: 0.0,
                 verify_s: 0.0,
-                expired: false,
+                outcome: QueryOutcome::Complete,
+                retries: retries_of[qi],
                 shards_probed: 0,
                 shards_skipped: 0,
             };
             let mut shard_wait_s = 0.0f64;
+            let (mut done, mut failed, mut timed_out) = (0usize, 0usize, 0usize);
             for (s, (shard, report)) in self.shards.iter().zip(reports.iter()).enumerate() {
                 // A fanned-out shard's records line up with the wave; a
                 // routed shard's line up with its admitted subset.
@@ -726,33 +947,49 @@ impl ShardedService {
                         shard_wait_s = shard_wait_s.max(record.queue_wait_s);
                         merged.filter_s += record.filter_s;
                         merged.verify_s += record.verify_s;
+                        done += 1;
                     }
-                    None => merged.expired = true,
+                    None => match report.outcomes[local] {
+                        QueryOutcome::TimedOut => timed_out += 1,
+                        _ => failed += 1,
+                    },
                 }
             }
             // Total queue wait = time pending in the admission queue (open
             // waves only) + the in-wave wait for the slowest shard.
             merged.queue_wait_s = admission_wait_s.map_or(0.0, |w| w[qi]) + shard_wait_s;
-            // Deadline parity with fan-out for zero-probe queries: a
-            // fanned-out wave would have had every shard skip a
-            // past-deadline query (expired), so a routed query that no
-            // shard admits must not dodge its deadline just because its
-            // (empty) answer was free — same `now > deadline` predicate
-            // the workers apply at claim time.
-            if merged.shards_probed == 0 && !merged.expired {
+            let missing = failed + timed_out;
+            merged.outcome = if merged.shards_probed == 0 {
+                // Deadline parity with fan-out for zero-probe queries: a
+                // fanned-out wave would have had every shard skip a
+                // past-deadline query, so a routed query that no shard
+                // admits must not dodge its deadline just because its
+                // (empty) answer was free — same `now > deadline`
+                // predicate the workers apply at claim time.
                 let now = Instant::now();
                 let past = |d: Option<Instant>| d.is_some_and(|d| now > d);
                 if past(deadline) || past(per_query.and_then(|p| p[qi])) {
-                    merged.expired = true;
+                    QueryOutcome::TimedOut
+                } else {
+                    QueryOutcome::Complete
                 }
-            }
-            if merged.expired {
-                // A partially executed query must not report an incomplete
-                // answer set: drop what the faster shards found.
-                merged.answers.clear();
-                merged.candidate_count = 0;
-                merged.candidates_pruned = 0;
+            } else if missing == 0 {
+                QueryOutcome::Complete
+            } else if done > 0 {
+                // Graceful degradation: some probed shards delivered
+                // within the budget, others did not. The partial union is
+                // sound (verification is exact on every shard), so report
+                // it flagged rather than blocking on — or discarding —
+                // the whole query.
+                QueryOutcome::Degraded {
+                    shards_missing: missing,
+                }
+            } else if failed > 0 {
+                QueryOutcome::Failed
             } else {
+                QueryOutcome::TimedOut
+            };
+            if merged.outcome.is_executed() {
                 // Shards partition the id space, so the concatenation is
                 // duplicate-free; sorting restores global id order.
                 merged.answers.sort_unstable();
@@ -762,6 +999,12 @@ impl ShardedService {
                     merged.verify_s,
                     merged.candidates_pruned,
                 );
+            } else {
+                // No shard delivered: report an explicit non-answer, not
+                // a silently empty answer set.
+                merged.answers.clear();
+                merged.candidate_count = 0;
+                merged.candidates_pruned = 0;
             }
             records.push(merged);
         }
@@ -1013,9 +1256,11 @@ mod tests {
         let report = service.drain(&queue, None);
         assert_eq!(report.records.len(), 2);
         assert_eq!(report.records[0].ticket, live);
-        assert!(!report.records[0].expired);
+        assert!(!report.records[0].expired());
+        assert_eq!(report.records[0].outcome, QueryOutcome::Complete);
         assert_eq!(report.records[1].ticket, dead);
-        assert!(report.records[1].expired);
+        assert!(report.records[1].expired());
+        assert_eq!(report.records[1].outcome, QueryOutcome::TimedOut);
         assert!(report.records[1].answers.is_empty());
         assert_eq!(report.executed(), 1);
         assert_eq!(report.expired(), 1);
@@ -1146,7 +1391,7 @@ mod tests {
         let report = service.run_wave(&[&impossible], None);
         assert_eq!(report.executed(), 1);
         let record = &report.records[0];
-        assert!(!record.expired);
+        assert!(!record.expired());
         assert!(record.answers.is_empty());
         assert_eq!(record.shards_probed, 0);
         assert_eq!(record.shards_skipped, 3);
@@ -1160,7 +1405,7 @@ mod tests {
         let past = Instant::now() - Duration::from_secs(1);
         let late = service.run_wave(&[&impossible], Some(past));
         assert_eq!(late.expired(), 1);
-        assert!(late.records[0].expired);
+        assert!(late.records[0].expired());
         assert_eq!(late.executed(), 0);
     }
 
@@ -1179,15 +1424,138 @@ mod tests {
         queue.submit(queries[1].clone(), Some(past)).unwrap();
         let report = service.drain(&queue, None);
         assert_eq!(report.records.len(), 2);
-        assert!(!report.records[0].expired);
+        assert!(!report.records[0].expired());
         assert!(report.records[0].shards_probed <= 2);
-        assert!(report.records[1].expired);
+        assert!(report.records[1].expired());
         assert!(report.records[1].answers.is_empty());
         // Expired queries are excluded from the probe totals.
         assert_eq!(
             report.shards_probed() + report.shards_skipped(),
             2 // one executed query × two shards accounted either way
         );
+    }
+
+    /// Tentpole: a transient verify panic is retried with backoff and the
+    /// query comes back `Complete`, bit-identical to the oracle — the
+    /// fault is invisible except in the retry counter.
+    #[test]
+    fn transient_panic_is_retried_to_completion() {
+        super::super::fault::silence_injected_panics();
+        let (ds, queries) = setup(14, 5);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let plan = Arc::new(FaultPlan::new().panic_in_verify(1, 1).panic_in_verify(3, 1));
+        let mut service = ShardedService::build(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            &ShardedConfig::with_shards(2).faults(Arc::clone(&plan)),
+        );
+        let report = service.run_wave(&refs, None);
+        assert_eq!(plan.injected_panics(), 2);
+        assert_eq!(report.complete(), queries.len());
+        assert_eq!(report.failed(), 0);
+        assert!(report.retries() >= 2, "retries: {}", report.retries());
+        let oracle = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
+        for (record, query) in report.records.iter().zip(queries.iter()) {
+            assert_eq!(record.answers, oracle.query(&ds, query).answers);
+        }
+        // The poisoned tickets carry their retry count; untouched ones 0.
+        assert!(report.records[1].retries >= 1);
+        assert_eq!(report.records[0].retries, 0);
+    }
+
+    /// Tentpole: a panic that outlives the retry budget fails *only* its
+    /// own query — the rest of the wave completes exactly, and the fleet
+    /// keeps serving the next wave.
+    #[test]
+    fn permanent_panic_fails_one_query_and_spares_the_wave() {
+        super::super::fault::silence_injected_panics();
+        let (ds, queries) = setup(14, 5);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        // Budget 6 = 2 shards × (1 initial + 2 retry rounds): the panic
+        // outlives every retry of the first wave, then the fault clears.
+        let plan = Arc::new(FaultPlan::new().panic_in_verify(2, 6));
+        let mut service = ShardedService::build(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            &ShardedConfig::with_shards(2).faults(Arc::clone(&plan)),
+        );
+        let report = service.run_wave(&refs, None);
+        assert_eq!(plan.injected_panics(), 6);
+        assert_eq!(report.records[2].outcome, QueryOutcome::Failed);
+        assert!(report.records[2].answers.is_empty());
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.complete(), queries.len() - 1);
+        let oracle = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
+        for (qi, (record, query)) in report.records.iter().zip(queries.iter()).enumerate() {
+            if qi != 2 {
+                assert_eq!(record.answers, oracle.query(&ds, query).answers);
+            }
+        }
+        // The pool survives: the next (fault-exhausted) wave is clean.
+        let next = service.run_wave(&refs, None);
+        assert_eq!(next.complete(), queries.len());
+        assert_eq!(next.failed(), 0);
+    }
+
+    /// Tentpole: a stalled shard exhausts the deadline budget and the
+    /// merge returns the *partial union* of the healthy shards flagged
+    /// `Degraded` — sound (a subset of the oracle answers), not blocking,
+    /// not silently incomplete.
+    #[test]
+    fn stalled_shard_degrades_to_a_sound_partial_answer() {
+        let (ds, queries) = setup(16, 4);
+        let plan = Arc::new(FaultPlan::new().stall_shard(0, Duration::from_millis(300)));
+        let mut service = ShardedService::build(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            &ShardedConfig::with_shards(2).faults(plan),
+        );
+        let queue = AdmissionQueue::with_capacity(8);
+        let deadline = Instant::now() + Duration::from_millis(60);
+        for query in &queries {
+            queue.submit(query.clone(), Some(deadline)).unwrap();
+        }
+        let report = service.drain(&queue, None);
+        // Shard 0 wakes up long past every deadline, shard 1 answers in
+        // microseconds: every query must degrade to shard 1's half.
+        assert_eq!(report.degraded(), queries.len());
+        let oracle = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
+        for (record, query) in report.records.iter().zip(queries.iter()) {
+            assert_eq!(record.outcome, QueryOutcome::Degraded { shards_missing: 1 });
+            let expected = oracle.query(&ds, query).answers;
+            assert!(
+                record.answers.iter().all(|id| expected.contains(id)),
+                "degraded answers must be a subset of the oracle's"
+            );
+        }
+    }
+
+    /// `RetryPolicy::none()` surfaces the failure immediately — no retry
+    /// rounds, no hidden sleeps. Budget 2 = both shards' initial probe, so
+    /// every probe of query 0 fails and no partial answer survives (a
+    /// single-shard panic would instead degrade to the other shard's
+    /// sound partial union).
+    #[test]
+    fn disabled_retry_fails_fast() {
+        super::super::fault::silence_injected_panics();
+        let (ds, queries) = setup(12, 3);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let plan = Arc::new(FaultPlan::new().panic_in_verify(0, 2));
+        let mut service = ShardedService::build(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            &ShardedConfig::with_shards(2)
+                .retry(RetryPolicy::none())
+                .faults(plan),
+        );
+        let report = service.run_wave(&refs, None);
+        assert_eq!(report.records[0].outcome, QueryOutcome::Failed);
+        assert_eq!(report.records[0].retries, 0);
+        assert_eq!(report.retries(), 0);
     }
 
     #[test]

@@ -14,6 +14,55 @@ use crate::metrics::Stopwatch;
 use sqbench_graph::{Dataset, Graph, GraphId};
 use sqbench_index::{CandidateSet, GraphIndex};
 
+/// How one query's service-side execution ended. Every query a wave or
+/// batch accepts gets exactly one outcome — there is no implicit
+/// assume-success path — and the merge, the metrics and the CSV report all
+/// speak this vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Every probed shard (or the single pool) verified the query: the
+    /// answer set is exact.
+    Complete,
+    /// Some probed shards finished and others failed or timed out within
+    /// the deadline budget. The answer set is the union of the finished
+    /// shards — *sound* (every reported id is a real match; shards verify
+    /// exactly) but possibly incomplete by up to `shards_missing` shards'
+    /// worth of answers.
+    Degraded {
+        /// Probed shards that contributed nothing (failed or timed out).
+        shards_missing: usize,
+    },
+    /// The deadline expired before the query could start anywhere; no
+    /// answers are reported.
+    TimedOut,
+    /// The query's execution panicked (or its pool died) on every shard
+    /// that could have answered it, and retries did not recover it.
+    Failed,
+    /// Admission shed the query before it entered a wave: its deadline was
+    /// infeasible given the backlog. Only admission-side accounting uses
+    /// this variant — a shed query never reaches a wave.
+    Shed,
+}
+
+impl QueryOutcome {
+    /// `true` for outcomes that produced a (possibly partial) answer set:
+    /// [`QueryOutcome::Complete`] and [`QueryOutcome::Degraded`].
+    pub fn is_executed(&self) -> bool {
+        matches!(self, QueryOutcome::Complete | QueryOutcome::Degraded { .. })
+    }
+
+    /// Short name used in logs and test diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryOutcome::Complete => "complete",
+            QueryOutcome::Degraded { .. } => "degraded",
+            QueryOutcome::TimedOut => "timed-out",
+            QueryOutcome::Failed => "failed",
+            QueryOutcome::Shed => "shed",
+        }
+    }
+}
+
 /// A query that passed the filter stage and awaits verification, carrying
 /// its candidate arena and the timings recorded so far.
 pub struct VerifyJob<'q> {

@@ -1,0 +1,214 @@
+//! Property: fault injection can only *shrink* an answer set, never
+//! corrupt it.
+//!
+//! For any seeded [`FaultPlan`] — verify panics, a stalled shard under a
+//! tight deadline, any retry policy — and for **all seven methods**, every
+//! record of a faulted wave must satisfy the outcome contract:
+//!
+//! * `Complete` → answers bit-identical to the fault-free oracle;
+//! * `Degraded` → answers a *subset* of the fault-free oracle's (sound:
+//!   every reported id is a verified match; incomplete: the missing shards'
+//!   matches are absent, never replaced by garbage);
+//! * `TimedOut` / `Failed` → answers empty (no partial state leaks).
+//!
+//! The properties are *conditional on the outcome* rather than asserting
+//! which outcome occurs, so they hold on any box regardless of timing —
+//! a stalled shard that still makes its deadline on a fast machine simply
+//! lands in the `Complete` arm.
+
+use proptest::prelude::*;
+use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
+use sqbench_graph::{Dataset, Graph, GraphId};
+use sqbench_harness::service::{
+    silence_injected_panics, FaultPlan, FaultSpec, QueryOutcome, RetryPolicy, ShardedConfig,
+    ShardedService,
+};
+use sqbench_index::{build_index, MethodConfig, MethodKind};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ALL_METHODS: [MethodKind; 7] = [
+    MethodKind::Grapes,
+    MethodKind::Ggsx,
+    MethodKind::CtIndex,
+    MethodKind::GIndex,
+    MethodKind::TreeDelta,
+    MethodKind::GCode,
+    MethodKind::Scan,
+];
+
+fn dataset_from_seed(seed: u64, graphs: usize) -> Dataset {
+    GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(graphs)
+            .with_avg_nodes(10)
+            .with_avg_density(0.14)
+            .with_label_count(4)
+            .with_seed(seed),
+    )
+    .generate()
+}
+
+/// Checks one faulted record against the fault-free oracle's answers.
+fn assert_outcome_contract(
+    kind: MethodKind,
+    qi: usize,
+    outcome: QueryOutcome,
+    answers: &[GraphId],
+    expected: &[GraphId],
+) {
+    match outcome {
+        QueryOutcome::Complete => prop_assert_eq!(
+            answers,
+            expected,
+            "{}: Complete query {} must match the fault-free oracle",
+            kind.name(),
+            qi
+        ),
+        QueryOutcome::Degraded { shards_missing } => {
+            prop_assert!(shards_missing >= 1);
+            prop_assert!(
+                answers.iter().all(|id| expected.contains(id)),
+                "{}: Degraded query {} reported an id the oracle rejects",
+                kind.name(),
+                qi
+            );
+            // Sound partials are still sorted, deduplicated global ids.
+            prop_assert!(answers.windows(2).all(|w| w[0] < w[1]));
+        }
+        QueryOutcome::TimedOut | QueryOutcome::Failed => prop_assert!(
+            answers.is_empty(),
+            "{}: {} query {} leaked partial answers",
+            kind.name(),
+            outcome.name(),
+            qi
+        ),
+        QueryOutcome::Shed => prop_assert!(
+            false,
+            "batch waves bypass admission and can never shed (query {qi})"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Seeded verify panics, with and without retry, across all seven
+    /// methods: answers shrink or heal, never corrupt.
+    #[test]
+    fn panicked_waves_never_corrupt_answers_for_any_method(
+        seed in 0u64..400,
+        graphs in 10usize..17,
+        panic_queries in 1usize..4,
+        panic_times in 1u32..12,
+        retry_enabled in any::<bool>(),
+    ) {
+        silence_injected_panics();
+        let ds = dataset_from_seed(seed, graphs);
+        let config = MethodConfig::fast();
+        let queries: Vec<Graph> = QueryGen::new(seed ^ 0xfa17)
+            .generate(&ds, 3, 4)
+            .iter()
+            .map(|(q, _)| q.clone())
+            .collect();
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let retry = if retry_enabled {
+            RetryPolicy { max_retries: 2, backoff: Duration::from_micros(100) }
+        } else {
+            RetryPolicy::none()
+        };
+
+        for kind in ALL_METHODS {
+            let oracle = build_index(kind, &config, &ds);
+            let expected: Vec<Vec<GraphId>> = queries
+                .iter()
+                .map(|q| oracle.query(&ds, q).answers)
+                .collect();
+            let plan = Arc::new(FaultPlan::seeded(seed, &FaultSpec {
+                tickets: queries.len() as u64,
+                shards: 3,
+                panic_queries,
+                panic_times,
+                stalled_shards: 0,
+                stall: Duration::ZERO,
+                admission_failures: 0,
+            }));
+            let mut service = ShardedService::build(
+                kind,
+                &config,
+                &ds,
+                &ShardedConfig::with_shards(3)
+                    .retry(retry)
+                    .faults(Arc::clone(&plan)),
+            );
+            let report = service.run_wave(&refs, None);
+            prop_assert!(plan.injected_panics() >= 1, "the plan must actually fire");
+            prop_assert_eq!(report.records.len(), queries.len());
+            for (qi, record) in report.records.iter().enumerate() {
+                assert_outcome_contract(kind, qi, record.outcome, &record.answers, &expected[qi]);
+                // Without deadlines nothing can time out; a panicked probe
+                // either heals (retry), degrades (other shards answered) or
+                // fails — and a fault-free query completes untouched.
+                prop_assert!(record.outcome != QueryOutcome::TimedOut);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A stalled shard under a deadline budget: whatever mix of Complete /
+    /// Degraded / TimedOut the box's timing produces, every answer set
+    /// respects the outcome contract for every method.
+    #[test]
+    fn stalled_waves_degrade_soundly_for_any_method(
+        seed in 0u64..400,
+        graphs in 10usize..17,
+        stall_ms in 30u64..120,
+    ) {
+        silence_injected_panics();
+        let ds = dataset_from_seed(seed, graphs);
+        let config = MethodConfig::fast();
+        let queries: Vec<Graph> = QueryGen::new(seed ^ 0x57a1)
+            .generate(&ds, 3, 4)
+            .iter()
+            .map(|(q, _)| q.clone())
+            .collect();
+        let refs: Vec<&Graph> = queries.iter().collect();
+
+        for kind in ALL_METHODS {
+            let oracle = build_index(kind, &config, &ds);
+            let expected: Vec<Vec<GraphId>> = queries
+                .iter()
+                .map(|q| oracle.query(&ds, q).answers)
+                .collect();
+            let plan = Arc::new(FaultPlan::seeded(seed, &FaultSpec {
+                tickets: queries.len() as u64,
+                shards: 3,
+                panic_queries: 0,
+                panic_times: 0,
+                stalled_shards: 1,
+                stall: Duration::from_millis(stall_ms),
+                admission_failures: 0,
+            }));
+            let mut service = ShardedService::build(
+                kind,
+                &config,
+                &ds,
+                &ShardedConfig::with_shards(3)
+                    .retry(RetryPolicy::none())
+                    .faults(Arc::clone(&plan)),
+            );
+            // A budget well under the stall: the stalled shard cannot make
+            // it, the healthy shards usually can.
+            let deadline = Instant::now() + Duration::from_millis(stall_ms / 3);
+            let report = service.run_wave(&refs, Some(deadline));
+            prop_assert_eq!(plan.injected_stalls(), 1);
+            prop_assert_eq!(report.records.len(), queries.len());
+            for (qi, record) in report.records.iter().enumerate() {
+                assert_outcome_contract(kind, qi, record.outcome, &record.answers, &expected[qi]);
+            }
+        }
+    }
+}

@@ -39,6 +39,10 @@ fn golden_report() -> ExperimentReport {
         false_positive_ratio: 0.125,
         queries_executed: 2,
         timed_out: false,
+        queries_degraded: 0,
+        queries_failed: 0,
+        queries_shed: 0,
+        retries: 0,
         stages: stage_totals(2, 0.25, 0.5, 1.0),
         shards: 1,
         shards_probed: 2,
@@ -55,6 +59,13 @@ fn golden_report() -> ExperimentReport {
         false_positive_ratio: 0.25,
         queries_executed: 1,
         timed_out: true,
+        // Exercise the fault-accounting columns with non-zero values: one
+        // degraded partial answer, one failed query, one shed at admission
+        // and three retry probes.
+        queries_degraded: 1,
+        queries_failed: 1,
+        queries_shed: 1,
+        retries: 3,
         stages: stage_totals(1, 0.5, 0.75, 1.75),
         shards: 2,
         shards_probed: 1,
@@ -110,7 +121,7 @@ fn csv_format_matches_the_committed_golden_file() {
 /// is regenerated, this assertion still fails loudly if a column was
 /// dropped or reordered by accident rather than intent.
 #[test]
-fn csv_header_is_pinned_including_routing_columns() {
+fn csv_header_is_pinned_including_routing_and_outcome_columns() {
     let rendered = render_csv(&golden_report());
     let header = rendered.lines().next().expect("csv has a header line");
     assert_eq!(
@@ -119,7 +130,8 @@ fn csv_header_is_pinned_including_routing_columns() {
          distinct_features,avg_query_time_s,avg_queue_wait_s,avg_filter_time_s,\
          avg_verify_time_s,candidates_pruned,false_positive_ratio,queries_executed,\
          shards,shards_probed,shards_skipped,max_shard_time_s,shard_balance,\
-         partition_overhead_bytes,timed_out"
+         partition_overhead_bytes,queries_degraded,queries_failed,queries_shed,\
+         retries,timed_out"
     );
     // Every data row carries exactly as many fields as the header names.
     let columns = header.split(',').count();

@@ -145,7 +145,8 @@ fn soak_multi_producer_admission_loses_and_duplicates_nothing() {
         while collected.len() < TOTAL {
             let report = service.drain(&queue, None);
             for record in report.records {
-                collected.push((record.ticket, record.answers, record.expired));
+                let expired = record.expired();
+                collected.push((record.ticket, record.answers, expired));
             }
             std::thread::yield_now();
         }
@@ -231,10 +232,11 @@ fn soak_with_routing_enabled_loses_nothing_and_bounds_probes() {
         while collected.len() < TOTAL {
             let report = service.drain(&queue, None);
             for record in report.records {
+                let expired = record.expired();
                 collected.push((
                     record.ticket,
                     record.answers,
-                    record.expired,
+                    expired,
                     record.shards_probed,
                     record.shards_skipped,
                 ));
@@ -306,7 +308,7 @@ fn soak_per_query_deadlines_are_honored() {
     assert_eq!(report.expired(), expected_expired.len());
     for record in &report.records {
         if expected_expired.contains(&record.ticket) {
-            assert!(record.expired, "ticket {} must expire", record.ticket);
+            assert!(record.expired(), "ticket {} must expire", record.ticket);
             assert!(record.answers.is_empty());
             assert_eq!(record.candidate_count, 0);
         } else {
@@ -314,7 +316,7 @@ fn soak_per_query_deadlines_are_honored() {
                 .iter()
                 .find(|(t, _)| *t == record.ticket)
                 .expect("live ticket");
-            assert!(!record.expired);
+            assert!(!record.expired());
             assert_eq!(record.answers, oracle.query(&ds, &queries[*qi]).answers);
         }
     }
