@@ -28,7 +28,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqbench_generator::{label_clustered, GraphGenConfig, QueryGen};
 use sqbench_graph::{Dataset, Graph, GraphId};
 use sqbench_harness::service::{
-    partition_dataset, RoutingMode, ShardStrategy, ShardedConfig, ShardedService,
+    partition_dataset, RoutingMode, ServiceOptions, ShardStrategy, ShardedService,
 };
 use sqbench_index::{build_index, MethodConfig, MethodKind};
 use std::sync::Arc;
@@ -118,23 +118,26 @@ fn bench_partition(c: &mut Criterion) {
         .iter()
         .map(|q| index.query(&dataset, q).answers)
         .collect();
-    let mut fanout_rr = ShardedService::build(
+    let mut fanout_rr = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &dataset,
-        &ShardedConfig::with_shards(SHARDS),
+        ServiceOptions::new().shards(SHARDS),
     );
-    let mut routed_rr = ShardedService::build(
+    let mut routed_rr = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &dataset,
-        &ShardedConfig::with_shards(SHARDS).routing(RoutingMode::Synopsis),
+        ServiceOptions::new()
+            .shards(SHARDS)
+            .routing(RoutingMode::Synopsis),
     );
-    let mut routed_la = ShardedService::build(
+    let mut routed_la = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &dataset,
-        &ShardedConfig::with_shards(SHARDS)
+        ServiceOptions::new()
+            .shards(SHARDS)
             .strategy(ShardStrategy::LabelAware)
             .routing(RoutingMode::Synopsis),
     );

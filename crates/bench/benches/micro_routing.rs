@@ -25,7 +25,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqbench_generator::{label_clustered, GraphGenConfig, QueryGen};
 use sqbench_graph::{Dataset, Graph, GraphId};
-use sqbench_harness::service::{RoutingMode, ShardedConfig, ShardedService};
+use sqbench_harness::service::{RoutingMode, ServiceOptions, ShardedService};
 use sqbench_index::{build_index, MethodConfig, MethodKind};
 
 const UNIVERSE: usize = 10_000;
@@ -78,17 +78,19 @@ fn bench_routing(c: &mut Criterion) {
     let queries = skewed_queries(&dataset);
     let refs: Vec<&Graph> = queries.iter().collect();
 
-    let mut fanout = ShardedService::build(
+    let mut fanout = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &dataset,
-        &ShardedConfig::with_shards(SHARDS),
+        ServiceOptions::new().shards(SHARDS),
     );
-    let mut routed = ShardedService::build(
+    let mut routed = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &dataset,
-        &ShardedConfig::with_shards(SHARDS).routing(RoutingMode::Synopsis),
+        ServiceOptions::new()
+            .shards(SHARDS)
+            .routing(RoutingMode::Synopsis),
     );
 
     // Correctness gate before any timing: routing must be invisible in the

@@ -21,7 +21,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
 use sqbench_graph::{Dataset, Graph};
-use sqbench_harness::service::{QueryService, ServiceConfig};
+use sqbench_harness::service::{QueryService, ServiceOptions};
 use sqbench_index::{build_index, GraphIndex, MethodConfig, MethodKind};
 
 const UNIVERSE: usize = 10_000;
@@ -74,8 +74,8 @@ fn bench_service(c: &mut Criterion) {
     // Correctness gate before any timing: all three modes must return the
     // same per-query match counts ("matches the serial runner exactly").
     let oneshot_counts = run_oneshot(&*index, &dataset, &refs);
-    let mut serial_service = QueryService::new(&*index, &dataset, ServiceConfig::with_workers(1));
-    let mut pooled_service = QueryService::new(&*index, &dataset, ServiceConfig::with_workers(4));
+    let mut serial_service = QueryService::new(&*index, &dataset, ServiceOptions::new().workers(1));
+    let mut pooled_service = QueryService::new(&*index, &dataset, ServiceOptions::new().workers(4));
     assert_eq!(oneshot_counts, run_service(&mut serial_service, &refs));
     assert_eq!(oneshot_counts, run_service(&mut pooled_service, &refs));
 

@@ -23,7 +23,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
 use sqbench_graph::{Dataset, Graph};
 use sqbench_harness::service::{
-    AdmissionQueue, QueryService, ServiceConfig, ShardStrategy, ShardedConfig, ShardedService,
+    AdmissionQueue, QueryService, ServiceOptions, ShardStrategy, ShardedService,
 };
 use sqbench_index::{build_index, MethodConfig, MethodKind};
 
@@ -63,7 +63,7 @@ fn run_wave(service: &mut ShardedService, queries: &[&Graph]) -> Vec<usize> {
 
 /// The open path: submit the whole workload, then drain it as one wave.
 fn run_admission(service: &mut ShardedService, queries: &[Graph]) -> Vec<usize> {
-    let queue = AdmissionQueue::with_capacity(queries.len());
+    let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(queries.len()));
     for q in queries {
         queue
             .submit(q.clone(), None)
@@ -84,18 +84,20 @@ fn bench_sharded(c: &mut Criterion) {
     let refs: Vec<&Graph> = queries.iter().collect();
 
     let index = build_index(MethodKind::Ggsx, &config, &dataset);
-    let mut unsharded = QueryService::new(&*index, &dataset, ServiceConfig::with_workers(1));
-    let mut rr = ShardedService::build(
+    let mut unsharded = QueryService::new(&*index, &dataset, ServiceOptions::new().workers(1));
+    let mut rr = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &dataset,
-        &ShardedConfig::with_shards(SHARDS),
+        ServiceOptions::new().shards(SHARDS),
     );
-    let mut lpt = ShardedService::build(
+    let mut lpt = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &dataset,
-        &ShardedConfig::with_shards(SHARDS).strategy(ShardStrategy::SizeBalanced),
+        ServiceOptions::new()
+            .shards(SHARDS)
+            .strategy(ShardStrategy::SizeBalanced),
     );
 
     // Correctness gate before any timing: sharding must be invisible in

@@ -59,7 +59,6 @@ pub fn location_info(scale: &ExperimentScale) -> ExperimentReport {
         methods: vec![MethodKind::Grapes, MethodKind::Ggsx, MethodKind::Scan],
         config: MethodConfig::default(),
         time_budget: scale.time_budget,
-        query_threads: 1,
         ..RunOptions::default()
     };
     report.push_point(measure_point(
@@ -88,7 +87,6 @@ pub fn path_length(scale: &ExperimentScale) -> ExperimentReport {
             methods: vec![MethodKind::Grapes, MethodKind::Ggsx],
             config,
             time_budget: scale.time_budget,
-            query_threads: 1,
             ..RunOptions::default()
         };
         report.push_point(measure_point(
@@ -117,7 +115,6 @@ pub fn fingerprint_width(scale: &ExperimentScale) -> ExperimentReport {
             methods: vec![MethodKind::CtIndex],
             config,
             time_budget: scale.time_budget,
-            query_threads: 1,
             ..RunOptions::default()
         };
         report.push_point(measure_point(
@@ -147,7 +144,6 @@ pub fn feature_size(scale: &ExperimentScale) -> ExperimentReport {
             methods: vec![MethodKind::GIndex, MethodKind::TreeDelta],
             config,
             time_budget: scale.time_budget,
-            query_threads: 1,
             ..RunOptions::default()
         };
         report.push_point(measure_point(
@@ -177,7 +173,6 @@ pub fn grapes_threads(scale: &ExperimentScale) -> ExperimentReport {
             methods: vec![MethodKind::Grapes],
             config,
             time_budget: scale.time_budget,
-            query_threads: 1,
             ..RunOptions::default()
         };
         report.push_point(measure_point(

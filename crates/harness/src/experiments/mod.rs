@@ -31,6 +31,7 @@ pub mod table1;
 
 use crate::report::ExperimentPoint;
 use crate::runner::{run_methods, ExperimentScale, RunOptions};
+use crate::service::ServiceOptions;
 use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen, QueryWorkload};
 use sqbench_graph::Dataset;
 
@@ -87,7 +88,7 @@ pub(crate) fn measure_point(
 pub(crate) fn options_for(scale: &ExperimentScale) -> RunOptions {
     RunOptions {
         time_budget: scale.time_budget,
-        query_threads: scale.query_threads,
+        service: ServiceOptions::new().workers(scale.query_threads),
         ..RunOptions::default()
     }
 }
@@ -122,6 +123,6 @@ mod tests {
         let options = options_for(&scale);
         assert_eq!(options.time_budget, scale.time_budget);
         assert_eq!(options.methods.len(), 6);
-        assert_eq!(options.query_threads, scale.query_threads);
+        assert_eq!(options.service.workers, scale.query_threads);
     }
 }

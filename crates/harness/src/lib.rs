@@ -48,11 +48,14 @@ pub mod runner;
 pub mod service;
 
 pub use metrics::{
-    counted_false_positive_ratio, workload_false_positive_ratio, MethodMetrics, StageTotals,
+    counted_false_positive_ratio, workload_false_positive_ratio, CacheCounters, MethodMetrics,
+    StageTotals,
 };
 pub use report::{ExperimentPoint, ExperimentReport};
 pub use runner::{run_methods, ExperimentScale, RunOptions};
 pub use service::{
-    AdmissionQueue, BatchReport, QueryService, Router, RoutingMode, ServiceConfig, ShardStrategy,
-    ShardedConfig, ShardedReport, ShardedService, SubmitError,
+    AdmissionQueue, AnswerMemo, BatchReport, CachePolicy, FeatureCache, QueryService, Router,
+    RoutingMode, ServiceOptions, ShardStrategy, ShardedReport, ShardedService, SubmitError,
 };
+#[allow(deprecated)]
+pub use service::{ServiceConfig, ShardedConfig};

@@ -88,7 +88,11 @@ pub struct StageTotals {
     pub queries: u64,
     /// Total time queries spent queued before their filter stage started.
     pub queue_wait_s: f64,
-    /// Total time spent in the filtering stage.
+    /// Total time spent probing the cross-query caches (feature-cache
+    /// probes inside the filter stage plus admission-time answer-memo
+    /// probes). Always 0 when caching is disabled.
+    pub cache_probe_s: f64,
+    /// Total time spent in the filtering stage, cache probes excluded.
     pub filter_s: f64,
     /// Total time spent in the verification stage (including any query-time
     /// index maintenance, e.g. Tree+Δ feature learning).
@@ -99,9 +103,17 @@ pub struct StageTotals {
 
 impl StageTotals {
     /// Folds one executed query's stage measurements into the totals.
-    pub fn add_query(&mut self, queue_wait_s: f64, filter_s: f64, verify_s: f64, pruned: usize) {
+    pub fn add_query(
+        &mut self,
+        queue_wait_s: f64,
+        cache_probe_s: f64,
+        filter_s: f64,
+        verify_s: f64,
+        pruned: usize,
+    ) {
         self.queries += 1;
         self.queue_wait_s += queue_wait_s;
+        self.cache_probe_s += cache_probe_s;
         self.filter_s += filter_s;
         self.verify_s += verify_s;
         self.candidates_pruned += pruned as u64;
@@ -111,6 +123,7 @@ impl StageTotals {
     pub fn merge(&mut self, other: &StageTotals) {
         self.queries += other.queries;
         self.queue_wait_s += other.queue_wait_s;
+        self.cache_probe_s += other.cache_probe_s;
         self.filter_s += other.filter_s;
         self.verify_s += other.verify_s;
         self.candidates_pruned += other.candidates_pruned;
@@ -129,6 +142,11 @@ impl StageTotals {
         self.per_query(self.queue_wait_s)
     }
 
+    /// Mean cache-probe time per executed query, seconds.
+    pub fn avg_cache_probe_s(&self) -> f64 {
+        self.per_query(self.cache_probe_s)
+    }
+
     /// Mean filtering time per executed query, seconds.
     pub fn avg_filter_s(&self) -> f64 {
         self.per_query(self.filter_s)
@@ -137,6 +155,37 @@ impl StageTotals {
     /// Mean verification time per executed query, seconds.
     pub fn avg_verify_s(&self) -> f64 {
         self.per_query(self.verify_s)
+    }
+}
+
+/// Cumulative hit/miss/eviction counters of the cross-query caching layer
+/// over one method run. All zeros when caching is disabled (the default) —
+/// the runner constructs a fresh service per method run, so cumulative
+/// service counters and per-run counters coincide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Feature-cache lookups that found a cached candidate bitset
+    /// (summed across shards for sharded runs).
+    pub feature_hits: u64,
+    /// Feature-cache lookups that missed.
+    pub feature_misses: u64,
+    /// Answer-memo lookups that hit (memo-eligible queries only).
+    pub answer_hits: u64,
+    /// Answer-memo lookups that missed.
+    pub answer_misses: u64,
+    /// Entries evicted by capacity pressure, both levels combined.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Adds another run's counters into this one (used by the sharded
+    /// merge, which sums per-shard feature caches).
+    pub fn merge(&mut self, other: &CacheCounters) {
+        self.feature_hits += other.feature_hits;
+        self.feature_misses += other.feature_misses;
+        self.answer_hits += other.answer_hits;
+        self.answer_misses += other.answer_misses;
+        self.evictions += other.evictions;
     }
 }
 
@@ -198,6 +247,9 @@ pub struct MethodMetrics {
     /// source dataset (the shards' `Arc` pointer spines — graph storage is
     /// shared, not copied). 0 for unsharded runs.
     pub partition_overhead_bytes: usize,
+    /// Hit/miss/eviction counters of the cross-query caching layer (all
+    /// zeros when caching is disabled, the default).
+    pub cache: CacheCounters,
 }
 
 impl MethodMetrics {
@@ -319,11 +371,12 @@ mod tests {
     #[test]
     fn stage_totals_accumulate_and_average() {
         let mut totals = StageTotals::default();
-        totals.add_query(0.5, 1.0, 2.0, 90);
-        totals.add_query(1.5, 3.0, 4.0, 10);
+        totals.add_query(0.5, 0.25, 1.0, 2.0, 90);
+        totals.add_query(1.5, 0.75, 3.0, 4.0, 10);
         assert_eq!(totals.queries, 2);
         assert_eq!(totals.candidates_pruned, 100);
         assert!((totals.avg_queue_wait_s() - 1.0).abs() < 1e-12);
+        assert!((totals.avg_cache_probe_s() - 0.5).abs() < 1e-12);
         assert!((totals.avg_filter_s() - 2.0).abs() < 1e-12);
         assert!((totals.avg_verify_s() - 3.0).abs() < 1e-12);
         let mut merged = StageTotals::default();
@@ -355,6 +408,7 @@ mod tests {
             shards_skipped: 0,
             shard_stages: Vec::new(),
             partition_overhead_bytes: 0,
+            cache: CacheCounters::default(),
         };
         assert!((m.index_size_mb() - 2.0).abs() < 1e-9);
         let line = m.to_log_line();
@@ -369,14 +423,14 @@ mod tests {
 
     fn stage(filter_s: f64, verify_s: f64) -> StageTotals {
         let mut s = StageTotals::default();
-        s.add_query(0.0, filter_s, verify_s, 0);
+        s.add_query(0.0, 0.0, filter_s, verify_s, 0);
         s
     }
 
     #[test]
     fn shard_accessors_fall_back_for_unsharded_runs() {
         let mut stages = StageTotals::default();
-        stages.add_query(0.1, 2.0, 3.0, 5);
+        stages.add_query(0.1, 0.0, 2.0, 3.0, 5);
         let m = MethodMetrics {
             method: "GGSX".into(),
             indexing_time_s: 0.0,
@@ -396,6 +450,7 @@ mod tests {
             shards_skipped: 0,
             shard_stages: Vec::new(),
             partition_overhead_bytes: 0,
+            cache: CacheCounters::default(),
         };
         assert!((m.max_shard_time_s() - 5.0).abs() < 1e-12);
         assert_eq!(m.shard_balance(), 1.0);
@@ -422,6 +477,7 @@ mod tests {
             shards_skipped: 0,
             shard_stages: vec![stage(1.0, 1.0), stage(0.5, 0.5), stage(2.0, 2.0)],
             partition_overhead_bytes: 96,
+            cache: CacheCounters::default(),
         };
         assert!((m.max_shard_time_s() - 4.0).abs() < 1e-12);
         assert!((m.shard_balance() - 0.25).abs() < 1e-12);
@@ -461,6 +517,7 @@ mod tests {
             // for the whole wave (no queries, zero time).
             shard_stages: vec![stage(1.0, 1.0), stage(0.5, 0.5), StageTotals::default()],
             partition_overhead_bytes: 48,
+            cache: CacheCounters::default(),
         };
         assert!(
             (m.shard_balance() - 0.5).abs() < 1e-12,

@@ -146,21 +146,29 @@ pub fn render_text(report: &ExperimentReport) -> String {
 /// retry budget, how many were shed at admission, and how many retry
 /// probes were dispatched — all 0 on a healthy fault-free run.
 ///
+/// The cache columns report the cross-query caching layer:
+/// `avg_cache_probe_s` is the mean per-query time spent probing the
+/// feature cache and answer memo (already excluded from
+/// `avg_filter_time_s`), and the `cache_*` counters are the run's
+/// feature-cache and answer-memo hits/misses plus total LRU evictions —
+/// all 0 when the run leaves [`crate::service::CachePolicy`] disabled.
+///
 /// The exact header and field order are pinned by the golden-file test in
 /// `tests/golden_report.rs`; figure scripts parse these columns by name, so
 /// changes here must update the golden file deliberately.
 pub fn render_csv(report: &ExperimentReport) -> String {
     let mut out = String::from(
         "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,distinct_features,\
-         avg_query_time_s,avg_queue_wait_s,avg_filter_time_s,avg_verify_time_s,\
-         candidates_pruned,false_positive_ratio,queries_executed,shards,shards_probed,\
-         shards_skipped,max_shard_time_s,shard_balance,partition_overhead_bytes,\
-         queries_degraded,queries_failed,queries_shed,retries,timed_out\n",
+         avg_query_time_s,avg_queue_wait_s,avg_cache_probe_s,avg_filter_time_s,\
+         avg_verify_time_s,candidates_pruned,false_positive_ratio,queries_executed,shards,\
+         shards_probed,shards_skipped,max_shard_time_s,shard_balance,partition_overhead_bytes,\
+         queries_degraded,queries_failed,queries_shed,retries,timed_out,cache_feature_hits,\
+         cache_feature_misses,cache_answer_hits,cache_answer_misses,cache_evictions\n",
     );
     for point in &report.points {
         for m in &point.results {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 report.id,
                 point.x_label,
                 point.x_value,
@@ -170,6 +178,7 @@ pub fn render_csv(report: &ExperimentReport) -> String {
                 m.distinct_features,
                 m.avg_query_time_s,
                 m.stages.avg_queue_wait_s(),
+                m.stages.avg_cache_probe_s(),
                 m.stages.avg_filter_s(),
                 m.stages.avg_verify_s(),
                 m.stages.candidates_pruned,
@@ -185,7 +194,12 @@ pub fn render_csv(report: &ExperimentReport) -> String {
                 m.queries_failed,
                 m.queries_shed,
                 m.retries,
-                m.timed_out
+                m.timed_out,
+                m.cache.feature_hits,
+                m.cache.feature_misses,
+                m.cache.answer_hits,
+                m.cache.answer_misses,
+                m.cache.evictions
             ));
         }
     }
@@ -199,7 +213,7 @@ mod tests {
     fn sample_metrics(method: &str, t: f64) -> MethodMetrics {
         let mut stages = crate::metrics::StageTotals::default();
         for _ in 0..8 {
-            stages.add_query(t / 1000.0, t / 400.0, t / 200.0, 12);
+            stages.add_query(t / 1000.0, 0.0, t / 400.0, t / 200.0, 12);
         }
         MethodMetrics {
             method: method.to_string(),
@@ -220,6 +234,7 @@ mod tests {
             shards_skipped: 0,
             shard_stages: Vec::new(),
             partition_overhead_bytes: 0,
+            cache: crate::metrics::CacheCounters::default(),
         }
     }
 

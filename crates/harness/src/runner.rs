@@ -1,9 +1,9 @@
 //! Experiment runner: builds indexes, runs query workloads and enforces the
 //! per-method time budget.
 
-use crate::metrics::{MethodMetrics, StageTotals, Stopwatch};
+use crate::metrics::{CacheCounters, MethodMetrics, StageTotals, Stopwatch};
 use crate::service::{
-    QueryService, RoutingMode, ServiceConfig, ShardStrategy, ShardedConfig, ShardedService,
+    CachePolicy, QueryService, RoutingMode, ServiceOptions, ShardStrategy, ShardedService,
 };
 use serde::{Deserialize, Serialize};
 use sqbench_generator::QueryWorkload;
@@ -44,7 +44,7 @@ pub struct ExperimentScale {
     /// RNG seed shared by dataset and workload generation.
     pub seed: u64,
     /// Query-service workers each method's workload is served on (see
-    /// [`RunOptions::query_threads`]). The paper's latency semantics need
+    /// [`RunOptions::with_query_threads`]). The paper's latency semantics need
     /// `1`; the smoke/laptop scales use a small pool so every figure run
     /// exercises (and benefits from) batched serving.
     pub query_threads: usize,
@@ -102,7 +102,11 @@ impl ExperimentScale {
     }
 }
 
-/// Options for a single [`run_methods`] invocation.
+/// Options for a single [`run_methods`] invocation: the run-level knobs
+/// (method set, index configuration, time budget) layered over the unified
+/// [`ServiceOptions`] service surface. Service-side behaviour — workers,
+/// shards, placement strategy, routing, retry, caching — lives *only* on
+/// [`RunOptions::service`]; the `with_*` conveniences below delegate there.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Which methods to run (defaults to all six).
@@ -111,38 +115,16 @@ pub struct RunOptions {
     pub config: MethodConfig,
     /// Per-method time budget (indexing + queries).
     pub time_budget: Duration,
-    /// Worker threads of the query service each method's workload is
-    /// served on. `1` (the default) processes queries in workload order on
-    /// a single worker, which is what the paper's latency measurements
-    /// assume; higher values run the service's pipelined filter → verify
-    /// pool, where every worker owns a reusable candidate arena and its own
-    /// verification scratch, so throughput scales without per-query
-    /// allocation.
-    ///
-    /// The value is an *upper bound*: [`run_methods`] clamps it to the
-    /// number of queries in the flattened workload (a worker without a
-    /// query to claim would only spin), so e.g. `with_query_threads(64)`
-    /// over a 10-query workload runs 10 workers. Per-query stage times are
-    /// still recorded under contention but overlap, so prefer `1` when
-    /// comparing latency numbers against the paper.
-    pub query_threads: usize,
-    /// Dataset shards each method is built and served over. `1` (the
-    /// default) is the single-index service; higher values partition the
-    /// dataset with [`RunOptions::shard_strategy`], build one index per
-    /// shard and serve every workload wave across all shard pools
-    /// concurrently (each shard pool running up to
-    /// [`RunOptions::query_threads`] workers). Answer sets are identical to
-    /// the unsharded run; candidate counts (and so the false positive
-    /// ratio) may differ because each shard mines features over its own
-    /// slice.
-    pub shards: usize,
-    /// How graphs are assigned to shards when [`RunOptions::shards`] > 1.
-    pub shard_strategy: ShardStrategy,
-    /// Whether sharded waves fan out to every shard
-    /// ([`RoutingMode::Fanout`], the default) or consult the per-shard
-    /// synopses and probe only shards that can hold a match
-    /// ([`RoutingMode::Synopsis`]). Ignored for unsharded runs.
-    pub routing: RoutingMode,
+    /// How each method's query service is shaped: worker threads per pool
+    /// (`workers`, an *upper bound* — [`run_methods`] additionally clamps
+    /// it to the flattened workload size, since a worker without a query to
+    /// claim would only spin), dataset shards (`shards`, 1 = the
+    /// single-index service; answer sets are identical to the unsharded
+    /// run, candidate counts may differ because each shard mines features
+    /// over its own slice), placement strategy, routing mode and the
+    /// cross-query [`CachePolicy`]. Prefer `workers = 1` and the disabled
+    /// cache when comparing latency numbers against the paper.
+    pub service: ServiceOptions,
 }
 
 impl Default for RunOptions {
@@ -151,10 +133,7 @@ impl Default for RunOptions {
             methods: MethodKind::ALL.to_vec(),
             config: MethodConfig::default(),
             time_budget: Duration::from_secs(120),
-            query_threads: 1,
-            shards: 1,
-            shard_strategy: ShardStrategy::RoundRobin,
-            routing: RoutingMode::Fanout,
+            service: ServiceOptions::new(),
         }
     }
 }
@@ -175,30 +154,43 @@ impl RunOptions {
         self
     }
 
+    /// Replaces the whole service surface in one move.
+    pub fn with_service(mut self, service: ServiceOptions) -> Self {
+        self.service = service;
+        self
+    }
+
     /// Serves each method's query workload on up to `threads` service
-    /// workers (floored at 1 here; additionally clamped to the workload
-    /// size inside [`run_methods`] — see [`RunOptions::query_threads`]).
+    /// workers (floored at 1; additionally clamped to the workload size
+    /// inside [`run_methods`]). Delegates to [`ServiceOptions::workers`].
     pub fn with_query_threads(mut self, threads: usize) -> Self {
-        self.query_threads = threads.max(1);
+        self.service = self.service.workers(threads);
         self
     }
 
     /// Partitions the dataset over `shards` cooperating shard services
-    /// (floored at 1 = unsharded; see [`RunOptions::shards`]).
+    /// (floored at 1 = unsharded). Delegates to [`ServiceOptions::shards`].
     pub fn with_shards(mut self, shards: usize) -> Self {
-        self.shards = shards.max(1);
+        self.service = self.service.shards(shards);
         self
     }
 
     /// Sets the shard partitioning strategy (see [`ShardStrategy`]).
     pub fn with_shard_strategy(mut self, strategy: ShardStrategy) -> Self {
-        self.shard_strategy = strategy;
+        self.service = self.service.strategy(strategy);
         self
     }
 
     /// Sets the shard routing mode (see [`RoutingMode`]).
     pub fn with_routing(mut self, routing: RoutingMode) -> Self {
-        self.routing = routing;
+        self.service = self.service.routing(routing);
+        self
+    }
+
+    /// Sets the cross-query cache policy (see [`CachePolicy`]). The
+    /// default is [`CachePolicy::disabled`] — paper-comparable runs.
+    pub fn with_cache(mut self, cache: CachePolicy) -> Self {
+        self.service = self.service.cache(cache);
         self
     }
 }
@@ -237,7 +229,7 @@ fn run_single_method(
     workloads: &[QueryWorkload],
     options: &RunOptions,
 ) -> MethodMetrics {
-    if options.shards > 1 {
+    if options.service.shards > 1 {
         return run_sharded_method(kind, dataset, workloads, options);
     }
     let budget = options.time_budget;
@@ -251,23 +243,26 @@ fn run_single_method(
     let mut false_positive_ratio = 0.0;
     let mut queries_executed = 0usize;
     let mut queries_failed = 0usize;
+    let mut cache = CacheCounters::default();
 
     if !timed_out {
         // Flatten the workloads once and serve them as a single batch
         // through the pipelined query service. The worker bound is clamped
-        // to the batch size (see RunOptions::query_threads).
+        // to the batch size (see RunOptions::service).
         let queries: Vec<&sqbench_graph::Graph> = workloads
             .iter()
             .flat_map(|w| w.iter().map(|(query, _)| query))
             .collect();
-        let workers = options.query_threads.max(1).min(queries.len().max(1));
-        let mut service = QueryService::new(&*index, dataset, ServiceConfig::with_workers(workers));
+        let workers = options.service.workers.max(1).min(queries.len().max(1));
+        let mut service =
+            QueryService::new(&*index, dataset, options.service.clone().workers(workers));
         let report = service.run_batch(&queries, Some(build_watch.deadline_after(budget)));
         timed_out = report.timed_out();
         queries_executed = report.executed();
         queries_failed = report.failed();
         false_positive_ratio = report.false_positive_ratio();
         stages = report.totals;
+        cache = service.cache_counters();
     }
 
     MethodMetrics {
@@ -296,6 +291,7 @@ fn run_single_method(
         shards_skipped: 0,
         shard_stages: Vec::new(),
         partition_overhead_bytes: 0,
+        cache,
     }
 }
 
@@ -310,17 +306,12 @@ fn run_sharded_method(
     options: &RunOptions,
 ) -> MethodMetrics {
     let budget = options.time_budget;
-    let sharded_config = ShardedConfig {
-        shards: options.shards,
-        workers_per_shard: options.query_threads.max(1),
-        strategy: options.shard_strategy,
-        routing: options.routing,
-        // Benchmark runs keep the default bounded-retry policy and never
-        // inject faults — so fault-free metrics stay comparable across PRs.
-        ..ShardedConfig::default()
-    };
     let build_watch = Stopwatch::start();
-    let mut service = ShardedService::build(kind, &options.config, dataset, &sharded_config);
+    // The unified service surface flows through verbatim: shards, workers
+    // per shard, placement, routing, retry and cache policy. Benchmark
+    // runs keep the default bounded-retry policy and inject no faults, so
+    // fault-free metrics stay comparable across PRs.
+    let mut service = ShardedService::new(kind, &options.config, dataset, options.service.clone());
     let indexing_time_s = build_watch.elapsed_secs();
     let stats = service.stats();
 
@@ -334,6 +325,7 @@ fn run_sharded_method(
     let mut retries = 0u64;
     let mut shards_probed = 0u64;
     let mut shards_skipped = 0u64;
+    let mut cache = CacheCounters::default();
 
     if !timed_out {
         let queries: Vec<&sqbench_graph::Graph> = workloads
@@ -351,6 +343,7 @@ fn run_sharded_method(
         shards_skipped = report.shards_skipped();
         stages = report.totals;
         shard_stages = report.per_shard;
+        cache = service.cache_counters();
     }
 
     MethodMetrics {
@@ -377,6 +370,7 @@ fn run_sharded_method(
         shards_skipped,
         shard_stages,
         partition_overhead_bytes: service.partition_overhead_bytes(),
+        cache,
     }
 }
 
@@ -478,19 +472,19 @@ mod tests {
     #[test]
     fn query_threads_builder_clamps_to_one() {
         let options = RunOptions::fast().with_query_threads(0);
-        assert_eq!(options.query_threads, 1);
-        assert_eq!(RunOptions::default().query_threads, 1);
+        assert_eq!(options.service.workers, 1);
+        assert_eq!(RunOptions::default().service.workers, 1);
     }
 
     #[test]
     fn shards_builder_clamps_and_defaults_to_unsharded() {
-        assert_eq!(RunOptions::default().shards, 1);
-        assert_eq!(RunOptions::fast().with_shards(0).shards, 1);
+        assert_eq!(RunOptions::default().service.shards, 1);
+        assert_eq!(RunOptions::fast().with_shards(0).service.shards, 1);
         let options = RunOptions::fast()
             .with_shards(3)
             .with_shard_strategy(ShardStrategy::SizeBalanced);
-        assert_eq!(options.shards, 3);
-        assert_eq!(options.shard_strategy, ShardStrategy::SizeBalanced);
+        assert_eq!(options.service.shards, 3);
+        assert_eq!(options.service.strategy, ShardStrategy::SizeBalanced);
     }
 
     #[test]
@@ -542,7 +536,7 @@ mod tests {
         let options = RunOptions::fast()
             .with_methods(&[MethodKind::Ggsx])
             .with_query_threads(64);
-        assert_eq!(options.query_threads, 64);
+        assert_eq!(options.service.workers, 64);
         // ...and `run_methods` clamps it to the 4-query workload: the run
         // completes on 4 workers and reports exactly the serial results.
         let (ds, workloads) = small_setup();

@@ -107,9 +107,15 @@ pub struct AdmissionQueue {
 }
 
 impl AdmissionQueue {
-    /// Creates a queue admitting at most `capacity` pending queries
-    /// (clamped to at least 1 — a zero-capacity queue could never admit).
-    pub fn with_capacity(capacity: usize) -> Self {
+    /// Creates a queue from the unified [`ServiceOptions`] surface,
+    /// reading `queue_capacity` (the most pending queries the queue admits,
+    /// clamped to at least 1 — a zero-capacity queue could never admit) and
+    /// `faults` (a fault-injection plan arming [`SubmitError::Injected`]
+    /// for targeted tickets).
+    ///
+    /// [`ServiceOptions`]: super::ServiceOptions
+    pub fn new(opts: impl Into<super::ServiceOptions>) -> Self {
+        let opts: super::ServiceOptions = opts.into();
         AdmissionQueue {
             state: Mutex::new(AdmissionState {
                 pending: VecDeque::new(),
@@ -117,19 +123,31 @@ impl AdmissionQueue {
                 closed: false,
             }),
             space: Condvar::new(),
-            capacity: capacity.max(1),
+            capacity: opts.queue_capacity.max(1),
             shed: AtomicU64::new(0),
-            faults: None,
+            faults: opts.faults,
         }
     }
 
-    /// Like [`AdmissionQueue::with_capacity`], with a fault-injection plan
-    /// armed: submissions whose would-be ticket the plan targets fail with
-    /// [`SubmitError::Injected`] without consuming the ticket.
+    /// Legacy constructor: a queue admitting at most `capacity` pending
+    /// queries.
+    #[deprecated(note = "use AdmissionQueue::new(ServiceOptions::new().queue_capacity(n))")]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(super::ServiceOptions::new().queue_capacity(capacity))
+    }
+
+    /// Legacy constructor: like `with_capacity`, with a fault-injection
+    /// plan armed — submissions whose would-be ticket the plan targets
+    /// fail with [`SubmitError::Injected`] without consuming the ticket.
+    #[deprecated(
+        note = "use AdmissionQueue::new(ServiceOptions::new().queue_capacity(n).faults(plan))"
+    )]
     pub fn with_faults(capacity: usize, faults: Arc<FaultPlan>) -> Self {
-        let mut queue = Self::with_capacity(capacity);
-        queue.faults = Some(faults);
-        queue
+        Self::new(
+            super::ServiceOptions::new()
+                .queue_capacity(capacity)
+                .faults(faults),
+        )
     }
 
     /// Poison-tolerant lock: every guarded section is a short queue
@@ -306,6 +324,7 @@ impl AdmissionQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::ServiceOptions;
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -315,7 +334,7 @@ mod tests {
 
     #[test]
     fn tickets_are_unique_and_ordered() {
-        let queue = AdmissionQueue::with_capacity(8);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(8));
         let t0 = queue.submit(q("a"), None).unwrap();
         let t1 = queue.submit(q("b"), None).unwrap();
         assert_eq!((t0, t1), (0, 1));
@@ -332,7 +351,7 @@ mod tests {
 
     #[test]
     fn try_submit_sheds_load_at_capacity() {
-        let queue = AdmissionQueue::with_capacity(2);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(2));
         queue.try_submit(q("a"), None).unwrap();
         queue.try_submit(q("b"), None).unwrap();
         assert_eq!(queue.try_submit(q("c"), None), Err(SubmitError::Full));
@@ -342,7 +361,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_clamps_to_one() {
-        let queue = AdmissionQueue::with_capacity(0);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(0));
         assert_eq!(queue.capacity(), 1);
         queue.try_submit(q("a"), None).unwrap();
         assert_eq!(queue.try_submit(q("b"), None), Err(SubmitError::Full));
@@ -350,7 +369,7 @@ mod tests {
 
     #[test]
     fn close_rejects_submissions_and_releases_blocked_producers() {
-        let queue = Arc::new(AdmissionQueue::with_capacity(1));
+        let queue = Arc::new(AdmissionQueue::new(ServiceOptions::new().queue_capacity(1)));
         queue.submit(q("a"), None).unwrap();
         let producer = {
             let queue = Arc::clone(&queue);
@@ -368,7 +387,7 @@ mod tests {
 
     #[test]
     fn blocked_producer_resumes_after_drain() {
-        let queue = Arc::new(AdmissionQueue::with_capacity(1));
+        let queue = Arc::new(AdmissionQueue::new(ServiceOptions::new().queue_capacity(1)));
         queue.submit(q("first"), None).unwrap();
         let producer = {
             let queue = Arc::clone(&queue);
@@ -385,7 +404,7 @@ mod tests {
 
     #[test]
     fn deadlines_travel_with_the_admitted_query() {
-        let queue = AdmissionQueue::with_capacity(4);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(4));
         let deadline = Instant::now() + Duration::from_secs(60);
         queue.submit(q("a"), Some(deadline)).unwrap();
         queue.submit(q("b"), None).unwrap();
@@ -397,7 +416,7 @@ mod tests {
 
     #[test]
     fn empty_drain_returns_immediately() {
-        let queue = AdmissionQueue::with_capacity(4);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(4));
         assert!(queue.drain_pending().is_empty());
         assert!(queue.drain_pending().is_empty());
     }
@@ -406,7 +425,7 @@ mod tests {
     /// returns the typed `Closed` error — no panic, no admission.
     #[test]
     fn every_submit_flavour_fails_typed_after_close() {
-        let queue = AdmissionQueue::with_capacity(4);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(4));
         queue.close();
         assert_eq!(queue.submit(q("a"), None), Err(SubmitError::Closed));
         assert_eq!(queue.try_submit(q("b"), None), Err(SubmitError::Closed));
@@ -423,7 +442,7 @@ mod tests {
     /// backwards compatible); `submit_or_shed` rejects it at the door.
     #[test]
     fn deadline_already_expired_at_submit() {
-        let queue = AdmissionQueue::with_capacity(4);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(4));
         let past = Instant::now() - Duration::from_secs(1);
         // The non-shedding paths admit: deadline enforcement happens at
         // claim time in the wave.
@@ -442,7 +461,7 @@ mod tests {
 
     #[test]
     fn cost_aware_shedding_rejects_infeasible_deadlines_when_full() {
-        let queue = AdmissionQueue::with_capacity(2);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(2));
         queue.submit(q("a"), None).unwrap();
         queue.submit(q("b"), None).unwrap();
         // Full queue + 10 ms/query backlog estimate ≫ 1 ms of budget: shed.
@@ -468,7 +487,7 @@ mod tests {
 
     #[test]
     fn feasible_deadline_is_admitted_not_shed() {
-        let queue = AdmissionQueue::with_capacity(4);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(4));
         let roomy = Instant::now() + Duration::from_secs(60);
         let ticket = queue
             .submit_or_shed(q("a"), Some(roomy), Duration::from_millis(1))
@@ -482,7 +501,11 @@ mod tests {
     #[test]
     fn injected_admission_failure_is_transient_and_keeps_tickets_dense() {
         let plan = Arc::new(FaultPlan::new().fail_admission(1, 1));
-        let queue = AdmissionQueue::with_faults(8, Arc::clone(&plan));
+        let queue = AdmissionQueue::new(
+            ServiceOptions::new()
+                .queue_capacity(8)
+                .faults(Arc::clone(&plan)),
+        );
         assert_eq!(queue.submit(q("a"), None), Ok(0));
         // The submission that would get ticket 1 is rejected once...
         assert_eq!(queue.submit(q("b"), None), Err(SubmitError::Injected));

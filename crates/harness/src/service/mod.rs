@@ -67,7 +67,7 @@
 //!
 //! # Beyond one index and one closed batch
 //!
-//! Three sibling modules generalize this serving layer:
+//! Four sibling modules generalize this serving layer:
 //!
 //! * [`sharded`] — partitions the dataset across N cooperating shard pools
 //!   (each with its own index and arenas), fans every wave out across the
@@ -79,10 +79,27 @@
 //!   to every shard;
 //! * [`admission`] — a bounded, continuously-admitting query queue
 //!   (`submit`/`drain` with backpressure and per-query deadlines) that
-//!   replaces the closed `run_batch`-only entry point for open traffic.
+//!   replaces the closed `run_batch`-only entry point for open traffic;
+//! * [`cache`] — the cross-query caching layer: a per-(shard, method) LRU
+//!   of hot per-feature candidate bitsets consulted inside the filter
+//!   stage, plus an optional whole-answer memo keyed by canonical graph
+//!   form and probed at admission before any shard is planned.
+//!
+//! # Constructor convention
+//!
+//! Every long-lived object of the serving stack is constructed from the
+//! unified [`options::ServiceOptions`] builder: `Type::new(opts)` — taking
+//! `impl Into<ServiceOptions>` or `&ServiceOptions` — is the single entry
+//! point ([`QueryService::new`], [`ShardedService::new`],
+//! [`AdmissionQueue::new`]). The legacy per-type configs
+//! ([`ServiceConfig`], [`ShardedConfig`]) and bespoke `with_*`
+//! constructors survive only as deprecated delegating shims; new knobs —
+//! the cache policy is the first — land on `ServiceOptions` only.
 
 pub mod admission;
+pub mod cache;
 pub mod fault;
+pub mod options;
 pub mod pool;
 pub mod queue;
 pub mod sharded;
@@ -90,22 +107,29 @@ pub mod stages;
 pub mod synopsis;
 
 pub use admission::{AdmissionQueue, AdmittedQuery, SubmitError, Ticket};
+pub use cache::{answer_memo_key, AnswerEntry, AnswerMemo, CachePolicy, FeatureCache, Lru};
 pub use fault::{silence_injected_panics, FaultPlan, FaultSpec, InjectedPanic};
+pub use options::ServiceOptions;
+#[allow(deprecated)]
+pub use sharded::ShardedConfig;
 pub use sharded::{
-    partition_dataset, RetryPolicy, ShardPart, ShardStrategy, ShardedConfig, ShardedQueryRecord,
-    ShardedReport, ShardedService,
+    partition_dataset, RetryPolicy, ShardPart, ShardStrategy, ShardedQueryRecord, ShardedReport,
+    ShardedService,
 };
-pub use stages::QueryOutcome;
+pub use stages::{QueryOutcome, QueryRecord};
 pub use synopsis::{Router, RoutingMode};
 
-use crate::metrics::{counted_false_positive_ratio, StageTotals, Stopwatch};
+use crate::metrics::{counted_false_positive_ratio, CacheCounters, StageTotals, Stopwatch};
 use pool::{worker_loop, BatchShared, WaveFaults, WorkerArena};
 use sqbench_graph::{Dataset, Graph};
-use sqbench_index::{CandidateSet, GraphIndex};
-use stages::QueryRecord;
+use sqbench_index::{CandidateSet, FeatureCacheStore, GraphIndex};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Configuration of a [`QueryService`].
+/// Legacy configuration of a [`QueryService`], kept as a compatibility
+/// shim: it converts into [`ServiceOptions`] (the unified surface) and
+/// carries only the worker count — cache knobs never landed here.
+#[deprecated(note = "use ServiceOptions::new().workers(n) — the unified service config surface")]
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads in the pool. Clamped to at least 1; a batch never
@@ -113,12 +137,14 @@ pub struct ServiceConfig {
     pub workers: usize,
 }
 
+#[allow(deprecated)]
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig { workers: 1 }
     }
 }
 
+#[allow(deprecated)]
 impl ServiceConfig {
     /// A service config with the given worker count.
     pub fn with_workers(workers: usize) -> Self {
@@ -129,11 +155,17 @@ impl ServiceConfig {
 }
 
 /// The batch query service. Construct once per loaded index, then feed it
-/// any number of batches; worker arenas persist between batches.
+/// any number of batches; worker arenas — and, when enabled, both cache
+/// levels — persist between batches.
 pub struct QueryService<'a> {
     index: &'a dyn GraphIndex,
     dataset: &'a Dataset,
     arenas: Vec<WorkerArena>,
+    /// Cross-query feature-bitset cache shared by the pool's workers
+    /// (`None` = disabled, the zero-overhead default).
+    features: Option<FeatureCache>,
+    /// Whole-answer memo probed at admission (`None` = disabled).
+    answers: Option<AnswerMemo>,
 }
 
 /// Everything a batch run produced: one record per query (in batch order)
@@ -204,13 +236,26 @@ impl BatchReport {
 }
 
 impl<'a> QueryService<'a> {
-    /// Creates a service over a loaded index and its dataset.
-    pub fn new(index: &'a dyn GraphIndex, dataset: &'a Dataset, config: ServiceConfig) -> Self {
-        let workers = config.workers.max(1);
+    /// Creates a service over a loaded index and its dataset from the
+    /// unified options (`workers` and `cache` are read; the sharding knobs
+    /// are ignored at this layer). Accepts anything convertible into
+    /// [`ServiceOptions`], which keeps legacy [`ServiceConfig`] callers
+    /// compiling through the deprecated `From` shim.
+    pub fn new(
+        index: &'a dyn GraphIndex,
+        dataset: &'a Dataset,
+        opts: impl Into<ServiceOptions>,
+    ) -> Self {
+        let opts = opts.into();
+        let workers = opts.workers.max(1);
         QueryService {
             index,
             dataset,
             arenas: (0..workers).map(|_| WorkerArena::default()).collect(),
+            features: (opts.cache.feature_capacity > 0)
+                .then(|| FeatureCache::new(opts.cache.feature_capacity)),
+            answers: (opts.cache.answer_capacity > 0)
+                .then(|| AnswerMemo::new(opts.cache.answer_capacity)),
         }
     }
 
@@ -225,19 +270,40 @@ impl<'a> QueryService<'a> {
         self.arenas.iter().map(WorkerArena::pooled_sets).sum()
     }
 
+    /// Cumulative hit/miss/eviction counters of both cache levels (all
+    /// zeros when caching is disabled).
+    pub fn cache_counters(&self) -> CacheCounters {
+        let mut counters = CacheCounters::default();
+        if let Some(features) = &self.features {
+            counters.feature_hits = features.hits();
+            counters.feature_misses = features.misses();
+            counters.evictions += features.evictions();
+        }
+        if let Some(memo) = &self.answers {
+            counters.answer_hits = memo.hits();
+            counters.answer_misses = memo.misses();
+            counters.evictions += memo.evictions();
+        }
+        counters
+    }
+
+    /// Invalidation hook for the future ingest path: drops every entry of
+    /// both cache levels and bumps their epochs. Any dataset mutation must
+    /// call this before the next query is served.
+    pub fn invalidate_caches(&self) {
+        if let Some(features) = &self.features {
+            features.invalidate_all();
+        }
+        if let Some(memo) = &self.answers {
+            memo.invalidate_all();
+        }
+    }
+
     /// Runs one batch through the pipeline. Queries claimed after
     /// `deadline` are skipped (recorded as `None`), mirroring the
     /// experiment budget semantics; `None` means no deadline.
     pub fn run_batch(&mut self, queries: &[&Graph], deadline: Option<Instant>) -> BatchReport {
-        run_batch_on(
-            self.index,
-            self.dataset,
-            &mut self.arenas,
-            queries,
-            deadline,
-            None,
-            None,
-        )
+        self.run_batch_inner(queries, deadline, None)
     }
 
     /// Like [`QueryService::run_batch`], but additionally honouring a
@@ -252,15 +318,119 @@ impl<'a> QueryService<'a> {
         deadline: Option<Instant>,
         per_query: &[Option<Instant>],
     ) -> BatchReport {
-        run_batch_on(
+        self.run_batch_inner(queries, deadline, Some(per_query))
+    }
+
+    fn run_batch_inner(
+        &mut self,
+        queries: &[&Graph],
+        deadline: Option<Instant>,
+        per_query: Option<&[Option<Instant>]>,
+    ) -> BatchReport {
+        let store = self.features.as_ref().map(|f| f as &dyn FeatureCacheStore);
+        let Some(memo) = &self.answers else {
+            return run_batch_on(
+                self.index,
+                self.dataset,
+                &mut self.arenas,
+                queries,
+                deadline,
+                per_query,
+                None,
+                store,
+            );
+        };
+
+        // Admission-time memo probe: a hit never reaches the worker pool.
+        // A query whose deadline already passed is not probed — it goes to
+        // the pool, which reports it `TimedOut` exactly like the uncached
+        // path would (a memo must never change outcome semantics).
+        let watch = Stopwatch::start();
+        let expired = |i: usize| {
+            let now = Instant::now();
+            deadline.is_some_and(|d| now >= d)
+                || per_query.and_then(|p| p[i]).is_some_and(|d| now >= d)
+        };
+        let mut keys: Vec<Option<String>> = Vec::with_capacity(queries.len());
+        let mut hits: Vec<Option<(Arc<AnswerEntry>, f64)>> = Vec::with_capacity(queries.len());
+        let mut miss_indexes: Vec<usize> = Vec::new();
+        for (i, query) in queries.iter().enumerate() {
+            let key = if expired(i) {
+                None
+            } else {
+                answer_memo_key(query)
+            };
+            let probe = Stopwatch::start();
+            match key.as_deref().and_then(|k| memo.lookup(k)) {
+                Some(entry) => hits.push(Some((entry, probe.elapsed_secs()))),
+                None => {
+                    hits.push(None);
+                    miss_indexes.push(i);
+                }
+            }
+            keys.push(key);
+        }
+
+        // Run the misses as a sub-batch on the pool (preserving relative
+        // batch order), then merge hits and misses back by batch index.
+        let sub_queries: Vec<&Graph> = miss_indexes.iter().map(|&i| queries[i]).collect();
+        let sub_deadlines: Option<Vec<Option<Instant>>> =
+            per_query.map(|p| miss_indexes.iter().map(|&i| p[i]).collect());
+        let mut sub = run_batch_on(
             self.index,
             self.dataset,
             &mut self.arenas,
-            queries,
+            &sub_queries,
             deadline,
-            Some(per_query),
+            sub_deadlines.as_deref(),
             None,
-        )
+            store,
+        );
+
+        let mut records: Vec<Option<QueryRecord>> = Vec::new();
+        records.resize_with(queries.len(), || None);
+        let mut outcomes = vec![QueryOutcome::Failed; queries.len()];
+        let mut totals = sub.totals;
+        for (i, hit) in hits.into_iter().enumerate() {
+            if let Some((entry, probe_s)) = hit {
+                totals.add_query(0.0, probe_s, 0.0, 0.0, entry.candidates_pruned);
+                records[i] = Some(QueryRecord {
+                    candidate_count: entry.candidate_count,
+                    candidates_pruned: entry.candidates_pruned,
+                    answers: entry.answers.clone(),
+                    queue_wait_s: 0.0,
+                    cache_probe_s: probe_s,
+                    filter_s: 0.0,
+                    verify_s: 0.0,
+                });
+                outcomes[i] = QueryOutcome::Complete;
+            }
+        }
+        for (sub_idx, &i) in miss_indexes.iter().enumerate() {
+            // Only complete results are memoized — a degraded or partial
+            // answer set must never be served as complete later.
+            if matches!(sub.outcomes[sub_idx], QueryOutcome::Complete) {
+                if let (Some(key), Some(record)) = (&keys[i], &sub.records[sub_idx]) {
+                    memo.insert(
+                        key.clone(),
+                        AnswerEntry {
+                            answers: record.answers.clone(),
+                            candidate_count: record.candidate_count,
+                            candidates_pruned: record.candidates_pruned,
+                        },
+                    );
+                }
+            }
+            records[i] = sub.records[sub_idx].take();
+            outcomes[i] = sub.outcomes[sub_idx];
+        }
+        BatchReport {
+            records,
+            outcomes,
+            totals,
+            wall_s: watch.elapsed_secs(),
+            workers: sub.workers,
+        }
     }
 
     /// Warm-up helper: pre-sizes every worker's arena pool with one set for
@@ -285,8 +455,11 @@ impl<'a> QueryService<'a> {
 /// `deadline` is the batch-wide cutoff; `per_query` optionally attaches an
 /// individual deadline to each query (indexed like `queries`); `faults`
 /// optionally arms the fault-injection hooks (tickets indexed like
-/// `queries`). Workers spawn up to `arenas.len()` strong, clamped to the
-/// batch size.
+/// `queries`); `cache` optionally shares a cross-query feature-bitset
+/// store with every worker's filter stage (see
+/// [`sqbench_index::GraphIndex::filter_into_cached`]). Workers spawn up to
+/// `arenas.len()` strong, clamped to the batch size.
+#[allow(clippy::too_many_arguments)] // internal fan-in point: every shard caller threads the same set
 pub(crate) fn run_batch_on(
     index: &dyn GraphIndex,
     dataset: &Dataset,
@@ -295,9 +468,10 @@ pub(crate) fn run_batch_on(
     deadline: Option<Instant>,
     per_query: Option<&[Option<Instant>]>,
     faults: Option<WaveFaults<'_>>,
+    cache: Option<&dyn FeatureCacheStore>,
 ) -> BatchReport {
     let workers = arenas.len().min(queries.len()).max(1);
-    let shared = BatchShared::with_deadlines(queries, workers, deadline, per_query, faults);
+    let shared = BatchShared::with_deadlines(queries, workers, deadline, per_query, faults, cache);
     let watch = Stopwatch::start();
     let completed: Vec<Vec<(usize, QueryOutcome, Option<QueryRecord>)>> = if workers == 1 {
         // In-place fast path: no thread spawn, strict batch order.
@@ -331,7 +505,13 @@ pub(crate) fn run_batch_on(
     let mut totals = StageTotals::default();
     for (idx, outcome, record) in completed.into_iter().flatten() {
         if let Some(r) = &record {
-            totals.add_query(r.queue_wait_s, r.filter_s, r.verify_s, r.candidates_pruned);
+            totals.add_query(
+                r.queue_wait_s,
+                r.cache_probe_s,
+                r.filter_s,
+                r.verify_s,
+                r.candidates_pruned,
+            );
         }
         records[idx] = record;
         outcomes[idx] = outcome;
@@ -372,7 +552,7 @@ mod tests {
         let (ds, queries) = setup(16);
         let index = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
         let refs: Vec<&Graph> = queries.iter().collect();
-        let mut service = QueryService::new(&*index, &ds, ServiceConfig::default());
+        let mut service = QueryService::new(&*index, &ds, ServiceOptions::new());
         let report = service.run_batch(&refs, None);
         assert_eq!(report.workers, 1);
         assert_eq!(report.executed(), queries.len());
@@ -393,9 +573,9 @@ mod tests {
         let refs: Vec<&Graph> = queries.iter().collect();
         for kind in MethodKind::ALL {
             let index = build_index(kind, &MethodConfig::fast(), &ds);
-            let mut serial = QueryService::new(&*index, &ds, ServiceConfig::with_workers(1));
+            let mut serial = QueryService::new(&*index, &ds, ServiceOptions::new().workers(1));
             let serial_report = serial.run_batch(&refs, None);
-            let mut pooled = QueryService::new(&*index, &ds, ServiceConfig::with_workers(4));
+            let mut pooled = QueryService::new(&*index, &ds, ServiceOptions::new().workers(4));
             let pooled_report = pooled.run_batch(&refs, None);
             assert_eq!(pooled_report.workers, 4.min(queries.len()));
             for (i, (s, p)) in serial_report
@@ -420,7 +600,7 @@ mod tests {
         let (ds, queries) = setup(16);
         let index = build_index(MethodKind::GIndex, &MethodConfig::fast(), &ds);
         let refs: Vec<&Graph> = queries.iter().collect();
-        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(2));
+        let mut service = QueryService::new(&*index, &ds, ServiceOptions::new().workers(2));
         service.prewarm();
         let prewarmed = service.pooled_sets();
         assert_eq!(prewarmed, 2);
@@ -439,7 +619,7 @@ mod tests {
         let (ds, queries) = setup(10);
         let index = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
         let refs: Vec<&Graph> = queries.iter().collect();
-        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(2));
+        let mut service = QueryService::new(&*index, &ds, ServiceOptions::new().workers(2));
         let past = Instant::now() - Duration::from_secs(1);
         let report = service.run_batch(&refs, Some(past));
         assert!(report.timed_out());
@@ -452,7 +632,7 @@ mod tests {
     fn empty_batch_is_a_noop() {
         let (ds, _) = setup(6);
         let index = build_index(MethodKind::GCode, &MethodConfig::fast(), &ds);
-        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(3));
+        let mut service = QueryService::new(&*index, &ds, ServiceOptions::new().workers(3));
         let report = service.run_batch(&[], None);
         assert_eq!(report.records.len(), 0);
         assert_eq!(report.executed(), 0);
@@ -490,7 +670,7 @@ mod tests {
         let (ds, queries) = setup(12);
         let index = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
         let refs: Vec<&Graph> = queries.iter().collect();
-        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(2));
+        let mut service = QueryService::new(&*index, &ds, ServiceOptions::new().workers(2));
         let past = Instant::now() - Duration::from_secs(1);
         let mut per_query: Vec<Option<Instant>> = vec![None; refs.len()];
         per_query[1] = Some(past);
@@ -534,6 +714,7 @@ mod tests {
                     plan: &plan,
                     tickets: &tickets,
                 }),
+                None,
             );
             assert_eq!(plan.injected_panics(), 2, "{workers} workers");
             assert_eq!(report.failed(), 2);
@@ -564,10 +745,114 @@ mod tests {
         let (ds, queries) = setup(10);
         let index = build_index(MethodKind::Grapes, &MethodConfig::fast(), &ds);
         let refs: Vec<&Graph> = queries.iter().collect();
-        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(3));
+        let mut service = QueryService::new(&*index, &ds, ServiceOptions::new().workers(3));
         let report = service.run_batch(&refs, None);
         assert_eq!(report.failed(), 0);
         assert!(report.outcomes.iter().all(|o| *o == QueryOutcome::Complete));
+    }
+
+    /// Tentpole: with the feature cache enabled, answers stay bit-identical
+    /// to the uncached service for every participating method, and the
+    /// caching methods actually hit on a repeated batch.
+    #[test]
+    fn feature_cache_keeps_answers_identical() {
+        let (ds, queries) = setup(18);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        for kind in MethodKind::ALL {
+            let index = build_index(kind, &MethodConfig::fast(), &ds);
+            let mut cold = QueryService::new(&*index, &ds, ServiceOptions::new());
+            let cold_report = cold.run_batch(&refs, None);
+            let mut warm = QueryService::new(
+                &*index,
+                &ds,
+                ServiceOptions::new().cache(CachePolicy {
+                    feature_capacity: 512,
+                    answer_capacity: 0,
+                }),
+            );
+            // Two batches: the first populates, the second probes hot.
+            warm.run_batch(&refs, None);
+            let warm_report = warm.run_batch(&refs, None);
+            for (i, (c, w)) in cold_report
+                .records
+                .iter()
+                .zip(warm_report.records.iter())
+                .enumerate()
+            {
+                assert_eq!(
+                    c.as_ref().unwrap().answers,
+                    w.as_ref().unwrap().answers,
+                    "{}: cached answers diverged on query {i}",
+                    kind.name()
+                );
+            }
+            let counters = warm.cache_counters();
+            match kind {
+                MethodKind::Ggsx | MethodKind::Grapes | MethodKind::GIndex => {
+                    assert!(
+                        counters.feature_hits > 0,
+                        "{} participates and must hit on a repeat batch",
+                        kind.name()
+                    );
+                }
+                MethodKind::CtIndex | MethodKind::GCode | MethodKind::Scan => {
+                    assert_eq!(
+                        (counters.feature_hits, counters.feature_misses),
+                        (0, 0),
+                        "{} opts out and must never probe",
+                        kind.name()
+                    );
+                }
+                // Tree+Δ probes (tree features hit; Δ probes depend on the
+                // learned set) — participation is covered above.
+                MethodKind::TreeDelta => {}
+            }
+        }
+    }
+
+    /// Tentpole: the answer memo serves a repeated batch entirely from the
+    /// memo — zero filter/verify work — with bit-identical answers.
+    #[test]
+    fn answer_memo_serves_repeat_batches_identically() {
+        let (ds, queries) = setup(16);
+        let index = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let mut service = QueryService::new(
+            &*index,
+            &ds,
+            ServiceOptions::new().workers(2).cache(CachePolicy {
+                feature_capacity: 0,
+                answer_capacity: 64,
+            }),
+        );
+        let first = service.run_batch(&refs, None);
+        let eligible = queries
+            .iter()
+            .filter(|q| answer_memo_key(q).is_some())
+            .count();
+        assert!(eligible > 0, "workload must contain memo-eligible queries");
+        let second = service.run_batch(&refs, None);
+        assert_eq!(second.executed(), refs.len());
+        for (i, (a, b)) in first.records.iter().zip(second.records.iter()).enumerate() {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.answers, b.answers, "memo answers diverged on query {i}");
+            assert_eq!(a.candidate_count, b.candidate_count);
+        }
+        let counters = service.cache_counters();
+        assert_eq!(counters.answer_hits, eligible as u64);
+        // Memo-served queries do no filter or verify work.
+        let hit_records: Vec<&QueryRecord> = second
+            .records
+            .iter()
+            .flatten()
+            .filter(|r| r.filter_s == 0.0 && r.verify_s == 0.0)
+            .collect();
+        assert_eq!(hit_records.len(), eligible);
+        // Invalidation drops every entry: the next batch misses again.
+        service.invalidate_caches();
+        let third = service.run_batch(&refs, None);
+        assert_eq!(third.executed(), refs.len());
+        assert_eq!(service.cache_counters().answer_hits, eligible as u64);
     }
 
     #[test]
@@ -575,7 +860,7 @@ mod tests {
         let (ds, queries) = setup(8);
         let index = build_index(MethodKind::CtIndex, &MethodConfig::fast(), &ds);
         let two: Vec<&Graph> = queries.iter().take(2).collect();
-        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(16));
+        let mut service = QueryService::new(&*index, &ds, ServiceOptions::new().workers(16));
         assert_eq!(service.worker_count(), 16);
         let report = service.run_batch(&two, None);
         assert_eq!(report.workers, 2, "batch must not spawn idle workers");

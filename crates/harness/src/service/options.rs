@@ -1,0 +1,197 @@
+//! The unified, layered service configuration surface.
+//!
+//! Before this module the serving stack had three parallel config surfaces
+//! that each grew their own `with_*` chain — `RunOptions` (runner),
+//! `ServiceConfig` (worker pool) and `ShardedConfig` (sharded service) —
+//! and every new knob had to be threaded through all three.
+//! [`ServiceOptions`] collapses them: one builder describes a whole
+//! service, and every layer reads the part it cares about. The legacy
+//! types survive as deprecated `From` shims so existing callers keep
+//! compiling.
+//!
+//! ```
+//! use sqbench_harness::service::{CachePolicy, RoutingMode, ServiceOptions, ShardStrategy};
+//!
+//! let opts = ServiceOptions::new()
+//!     .workers(4)
+//!     .shards(4)
+//!     .strategy(ShardStrategy::LabelAware)
+//!     .routing(RoutingMode::Synopsis)
+//!     .cache(CachePolicy::enabled());
+//! assert_eq!(opts.shards, 4);
+//! ```
+
+use super::cache::CachePolicy;
+use super::fault::FaultPlan;
+use super::sharded::{RetryPolicy, ShardStrategy};
+use super::synopsis::RoutingMode;
+use std::sync::Arc;
+
+/// One description of a whole query service, unsharded or sharded. Every
+/// constructor of the serving stack takes it (directly or via
+/// `impl Into<ServiceOptions>`): [`super::QueryService::new`] reads
+/// `workers` and `cache`, [`super::sharded::ShardedService::new`] reads
+/// all of it, [`super::admission::AdmissionQueue::new`] reads
+/// `queue_capacity` and `faults`. Cache knobs live **only** here — they
+/// were deliberately never added to the legacy surfaces.
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Worker threads per pool (per shard when sharded). Clamped to ≥ 1.
+    pub workers: usize,
+    /// Dataset shards; `1` means the plain unsharded service. Clamped to
+    /// ≥ 1 by the constructors.
+    pub shards: usize,
+    /// How graphs are placed onto shards.
+    pub strategy: ShardStrategy,
+    /// Shard routing: full fan-out or synopsis-based selective probing.
+    pub routing: RoutingMode,
+    /// Deadline-budgeted retry of failed shard probes.
+    pub retry: RetryPolicy,
+    /// The two-level cross-query cache (disabled by default).
+    pub cache: CachePolicy,
+    /// Capacity of an [`super::admission::AdmissionQueue`] built from
+    /// these options. Clamped to ≥ 1.
+    pub queue_capacity: usize,
+    /// Deterministic fault-injection plan (tests and soak harnesses only;
+    /// `None` is the zero-cost production path).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            workers: 1,
+            shards: 1,
+            strategy: ShardStrategy::default(),
+            routing: RoutingMode::Fanout,
+            retry: RetryPolicy::default(),
+            cache: CachePolicy::disabled(),
+            queue_capacity: 64,
+            faults: None,
+        }
+    }
+}
+
+impl ServiceOptions {
+    /// The default options: one worker, one shard, fan-out routing, the
+    /// default retry budget, caching disabled.
+    pub fn new() -> Self {
+        ServiceOptions::default()
+    }
+
+    /// Sets the worker threads per pool (clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the shard count (clamped to ≥ 1; `1` = unsharded).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the shard placement strategy.
+    pub fn strategy(mut self, strategy: ShardStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the shard routing mode.
+    pub fn routing(mut self, routing: RoutingMode) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the retry policy for failed shard probes.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the cache policy (feature cache + answer memo).
+    pub fn cache(mut self, cache: CachePolicy) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the admission-queue capacity (clamped to ≥ 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Arms a deterministic fault-injection plan.
+    pub fn faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+#[allow(deprecated)]
+impl From<super::ServiceConfig> for ServiceOptions {
+    fn from(config: super::ServiceConfig) -> Self {
+        ServiceOptions::new().workers(config.workers)
+    }
+}
+
+#[allow(deprecated)]
+impl From<super::sharded::ShardedConfig> for ServiceOptions {
+    fn from(config: super::sharded::ShardedConfig) -> Self {
+        let mut opts = ServiceOptions::new()
+            .workers(config.workers_per_shard)
+            .shards(config.shards)
+            .strategy(config.strategy)
+            .routing(config.routing)
+            .retry(config.retry);
+        opts.faults = config.faults;
+        opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps_and_chains() {
+        let opts = ServiceOptions::new()
+            .workers(0)
+            .shards(0)
+            .queue_capacity(0)
+            .routing(RoutingMode::Synopsis)
+            .cache(CachePolicy::enabled());
+        assert_eq!(opts.workers, 1);
+        assert_eq!(opts.shards, 1);
+        assert_eq!(opts.queue_capacity, 1);
+        assert_eq!(opts.routing, RoutingMode::Synopsis);
+        assert!(!opts.cache.is_disabled());
+    }
+
+    #[test]
+    fn default_disables_caching() {
+        assert!(ServiceOptions::default().cache.is_disabled());
+    }
+
+    /// The legacy config types convert losslessly — the delegating shims
+    /// depend on it.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_configs_convert() {
+        let from_service: ServiceOptions = super::super::ServiceConfig::with_workers(3).into();
+        assert_eq!(from_service.workers, 3);
+        assert_eq!(from_service.shards, 1);
+
+        let from_sharded: ServiceOptions = super::super::sharded::ShardedConfig::with_shards(4)
+            .workers_per_shard(2)
+            .routing(RoutingMode::Synopsis)
+            .into();
+        assert_eq!(from_sharded.shards, 4);
+        assert_eq!(from_sharded.workers, 2);
+        assert_eq!(from_sharded.routing, RoutingMode::Synopsis);
+        assert!(
+            from_sharded.cache.is_disabled(),
+            "cache knobs are new-surface-only"
+        );
+    }
+}

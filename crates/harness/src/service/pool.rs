@@ -11,7 +11,7 @@ use super::fault::FaultPlan;
 use super::queue::{BatchQueue, StealDeque};
 use super::stages::{filter_stage, verify_stage, QueryOutcome, QueryRecord, VerifyJob};
 use sqbench_graph::{Dataset, Graph};
-use sqbench_index::{CandidateSet, GraphIndex};
+use sqbench_index::{CandidateSet, FeatureCacheStore, GraphIndex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -62,24 +62,30 @@ pub(super) struct BatchShared<'q> {
     pub deadline: Option<Instant>,
     /// Fault-injection hook; `None` on the (zero-cost) production path.
     pub faults: Option<WaveFaults<'q>>,
+    /// Cross-query feature-bitset cache shared by every worker's filter
+    /// stage; `None` (the default) is the byte-identical uncached path.
+    pub cache: Option<&'q dyn FeatureCacheStore>,
 }
 
 impl<'q> BatchShared<'q> {
     /// Wraps a batch for a pool of `workers`, with an optional batch-wide
     /// deadline, an optional per-query deadline slice (indexed like
-    /// `queries`) and an optional fault-injection plan.
+    /// `queries`), an optional fault-injection plan and an optional shared
+    /// feature cache.
     pub fn with_deadlines(
         queries: &'q [&'q Graph],
         workers: usize,
         deadline: Option<Instant>,
         per_query: Option<&'q [Option<Instant>]>,
         faults: Option<WaveFaults<'q>>,
+        cache: Option<&'q dyn FeatureCacheStore>,
     ) -> Self {
         BatchShared {
             queue: BatchQueue::with_deadlines(queries, per_query),
             verify_queues: (0..workers).map(|_| StealDeque::default()).collect(),
             deadline,
             faults,
+            cache,
         }
     }
 
@@ -154,15 +160,17 @@ pub(super) fn worker_loop<'q>(
                 // `set` is only borrowed by the closure, so it survives an
                 // unwind (possibly half-filtered — `filter_into` re-targets
                 // it on next use, so recycling stays safe).
-                let filtered =
-                    catch_unwind(AssertUnwindSafe(|| filter_stage(index, query, &mut set)));
+                let filtered = catch_unwind(AssertUnwindSafe(|| {
+                    filter_stage(index, query, &mut set, shared.cache)
+                }));
                 match filtered {
-                    Ok(filter_s) => {
+                    Ok((filter_s, cache_probe_s)) => {
                         shared.verify_queues[worker].push(VerifyJob {
                             query_index: idx,
                             query,
                             candidates: set,
                             queue_wait_s,
+                            cache_probe_s,
                             filter_s,
                         });
                     }

@@ -56,14 +56,18 @@
 //! executed query would otherwise report a silently incomplete answer set.
 
 use super::admission::{AdmissionQueue, AdmittedQuery, Ticket};
+use super::cache::{answer_memo_key, AnswerEntry, AnswerMemo, FeatureCache};
 use super::fault::FaultPlan;
+use super::options::ServiceOptions;
 use super::pool::{WaveFaults, WorkerArena};
 use super::stages::QueryOutcome;
 use super::synopsis::{Router, RoutingMode};
 use super::{run_batch_on, BatchReport};
-use crate::metrics::{counted_false_positive_ratio, StageTotals, Stopwatch};
+use crate::metrics::{counted_false_positive_ratio, CacheCounters, StageTotals, Stopwatch};
 use sqbench_graph::{Dataset, Graph, GraphId};
-use sqbench_index::{build_index, GraphIndex, IndexStats, MethodConfig, MethodKind};
+use sqbench_index::{
+    build_index, FeatureCacheStore, GraphIndex, IndexStats, MethodConfig, MethodKind,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -139,7 +143,10 @@ impl RetryPolicy {
     }
 }
 
-/// Configuration of a [`ShardedService`].
+/// Legacy configuration of a [`ShardedService`], kept as a compatibility
+/// shim: it converts into [`ServiceOptions`] (the unified surface) and
+/// carries only the pre-cache knobs — cache policy never landed here.
+#[deprecated(note = "use ServiceOptions — e.g. ServiceOptions::new().shards(n).workers(w)")]
 #[derive(Debug, Clone)]
 pub struct ShardedConfig {
     /// Number of shards (clamped to at least 1).
@@ -158,6 +165,7 @@ pub struct ShardedConfig {
     pub faults: Option<Arc<FaultPlan>>,
 }
 
+#[allow(deprecated)]
 impl Default for ShardedConfig {
     fn default() -> Self {
         ShardedConfig {
@@ -171,6 +179,7 @@ impl Default for ShardedConfig {
     }
 }
 
+#[allow(deprecated)]
 impl ShardedConfig {
     /// A config with the given shard count (one worker per shard,
     /// round-robin placement).
@@ -366,6 +375,10 @@ struct Shard {
     index: Box<dyn GraphIndex>,
     to_global: Vec<GraphId>,
     arenas: Vec<WorkerArena>,
+    /// This shard's cross-query feature-bitset cache, shared by its
+    /// workers across waves. Per-shard by design: cached bitsets are
+    /// shard-local posting lists and must never leak across shards.
+    features: Option<FeatureCache>,
 }
 
 /// What the sharded service records for one query of a wave.
@@ -385,6 +398,11 @@ pub struct ShardedQueryRecord {
     /// [`ShardedService::drain`] — the time the query spent pending in the
     /// [`AdmissionQueue`] before the wave started.
     pub queue_wait_s: f64,
+    /// Seconds spent probing the cross-query caches: per-shard feature
+    /// cache probes summed across shards, or the single admission-time
+    /// answer-memo probe for a memo-served query. `0.0` when caching is
+    /// disabled.
+    pub cache_probe_s: f64,
     /// Filter work summed across shards (total work, not critical path).
     pub filter_s: f64,
     /// Verify work summed across shards (total work, not critical path).
@@ -534,9 +552,9 @@ impl ShardedReport {
 }
 
 /// The sharded query service: N shard pools behind one admission front.
-/// Construct with [`ShardedService::build`], then either serve closed
-/// waves ([`ShardedService::run_wave`]) or drain an open
-/// [`AdmissionQueue`] ([`ShardedService::drain`]).
+/// Construct with [`ShardedService::new`] from a [`ServiceOptions`], then
+/// either serve closed waves ([`ShardedService::run_wave`]) or drain an
+/// open [`AdmissionQueue`] ([`ShardedService::drain`]).
 pub struct ShardedService {
     shards: Vec<Shard>,
     strategy: ShardStrategy,
@@ -544,22 +562,31 @@ pub struct ShardedService {
     router: Router,
     retry: RetryPolicy,
     faults: Option<Arc<FaultPlan>>,
+    /// Service-level whole-answer memo, probed at admission before any
+    /// shard is touched. Service-level (not per-shard) because its entries
+    /// are *merged global* answers.
+    answers: Option<AnswerMemo>,
     partition_overhead_bytes: usize,
 }
 
 impl ShardedService {
     /// Partitions `dataset`, builds one `kind` index per shard, computes
     /// each shard's routing synopsis and sets up the per-shard worker
-    /// pools. Building is sequential per shard; the returned service
+    /// pools (plus the cross-query caches when [`super::CachePolicy`] enables
+    /// them). Building is sequential per shard; the returned service
     /// serves waves across all shards concurrently.
-    pub fn build(
+    ///
+    /// `opts.workers` is the pool size *per shard* (the legacy
+    /// `workers_per_shard` knob).
+    pub fn new(
         kind: MethodKind,
         method_config: &MethodConfig,
         dataset: &Dataset,
-        config: &ShardedConfig,
+        opts: impl Into<ServiceOptions>,
     ) -> Self {
-        let workers = config.workers_per_shard.max(1);
-        let parts = partition_dataset(dataset, config.shards, config.strategy);
+        let opts: ServiceOptions = opts.into();
+        let workers = opts.workers.max(1);
+        let parts = partition_dataset(dataset, opts.shards, opts.strategy);
         // The partition shares graph storage with `dataset`, so each
         // part's uniquely-owned bytes are its pointer spine — summed here
         // while the source dataset is provably still alive, this is the
@@ -577,6 +604,8 @@ impl ShardedService {
                     index,
                     to_global: part.to_global,
                     arenas: (0..workers).map(|_| WorkerArena::default()).collect(),
+                    features: (opts.cache.feature_capacity > 0)
+                        .then(|| FeatureCache::new(opts.cache.feature_capacity)),
                 }
             })
             .collect();
@@ -586,13 +615,29 @@ impl ShardedService {
         let router = Router::build(shards.iter().map(|s| &s.dataset));
         ShardedService {
             shards,
-            strategy: config.strategy,
-            routing: config.routing,
+            strategy: opts.strategy,
+            routing: opts.routing,
             router,
-            retry: config.retry,
-            faults: config.faults.clone(),
+            retry: opts.retry,
+            faults: opts.faults,
+            answers: (opts.cache.answer_capacity > 0)
+                .then(|| AnswerMemo::new(opts.cache.answer_capacity)),
             partition_overhead_bytes,
         }
+    }
+
+    /// Legacy constructor over the deprecated [`ShardedConfig`]; delegates
+    /// to [`ShardedService::new`] (which accepts a `ShardedConfig` via
+    /// `Into<ServiceOptions>`).
+    #[deprecated(note = "use ShardedService::new with ServiceOptions")]
+    #[allow(deprecated)]
+    pub fn build(
+        kind: MethodKind,
+        method_config: &MethodConfig,
+        dataset: &Dataset,
+        config: &ShardedConfig,
+    ) -> Self {
+        Self::new(kind, method_config, dataset, config.clone())
     }
 
     /// Incremental heap bytes the shard partition added on top of the
@@ -643,6 +688,41 @@ impl ShardedService {
             total.size_bytes += stats.size_bytes;
         }
         total
+    }
+
+    /// Aggregated cross-query cache counters: feature-cache hits/misses
+    /// summed over the shards plus the service-level answer-memo counters.
+    /// All zeros when caching is disabled.
+    pub fn cache_counters(&self) -> CacheCounters {
+        let mut counters = CacheCounters::default();
+        for shard in &self.shards {
+            if let Some(features) = &shard.features {
+                counters.feature_hits += features.hits();
+                counters.feature_misses += features.misses();
+                counters.evictions += features.evictions();
+            }
+        }
+        if let Some(memo) = &self.answers {
+            counters.answer_hits += memo.hits();
+            counters.answer_misses += memo.misses();
+            counters.evictions += memo.evictions();
+        }
+        counters
+    }
+
+    /// Drops every cached entry (all per-shard feature caches and the
+    /// answer memo) and bumps their epochs — the invalidation hook a
+    /// future ingest path must call after mutating any shard's dataset.
+    /// Hit/miss/eviction counters survive the flush.
+    pub fn invalidate_caches(&self) {
+        for shard in &self.shards {
+            if let Some(features) = &shard.features {
+                features.invalidate_all();
+            }
+        }
+        if let Some(memo) = &self.answers {
+            memo.invalidate_all();
+        }
     }
 
     /// Serves one closed wave of queries against every shard concurrently
@@ -715,6 +795,49 @@ impl ShardedService {
             RoutingMode::Fanout => None,
             RoutingMode::Synopsis => Some(self.router.plan(queries, RoutingMode::Synopsis)),
         };
+        // Answer-memo admission: probe the whole-answer memo before any
+        // shard sees the wave. A hit is served straight from the memo and
+        // excluded from every shard's plan, so a repeated hot query costs
+        // one canonical-key probe instead of up to `shard_count` index
+        // probes. A query whose deadline has already expired is *not*
+        // probed — it must flow through the pools and time out exactly
+        // like the uncached path.
+        let memo = self.answers.as_ref();
+        let mut memo_keys: Vec<Option<String>> = Vec::new();
+        let mut memo_hits: Vec<Option<(Arc<AnswerEntry>, f64)>> = Vec::new();
+        let mut any_hit = false;
+        if let Some(memo) = memo {
+            memo_keys.reserve(queries.len());
+            memo_hits.reserve(queries.len());
+            for (qi, query) in queries.iter().enumerate() {
+                let now = Instant::now();
+                let expired = deadline.is_some_and(|d| now >= d)
+                    || per_query.and_then(|p| p[qi]).is_some_and(|d| now >= d);
+                let key = if expired {
+                    None
+                } else {
+                    answer_memo_key(query)
+                };
+                let probe = Stopwatch::start();
+                let hit = key.as_deref().and_then(|k| memo.lookup(k));
+                any_hit |= hit.is_some();
+                memo_hits.push(hit.map(|entry| (entry, probe.elapsed_secs())));
+                memo_keys.push(key);
+            }
+        }
+        let plan: Option<Vec<Vec<usize>>> = if any_hit {
+            // Memo hits must reach no shard: materialize the plan (fanout
+            // becomes an explicit every-shard plan) and strip them. The
+            // merge cursors below stay consistent because the hit indices
+            // vanish from every shard's admitted list at once.
+            let mut plan = plan.unwrap_or_else(|| vec![(0..queries.len()).collect(); shard_count]);
+            for admitted in &mut plan {
+                admitted.retain(|&qi| memo_hits[qi].is_none());
+            }
+            Some(plan)
+        } else {
+            plan
+        };
         let faults: Option<&FaultPlan> = self.faults.as_deref();
         // Fan the wave out: one worker pool per shard, all shards in
         // flight at once (scoped threads so shards' indexes stay borrowed).
@@ -728,6 +851,7 @@ impl ShardedService {
                     std::thread::sleep(stall);
                 }
             }
+            let store = shard.features.as_ref().map(|f| f as &dyn FeatureCacheStore);
             match admitted {
                 None => run_batch_on(
                     &*shard.index,
@@ -737,6 +861,7 @@ impl ShardedService {
                     deadline,
                     per_query,
                     faults.map(|plan| WaveFaults { plan, tickets }),
+                    store,
                 ),
                 Some(admitted) => {
                     let sub_queries: Vec<&Graph> = admitted.iter().map(|&qi| queries[qi]).collect();
@@ -754,6 +879,7 @@ impl ShardedService {
                             plan,
                             tickets: &sub_tickets,
                         }),
+                        store,
                     )
                 }
             }
@@ -871,6 +997,7 @@ impl ShardedService {
                     per_query.map(|all| wave_indices.iter().map(|&qi| all[qi]).collect());
                 let sub_tickets: Vec<Ticket> = wave_indices.iter().map(|&qi| tickets[qi]).collect();
                 let shard = &mut self.shards[s];
+                let store = shard.features.as_ref().map(|f| f as &dyn FeatureCacheStore);
                 let mut retried = run_batch_on(
                     &*shard.index,
                     &shard.dataset,
@@ -882,6 +1009,7 @@ impl ShardedService {
                         plan,
                         tickets: &sub_tickets,
                     }),
+                    store,
                 );
                 reports[s].totals.merge(&retried.totals);
                 for (i, &local) in positions.iter().enumerate() {
@@ -911,6 +1039,7 @@ impl ShardedService {
                 candidate_count: 0,
                 candidates_pruned: 0,
                 queue_wait_s: 0.0,
+                cache_probe_s: 0.0,
                 filter_s: 0.0,
                 verify_s: 0.0,
                 outcome: QueryOutcome::Complete,
@@ -918,6 +1047,32 @@ impl ShardedService {
                 shards_probed: 0,
                 shards_skipped: 0,
             };
+            // A memo-served query never reached a shard: synthesize its
+            // record straight from the cached entry (answers are already
+            // sorted global ids). Candidate accounting is carried over
+            // from the run that populated the memo, so false-positive
+            // ratios stay comparable across warm and cold runs. The
+            // cursors need no advancing — the hit was stripped from every
+            // shard's admitted list.
+            if let Some((entry, probe_s)) = memo_hits.get(qi).and_then(Option::as_ref) {
+                merged.answers = entry.answers.clone();
+                merged.candidate_count = entry.candidate_count;
+                merged.candidates_pruned = entry.candidates_pruned;
+                merged.queue_wait_s = admission_wait_s.map_or(0.0, |w| w[qi]);
+                merged.cache_probe_s = *probe_s;
+                merged.outcome = QueryOutcome::Complete;
+                merged.shards_probed = 0;
+                merged.shards_skipped = shard_count;
+                totals.add_query(
+                    merged.queue_wait_s,
+                    merged.cache_probe_s,
+                    0.0,
+                    0.0,
+                    merged.candidates_pruned,
+                );
+                records.push(merged);
+                continue;
+            }
             let mut shard_wait_s = 0.0f64;
             let (mut done, mut failed, mut timed_out) = (0usize, 0usize, 0usize);
             for (s, (shard, report)) in self.shards.iter().zip(reports.iter()).enumerate() {
@@ -945,6 +1100,7 @@ impl ShardedService {
                         merged.candidate_count += record.candidate_count;
                         merged.candidates_pruned += record.candidates_pruned;
                         shard_wait_s = shard_wait_s.max(record.queue_wait_s);
+                        merged.cache_probe_s += record.cache_probe_s;
                         merged.filter_s += record.filter_s;
                         merged.verify_s += record.verify_s;
                         done += 1;
@@ -993,8 +1149,24 @@ impl ShardedService {
                 // Shards partition the id space, so the concatenation is
                 // duplicate-free; sorting restores global id order.
                 merged.answers.sort_unstable();
+                // Only exact (Complete) merged answers are memoizable: a
+                // Degraded union is sound but incomplete, and serving it
+                // from the memo later would silently repeat the loss.
+                if merged.outcome == QueryOutcome::Complete {
+                    if let (Some(memo), Some(Some(key))) = (memo, memo_keys.get(qi)) {
+                        memo.insert(
+                            key.clone(),
+                            AnswerEntry {
+                                answers: merged.answers.clone(),
+                                candidate_count: merged.candidate_count,
+                                candidates_pruned: merged.candidates_pruned,
+                            },
+                        );
+                    }
+                }
                 totals.add_query(
                     merged.queue_wait_s,
+                    merged.cache_probe_s,
                     merged.filter_s,
                     merged.verify_s,
                     merged.candidates_pruned,
@@ -1173,11 +1345,12 @@ mod tests {
         let refs: Vec<&Graph> = queries.iter().collect();
         let config = MethodConfig::fast();
         let build = |strategy| {
-            ShardedService::build(
+            ShardedService::new(
                 MethodKind::Ggsx,
                 &config,
                 &ds,
-                &ShardedConfig::with_shards(3)
+                ServiceOptions::new()
+                    .shards(3)
                     .strategy(strategy)
                     .routing(RoutingMode::Synopsis),
             )
@@ -1222,11 +1395,11 @@ mod tests {
         let refs: Vec<&Graph> = queries.iter().collect();
         let config = MethodConfig::fast();
         for strategy in [ShardStrategy::RoundRobin, ShardStrategy::SizeBalanced] {
-            let mut service = ShardedService::build(
+            let mut service = ShardedService::new(
                 MethodKind::Ggsx,
                 &config,
                 &ds,
-                &ShardedConfig::with_shards(4).strategy(strategy),
+                ServiceOptions::new().shards(4).strategy(strategy),
             );
             assert_eq!(service.shard_count(), 4);
             let report = service.run_wave(&refs, None);
@@ -1243,13 +1416,13 @@ mod tests {
     #[test]
     fn drain_serves_admitted_queries_and_honours_expired_deadlines() {
         let (ds, queries) = setup(10, 4);
-        let mut service = ShardedService::build(
+        let mut service = ShardedService::new(
             MethodKind::Ggsx,
             &MethodConfig::fast(),
             &ds,
-            &ShardedConfig::with_shards(2),
+            ServiceOptions::new().shards(2),
         );
-        let queue = AdmissionQueue::with_capacity(8);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(8));
         let past = Instant::now() - Duration::from_secs(1);
         let live = queue.submit(queries[0].clone(), None).unwrap();
         let dead = queue.submit(queries[1].clone(), Some(past)).unwrap();
@@ -1270,13 +1443,13 @@ mod tests {
     #[test]
     fn drain_accounts_time_pending_in_the_admission_queue() {
         let (ds, queries) = setup(8, 1);
-        let mut service = ShardedService::build(
+        let mut service = ShardedService::new(
             MethodKind::Ggsx,
             &MethodConfig::fast(),
             &ds,
-            &ShardedConfig::with_shards(2),
+            ServiceOptions::new().shards(2),
         );
-        let queue = AdmissionQueue::with_capacity(4);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(4));
         queue.submit(queries[0].clone(), None).unwrap();
         std::thread::sleep(Duration::from_millis(40));
         let report = service.drain(&queue, None);
@@ -1293,14 +1466,14 @@ mod tests {
     #[test]
     fn empty_drain_and_empty_shards_do_not_hang() {
         let (ds, queries) = setup(2, 2); // fewer graphs than shards
-        let mut service = ShardedService::build(
+        let mut service = ShardedService::new(
             MethodKind::GCode,
             &MethodConfig::fast(),
             &ds,
-            &ShardedConfig::with_shards(4),
+            ServiceOptions::new().shards(4),
         );
         assert_eq!(service.shard_sizes().iter().filter(|&&n| n == 0).count(), 2);
-        let queue = AdmissionQueue::with_capacity(4);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(4));
         let report = service.drain(&queue, None);
         assert!(report.records.is_empty());
         assert_eq!(report.false_positive_ratio(), 0.0);
@@ -1336,17 +1509,19 @@ mod tests {
             .collect();
         let refs: Vec<&Graph> = queries.iter().collect();
         let config = MethodConfig::fast();
-        let mut fanout = ShardedService::build(
+        let mut fanout = ShardedService::new(
             MethodKind::Ggsx,
             &config,
             &ds,
-            &ShardedConfig::with_shards(4),
+            ServiceOptions::new().shards(4),
         );
-        let mut routed = ShardedService::build(
+        let mut routed = ShardedService::new(
             MethodKind::Ggsx,
             &config,
             &ds,
-            &ShardedConfig::with_shards(4).routing(RoutingMode::Synopsis),
+            ServiceOptions::new()
+                .shards(4)
+                .routing(RoutingMode::Synopsis),
         );
         assert_eq!(fanout.routing(), RoutingMode::Fanout);
         assert_eq!(routed.routing(), RoutingMode::Synopsis);
@@ -1375,11 +1550,13 @@ mod tests {
     #[test]
     fn query_admitted_by_no_shard_executes_with_empty_answers() {
         let (ds, _) = setup(9, 1);
-        let mut service = ShardedService::build(
+        let mut service = ShardedService::new(
             MethodKind::Scan,
             &MethodConfig::fast(),
             &ds,
-            &ShardedConfig::with_shards(3).routing(RoutingMode::Synopsis),
+            ServiceOptions::new()
+                .shards(3)
+                .routing(RoutingMode::Synopsis),
         );
         // A query over a label far outside the generated alphabet: every
         // shard synopsis rejects it, no index is probed, and the (correct)
@@ -1412,13 +1589,15 @@ mod tests {
     #[test]
     fn routed_drain_honours_deadlines_and_accounts_probes() {
         let (ds, queries) = setup(12, 4);
-        let mut service = ShardedService::build(
+        let mut service = ShardedService::new(
             MethodKind::Ggsx,
             &MethodConfig::fast(),
             &ds,
-            &ShardedConfig::with_shards(2).routing(RoutingMode::Synopsis),
+            ServiceOptions::new()
+                .shards(2)
+                .routing(RoutingMode::Synopsis),
         );
-        let queue = AdmissionQueue::with_capacity(8);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(8));
         let past = Instant::now() - Duration::from_secs(1);
         queue.submit(queries[0].clone(), None).unwrap();
         queue.submit(queries[1].clone(), Some(past)).unwrap();
@@ -1444,11 +1623,11 @@ mod tests {
         let (ds, queries) = setup(14, 5);
         let refs: Vec<&Graph> = queries.iter().collect();
         let plan = Arc::new(FaultPlan::new().panic_in_verify(1, 1).panic_in_verify(3, 1));
-        let mut service = ShardedService::build(
+        let mut service = ShardedService::new(
             MethodKind::Ggsx,
             &MethodConfig::fast(),
             &ds,
-            &ShardedConfig::with_shards(2).faults(Arc::clone(&plan)),
+            ServiceOptions::new().shards(2).faults(Arc::clone(&plan)),
         );
         let report = service.run_wave(&refs, None);
         assert_eq!(plan.injected_panics(), 2);
@@ -1475,11 +1654,11 @@ mod tests {
         // Budget 6 = 2 shards × (1 initial + 2 retry rounds): the panic
         // outlives every retry of the first wave, then the fault clears.
         let plan = Arc::new(FaultPlan::new().panic_in_verify(2, 6));
-        let mut service = ShardedService::build(
+        let mut service = ShardedService::new(
             MethodKind::Ggsx,
             &MethodConfig::fast(),
             &ds,
-            &ShardedConfig::with_shards(2).faults(Arc::clone(&plan)),
+            ServiceOptions::new().shards(2).faults(Arc::clone(&plan)),
         );
         let report = service.run_wave(&refs, None);
         assert_eq!(plan.injected_panics(), 6);
@@ -1507,13 +1686,13 @@ mod tests {
     fn stalled_shard_degrades_to_a_sound_partial_answer() {
         let (ds, queries) = setup(16, 4);
         let plan = Arc::new(FaultPlan::new().stall_shard(0, Duration::from_millis(300)));
-        let mut service = ShardedService::build(
+        let mut service = ShardedService::new(
             MethodKind::Ggsx,
             &MethodConfig::fast(),
             &ds,
-            &ShardedConfig::with_shards(2).faults(plan),
+            ServiceOptions::new().shards(2).faults(plan),
         );
-        let queue = AdmissionQueue::with_capacity(8);
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(8));
         let deadline = Instant::now() + Duration::from_millis(60);
         for query in &queries {
             queue.submit(query.clone(), Some(deadline)).unwrap();
@@ -1544,11 +1723,12 @@ mod tests {
         let (ds, queries) = setup(12, 3);
         let refs: Vec<&Graph> = queries.iter().collect();
         let plan = Arc::new(FaultPlan::new().panic_in_verify(0, 2));
-        let mut service = ShardedService::build(
+        let mut service = ShardedService::new(
             MethodKind::Ggsx,
             &MethodConfig::fast(),
             &ds,
-            &ShardedConfig::with_shards(2)
+            ServiceOptions::new()
+                .shards(2)
                 .retry(RetryPolicy::none())
                 .faults(plan),
         );
@@ -1561,11 +1741,11 @@ mod tests {
     #[test]
     fn stats_aggregate_over_shards() {
         let (ds, _) = setup(12, 1);
-        let service = ShardedService::build(
+        let service = ShardedService::new(
             MethodKind::Ggsx,
             &MethodConfig::fast(),
             &ds,
-            &ShardedConfig::with_shards(3).workers_per_shard(2),
+            ServiceOptions::new().shards(3).workers(2),
         );
         let stats = service.stats();
         assert!(stats.size_bytes > 0);

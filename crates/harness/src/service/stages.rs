@@ -12,7 +12,7 @@
 
 use crate::metrics::Stopwatch;
 use sqbench_graph::{Dataset, Graph, GraphId};
-use sqbench_index::{CandidateSet, GraphIndex};
+use sqbench_index::{CandidateSet, FeatureCacheStore, FilterCacheCtx, GraphIndex};
 
 /// How one query's service-side execution ended. Every query a wave or
 /// batch accepts gets exactly one outcome — there is no implicit
@@ -75,7 +75,10 @@ pub struct VerifyJob<'q> {
     pub candidates: CandidateSet,
     /// Seconds the query waited in the request queue before filtering.
     pub queue_wait_s: f64,
-    /// Seconds the filter stage took.
+    /// Seconds the filter stage spent probing the cross-query feature
+    /// cache (0.0 when caching is disabled or the method opts out).
+    pub cache_probe_s: f64,
+    /// Seconds the filter stage took, cache probes excluded.
     pub filter_s: f64,
 }
 
@@ -90,7 +93,11 @@ pub struct QueryRecord {
     pub answers: Vec<GraphId>,
     /// Seconds spent waiting in the request queue.
     pub queue_wait_s: f64,
-    /// Seconds spent in the filter stage.
+    /// Seconds spent probing the cross-query caches (feature-cache probes
+    /// inside the filter stage, or the admission-time answer-memo probe for
+    /// a memo-served query). `0.0` when caching is disabled.
+    pub cache_probe_s: f64,
+    /// Seconds spent in the filter stage, cache probes excluded.
     pub filter_s: f64,
     /// Seconds spent in the verify stage.
     pub verify_s: f64,
@@ -104,11 +111,31 @@ impl QueryRecord {
 }
 
 /// Filter stage: narrows the borrowed arena to the query's candidates and
-/// returns the stage's wall time in seconds.
-pub fn filter_stage(index: &dyn GraphIndex, query: &Graph, arena: &mut CandidateSet) -> f64 {
+/// returns `(filter_s, cache_probe_s)` — the stage's wall time split into
+/// filtering proper and cross-query cache probing. With `cache: None` (or
+/// a method that opts out of [`GraphIndex::filter_into_cached`]) the probe
+/// time is exactly `0.0` and the path is byte-identical to the uncached
+/// service.
+pub fn filter_stage(
+    index: &dyn GraphIndex,
+    query: &Graph,
+    arena: &mut CandidateSet,
+    cache: Option<&dyn FeatureCacheStore>,
+) -> (f64, f64) {
     let watch = Stopwatch::start();
-    index.filter_into(query, arena);
-    watch.elapsed_secs()
+    let cache_probe_s = match cache {
+        Some(store) => {
+            let mut ctx = FilterCacheCtx::new(store);
+            index.filter_into_cached(query, arena, &mut ctx);
+            ctx.probe_seconds()
+        }
+        None => {
+            index.filter_into(query, arena);
+            0.0
+        }
+    };
+    let total = watch.elapsed_secs();
+    ((total - cache_probe_s).max(0.0), cache_probe_s)
 }
 
 /// Verify stage: consumes a [`VerifyJob`], verifies its candidates straight
@@ -128,6 +155,7 @@ pub fn verify_stage(
         candidates_pruned: job.candidates.universe() - candidate_count,
         answers,
         queue_wait_s: job.queue_wait_s,
+        cache_probe_s: job.cache_probe_s,
         filter_s: job.filter_s,
         verify_s,
     };
@@ -161,13 +189,15 @@ mod tests {
             .unwrap();
 
         let mut arena = CandidateSet::empty(0); // dirty universe on purpose
-        let filter_s = filter_stage(&*index, &query, &mut arena);
+        let (filter_s, cache_probe_s) = filter_stage(&*index, &query, &mut arena, None);
         assert!(filter_s >= 0.0);
+        assert_eq!(cache_probe_s, 0.0, "no cache, no probe time");
         let job = VerifyJob {
             query_index: 7,
             query: &query,
             candidates: arena,
             queue_wait_s: 0.0,
+            cache_probe_s,
             filter_s,
         };
         let (idx, record, recycled) = verify_stage(&*index, &ds, job);

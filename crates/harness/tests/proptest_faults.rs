@@ -20,7 +20,7 @@ use proptest::prelude::*;
 use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
 use sqbench_graph::{Dataset, Graph, GraphId};
 use sqbench_harness::service::{
-    silence_injected_panics, FaultPlan, FaultSpec, QueryOutcome, RetryPolicy, ShardedConfig,
+    silence_injected_panics, FaultPlan, FaultSpec, QueryOutcome, RetryPolicy, ServiceOptions,
     ShardedService,
 };
 use sqbench_index::{build_index, MethodConfig, MethodKind};
@@ -133,11 +133,11 @@ proptest! {
                 stall: Duration::ZERO,
                 admission_failures: 0,
             }));
-            let mut service = ShardedService::build(
+            let mut service = ShardedService::new(
                 kind,
                 &config,
                 &ds,
-                &ShardedConfig::with_shards(3)
+                ServiceOptions::new().shards(3)
                     .retry(retry)
                     .faults(Arc::clone(&plan)),
             );
@@ -192,11 +192,11 @@ proptest! {
                 stall: Duration::from_millis(stall_ms),
                 admission_failures: 0,
             }));
-            let mut service = ShardedService::build(
+            let mut service = ShardedService::new(
                 kind,
                 &config,
                 &ds,
-                &ShardedConfig::with_shards(3)
+                ServiceOptions::new().shards(3)
                     .retry(RetryPolicy::none())
                     .faults(Arc::clone(&plan)),
             );

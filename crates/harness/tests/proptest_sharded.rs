@@ -26,7 +26,7 @@
 use proptest::prelude::*;
 use sqbench_generator::{label_clustered, GraphGen, GraphGenConfig, QueryGen};
 use sqbench_graph::{Dataset, Graph, GraphId};
-use sqbench_harness::service::{RoutingMode, ShardStrategy, ShardedConfig, ShardedService};
+use sqbench_harness::service::{RoutingMode, ServiceOptions, ShardStrategy, ShardedService};
 use sqbench_index::{build_index, MethodConfig, MethodKind};
 
 const ALL_METHODS: [MethodKind; 7] = [
@@ -97,11 +97,11 @@ proptest! {
 
             for strategy in ShardStrategy::ALL {
                 for shards in [1usize, 2, 4, 7] {
-                    let mut service = ShardedService::build(
+                    let mut service = ShardedService::new(
                         kind,
                         &config,
                         &ds,
-                        &ShardedConfig::with_shards(shards).strategy(strategy),
+                        ServiceOptions::new().shards(shards).strategy(strategy),
                     );
                     prop_assert_eq!(service.shard_count(), shards);
                     prop_assert_eq!(
@@ -175,18 +175,18 @@ proptest! {
 
             for strategy in ShardStrategy::ALL {
                 for shards in [2usize, 4, 7] {
-                    let base = ShardedConfig::with_shards(shards).strategy(strategy);
-                    let mut fanout = ShardedService::build(
+                    let base = ServiceOptions::new().shards(shards).strategy(strategy);
+                    let mut fanout = ShardedService::new(
                         kind,
                         &config,
                         &ds,
-                        &base.clone().routing(RoutingMode::Fanout),
+                        base.clone().routing(RoutingMode::Fanout),
                     );
-                    let mut routed = ShardedService::build(
+                    let mut routed = ShardedService::new(
                         kind,
                         &config,
                         &ds,
-                        &base.routing(RoutingMode::Synopsis),
+                        base.routing(RoutingMode::Synopsis),
                     );
                     let fanout_report = fanout.run_wave(&refs, None);
                     let routed_report = routed.run_wave(&refs, None);
@@ -274,11 +274,11 @@ proptest! {
             .collect();
         let mut reports = Vec::new();
         for strategy in [ShardStrategy::RoundRobin, ShardStrategy::LabelAware] {
-            let mut service = ShardedService::build(
+            let mut service = ShardedService::new(
                 kind,
                 &config,
                 &ds,
-                &ShardedConfig::with_shards(3)
+                ServiceOptions::new().shards(3)
                     .strategy(strategy)
                     .routing(RoutingMode::Synopsis),
             );

@@ -434,6 +434,25 @@ impl<'a> ArenaFold<'a> {
         !self.set.is_empty()
     }
 
+    /// Applies one feature's already-materialized bitset (a cached posting
+    /// list): the blockwise counterpart of [`ArenaFold::apply_sorted`]. The
+    /// first set seeds the fold via a block copy, later ones narrow it with
+    /// a block AND — both O(universe / 64) regardless of how many ids the
+    /// feature posts. `other` must share the fold's universe (the cache
+    /// layer guarantees this by keying entries per index instance; the
+    /// blockwise ops `debug_assert` it). Returns `false` when the set
+    /// became empty (callers short-circuit).
+    pub fn apply_set(&mut self, other: &CandidateSet) -> bool {
+        if self.constrained {
+            self.set.intersect_with(other);
+        } else {
+            // The arena was `reset_empty` by `new`, so a union is a copy.
+            self.set.union_with(other);
+            self.constrained = true;
+        }
+        !self.set.is_empty()
+    }
+
     /// `true` when at least one feature has been applied.
     pub fn is_constrained(&self) -> bool {
         self.constrained
@@ -605,6 +624,36 @@ mod tests {
         assert!(fold.is_constrained());
         fold.finish();
         assert_eq!(arena.to_sorted_vec(), owned.into_sorted_vec());
+    }
+
+    #[test]
+    fn arena_fold_apply_set_matches_apply_sorted() {
+        let lists: Vec<Vec<GraphId>> = vec![vec![1, 3, 5, 7, 64], vec![3, 5, 64], vec![5, 64, 99]];
+        let mut streamed = CandidateSet::empty(100);
+        let mut fold = ArenaFold::new(&mut streamed, 100);
+        for list in &lists {
+            fold.apply_sorted(list.iter().copied());
+        }
+        fold.finish();
+        let mut cached = CandidateSet::empty(100);
+        let mut fold = ArenaFold::new(&mut cached, 100);
+        for list in &lists {
+            let set = CandidateSet::from_sorted_ids(100, list);
+            assert!(fold.apply_set(&set));
+        }
+        assert!(fold.is_constrained());
+        fold.finish();
+        assert_eq!(cached.to_sorted_vec(), streamed.to_sorted_vec());
+    }
+
+    #[test]
+    fn arena_fold_apply_set_short_circuits_on_disjoint_sets() {
+        let mut arena = CandidateSet::empty(10);
+        let mut fold = ArenaFold::new(&mut arena, 10);
+        assert!(fold.apply_set(&CandidateSet::from_sorted_ids(10, &[2])));
+        assert!(!fold.apply_set(&CandidateSet::from_sorted_ids(10, &[4])));
+        fold.finish(); // constrained: stays empty
+        assert!(arena.is_empty());
     }
 
     #[test]

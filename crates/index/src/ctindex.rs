@@ -14,6 +14,7 @@
 
 use crate::candidates::CandidateSet;
 use crate::config::CtIndexConfig;
+use crate::fcache::FilterCacheCtx;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::cycles::enumerate_cycles;
 use sqbench_features::trees::enumerate_trees;
@@ -94,6 +95,18 @@ impl GraphIndex for CtIndex {
                 out.insert(gid);
             }
         }
+    }
+
+    fn filter_into_cached(
+        &self,
+        query: &Graph,
+        out: &mut CandidateSet,
+        _ctx: &mut FilterCacheCtx<'_>,
+    ) {
+        // Explicit opt-out: filtering is one fingerprint subset-test scan
+        // with no per-feature posting lists to reuse across queries, so a
+        // feature cache could only add probe overhead.
+        self.filter_into(query, out);
     }
 
     fn stats(&self) -> IndexStats {

@@ -30,6 +30,7 @@
 
 use crate::candidates::CandidateSet;
 use crate::config::GCodeConfig;
+use crate::fcache::FilterCacheCtx;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_graph::{Dataset, Graph, GraphId, VertexId};
 
@@ -322,6 +323,18 @@ impl GraphIndex for GCodeIndex {
                 out.insert(gid);
             }
         }
+    }
+
+    fn filter_into_cached(
+        &self,
+        query: &Graph,
+        out: &mut CandidateSet,
+        _ctx: &mut FilterCacheCtx<'_>,
+    ) {
+        // Explicit opt-out: filtering is one spectral-code coverage scan
+        // with no per-feature posting lists to reuse across queries, so a
+        // feature cache could only add probe overhead.
+        self.filter_into(query, out);
     }
 
     fn stats(&self) -> IndexStats {

@@ -13,11 +13,64 @@
 
 use crate::candidates::{ArenaFold, CandidateSet};
 use crate::config::GgsxConfig;
+use crate::fcache::FilterCacheCtx;
 use crate::path_trie::PathTrie;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::paths::for_each_path;
 use sqbench_graph::{Dataset, Graph, GraphId, Label};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Cache key of one path feature: the required occurrence count plus the
+/// label sequence. Keys are only unique *per trie* — the cache layer binds
+/// one store to one index instance, so that is all they need to be.
+pub(crate) fn path_feature_key(labels: &[Label], count: u32) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::with_capacity(8 + labels.len() * 4);
+    let _ = write!(key, "p{count}:");
+    for label in labels {
+        let _ = write!(key, ".{label}");
+    }
+    key
+}
+
+/// The cached counterpart of the GGSX/Grapes trie fold (the two methods
+/// share trie contents and pruning rule): each path feature is looked up in
+/// the cross-query store first and folded blockwise on a hit; on a miss the
+/// trie stream is materialized once into a bitset, published, and folded.
+/// A label sequence absent from every dataset graph is cached as the empty
+/// set — pruning everything on later hits exactly like
+/// [`ArenaFold::prune_all`] does on the miss path.
+pub(crate) fn fold_trie_cached(
+    trie: &PathTrie,
+    graph_count: usize,
+    query_counts: &BTreeMap<Vec<Label>, u32>,
+    out: &mut CandidateSet,
+    ctx: &mut FilterCacheCtx<'_>,
+) {
+    let mut fold = ArenaFold::new(out, graph_count);
+    for (labels, &query_count) in query_counts.iter() {
+        let key = path_feature_key(labels, query_count);
+        let cached = match ctx.get(&key) {
+            Some(set) => set,
+            None => {
+                let mut set = CandidateSet::empty(graph_count);
+                if let Some(matching) = trie.candidates_with_count(labels, query_count) {
+                    for gid in matching {
+                        set.insert(gid);
+                    }
+                }
+                let set = Arc::new(set);
+                ctx.put(key, Arc::clone(&set));
+                set
+            }
+        };
+        if !fold.apply_set(&cached) {
+            return;
+        }
+    }
+    fold.finish();
+}
 
 /// The GraphGrepSX index.
 #[derive(Debug, Clone)]
@@ -118,6 +171,16 @@ impl GraphIndex for GgsxIndex {
             }
         }
         fold.finish();
+    }
+
+    fn filter_into_cached(
+        &self,
+        query: &Graph,
+        out: &mut CandidateSet,
+        ctx: &mut FilterCacheCtx<'_>,
+    ) {
+        let query_counts = Self::query_path_counts(query, self.config.max_path_edges);
+        fold_trie_cached(&self.trie, self.graph_count, &query_counts, out, ctx);
     }
 
     fn stats(&self) -> IndexStats {

@@ -17,10 +17,12 @@
 
 use crate::candidates::{ArenaFold, CandidateSet};
 use crate::config::GIndexConfig;
+use crate::fcache::FilterCacheCtx;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::mining::{FeatureKind, MinedFeatures, MiningConfig};
 use sqbench_features::FrequentMiner;
 use sqbench_graph::{Dataset, Graph, GraphId};
+use std::sync::Arc;
 
 /// The gIndex index.
 #[derive(Debug, Clone)]
@@ -112,6 +114,42 @@ impl GraphIndex for GIndex {
         for key in query_fragments.keys() {
             if let Some(feature) = self.features.get(key) {
                 if !fold.apply_sorted(feature.supporting_graphs.iter().copied()) {
+                    return;
+                }
+            }
+        }
+        fold.finish();
+    }
+
+    fn filter_into_cached(
+        &self,
+        query: &Graph,
+        out: &mut CandidateSet,
+        ctx: &mut FilterCacheCtx<'_>,
+    ) {
+        // Same fragment enumeration as `filter_into`; only *indexed*
+        // fragments are probed in the cache (unindexed ones impose no
+        // constraint either way), keyed by their canonical feature key.
+        // Mined supports are frozen at build time, so a cached bitset is
+        // valid for the index's lifetime.
+        let miner = FrequentMiner::new(self.mining_config());
+        let query_fragments = miner.enumerate_graph(query);
+        let mut fold = ArenaFold::new(out, self.graph_count);
+        for key in query_fragments.keys() {
+            if let Some(feature) = self.features.get(key) {
+                let cache_key = format!("f:{}", key.as_str());
+                let cached = match ctx.get(&cache_key) {
+                    Some(set) => set,
+                    None => {
+                        let set = Arc::new(CandidateSet::from_sorted_ids(
+                            self.graph_count,
+                            &feature.supporting_graphs,
+                        ));
+                        ctx.put(cache_key, Arc::clone(&set));
+                        set
+                    }
+                };
+                if !fold.apply_set(&cached) {
                     return;
                 }
             }

@@ -25,7 +25,8 @@
 
 use crate::candidates::{ArenaFold, CandidateSet};
 use crate::config::GrapesConfig;
-use crate::ggsx::GgsxIndex;
+use crate::fcache::FilterCacheCtx;
+use crate::ggsx::{fold_trie_cached, GgsxIndex};
 use crate::path_trie::PathTrie;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::paths::for_each_path;
@@ -215,6 +216,19 @@ impl GraphIndex for GrapesIndex {
         // so the borrowed-set fast path stays allocation-free.
         let query_counts = GgsxIndex::query_path_counts(query, self.config.max_path_edges);
         self.fold_candidates(&query_counts, out);
+    }
+
+    fn filter_into_cached(
+        &self,
+        query: &Graph,
+        out: &mut CandidateSet,
+        ctx: &mut FilterCacheCtx<'_>,
+    ) {
+        // The candidate bits come from the same count-pruning fold as GGSX,
+        // so the cached fold is shared too; the location information stays
+        // a verification-time concern and is never cached.
+        let query_counts = GgsxIndex::query_path_counts(query, self.config.max_path_edges);
+        fold_trie_cached(&self.trie, self.graph_count, &query_counts, out, ctx);
     }
 
     fn verify_set(

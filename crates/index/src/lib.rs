@@ -44,6 +44,18 @@
 //! 2. leave exactly the filtering-stage candidates set, bit-identical to
 //!    what the legacy `filter()` returns as a sorted `Vec`;
 //! 3. allocate nothing proportional to the candidate count.
+//!
+//! ## Cross-query feature caching
+//!
+//! [`GraphIndex::filter_into_cached`] is the cache-aware twin of
+//! `filter_into`: a serving layer may hand it a [`fcache::FilterCacheCtx`]
+//! over a shared [`fcache::FeatureCacheStore`], and the posting-fold
+//! methods (Grapes, GGSX, gIndex, Tree+Δ) then reuse hot per-feature
+//! bitsets via [`candidates::ArenaFold::apply_set`] instead of re-walking
+//! their tries and feature maps. The contract is unchanged: cached and
+//! uncached filtering produce bit-identical candidate sets. Methods whose
+//! filters are direct id-ordered scans (CT-Index, gCode, the scan
+//! baseline) explicitly opt out by delegating to `filter_into`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -51,6 +63,7 @@
 pub mod candidates;
 pub mod config;
 pub mod ctindex;
+pub mod fcache;
 pub mod gcode;
 pub mod ggsx;
 pub mod gindex;
@@ -67,6 +80,7 @@ pub use config::{
     CtIndexConfig, GCodeConfig, GIndexConfig, GgsxConfig, GrapesConfig, MethodConfig,
     TreeDeltaConfig,
 };
+pub use fcache::{FeatureCacheStore, FilterCacheCtx};
 
 /// Identifies one of the six competing methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -171,6 +185,34 @@ pub trait GraphIndex: Send + Sync {
     /// allocation. This is the hot entry point batch serving uses — one
     /// arena per worker, zero candidate allocation per query.
     fn filter_into(&self, query: &Graph, out: &mut CandidateSet);
+
+    /// Cache-aware filtering stage: like [`GraphIndex::filter_into`], but
+    /// with a cross-query [`FilterCacheCtx`] the method may consult for hot
+    /// per-feature bitsets before streaming posting lists. The result must
+    /// be **bit-identical** to `filter_into` — the cache only changes how
+    /// the same bits are produced, never which bits.
+    ///
+    /// Every method either participates or explicitly opts out:
+    ///
+    /// * **participate** — GGSX, Grapes, gIndex and Tree+Δ override this to
+    ///   fold cached bitsets via [`ArenaFold::apply_set`] (miss →
+    ///   materialize once, insert, fold);
+    /// * **opt out** — CT-Index, gCode and the scan baseline override this
+    ///   to delegate straight to `filter_into`: their filters are direct
+    ///   id-ordered scans with no per-feature posting lists to cache, so a
+    ///   cache could only add probe overhead.
+    ///
+    /// The default delegates (opt-out), so a new method is correct before
+    /// it is cache-aware.
+    fn filter_into_cached(
+        &self,
+        query: &Graph,
+        out: &mut CandidateSet,
+        ctx: &mut FilterCacheCtx<'_>,
+    ) {
+        let _ = ctx;
+        self.filter_into(query, out);
+    }
 
     /// Legacy filtering stage: returns the sorted candidate set for `query`
     /// as an owned `Vec`. Thin compatibility wrapper over

@@ -10,6 +10,7 @@
 //! is useful in ablations ("how much does filtering actually buy?").
 
 use crate::candidates::CandidateSet;
+use crate::fcache::FilterCacheCtx;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_graph::{Dataset, Graph};
 
@@ -43,6 +44,17 @@ impl GraphIndex for ScanBaseline {
         // reset to the full set in place, so even the baseline serves
         // queries without a per-query allocation.
         out.reset_full(self.graph_count);
+    }
+
+    fn filter_into_cached(
+        &self,
+        query: &Graph,
+        out: &mut CandidateSet,
+        _ctx: &mut FilterCacheCtx<'_>,
+    ) {
+        // Explicit opt-out: the baseline has no features to cache — its
+        // "filter" is a constant-time arena reset, which no cache can beat.
+        self.filter_into(query, out);
     }
 
     fn stats(&self) -> IndexStats {

@@ -19,6 +19,7 @@
 
 use crate::candidates::{ArenaFold, CandidateSet, PostingList};
 use crate::config::TreeDeltaConfig;
+use crate::fcache::FilterCacheCtx;
 use crate::{GraphIndex, IndexStats, MethodKind};
 use sqbench_features::canonical::FeatureKey;
 use sqbench_features::cycles::enumerate_cycle_instances;
@@ -28,7 +29,7 @@ use sqbench_features::FrequentMiner;
 use sqbench_graph::{Dataset, Graph, GraphId};
 use sqbench_iso::{MatchState, Vf2Matcher};
 use std::collections::BTreeMap;
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// The Tree+Δ index.
 pub struct TreeDeltaIndex {
@@ -249,6 +250,66 @@ impl GraphIndex for TreeDeltaIndex {
         // bitset narrowed in place, never materialized here.
         self.tree_candidates_into(query, out);
         self.apply_delta(query, out);
+    }
+
+    fn filter_into_cached(
+        &self,
+        query: &Graph,
+        out: &mut CandidateSet,
+        ctx: &mut FilterCacheCtx<'_>,
+    ) {
+        // Tree stage: the mined tree supports are frozen at build time, so
+        // each indexed subtree's posting list caches like gIndex's
+        // fragments ("t:" keys).
+        let query_trees = query_trees(query, self.config.max_feature_edges);
+        let mut fold = ArenaFold::new(out, self.graph_count);
+        for key in query_trees.keys() {
+            if let Some(feature) = self.tree_features.get(key) {
+                let cache_key = format!("t:{}", key.as_str());
+                let cached = match ctx.get(&cache_key) {
+                    Some(set) => set,
+                    None => {
+                        let set = Arc::new(CandidateSet::from_sorted_ids(
+                            self.graph_count,
+                            &feature.supporting_graphs,
+                        ));
+                        ctx.put(cache_key, Arc::clone(&set));
+                        set
+                    }
+                };
+                if !fold.apply_set(&cached) {
+                    return;
+                }
+            }
+        }
+        fold.finish();
+        // Δ stage ("d:" keys): sound to cache despite the growing Δ map,
+        // because a Δ feature's support covers the whole dataset and never
+        // changes once inserted — a key only enters the cache after it
+        // entered the map, and the map value it snapshots is final. A cycle
+        // not (yet) in the map is simply not probed, exactly like
+        // `apply_delta`.
+        let delta = self.delta_features.read().expect("delta lock poisoned");
+        if delta.is_empty() {
+            return;
+        }
+        for cycle in enumerate_cycle_instances(query, self.config.max_cycle_edges) {
+            if let Some(support) = delta.get(&cycle.key) {
+                let cache_key = format!("d:{}", cycle.key.as_str());
+                let cached = match ctx.get(&cache_key) {
+                    Some(set) => set,
+                    None => {
+                        let set = Arc::new(support.to_candidate_set(self.graph_count));
+                        ctx.put(cache_key, Arc::clone(&set));
+                        set
+                    }
+                };
+                out.intersect_with(&cached);
+                if out.is_empty() {
+                    break;
+                }
+            }
+        }
     }
 
     fn stats(&self) -> IndexStats {

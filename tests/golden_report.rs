@@ -14,15 +14,21 @@
 //!
 //! and commit the diff together with the change that caused it.
 
-use sqbench_harness::metrics::{MethodMetrics, StageTotals};
+use sqbench_harness::metrics::{CacheCounters, MethodMetrics, StageTotals};
 use sqbench_harness::report::{render_csv, ExperimentPoint, ExperimentReport};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden_report.csv");
 
-fn stage_totals(queries: usize, queue_wait_s: f64, filter_s: f64, verify_s: f64) -> StageTotals {
+fn stage_totals(
+    queries: usize,
+    queue_wait_s: f64,
+    cache_probe_s: f64,
+    filter_s: f64,
+    verify_s: f64,
+) -> StageTotals {
     let mut totals = StageTotals::default();
     for _ in 0..queries {
-        totals.add_query(queue_wait_s, filter_s, verify_s, 15);
+        totals.add_query(queue_wait_s, cache_probe_s, filter_s, verify_s, 15);
     }
     totals
 }
@@ -43,12 +49,21 @@ fn golden_report() -> ExperimentReport {
         queries_failed: 0,
         queries_shed: 0,
         retries: 0,
-        stages: stage_totals(2, 0.25, 0.5, 1.0),
+        stages: stage_totals(2, 0.25, 0.125, 0.5, 1.0),
         shards: 1,
         shards_probed: 2,
         shards_skipped: 0,
         shard_stages: Vec::new(),
         partition_overhead_bytes: 0,
+        // Exercise the cache columns with non-zero values: a warm feature
+        // cache plus an answer memo that served one of the two queries.
+        cache: CacheCounters {
+            feature_hits: 6,
+            feature_misses: 2,
+            answer_hits: 1,
+            answer_misses: 1,
+            evictions: 3,
+        },
     };
     let sharded = MethodMetrics {
         method: "Grapes".to_string(),
@@ -66,16 +81,18 @@ fn golden_report() -> ExperimentReport {
         queries_failed: 1,
         queries_shed: 1,
         retries: 3,
-        stages: stage_totals(1, 0.5, 0.75, 1.75),
+        stages: stage_totals(1, 0.5, 0.0, 0.75, 1.75),
         shards: 2,
         shards_probed: 1,
         shards_skipped: 1,
         shard_stages: vec![
-            stage_totals(1, 0.0, 0.5, 1.5),   // busy shard: 2.0 s
-            stage_totals(1, 0.0, 0.25, 0.25), // light shard: 0.5 s
+            stage_totals(1, 0.0, 0.0, 0.5, 1.5),   // busy shard: 2.0 s
+            stage_totals(1, 0.0, 0.0, 0.25, 0.25), // light shard: 0.5 s
         ],
         // Two shards' Arc pointer spines over a 20-graph dataset.
         partition_overhead_bytes: 160,
+        // A cache-disabled run: every cache column renders as 0.
+        cache: CacheCounters::default(),
     };
     let mut report = ExperimentReport::new(
         "golden",
@@ -121,17 +138,18 @@ fn csv_format_matches_the_committed_golden_file() {
 /// is regenerated, this assertion still fails loudly if a column was
 /// dropped or reordered by accident rather than intent.
 #[test]
-fn csv_header_is_pinned_including_routing_and_outcome_columns() {
+fn csv_header_is_pinned_including_routing_outcome_and_cache_columns() {
     let rendered = render_csv(&golden_report());
     let header = rendered.lines().next().expect("csv has a header line");
     assert_eq!(
         header,
         "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,\
-         distinct_features,avg_query_time_s,avg_queue_wait_s,avg_filter_time_s,\
-         avg_verify_time_s,candidates_pruned,false_positive_ratio,queries_executed,\
-         shards,shards_probed,shards_skipped,max_shard_time_s,shard_balance,\
-         partition_overhead_bytes,queries_degraded,queries_failed,queries_shed,\
-         retries,timed_out"
+         distinct_features,avg_query_time_s,avg_queue_wait_s,avg_cache_probe_s,\
+         avg_filter_time_s,avg_verify_time_s,candidates_pruned,false_positive_ratio,\
+         queries_executed,shards,shards_probed,shards_skipped,max_shard_time_s,\
+         shard_balance,partition_overhead_bytes,queries_degraded,queries_failed,\
+         queries_shed,retries,timed_out,cache_feature_hits,cache_feature_misses,\
+         cache_answer_hits,cache_answer_misses,cache_evictions"
     );
     // Every data row carries exactly as many fields as the header names.
     let columns = header.split(',').count();

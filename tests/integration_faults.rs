@@ -14,7 +14,7 @@
 use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
 use sqbench_graph::{Dataset, Graph, GraphId};
 use sqbench_harness::service::{
-    silence_injected_panics, AdmissionQueue, FaultPlan, FaultSpec, QueryOutcome, ShardedConfig,
+    silence_injected_panics, AdmissionQueue, FaultPlan, FaultSpec, QueryOutcome, ServiceOptions,
     ShardedService, SubmitError,
 };
 use sqbench_index::{build_index, MethodConfig, MethodKind};
@@ -85,15 +85,20 @@ fn seeded_fault_soak_loses_nothing_and_heals_transients() {
             admission_failures: 6,
         },
     ));
-    let mut service = ShardedService::build(
+    let mut service = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &ds,
-        &ShardedConfig::with_shards(SHARDS)
-            .workers_per_shard(2)
+        ServiceOptions::new()
+            .shards(SHARDS)
+            .workers(2)
             .faults(Arc::clone(&plan)),
     );
-    let queue = AdmissionQueue::with_faults(16, Arc::clone(&plan));
+    let queue = AdmissionQueue::new(
+        ServiceOptions::new()
+            .queue_capacity(16)
+            .faults(Arc::clone(&plan)),
+    );
 
     let mut submissions: Vec<(u64, usize)> = Vec::with_capacity(TOTAL);
     let mut collected: Vec<(u64, Vec<GraphId>, QueryOutcome, u32)> = Vec::with_capacity(TOTAL);
@@ -194,15 +199,16 @@ fn permanent_fault_is_isolated_to_its_tickets() {
             .panic_in_verify(POISONED[0], 9)
             .panic_in_verify(POISONED[1], 9),
     );
-    let mut service = ShardedService::build(
+    let mut service = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &ds,
-        &ShardedConfig::with_shards(SHARDS)
-            .workers_per_shard(2)
+        ServiceOptions::new()
+            .shards(SHARDS)
+            .workers(2)
             .faults(Arc::clone(&plan)),
     );
-    let queue = AdmissionQueue::with_capacity(TOTAL);
+    let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(TOTAL));
     let mut by_ticket: Vec<usize> = Vec::with_capacity(TOTAL);
     for i in 0..TOTAL {
         let qi = i % queries.len();
@@ -255,15 +261,16 @@ fn stalled_shard_under_deadline_yields_sound_partial_answers() {
         .collect();
 
     let plan = Arc::new(FaultPlan::new().stall_shard(0, Duration::from_millis(400)));
-    let mut service = ShardedService::build(
+    let mut service = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &ds,
-        &ShardedConfig::with_shards(SHARDS)
-            .workers_per_shard(2)
+        ServiceOptions::new()
+            .shards(SHARDS)
+            .workers(2)
             .faults(Arc::clone(&plan)),
     );
-    let queue = AdmissionQueue::with_capacity(queries.len());
+    let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(queries.len()));
     let deadline = Instant::now() + Duration::from_millis(80);
     for q in &queries {
         queue.submit(q.clone(), Some(deadline)).expect("queue open");

@@ -4,7 +4,7 @@
 
 use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
 use sqbench_graph::{Dataset, Graph};
-use sqbench_harness::service::{QueryService, ServiceConfig};
+use sqbench_harness::service::{QueryService, ServiceOptions};
 use sqbench_harness::{run_methods, RunOptions};
 use sqbench_index::{build_index, MethodConfig, MethodKind};
 
@@ -45,11 +45,11 @@ fn four_worker_batch_matches_serial_match_counts() {
     for kind in all_kinds {
         // Fresh indexes for each mode so Tree+Δ starts from the same state.
         let serial_index = build_index(kind, &config, &ds);
-        let mut serial = QueryService::new(&*serial_index, &ds, ServiceConfig::with_workers(1));
+        let mut serial = QueryService::new(&*serial_index, &ds, ServiceOptions::new().workers(1));
         let serial_report = serial.run_batch(&refs, None);
 
         let pooled_index = build_index(kind, &config, &ds);
-        let mut pooled = QueryService::new(&*pooled_index, &ds, ServiceConfig::with_workers(4));
+        let mut pooled = QueryService::new(&*pooled_index, &ds, ServiceOptions::new().workers(4));
         let pooled_report = pooled.run_batch(&refs, None);
 
         assert_eq!(pooled_report.workers, 4, "{}: worker clamp", kind.name());
@@ -87,7 +87,7 @@ fn serial_service_equals_one_shot_queries() {
     let config = MethodConfig::fast();
     for kind in MethodKind::ALL {
         let index = build_index(kind, &config, &ds);
-        let mut service = QueryService::new(&*index, &ds, ServiceConfig::with_workers(1));
+        let mut service = QueryService::new(&*index, &ds, ServiceOptions::new().workers(1));
         let report = service.run_batch(&refs, None);
         // One-shot ground truth on a fresh index (Tree+Δ mutates while
         // querying, so the comparison index must replay the same order).

@@ -18,7 +18,7 @@
 use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
 use sqbench_graph::{Dataset, Graph, GraphId};
 use sqbench_harness::service::{
-    AdmissionQueue, RoutingMode, ShardStrategy, ShardedConfig, ShardedService, SubmitError,
+    AdmissionQueue, RoutingMode, ServiceOptions, ShardStrategy, ShardedService, SubmitError,
 };
 use sqbench_index::{build_index, MethodConfig, MethodKind};
 use std::time::{Duration, Instant};
@@ -62,13 +62,14 @@ fn four_shard_waves_are_bit_identical_to_unsharded_queries() {
             .map(|q| oracle.query(&ds, q).answers)
             .collect();
         for strategy in [ShardStrategy::RoundRobin, ShardStrategy::SizeBalanced] {
-            let mut service = ShardedService::build(
+            let mut service = ShardedService::new(
                 kind,
                 &config,
                 &ds,
-                &ShardedConfig::with_shards(4)
+                ServiceOptions::new()
+                    .shards(4)
                     .strategy(strategy)
-                    .workers_per_shard(2),
+                    .workers(2),
             );
             let report = service.run_wave(&refs, None);
             assert_eq!(report.shards, 4);
@@ -107,13 +108,13 @@ fn soak_multi_producer_admission_loses_and_duplicates_nothing() {
         .map(|q| oracle.query(&ds, q).answers)
         .collect();
 
-    let mut service = ShardedService::build(
+    let mut service = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &ds,
-        &ShardedConfig::with_shards(3).workers_per_shard(2),
+        ServiceOptions::new().shards(3).workers(2),
     );
-    let queue = AdmissionQueue::with_capacity(16);
+    let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(16));
 
     // (ticket, query index) pairs per producer, merged after the scope.
     let mut submissions: Vec<(u64, usize)> = Vec::with_capacity(TOTAL);
@@ -197,16 +198,17 @@ fn soak_with_routing_enabled_loses_nothing_and_bounds_probes() {
         .map(|q| oracle.query(&ds, q).answers)
         .collect();
 
-    let mut service = ShardedService::build(
+    let mut service = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &ds,
-        &ShardedConfig::with_shards(SHARDS)
-            .workers_per_shard(2)
+        ServiceOptions::new()
+            .shards(SHARDS)
+            .workers(2)
             .routing(RoutingMode::Synopsis),
     );
     assert_eq!(service.routing(), RoutingMode::Synopsis);
-    let queue = AdmissionQueue::with_capacity(16);
+    let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(16));
 
     let mut submissions: Vec<(u64, usize)> = Vec::with_capacity(TOTAL);
     let mut collected: Vec<(u64, Vec<GraphId>, bool, usize, usize)> = Vec::with_capacity(TOTAL);
@@ -283,13 +285,13 @@ fn soak_per_query_deadlines_are_honored() {
     let (ds, queries) = setup(14, 6, 29);
     let config = MethodConfig::fast();
     let oracle = build_index(MethodKind::CtIndex, &config, &ds);
-    let mut service = ShardedService::build(
+    let mut service = ShardedService::new(
         MethodKind::CtIndex,
         &config,
         &ds,
-        &ShardedConfig::with_shards(2),
+        ServiceOptions::new().shards(2),
     );
-    let queue = AdmissionQueue::with_capacity(64);
+    let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(64));
     let past = Instant::now() - Duration::from_secs(1);
     let future = Instant::now() + Duration::from_secs(3600);
     let mut expected_expired = Vec::new();
@@ -332,14 +334,14 @@ fn zero_query_and_empty_shard_edge_cases_do_not_hang() {
     // Empty drains on a partly-empty 5-shard service over 3 graphs.
     let (ds, queries) = setup(3, 2, 83);
     let config = MethodConfig::fast();
-    let mut service = ShardedService::build(
+    let mut service = ShardedService::new(
         MethodKind::GIndex,
         &config,
         &ds,
-        &ShardedConfig::with_shards(5),
+        ServiceOptions::new().shards(5),
     );
     assert!(service.shard_sizes().contains(&0));
-    let queue = AdmissionQueue::with_capacity(4);
+    let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(4));
     for _ in 0..3 {
         let report = service.drain(&queue, None);
         assert!(report.records.is_empty());
@@ -357,11 +359,11 @@ fn zero_query_and_empty_shard_edge_cases_do_not_hang() {
 
     // An entirely empty dataset: every shard is empty, waves still finish.
     let empty = Dataset::new("empty");
-    let mut empty_service = ShardedService::build(
+    let mut empty_service = ShardedService::new(
         MethodKind::Ggsx,
         &config,
         &empty,
-        &ShardedConfig::with_shards(3),
+        ServiceOptions::new().shards(3),
     );
     let wave = empty_service.run_wave(&refs, None);
     assert_eq!(wave.executed(), refs.len());
