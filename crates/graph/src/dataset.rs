@@ -25,10 +25,25 @@ pub type GraphId = usize;
 /// Graphs are stored as `Arc<Graph>`: [`Dataset::clone`],
 /// [`Dataset::truncated`] and the sharded service's `partition_dataset`
 /// share the underlying graph allocations instead of copying them.
+///
+/// # Removal and dead slots
+///
+/// [`Dataset::remove`] does **not** shift ids: the removed slot keeps its
+/// position (so every index posting list, shard id table and candidate
+/// bitset stays valid) but its graph storage is swapped for an empty
+/// placeholder and the id is recorded as *dead*. Checked accessors
+/// ([`Dataset::graph`], [`Dataset::shared`]) treat dead ids like missing
+/// ones, so verification paths skip them naturally; `len()`/`ids()` keep
+/// covering the full dense id space, and [`Dataset::live_len`] /
+/// [`Dataset::is_live`] expose the live view.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Dataset {
     name: String,
     graphs: Vec<Arc<Graph>>,
+    /// Ids of removed (dead) slots, sorted ascending. Empty on every
+    /// dataset that never saw a removal, so equality of frozen datasets is
+    /// unchanged.
+    dead: Vec<GraphId>,
 }
 
 impl Dataset {
@@ -37,6 +52,7 @@ impl Dataset {
         Dataset {
             name: name.into(),
             graphs: Vec::new(),
+            dead: Vec::new(),
         }
     }
 
@@ -46,6 +62,7 @@ impl Dataset {
         Dataset {
             name: name.into(),
             graphs: graphs.into_iter().map(Arc::new).collect(),
+            dead: Vec::new(),
         }
     }
 
@@ -56,6 +73,7 @@ impl Dataset {
         Dataset {
             name: name.into(),
             graphs,
+            dead: Vec::new(),
         }
     }
 
@@ -81,17 +99,58 @@ impl Dataset {
         id
     }
 
-    /// Number of graphs in the dataset.
+    /// Removes the graph with the given id without shifting any other id:
+    /// the slot's storage is swapped for an empty placeholder (freeing the
+    /// graph if this dataset was its last holder) and the id joins the dead
+    /// list. Returns `false` when the id is out of range or already dead.
+    ///
+    /// `len()` and `ids()` still cover the dense id space afterwards —
+    /// that is what keeps index posting lists and shard id tables valid —
+    /// but [`Dataset::graph`] / [`Dataset::shared`] now error for the id
+    /// and [`Dataset::live_len`] shrinks.
+    pub fn remove(&mut self, id: GraphId) -> bool {
+        if id >= self.graphs.len() {
+            return false;
+        }
+        match self.dead.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.graphs[id] = Arc::new(Graph::new("<dead>"));
+                self.dead.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// `true` when `id` addresses a live (not removed) graph.
+    pub fn is_live(&self, id: GraphId) -> bool {
+        id < self.graphs.len() && self.dead.binary_search(&id).is_err()
+    }
+
+    /// Number of live graphs (`len()` minus removed slots).
+    pub fn live_len(&self) -> usize {
+        self.graphs.len() - self.dead.len()
+    }
+
+    /// Ids of removed slots, sorted ascending.
+    pub fn dead_ids(&self) -> &[GraphId] {
+        &self.dead
+    }
+
+    /// Number of graph slots in the dataset, **including** dead ones —
+    /// the dense id-space bound every index universe tracks. See
+    /// [`Dataset::live_len`] for the live count.
     pub fn len(&self) -> usize {
         self.graphs.len()
     }
 
-    /// `true` if the dataset contains no graphs.
+    /// `true` if the dataset contains no graph slots.
     pub fn is_empty(&self) -> bool {
         self.graphs.is_empty()
     }
 
-    /// The graph with the given id, or an error if it does not exist.
+    /// The graph with the given id, or an error if it does not exist (out
+    /// of range or removed).
     pub fn graph(&self, id: GraphId) -> Result<&Graph> {
         self.shared(id).map(|g| &**g)
     }
@@ -102,13 +161,16 @@ impl Dataset {
     }
 
     /// The shared handle of the graph with the given id, or an error if it
-    /// does not exist. `Arc::clone` the result to reference the graph from
-    /// another dataset without copying it.
+    /// does not exist (out of range or removed). `Arc::clone` the result
+    /// to reference the graph from another dataset without copying it.
     pub fn shared(&self, id: GraphId) -> Result<&Arc<Graph>> {
-        self.graphs.get(id).ok_or(GraphError::UnknownGraph {
-            graph: id,
-            graph_count: self.graphs.len(),
-        })
+        if !self.is_live(id) {
+            return Err(GraphError::UnknownGraph {
+                graph: id,
+                graph_count: self.graphs.len(),
+            });
+        }
+        Ok(&self.graphs[id])
     }
 
     /// Unchecked shared-handle access; panics on out-of-range ids.
@@ -216,6 +278,7 @@ impl Dataset {
         Dataset {
             name: format!("{}[0..{}]", self.name, n.min(self.graphs.len())),
             graphs: self.graphs.iter().take(n).cloned().collect(),
+            dead: self.dead.iter().copied().filter(|&id| id < n).collect(),
         }
     }
 }
@@ -370,6 +433,33 @@ mod tests {
         assert_eq!(owned[1].vertex_count(), 3);
         // The shared graph survived the consuming iteration.
         assert_eq!(keep.vertex_count(), 3);
+    }
+
+    #[test]
+    fn remove_keeps_ids_stable_and_errors_on_dead_access() {
+        let mut ds = Dataset::from_graphs(
+            "ds",
+            vec![tiny_graph(2, 0), tiny_graph(3, 1), tiny_graph(4, 2)],
+        );
+        assert!(ds.remove(1));
+        assert!(!ds.remove(1), "double remove must be a no-op");
+        assert!(!ds.remove(9), "out-of-range remove must be a no-op");
+        // The dense id space is unchanged; only liveness shrinks.
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.live_len(), 2);
+        assert_eq!(ds.dead_ids(), &[1]);
+        assert!(ds.is_live(0) && !ds.is_live(1) && ds.is_live(2));
+        assert!(ds.graph(1).is_err());
+        assert!(ds.shared(1).is_err());
+        assert_eq!(ds.graph(2).unwrap().vertex_count(), 4);
+        // The dead slot's storage was dropped to a placeholder.
+        assert_eq!(ds.graph_unchecked(1).vertex_count(), 0);
+        // Appending after a removal keeps ids dense.
+        assert_eq!(ds.push(tiny_graph(5, 3)), 3);
+        assert_eq!(ds.live_len(), 3);
+        // Truncation carries the dead ids that survive the cut.
+        assert_eq!(ds.truncated(2).dead_ids(), &[1]);
+        assert!(ds.truncated(1).dead_ids().is_empty());
     }
 
     #[test]

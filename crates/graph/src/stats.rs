@@ -504,6 +504,40 @@ mod tests {
     }
 
     #[test]
+    fn recomputed_synopsis_after_removal_stays_sound_for_live_graphs() {
+        // The online-ingest removal path recomputes a shard's synopsis
+        // with `ShardSynopsis::of` over the mutated dataset. Dead slots
+        // hold empty placeholder graphs, so the recompute tightens to the
+        // live maxima — but must never narrow below them: every live
+        // graph (hence every query embedded in one) stays admitted.
+        let big = star(7, &[1, 2, 3]); // 4 vertices, max degree 3
+        let mut ds = Dataset::from_graphs("shard", vec![triangle(0), big.clone(), path(&[4, 5])]);
+        let before = ShardSynopsis::of(&ds);
+        assert_eq!(before.max_vertices, 4);
+        assert!(before.admits(&GraphSynopsis::of(&big)));
+
+        assert!(ds.remove(1)); // remove the star
+        let after = ShardSynopsis::of(&ds);
+        // Sound tightening: the removed graph's exclusive bounds are gone…
+        assert_eq!(after.max_vertices, 3);
+        assert!(!after.admits(&GraphSynopsis::of(&big)));
+        // …but no live graph lost admission, and the placeholder did not
+        // leak structure into the summary.
+        for (id, g) in ds.iter() {
+            if ds.is_live(id) {
+                assert!(
+                    after.admits(&GraphSynopsis::of(g)),
+                    "live graph {id} narrowed out of its own shard"
+                );
+            }
+        }
+        // The dead slot still counts toward `graphs` (dense id space) but
+        // contributes no labels, degrees or pairs.
+        assert_eq!(after.graphs, ds.len());
+        assert!(!after.max_label_counts.contains_key(&7));
+    }
+
+    #[test]
     fn shard_synopsis_absorb_matches_batch_construction() {
         let graphs = vec![triangle(0), star(3, &[4, 5, 6]), path(&[1, 2])];
         let batch = ShardSynopsis::of(&Dataset::from_graphs("ds", graphs.clone()));

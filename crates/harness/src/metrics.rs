@@ -224,6 +224,12 @@ pub struct MethodMetrics {
     pub queries_shed: usize,
     /// Total per-shard retry probes dispatched after transient failures.
     pub retries: u64,
+    /// Graphs inserted online during the run (typed `IngestOp::Insert`
+    /// mutations drained from the admission queue, or direct
+    /// `insert_graph` calls). Batch runs serve a frozen snapshot: 0.
+    pub inserts_applied: usize,
+    /// Graphs removed online during the run. Batch runs report 0.
+    pub removes_applied: usize,
     /// Per-stage totals from the service pipeline (queue wait, filter,
     /// verify, candidates pruned) over the executed queries.
     pub stages: StageTotals,
@@ -402,6 +408,8 @@ mod tests {
             queries_failed: 0,
             queries_shed: 0,
             retries: 0,
+            inserts_applied: 0,
+            removes_applied: 0,
             stages: StageTotals::default(),
             shards: 1,
             shards_probed: 0,
@@ -444,6 +452,8 @@ mod tests {
             queries_failed: 0,
             queries_shed: 0,
             retries: 0,
+            inserts_applied: 0,
+            removes_applied: 0,
             stages,
             shards: 1,
             shards_probed: 0,
@@ -471,6 +481,8 @@ mod tests {
             queries_failed: 0,
             queries_shed: 0,
             retries: 0,
+            inserts_applied: 0,
+            removes_applied: 0,
             stages: StageTotals::default(),
             shards: 3,
             shards_probed: 12,
@@ -509,6 +521,8 @@ mod tests {
             queries_failed: 0,
             queries_shed: 0,
             retries: 0,
+            inserts_applied: 0,
+            removes_applied: 0,
             stages: StageTotals::default(),
             shards: 3,
             shards_probed: 2,

@@ -146,6 +146,11 @@ pub fn render_text(report: &ExperimentReport) -> String {
 /// retry budget, how many were shed at admission, and how many retry
 /// probes were dispatched — all 0 on a healthy fault-free run.
 ///
+/// The ingest columns (`inserts_applied`, `removes_applied`) count the
+/// typed mutations the sharded service applied while draining a mixed
+/// read/write admission queue — always 0 for batch runs, which serve a
+/// frozen dataset snapshot.
+///
 /// The cache columns report the cross-query caching layer:
 /// `avg_cache_probe_s` is the mean per-query time spent probing the
 /// feature cache and answer memo (already excluded from
@@ -162,13 +167,14 @@ pub fn render_csv(report: &ExperimentReport) -> String {
          avg_query_time_s,avg_queue_wait_s,avg_cache_probe_s,avg_filter_time_s,\
          avg_verify_time_s,candidates_pruned,false_positive_ratio,queries_executed,shards,\
          shards_probed,shards_skipped,max_shard_time_s,shard_balance,partition_overhead_bytes,\
-         queries_degraded,queries_failed,queries_shed,retries,timed_out,cache_feature_hits,\
+         queries_degraded,queries_failed,queries_shed,retries,inserts_applied,removes_applied,\
+         timed_out,cache_feature_hits,\
          cache_feature_misses,cache_answer_hits,cache_answer_misses,cache_evictions\n",
     );
     for point in &report.points {
         for m in &point.results {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 report.id,
                 point.x_label,
                 point.x_value,
@@ -194,6 +200,8 @@ pub fn render_csv(report: &ExperimentReport) -> String {
                 m.queries_failed,
                 m.queries_shed,
                 m.retries,
+                m.inserts_applied,
+                m.removes_applied,
                 m.timed_out,
                 m.cache.feature_hits,
                 m.cache.feature_misses,
@@ -228,6 +236,8 @@ mod tests {
             queries_failed: 0,
             queries_shed: 0,
             retries: 0,
+            inserts_applied: 0,
+            removes_applied: 0,
             stages,
             shards: 1,
             shards_probed: 0,
@@ -296,7 +306,10 @@ mod tests {
         assert!(
             lines[0].contains("shards,shards_probed,shards_skipped,max_shard_time_s,shard_balance")
         );
-        assert!(lines[0].contains("queries_degraded,queries_failed,queries_shed,retries,timed_out"));
+        assert!(lines[0].contains(
+            "queries_degraded,queries_failed,queries_shed,retries,\
+             inserts_applied,removes_applied,timed_out"
+        ));
         assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
         assert!(lines[4].contains("true") || lines[3].contains("true")); // the DNF row
     }

@@ -284,6 +284,10 @@ fn run_single_method(
         queries_failed,
         queries_shed: 0,
         retries: 0,
+        // Batch runs serve a frozen snapshot of the dataset — the online
+        // ingest path flows through `ShardedService::drain` instead.
+        inserts_applied: 0,
+        removes_applied: 0,
         stages,
         shards: 1,
         // The unsharded service probes its single index once per query.
@@ -364,6 +368,10 @@ fn run_sharded_method(
         // Batch waves bypass admission, so nothing is ever shed here.
         queries_shed: 0,
         retries,
+        // Batch waves mutate nothing; see `ShardedService::drain` for the
+        // mixed read/write path that reports these.
+        inserts_applied: 0,
+        removes_applied: 0,
         stages,
         shards: service.shard_count(),
         shards_probed,

@@ -23,30 +23,73 @@
 //! The queue owns its queries (`Graph` values, not borrows) — producers
 //! hand them over and move on, which is what lets submission outlive any
 //! particular wave.
+//!
+//! # Typed ingest operations
+//!
+//! The queue carries more than reads: [`AdmissionQueue::submit_insert`] and
+//! [`AdmissionQueue::submit_remove`] admit dataset *mutations* through the
+//! same ticket space, so a consumer draining waves sees queries and writes
+//! interleaved in exactly the order producers submitted them. Mutations
+//! share the queue's capacity bound (backpressure applies to writes too)
+//! but are never cost-shed: dropping a write would silently fork the
+//! dataset the producer believes it is growing.
 
 use super::fault::FaultPlan;
-use sqbench_graph::Graph;
+use sqbench_graph::{Graph, GraphId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-/// Identifier of one admitted query, unique per queue and monotonically
+/// Identifier of one admitted operation, unique per queue and monotonically
 /// increasing in admission order.
 pub type Ticket = u64;
 
-/// One query accepted into the admission queue, waiting to be drained.
+/// One operation travelling through the admission queue: a read (subgraph
+/// query) or a dataset mutation. Mutations ride the same ticket space as
+/// queries so the consumer applies them in admission order relative to the
+/// reads around them.
+#[derive(Debug, Clone)]
+pub enum IngestOp {
+    /// A subgraph query to answer against the current dataset.
+    Query(Graph),
+    /// Append this graph to the dataset (the service assigns the id).
+    Insert(Graph),
+    /// Tombstone the graph with this global id.
+    Remove(GraphId),
+}
+
+impl IngestOp {
+    /// `true` for operations that mutate the dataset (insert/remove).
+    pub fn is_mutation(&self) -> bool {
+        !matches!(self, IngestOp::Query(_))
+    }
+}
+
+/// One operation accepted into the admission queue, waiting to be drained.
 #[derive(Debug)]
 pub struct AdmittedQuery {
     /// The queue-unique admission ticket.
     pub ticket: Ticket,
-    /// The query graph (owned by the queue until drained).
-    pub query: Graph,
-    /// When the query was admitted (for queue-wait accounting).
+    /// The admitted operation (owned by the queue until drained).
+    pub op: IngestOp,
+    /// When the operation was admitted (for queue-wait accounting).
     pub submitted_at: Instant,
     /// The producer-supplied deadline: the query must *start* executing
-    /// before this instant or be recorded as expired.
+    /// before this instant or be recorded as expired. Always `None` for
+    /// mutations — writes are applied regardless of backlog.
     pub deadline: Option<Instant>,
+}
+
+impl AdmittedQuery {
+    /// The query graph, when this admission is a read. `None` for
+    /// mutations.
+    pub fn query(&self) -> Option<&Graph> {
+        match &self.op {
+            IngestOp::Query(q) => Some(q),
+            IngestOp::Insert(_) | IngestOp::Remove(_) => None,
+        }
+    }
 }
 
 /// Why a submission was rejected.
@@ -192,6 +235,23 @@ impl AdmissionQueue {
     /// Returns the query's admission ticket, or [`SubmitError::Closed`] if
     /// the queue closed before the query could be admitted.
     pub fn submit(&self, query: Graph, deadline: Option<Instant>) -> Result<Ticket, SubmitError> {
+        self.submit_op(IngestOp::Query(query), deadline)
+    }
+
+    /// Admits a dataset insert, blocking while the queue is full. The graph
+    /// is appended (and assigned its id) when the consumer applies the
+    /// drained wave; mutations are never cost-shed.
+    pub fn submit_insert(&self, graph: Graph) -> Result<Ticket, SubmitError> {
+        self.submit_op(IngestOp::Insert(graph), None)
+    }
+
+    /// Admits a dataset removal (by global graph id), blocking while the
+    /// queue is full. Mutations are never cost-shed.
+    pub fn submit_remove(&self, id: GraphId) -> Result<Ticket, SubmitError> {
+        self.submit_op(IngestOp::Remove(id), None)
+    }
+
+    fn submit_op(&self, op: IngestOp, deadline: Option<Instant>) -> Result<Ticket, SubmitError> {
         let mut state = self.lock();
         loop {
             if state.closed {
@@ -199,7 +259,7 @@ impl AdmissionQueue {
             }
             if state.pending.len() < self.capacity {
                 self.check_injected(&state)?;
-                return Ok(Self::admit(&mut state, query, deadline));
+                return Ok(Self::admit(&mut state, op, deadline));
             }
             state = self
                 .space
@@ -223,7 +283,7 @@ impl AdmissionQueue {
             return Err(SubmitError::Full);
         }
         self.check_injected(&state)?;
-        Ok(Self::admit(&mut state, query, deadline))
+        Ok(Self::admit(&mut state, IngestOp::Query(query), deadline))
     }
 
     /// Cost-aware admission: sheds ([`SubmitError::Shed`]) instead of
@@ -247,14 +307,22 @@ impl AdmissionQueue {
             }
             if let Some(deadline) = deadline {
                 let now = Instant::now();
+                // Full queue: everything pending is served first, so the
+                // earliest this query could finish is roughly
+                // now + backlog × cost_hint. Both the multiplication and
+                // the Instant addition can overflow for large cost hints
+                // (the naive `cost_hint * len` panics in debug builds and
+                // wraps — under-estimating the backlog — in release), so
+                // compute checked and treat overflow as "past any
+                // deadline": a backlog too large to represent is certainly
+                // infeasible.
+                let backlog = cost_hint.checked_mul(state.pending.len() as u32);
+                let finish = backlog.and_then(|b| now.checked_add(b));
                 // Already expired at the door: executing it would only
                 // burn a queue slot to report `TimedOut` later.
                 let hopeless = now >= deadline
-                    // Full queue: everything pending is served first, so
-                    // the earliest this query could finish is roughly
-                    // now + backlog × cost_hint.
                     || (state.pending.len() >= self.capacity
-                        && now + cost_hint * (state.pending.len() as u32) >= deadline);
+                        && finish.is_none_or(|f| f >= deadline));
                 if hopeless {
                     self.shed.fetch_add(1, Ordering::Relaxed);
                     return Err(SubmitError::Shed);
@@ -262,7 +330,7 @@ impl AdmissionQueue {
             }
             if state.pending.len() < self.capacity {
                 self.check_injected(&state)?;
-                return Ok(Self::admit(&mut state, query, deadline));
+                return Ok(Self::admit(&mut state, IngestOp::Query(query), deadline));
             }
             state = self
                 .space
@@ -283,12 +351,12 @@ impl AdmissionQueue {
         Ok(())
     }
 
-    fn admit(state: &mut AdmissionState, query: Graph, deadline: Option<Instant>) -> Ticket {
+    fn admit(state: &mut AdmissionState, op: IngestOp, deadline: Option<Instant>) -> Ticket {
         let ticket = state.next_ticket;
         state.next_ticket += 1;
         state.pending.push_back(AdmittedQuery {
             ticket,
-            query,
+            op,
             submitted_at: Instant::now(),
             deadline,
         });
@@ -399,7 +467,7 @@ mod tests {
         assert_eq!(ticket, 1);
         let wave = queue.drain_pending();
         assert_eq!(wave.len(), 1);
-        assert_eq!(wave[0].query.name(), "second");
+        assert_eq!(wave[0].query().unwrap().name(), "second");
     }
 
     #[test]
@@ -496,6 +564,54 @@ mod tests {
         assert_eq!(queue.shed_queries(), 0);
         let wave = queue.drain_pending();
         assert_eq!(wave[0].deadline, Some(roomy));
+    }
+
+    /// Satellite 2 (the overflow bug): a full queue, an astronomically
+    /// large cost hint, and a finite deadline used to evaluate
+    /// `now + cost_hint * pending` — which panics in debug builds and
+    /// wraps (admitting the hopeless query) in release. The checked
+    /// arithmetic must shed instead, without panicking.
+    #[test]
+    fn huge_cost_hint_on_full_queue_sheds_instead_of_overflowing() {
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(2));
+        queue.submit(q("a"), None).unwrap();
+        queue.submit(q("b"), None).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        assert_eq!(
+            queue.submit_or_shed(q("c"), Some(deadline), Duration::MAX),
+            Err(SubmitError::Shed)
+        );
+        assert_eq!(queue.shed_queries(), 1);
+        // A representable-but-huge backlog overflows only the Instant
+        // addition — same verdict, exercised separately.
+        assert_eq!(
+            queue.submit_or_shed(q("d"), Some(deadline), Duration::from_secs(u64::MAX / 8)),
+            Err(SubmitError::Shed)
+        );
+        // Shedding consumed no tickets or slots.
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.admitted(), 2);
+    }
+
+    #[test]
+    fn mutations_share_the_ticket_space_with_queries() {
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(8));
+        assert_eq!(queue.submit(q("read-0"), None), Ok(0));
+        assert_eq!(queue.submit_insert(q("new-graph")), Ok(1));
+        assert_eq!(queue.submit_remove(7), Ok(2));
+        assert_eq!(queue.submit(q("read-1"), None), Ok(3));
+        let wave = queue.drain_pending();
+        assert_eq!(wave.len(), 4);
+        assert!(!wave[0].op.is_mutation());
+        assert!(wave[1].op.is_mutation());
+        assert!(matches!(&wave[1].op, IngestOp::Insert(g) if g.name() == "new-graph"));
+        assert!(matches!(wave[2].op, IngestOp::Remove(7)));
+        assert!(wave[2].query().is_none());
+        assert_eq!(wave[3].query().unwrap().name(), "read-1");
+        // Mutations respect close like any other submission.
+        queue.close();
+        assert_eq!(queue.submit_insert(q("late")), Err(SubmitError::Closed));
+        assert_eq!(queue.submit_remove(0), Err(SubmitError::Closed));
     }
 
     #[test]

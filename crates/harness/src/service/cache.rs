@@ -11,8 +11,8 @@
 //!   [`sqbench_index::FeatureCacheStore`]. Every cached bitset is an
 //!   immutable posting list of that one instance (trie payloads and mined
 //!   supports are frozen at build time; Tree+Δ's learned Δ supports never
-//!   change once inserted), so a hit can never be stale while the dataset
-//!   is frozen. Binding stores per instance also makes keys shard-local —
+//!   change once inserted), so a hit can never be stale within one cache
+//!   epoch. Binding stores per instance also makes keys shard-local —
 //!   a shard never sees another shard's bits.
 //! * **Answer memo** ([`AnswerMemo`]): maps a query's *exact* canonical
 //!   form to its complete verified answer set. Entries are only admitted
@@ -25,18 +25,22 @@
 //!
 //! [`QueryOutcome::Complete`]: super::stages::QueryOutcome::Complete
 //!
-//! # Invalidation (the future ingest path)
+//! # Invalidation (the ingest path)
 //!
-//! The dataset is immutable today, so nothing ever *needs* invalidating.
-//! The hooks the online-ingest roadmap item will drive already exist:
-//! both cache levels carry a monotonically increasing **epoch**
-//! ([`FeatureCache::epoch`], [`AnswerMemo::epoch`]), and
-//! [`FeatureCache::invalidate_all`] / [`AnswerMemo::invalidate_all`] bump
-//! it and drop every entry. Any dataset mutation must call the services'
-//! `invalidate_caches()` before serving the next query; the answer memo
-//! in particular must stay **disabled** (capacity 0) while interleaved
-//! ingest is in flight, because a memo hit skips the shards entirely and
-//! would otherwise serve answers from before the mutation.
+//! The dataset is mutable: [`super::ShardedService::insert_graph`] and
+//! [`super::ShardedService::remove_graph`] (and the typed
+//! [`super::IngestOp`] mutations drained from the admission queue) change
+//! what every cached entry was computed against. Both cache levels carry
+//! a monotonically increasing **epoch** ([`FeatureCache::epoch`],
+//! [`AnswerMemo::epoch`]), and [`FeatureCache::invalidate_all`] /
+//! [`AnswerMemo::invalidate_all`] bump it and drop every entry. **Every
+//! mutation entry point calls the owning service's `invalidate_caches()`
+//! automatically**, so a cached answer or feature bitset can never span a
+//! mutation — which is exactly what lets the answer memo stay *enabled*
+//! on mutable workloads: a memo hit skips the shards entirely, and
+//! without the automatic flush it would replay answers from before the
+//! mutation (the stale-cache hazard pinned by the
+//! `mutations_invalidate_the_answer_memo` regression test).
 
 use sqbench_features::canonical::{graph_key, MAX_EXACT_CANON_VERTICES};
 use sqbench_graph::{Graph, GraphId};
@@ -268,8 +272,10 @@ impl FeatureCache {
         self.epoch.load(Ordering::Relaxed)
     }
 
-    /// Invalidation hook for the future ingest path: drops every entry and
-    /// bumps the epoch. Must be called on any dataset mutation.
+    /// Drops every entry and bumps the epoch. Invoked automatically (via
+    /// the owning service's `invalidate_caches()`) by every mutation entry
+    /// point — `ShardedService::insert_graph`/`remove_graph` and drained
+    /// `IngestOp` mutations — so no cached entry ever spans a mutation.
     pub fn invalidate_all(&self) {
         self.epoch.fetch_add(1, Ordering::Relaxed);
         self.lock().clear();
@@ -394,8 +400,10 @@ impl AnswerMemo {
         self.epoch.load(Ordering::Relaxed)
     }
 
-    /// Invalidation hook for the future ingest path: drops every entry and
-    /// bumps the epoch. Must be called on any dataset mutation.
+    /// Drops every entry and bumps the epoch. Invoked automatically (via
+    /// the owning service's `invalidate_caches()`) by every mutation entry
+    /// point — `ShardedService::insert_graph`/`remove_graph` and drained
+    /// `IngestOp` mutations — so no cached entry ever spans a mutation.
     pub fn invalidate_all(&self) {
         self.epoch.fetch_add(1, Ordering::Relaxed);
         self.lock().clear();

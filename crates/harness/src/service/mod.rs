@@ -106,7 +106,7 @@ pub mod sharded;
 pub mod stages;
 pub mod synopsis;
 
-pub use admission::{AdmissionQueue, AdmittedQuery, SubmitError, Ticket};
+pub use admission::{AdmissionQueue, AdmittedQuery, IngestOp, SubmitError, Ticket};
 pub use cache::{answer_memo_key, AnswerEntry, AnswerMemo, CachePolicy, FeatureCache, Lru};
 pub use fault::{silence_injected_panics, FaultPlan, FaultSpec, InjectedPanic};
 pub use options::ServiceOptions;
@@ -287,9 +287,12 @@ impl<'a> QueryService<'a> {
         counters
     }
 
-    /// Invalidation hook for the future ingest path: drops every entry of
-    /// both cache levels and bumps their epochs. Any dataset mutation must
-    /// call this before the next query is served.
+    /// Drops every entry of both cache levels and bumps their epochs.
+    /// `QueryService` borrows its index and dataset, so they cannot be
+    /// mutated while it is alive — staleness is ruled out at compile time
+    /// here. The online mutation surface is [`ShardedService`], whose
+    /// `insert_graph`/`remove_graph` (and drained [`IngestOp`] mutations)
+    /// call its equivalent of this hook automatically.
     pub fn invalidate_caches(&self) {
         if let Some(features) = &self.features {
             features.invalidate_all();

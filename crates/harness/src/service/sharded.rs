@@ -55,7 +55,7 @@
 //! A query expires if *any* shard had to skip it on deadline — a partially
 //! executed query would otherwise report a silently incomplete answer set.
 
-use super::admission::{AdmissionQueue, AdmittedQuery, Ticket};
+use super::admission::{AdmissionQueue, AdmittedQuery, IngestOp, Ticket};
 use super::cache::{answer_memo_key, AnswerEntry, AnswerMemo, FeatureCache};
 use super::fault::FaultPlan;
 use super::options::ServiceOptions;
@@ -64,7 +64,7 @@ use super::stages::QueryOutcome;
 use super::synopsis::{Router, RoutingMode};
 use super::{run_batch_on, BatchReport};
 use crate::metrics::{counted_false_positive_ratio, CacheCounters, StageTotals, Stopwatch};
-use sqbench_graph::{Dataset, Graph, GraphId};
+use sqbench_graph::{Dataset, Graph, GraphId, GraphSynopsis, ShardSynopsis};
 use sqbench_index::{
     build_index, FeatureCacheStore, GraphIndex, IndexStats, MethodConfig, MethodKind,
 };
@@ -461,6 +461,12 @@ pub struct ShardedReport {
     pub wall_s: f64,
     /// Number of shards the wave ran on.
     pub shards: usize,
+    /// Dataset inserts applied while serving this wave (open
+    /// [`ShardedService::drain`] waves only; always 0 for closed waves).
+    pub inserts_applied: usize,
+    /// Dataset removals applied while serving this wave. Removals of
+    /// already-dead or unknown ids are not counted.
+    pub removes_applied: usize,
 }
 
 impl ShardedReport {
@@ -567,6 +573,10 @@ pub struct ShardedService {
     /// are *merged global* answers.
     answers: Option<AnswerMemo>,
     partition_overhead_bytes: usize,
+    /// The next global graph id [`ShardedService::insert_graph`] hands
+    /// out. Global ids are append-only and never reused (removal
+    /// tombstones), so this only grows.
+    next_global_id: GraphId,
 }
 
 impl ShardedService {
@@ -623,6 +633,7 @@ impl ShardedService {
             answers: (opts.cache.answer_capacity > 0)
                 .then(|| AnswerMemo::new(opts.cache.answer_capacity)),
             partition_overhead_bytes,
+            next_global_id: dataset.len(),
         }
     }
 
@@ -711,8 +722,12 @@ impl ShardedService {
     }
 
     /// Drops every cached entry (all per-shard feature caches and the
-    /// answer memo) and bumps their epochs — the invalidation hook a
-    /// future ingest path must call after mutating any shard's dataset.
+    /// answer memo) and bumps their epochs. Every mutation entry point
+    /// ([`ShardedService::insert_graph`], [`ShardedService::remove_graph`],
+    /// and therefore the drained [`IngestOp`] mutations) calls this
+    /// automatically, so a warm answer memo can never replay a
+    /// pre-mutation answer — the caches stay *enabled* on mutable
+    /// workloads instead of being turned off defensively.
     /// Hit/miss/eviction counters survive the flush.
     pub fn invalidate_caches(&self) {
         for shard in &self.shards {
@@ -725,6 +740,119 @@ impl ShardedService {
         }
     }
 
+    /// Picks the shard a newly ingested graph lands on, mirroring the
+    /// build-time [`partition_dataset`] strategy online:
+    ///
+    /// * `RoundRobin` — `global_id % shards`, exactly the offline rule.
+    /// * `SizeBalanced` — the shard with the lightest total live weight
+    ///   (vertices + edges), the streaming analogue of LPT greedy.
+    /// * `LabelAware` — the shard whose synopsis already hosts most of the
+    ///   graph's vertex labels (ties to the lighter shard, then the lower
+    ///   index), keeping label-coherent families co-located so synopsis
+    ///   routing keeps skipping shards under interleaved ingest.
+    fn place(&self, graph: &Graph, global_id: GraphId) -> usize {
+        let shard_count = self.shards.len();
+        match self.strategy {
+            ShardStrategy::RoundRobin => global_id % shard_count,
+            ShardStrategy::SizeBalanced => {
+                let load = |shard: &Shard| -> usize {
+                    shard
+                        .dataset
+                        .iter()
+                        .map(|(_, g)| g.vertex_count() + g.edge_count())
+                        .sum()
+                };
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(s, shard)| (load(shard), *s))
+                    .map(|(s, _)| s)
+                    .expect("at least one shard")
+            }
+            ShardStrategy::LabelAware => {
+                let affinity = |s: usize| -> usize {
+                    let hosted = &self.router.synopsis(s).max_label_counts;
+                    graph
+                        .labels()
+                        .iter()
+                        .filter(|label| hosted.contains_key(label))
+                        .count()
+                };
+                let load = |s: usize| -> usize {
+                    self.shards[s]
+                        .dataset
+                        .iter()
+                        .map(|(_, g)| g.vertex_count() + g.edge_count())
+                        .sum()
+                };
+                (0..shard_count)
+                    .max_by_key(|&s| {
+                        (
+                            affinity(s),
+                            std::cmp::Reverse(load(s)),
+                            std::cmp::Reverse(s),
+                        )
+                    })
+                    .expect("at least one shard")
+            }
+        }
+    }
+
+    /// Appends `graph` to the service online: places it on a shard by the
+    /// build-time strategy, pushes it into that shard's dataset, extends
+    /// the shard's index incrementally (no rebuild), widens the shard's
+    /// routing synopsis in place, and **invalidates every cache** so no
+    /// stale answer survives the mutation. Returns the graph's new global
+    /// id — dense, append-only, never reused.
+    pub fn insert_graph(&mut self, graph: Graph) -> GraphId {
+        let global = self.next_global_id;
+        self.next_global_id += 1;
+        let shard_idx = self.place(&graph, global);
+        let synopsis = GraphSynopsis::of(&graph);
+        let shard = &mut self.shards[shard_idx];
+        // The index assigns the same local id the dataset push does: both
+        // are defined as the current dense universe size.
+        let local = shard.index.insert(&graph);
+        let pushed = shard.dataset.push(graph);
+        debug_assert_eq!(local, pushed);
+        // New global ids exceed every id already in the table, so the
+        // push keeps `to_global` sorted — the invariant that makes merged
+        // answers come out in global id order.
+        shard.to_global.push(global);
+        self.router.absorb(shard_idx, &synopsis);
+        self.invalidate_caches();
+        global
+    }
+
+    /// Removes the graph with global id `global_id` online: tombstones it
+    /// in its shard's dataset and index (ids stay dense; payload
+    /// compaction is lazy), recomputes that shard's routing synopsis from
+    /// its live contents, and **invalidates every cache**. Returns `false`
+    /// when the id is unknown or already removed.
+    ///
+    /// The recomputed synopsis may stay wider than strictly necessary
+    /// between compactions but is always recomputed over the live graphs
+    /// only (dead slots hold empty placeholders that widen nothing), so
+    /// [`ShardSynopsis::admits`] remains a sound necessary condition and
+    /// never narrows below the shard's live contents.
+    pub fn remove_graph(&mut self, global_id: GraphId) -> bool {
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            if let Ok(local) = shard.to_global.binary_search(&global_id) {
+                if !shard.dataset.remove(local) {
+                    // Already tombstoned: report idempotently, touch nothing.
+                    return false;
+                }
+                let index_removed = shard.index.remove(local);
+                debug_assert!(index_removed, "dataset and index tombstones diverged");
+                let recomputed = ShardSynopsis::of(&shard.dataset);
+                self.router.replace(s, recomputed);
+                self.invalidate_caches();
+                return true;
+            }
+        }
+        false
+    }
+
     /// Serves one closed wave of queries against every shard concurrently
     /// and merges the results. Records come back in wave order with the
     /// query's position as its ticket. `deadline` is wave-wide; see
@@ -734,31 +862,124 @@ impl ShardedService {
         self.run_wave_inner(queries, deadline, None, &tickets, None)
     }
 
-    /// Drains every query currently admitted to `queue` and serves them as
-    /// one wave, honouring each query's own admission deadline. Returns
-    /// immediately with an empty report when nothing is pending — the
-    /// caller's consumer loop paces itself. The queue is deliberately
+    /// Drains every operation currently admitted to `queue` and serves
+    /// them as one wave, honouring each query's own admission deadline.
+    /// Returns immediately with an empty report when nothing is pending —
+    /// the caller's consumer loop paces itself. The queue is deliberately
     /// external to the service so any number of producer threads can
     /// `submit` against it while the consumer drains.
+    ///
+    /// Mutations ([`IngestOp::Insert`] / [`IngestOp::Remove`]) interleave
+    /// with reads in **ticket order**: consecutive reads are batched and
+    /// fanned out together, each mutation flushes the batch first and is
+    /// then applied (through [`ShardedService::insert_graph`] /
+    /// [`ShardedService::remove_graph`], so caches are invalidated and
+    /// synopses widened automatically). A query therefore always observes
+    /// exactly the dataset state of its admission point — never answers
+    /// computed against a snapshot a later (or earlier) write belongs to.
+    /// Mutations produce their own (empty-answer, `Complete`) records so
+    /// the report stays wave-shaped; no ticket is ever lost.
     pub fn drain(&mut self, queue: &AdmissionQueue, deadline: Option<Instant>) -> ShardedReport {
         let wave: Vec<AdmittedQuery> = queue.drain_pending();
+        let shard_count = self.shards.len();
         if wave.is_empty() {
             return ShardedReport {
                 records: Vec::new(),
-                per_shard: vec![StageTotals::default(); self.shards.len()],
+                per_shard: vec![StageTotals::default(); shard_count],
                 totals: StageTotals::default(),
                 wall_s: 0.0,
-                shards: self.shards.len(),
+                shards: shard_count,
+                inserts_applied: 0,
+                removes_applied: 0,
             };
         }
-        let queries: Vec<&Graph> = wave.iter().map(|a| &a.query).collect();
-        let per_query: Vec<Option<Instant>> = wave.iter().map(|a| a.deadline).collect();
-        let tickets: Vec<Ticket> = wave.iter().map(|a| a.ticket).collect();
+        let watch = Stopwatch::start();
         // Queue-wait accounting starts at submission, not at wave start: a
         // query that sat in a backed-up admission queue carries that wait
         // into its record on top of the in-wave shard queue wait.
         let drained_at = Instant::now();
-        let admission_wait_s: Vec<f64> = wave
+        let mut records: Vec<ShardedQueryRecord> = Vec::with_capacity(wave.len());
+        let mut per_shard = vec![StageTotals::default(); shard_count];
+        let mut totals = StageTotals::default();
+        let (mut inserts_applied, mut removes_applied) = (0usize, 0usize);
+        let mut reads: Vec<AdmittedQuery> = Vec::new();
+        for admitted in wave {
+            if !admitted.op.is_mutation() {
+                reads.push(admitted);
+                continue;
+            }
+            if !reads.is_empty() {
+                let report = self.serve_read_batch(&reads, deadline, drained_at);
+                records.extend(report.records);
+                for (s, shard_totals) in report.per_shard.iter().enumerate() {
+                    per_shard[s].merge(shard_totals);
+                }
+                totals.merge(&report.totals);
+                reads.clear();
+            }
+            let wait_s = drained_at
+                .saturating_duration_since(admitted.submitted_at)
+                .as_secs_f64();
+            match admitted.op {
+                IngestOp::Insert(graph) => {
+                    self.insert_graph(graph);
+                    inserts_applied += 1;
+                }
+                IngestOp::Remove(id) => {
+                    if self.remove_graph(id) {
+                        removes_applied += 1;
+                    }
+                }
+                IngestOp::Query(_) => unreachable!("filtered above"),
+            }
+            records.push(ShardedQueryRecord {
+                ticket: admitted.ticket,
+                answers: Vec::new(),
+                candidate_count: 0,
+                candidates_pruned: 0,
+                queue_wait_s: wait_s,
+                cache_probe_s: 0.0,
+                filter_s: 0.0,
+                verify_s: 0.0,
+                outcome: QueryOutcome::Complete,
+                retries: 0,
+                shards_probed: 0,
+                shards_skipped: 0,
+            });
+        }
+        if !reads.is_empty() {
+            let report = self.serve_read_batch(&reads, deadline, drained_at);
+            records.extend(report.records);
+            for (s, shard_totals) in report.per_shard.iter().enumerate() {
+                per_shard[s].merge(shard_totals);
+            }
+            totals.merge(&report.totals);
+        }
+        ShardedReport {
+            records,
+            per_shard,
+            totals,
+            wall_s: watch.elapsed_secs(),
+            shards: shard_count,
+            inserts_applied,
+            removes_applied,
+        }
+    }
+
+    /// Serves one run of consecutive drained reads as a sub-wave.
+    fn serve_read_batch(
+        &mut self,
+        batch: &[AdmittedQuery],
+        deadline: Option<Instant>,
+        drained_at: Instant,
+    ) -> ShardedReport {
+        let queries: Vec<&Graph> = batch
+            .iter()
+            .map(|a| a.query().expect("read batch holds only queries"))
+            .collect();
+        let per_query: Vec<Option<Instant>> = batch.iter().map(|a| a.deadline).collect();
+        let tickets: Vec<Ticket> = batch.iter().map(|a| a.ticket).collect();
+        let admission_wait_s: Vec<f64> = batch
             .iter()
             .map(|a| {
                 drained_at
@@ -1186,6 +1407,8 @@ impl ShardedService {
             totals,
             wall_s,
             shards: shard_count,
+            inserts_applied: 0,
+            removes_applied: 0,
         }
     }
 }
@@ -1752,5 +1975,178 @@ mod tests {
         assert!(stats.distinct_features > 0);
         assert_eq!(service.shard_sizes().iter().sum::<usize>(), ds.len());
         assert_eq!(service.strategy(), ShardStrategy::RoundRobin);
+    }
+
+    /// Satellite 1 — the stale-cache regression. A warm answer memo must
+    /// never replay a pre-mutation answer: before mutations invalidated
+    /// the caches automatically, this test's post-removal wave would be
+    /// served the removed graph straight from the memo.
+    #[test]
+    fn mutations_invalidate_the_answer_memo() {
+        use crate::service::CachePolicy;
+        let (ds, queries) = setup(12, 3);
+        let config = MethodConfig::fast();
+        let query = &queries[0];
+        let mut service = ShardedService::new(
+            MethodKind::Ggsx,
+            &config,
+            &ds,
+            ServiceOptions::new()
+                .shards(2)
+                .cache(CachePolicy::enabled()),
+        );
+        // Warm the memo: cold wave populates, second wave hits.
+        let before = service.run_wave(&[query], None).records[0].answers.clone();
+        assert!(
+            !before.is_empty(),
+            "the generated query must match something"
+        );
+        let warm = service.run_wave(&[query], None);
+        assert_eq!(warm.records[0].answers, before);
+        assert!(
+            service.cache_counters().answer_hits >= 1,
+            "second wave must be memo-served"
+        );
+
+        // Remove one of the answers; a stale memo would keep replaying it.
+        let victim = before[0];
+        assert!(service.remove_graph(victim));
+        let mut live = ds.clone();
+        assert!(live.remove(victim));
+        let oracle = build_index(MethodKind::Ggsx, &config, &live);
+        let expected = oracle.query(&live, query).answers;
+        assert!(!expected.contains(&victim));
+        let after_remove = service.run_wave(&[query], None);
+        assert_eq!(
+            after_remove.records[0].answers, expected,
+            "answer memo replayed a pre-removal answer"
+        );
+
+        // Warm the memo again, then insert a twin of the removed graph:
+        // the answer must grow by the twin's new id.
+        let _ = service.run_wave(&[query], None);
+        let twin = ds.graph_unchecked(victim).clone();
+        let twin_id = service.insert_graph(twin.clone());
+        assert_eq!(twin_id, ds.len());
+        let pushed = live.push(twin);
+        assert_eq!(pushed, twin_id);
+        let oracle = build_index(MethodKind::Ggsx, &config, &live);
+        let expected = oracle.query(&live, query).answers;
+        assert!(expected.contains(&twin_id));
+        let after_insert = service.run_wave(&[query], None);
+        assert_eq!(
+            after_insert.records[0].answers, expected,
+            "answer memo replayed a pre-insert answer"
+        );
+    }
+
+    /// Tentpole behaviour end to end: reads and typed mutations drain from
+    /// one admission queue in ticket order, every ticket gets a record,
+    /// and each read observes exactly the dataset state of its admission
+    /// point — with both cache levels enabled throughout.
+    #[test]
+    fn drained_mutations_interleave_with_reads_in_ticket_order() {
+        use crate::service::CachePolicy;
+        let (ds, queries) = setup(10, 2);
+        let config = MethodConfig::fast();
+        let query = &queries[0];
+        let mut service = ShardedService::new(
+            MethodKind::Ggsx,
+            &config,
+            &ds,
+            ServiceOptions::new()
+                .shards(2)
+                .cache(CachePolicy::enabled()),
+        );
+        let before = build_index(MethodKind::Ggsx, &config, &ds)
+            .query(&ds, query)
+            .answers;
+        assert!(!before.is_empty());
+        let victim = before[0];
+        let twin = ds.graph_unchecked(victim).clone();
+
+        let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(16));
+        queue.submit(query.clone(), None).unwrap(); // t0: sees ds
+        queue.submit_insert(twin.clone()).unwrap(); // t1
+        queue.submit(query.clone(), None).unwrap(); // t2: sees ds + twin
+        queue.submit_remove(victim).unwrap(); // t3
+        queue.submit(query.clone(), None).unwrap(); // t4: sees ds + twin − victim
+        let report = service.drain(&queue, None);
+
+        assert_eq!(report.records.len(), 5, "no ticket may be lost");
+        let tickets: Vec<Ticket> = report.records.iter().map(|r| r.ticket).collect();
+        assert_eq!(tickets, vec![0, 1, 2, 3, 4]);
+        assert_eq!(report.inserts_applied, 1);
+        assert_eq!(report.removes_applied, 1);
+        for mutation in [&report.records[1], &report.records[3]] {
+            assert_eq!(mutation.outcome, QueryOutcome::Complete);
+            assert!(mutation.answers.is_empty());
+        }
+
+        let mut with_twin = ds.clone();
+        let twin_id = with_twin.push(twin);
+        let mid = build_index(MethodKind::Ggsx, &config, &with_twin)
+            .query(&with_twin, query)
+            .answers;
+        assert!(mid.contains(&twin_id), "the twin must join the answers");
+        let mut end_state = with_twin.clone();
+        assert!(end_state.remove(victim));
+        let end = build_index(MethodKind::Ggsx, &config, &end_state)
+            .query(&end_state, query)
+            .answers;
+        assert_eq!(report.records[0].answers, before);
+        assert_eq!(
+            report.records[2].answers, mid,
+            "t2 replayed the pre-insert state"
+        );
+        assert_eq!(
+            report.records[4].answers, end,
+            "t4 replayed the pre-removal state"
+        );
+    }
+
+    /// Satellite 3 — synopsis soundness across removals: after online
+    /// removals the recomputed shard synopses may tighten, but routed
+    /// answers must stay bit-identical to the rebuilt-from-scratch oracle
+    /// over the live dataset (no live graph is ever routed past).
+    #[test]
+    fn routing_stays_sound_after_removals() {
+        let (ds, queries) = setup(18, 5);
+        let config = MethodConfig::fast();
+        let mut service = ShardedService::new(
+            MethodKind::Ggsx,
+            &config,
+            &ds,
+            ServiceOptions::new()
+                .shards(3)
+                .routing(RoutingMode::Synopsis),
+        );
+        let mut live = ds.clone();
+        for id in [0, 3, 5] {
+            assert!(service.remove_graph(id));
+            assert!(live.remove(id));
+        }
+        assert!(!service.remove_graph(0), "double removal must be a no-op");
+        assert!(
+            !service.remove_graph(ds.len() + 7),
+            "unknown ids are refused"
+        );
+        // Every live graph is still admitted somewhere (a graph contains
+        // itself, so the shard hosting it must admit it).
+        for (id, g) in live.iter() {
+            if live.is_live(id) {
+                assert!(
+                    service.router().route(g).iter().any(|&admitted| admitted),
+                    "live graph {id} routed past every shard"
+                );
+            }
+        }
+        // And routed answers match the rebuilt oracle over the live set.
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let report = service.run_wave(&refs, None);
+        let oracle = build_index(MethodKind::Ggsx, &config, &live);
+        for (record, query) in report.records.iter().zip(queries.iter()) {
+            assert_eq!(record.answers, oracle.query(&live, query).answers);
+        }
     }
 }

@@ -73,6 +73,23 @@ impl Router {
         &self.synopses[shard]
     }
 
+    /// Widens one shard's synopsis in place with a newly inserted graph.
+    /// Widening preserves the no-false-negative contract trivially: every
+    /// bound only grows, so previously admitted queries stay admitted and
+    /// the new graph's own subgraphs are now dominated too.
+    pub fn absorb(&mut self, shard: usize, g: &GraphSynopsis) {
+        self.synopses[shard].absorb(g);
+    }
+
+    /// Replaces one shard's synopsis wholesale — the removal path, which
+    /// recomputes from the shard's live contents. The caller must supply a
+    /// synopsis that still dominates every *live* graph (recomputing via
+    /// [`ShardSynopsis::of`] over the mutated dataset does, because dead
+    /// slots hold empty placeholder graphs that widen nothing).
+    pub fn replace(&mut self, shard: usize, synopsis: ShardSynopsis) {
+        self.synopses[shard] = synopsis;
+    }
+
     /// Estimated heap bytes of all shard synopses — the memory the routing
     /// tier adds on top of the per-shard indexes.
     pub fn memory_bytes(&self) -> usize {

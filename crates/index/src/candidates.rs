@@ -270,6 +270,16 @@ impl PostingList {
         self.ids.is_empty()
     }
 
+    /// Appends an id strictly larger than every stored id — the online
+    /// insert path, where a new graph's id is always the dataset maximum.
+    pub fn append_max(&mut self, id: GraphId) {
+        debug_assert!(
+            self.ids.last().is_none_or(|&last| last < id),
+            "append_max requires a new maximum id"
+        );
+        self.ids.push(id);
+    }
+
     /// Narrows `set` to the ids also present in this list (streaming, no
     /// allocation).
     pub fn intersect_into(&self, set: &mut CandidateSet) {
@@ -284,6 +294,105 @@ impl PostingList {
     /// Estimated heap bytes.
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.ids.capacity() * std::mem::size_of::<GraphId>()
+    }
+
+    /// Drops every tombstoned id from the list — the lazy-compaction step
+    /// of the mutable-index contract. Posting payloads keep dead ids until
+    /// [`Tombstones::should_compact`] trips; until then the per-query
+    /// [`Tombstones::apply`] mask keeps them out of candidate sets.
+    pub fn compact(&mut self, dead: &Tombstones) {
+        if dead.is_empty() {
+            return;
+        }
+        self.ids.retain(|&id| !dead.contains(id));
+    }
+}
+
+/// The dead-id mask every mutable index carries: a sorted list of removed
+/// graph ids over the (dense, stable) id space of its dataset.
+///
+/// Removal is two-phase. [`Tombstones::mark`] records the dead id; every
+/// `filter_into` path then ends with [`Tombstones::apply`], which clears
+/// dead bits from the candidate set — this covers posting payloads that
+/// still mention the id *and* the "unconstrained → full set" fallbacks
+/// (Scan, folds with no indexed feature). When the mask grows past
+/// [`Tombstones::should_compact`], the owning index purges its payloads
+/// ([`PostingList::compact`], trie purge, …) — but the mask itself is
+/// **kept**, because the full-set fallbacks never consult payloads at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tombstones {
+    dead: Vec<GraphId>,
+}
+
+impl Tombstones {
+    /// An empty mask.
+    pub fn new() -> Self {
+        Tombstones::default()
+    }
+
+    /// Builds the mask from an already-sorted dead id slice (the shape
+    /// `Dataset::dead_ids` hands out, so an index built over a previously
+    /// mutated dataset starts consistent).
+    pub fn from_sorted(dead: &[GraphId]) -> Self {
+        debug_assert!(
+            dead.windows(2).all(|w| w[0] < w[1]),
+            "dead ids must be strictly ascending"
+        );
+        Tombstones {
+            dead: dead.to_vec(),
+        }
+    }
+
+    /// Marks `id` dead. Returns `false` when it already was.
+    pub fn mark(&mut self, id: GraphId) -> bool {
+        match self.dead.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.dead.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// `true` when `id` has been removed.
+    pub fn contains(&self, id: GraphId) -> bool {
+        self.dead.binary_search(&id).is_ok()
+    }
+
+    /// Number of dead ids.
+    pub fn len(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// `true` when nothing has been removed.
+    pub fn is_empty(&self) -> bool {
+        self.dead.is_empty()
+    }
+
+    /// The dead ids, ascending.
+    pub fn ids(&self) -> &[GraphId] {
+        &self.dead
+    }
+
+    /// Clears every dead bit from `out` — the mandatory last step of every
+    /// `filter_into` path of a mutable index.
+    pub fn apply(&self, out: &mut CandidateSet) {
+        for &id in &self.dead {
+            if id < out.universe() {
+                out.remove(id);
+            }
+        }
+    }
+
+    /// `true` when the mask is large enough (both absolutely and relative
+    /// to `universe`) that payload compaction pays for itself.
+    pub fn should_compact(&self, universe: usize) -> bool {
+        self.dead.len() >= 32 && self.dead.len() * 8 >= universe
+    }
+
+    /// Estimated heap bytes.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.dead.capacity() * std::mem::size_of::<GraphId>()
     }
 }
 
@@ -572,6 +681,50 @@ mod tests {
         assert_eq!(set.to_sorted_vec(), vec![3, 7, 9]);
         assert_eq!(p.to_candidate_set(10).to_sorted_vec(), vec![3, 7, 9]);
         assert!(PostingList::default().is_empty());
+    }
+
+    #[test]
+    fn tombstones_mark_apply_and_compact() {
+        let mut dead = Tombstones::new();
+        assert!(dead.is_empty());
+        assert!(dead.mark(5));
+        assert!(dead.mark(2));
+        assert!(!dead.mark(5), "double-remove is a no-op");
+        assert_eq!(dead.ids(), &[2, 5]);
+        assert!(dead.contains(2) && !dead.contains(3));
+
+        // apply clears dead bits, including on the full-set fallback path.
+        let mut set = CandidateSet::full(8);
+        dead.apply(&mut set);
+        assert_eq!(set.to_sorted_vec(), vec![0, 1, 3, 4, 6, 7]);
+        // Dead ids above a smaller universe are ignored, not a panic.
+        let mut small = CandidateSet::full(4);
+        dead.apply(&mut small);
+        assert_eq!(small.to_sorted_vec(), vec![0, 1, 3]);
+
+        // Posting compaction drops dead ids; the mask survives it.
+        let mut posting = PostingList::from_sorted(vec![1, 2, 4, 5, 7]);
+        posting.compact(&dead);
+        assert_eq!(posting.as_slice(), &[1, 4, 7]);
+        assert_eq!(dead.len(), 2);
+
+        // from_sorted round-trips the dataset's dead-id slice.
+        assert_eq!(Tombstones::from_sorted(&[2, 5]), dead);
+    }
+
+    #[test]
+    fn tombstones_compaction_threshold() {
+        let mut dead = Tombstones::new();
+        for id in 0..31 {
+            dead.mark(id);
+        }
+        assert!(!dead.should_compact(100), "below the absolute floor");
+        dead.mark(31);
+        assert!(dead.should_compact(100), "32 dead of 100 is worth purging");
+        assert!(
+            !dead.should_compact(10_000),
+            "32 dead of 10k is not worth a payload sweep"
+        );
     }
 
     #[test]

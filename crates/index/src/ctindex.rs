@@ -12,7 +12,7 @@
 //! extra ordering heuristics, which is how CT-Index compensates for the
 //! filtering power lost to hash collisions.
 
-use crate::candidates::CandidateSet;
+use crate::candidates::{CandidateSet, Tombstones};
 use crate::config::CtIndexConfig;
 use crate::fcache::FilterCacheCtx;
 use crate::{GraphIndex, IndexStats, MethodKind};
@@ -30,6 +30,10 @@ pub struct CtIndex {
     fingerprints: Vec<Fingerprint>,
     /// Total number of (non-distinct) features hashed, for statistics.
     hashed_features: usize,
+    /// Removed ids. A dead slot's fingerprint is swapped for an empty one
+    /// (which still `covers()` an empty query fingerprint), so the mask —
+    /// not the fingerprint — is what keeps dead ids out of candidates.
+    tombstones: Tombstones,
 }
 
 impl CtIndex {
@@ -43,6 +47,7 @@ impl CtIndex {
             fingerprints.push(fp);
         }
         CtIndex {
+            tombstones: Tombstones::from_sorted(dataset.dead_ids()),
             config,
             fingerprints,
             hashed_features,
@@ -85,6 +90,25 @@ impl GraphIndex for CtIndex {
         self.fingerprints.len()
     }
 
+    fn insert(&mut self, graph: &Graph) -> GraphId {
+        let id = self.fingerprints.len();
+        let (fp, count) = Self::fingerprint_of(graph, &self.config);
+        self.hashed_features += count;
+        self.fingerprints.push(fp);
+        id
+    }
+
+    fn remove(&mut self, id: GraphId) -> bool {
+        if id >= self.fingerprints.len() || !self.tombstones.mark(id) {
+            return false;
+        }
+        // Eager per-slot compaction: the fingerprint is dense per-graph
+        // state (512 B at the paper's width), so reclaim it immediately
+        // rather than waiting for a threshold sweep.
+        self.fingerprints[id] = Fingerprint::new(self.config.fingerprint_bits);
+        true
+    }
+
     fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
         let (query_fp, _) = Self::fingerprint_of(query, &self.config);
         // A single id-ordered scan with no intersection stage: each covering
@@ -95,6 +119,7 @@ impl GraphIndex for CtIndex {
                 out.insert(gid);
             }
         }
+        self.tombstones.apply(out);
     }
 
     fn filter_into_cached(
@@ -273,6 +298,37 @@ mod tests {
         let expected = ds.len() * (4096 / 8);
         let size = idx.stats().size_bytes;
         assert!(size >= expected && size <= expected * 2);
+    }
+
+    #[test]
+    fn insert_and_remove_track_rebuild_answers() {
+        let mut ds = dataset();
+        let mut idx = CtIndex::build(&ds, CtIndexConfig::default());
+        let extra = GraphBuilder::new("extra")
+            .vertices(&[1, 2, 3, 3])
+            .edges(&[(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
+        assert_eq!(idx.insert(&extra), 3);
+        ds.push(extra);
+        assert!(idx.remove(1));
+        assert!(!idx.remove(1));
+        ds.remove(1);
+
+        let rebuilt = CtIndex::build(&ds, CtIndexConfig::default());
+        for (labels, edges) in [
+            (vec![1u32, 2], vec![(0usize, 1usize)]),
+            (vec![2, 3], vec![(0, 1)]),
+            (vec![1, 1, 2], vec![(0, 1), (1, 2), (2, 0)]),
+        ] {
+            let q = query(&labels, &edges);
+            assert_eq!(idx.query(&ds, &q).answers, rebuilt.query(&ds, &q).answers);
+            assert_eq!(idx.query(&ds, &q).answers, exhaustive_answers(&ds, &q));
+        }
+        // The empty query exercises the "empty fingerprint covers empty
+        // query" corner: only the tombstone mask keeps id 1 out.
+        let empty = idx.query(&ds, &Graph::new("empty"));
+        assert_eq!(empty.answers, vec![0, 2, 3]);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! eigenvalues are stored — as in gCode — but serve no pruning purpose
 //! here. This keeps the filter free of false dismissals.
 
-use crate::candidates::CandidateSet;
+use crate::candidates::{CandidateSet, Tombstones};
 use crate::config::GCodeConfig;
 use crate::fcache::FilterCacheCtx;
 use crate::{GraphIndex, IndexStats, MethodKind};
@@ -280,6 +280,10 @@ fn normalize(x: &mut [f64]) -> f64 {
 pub struct GCodeIndex {
     config: GCodeConfig,
     codes: Vec<GraphCode>,
+    /// Removed ids. A dead slot's code is swapped for an empty-graph code
+    /// (which still covers an empty query), so the mask — not the code —
+    /// keeps dead ids out of candidates.
+    tombstones: Tombstones,
 }
 
 impl GCodeIndex {
@@ -290,7 +294,11 @@ impl GCodeIndex {
             .iter()
             .map(|g| GraphCode::of(g, &config))
             .collect();
-        GCodeIndex { config, codes }
+        GCodeIndex {
+            tombstones: Tombstones::from_sorted(dataset.dead_ids()),
+            config,
+            codes,
+        }
     }
 
     /// The configuration the index was built with.
@@ -313,6 +321,22 @@ impl GraphIndex for GCodeIndex {
         self.codes.len()
     }
 
+    fn insert(&mut self, graph: &Graph) -> GraphId {
+        let id = self.codes.len();
+        self.codes.push(GraphCode::of(graph, &self.config));
+        id
+    }
+
+    fn remove(&mut self, id: GraphId) -> bool {
+        if id >= self.codes.len() || !self.tombstones.mark(id) {
+            return false;
+        }
+        // Eager per-slot compaction: the code is dense per-graph state
+        // (signatures per vertex), so reclaim it immediately.
+        self.codes[id] = GraphCode::of(&Graph::new("<dead>"), &self.config);
+        true
+    }
+
     fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
         let query_code = GraphCode::of(query, &self.config);
         // A single id-ordered scan with no intersection stage: each graph
@@ -323,6 +347,7 @@ impl GraphIndex for GCodeIndex {
                 out.insert(gid);
             }
         }
+        self.tombstones.apply(out);
     }
 
     fn filter_into_cached(
@@ -490,5 +515,34 @@ mod tests {
         let idx = GCodeIndex::build(&ds, GCodeConfig::default());
         let outcome = idx.query(&ds, &Graph::new("empty"));
         assert_eq!(outcome.answers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn insert_and_remove_track_rebuild_answers() {
+        let mut ds = dataset();
+        let mut idx = GCodeIndex::build(&ds, GCodeConfig::default());
+        let extra = GraphBuilder::new("extra")
+            .vertices(&[1, 2, 3])
+            .edges(&[(0, 1), (0, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(idx.insert(&extra), 3);
+        ds.push(extra);
+        assert!(idx.remove(0));
+        assert!(!idx.remove(0));
+        ds.remove(0);
+
+        let rebuilt = GCodeIndex::build(&ds, GCodeConfig::default());
+        for (labels, edges) in [
+            (vec![1u32, 2], vec![(0usize, 1usize)]),
+            (vec![1, 2, 3], vec![(0, 1), (1, 2)]),
+            (vec![2, 1, 1], vec![(0, 1), (0, 2)]),
+        ] {
+            let q = query(&labels, &edges);
+            assert_eq!(idx.query(&ds, &q).answers, rebuilt.query(&ds, &q).answers);
+            assert_eq!(idx.query(&ds, &q).answers, exhaustive_answers(&ds, &q));
+        }
+        let empty = idx.query(&ds, &Graph::new("empty"));
+        assert_eq!(empty.answers, vec![1, 2, 3], "dead id 0 masked out");
     }
 }

@@ -11,7 +11,7 @@
 //! occurrences than the query requires, and verifies the surviving
 //! candidates with VF2.
 
-use crate::candidates::{ArenaFold, CandidateSet};
+use crate::candidates::{ArenaFold, CandidateSet, Tombstones};
 use crate::config::GgsxConfig;
 use crate::fcache::FilterCacheCtx;
 use crate::path_trie::PathTrie;
@@ -78,6 +78,9 @@ pub struct GgsxIndex {
     config: GgsxConfig,
     trie: PathTrie,
     graph_count: usize,
+    /// Removed ids; trie payloads are purged lazily once the mask passes
+    /// the compaction threshold.
+    tombstones: Tombstones,
 }
 
 impl GgsxIndex {
@@ -93,6 +96,7 @@ impl GgsxIndex {
             config,
             trie,
             graph_count: dataset.len(),
+            tombstones: Tombstones::from_sorted(dataset.dead_ids()),
         }
     }
 
@@ -155,11 +159,32 @@ impl GraphIndex for GgsxIndex {
         self.graph_count
     }
 
+    fn insert(&mut self, graph: &Graph) -> GraphId {
+        let gid = self.graph_count;
+        for_each_path(graph, self.config.max_path_edges, |labels, start| {
+            self.trie.insert(labels, gid, start);
+        });
+        self.graph_count += 1;
+        gid
+    }
+
+    fn remove(&mut self, id: GraphId) -> bool {
+        if id >= self.graph_count || !self.tombstones.mark(id) {
+            return false;
+        }
+        if self.tombstones.should_compact(self.graph_count) {
+            self.trie.purge(self.tombstones.ids());
+        }
+        true
+    }
+
     fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
         let query_counts = Self::query_path_counts(query, self.config.max_path_edges);
         // The borrowed arena is narrowed in place, one feature stream at a
         // time — no per-feature (or per-query) Vec. An empty query applies
-        // no constraint and finishes as the full set.
+        // no constraint and finishes as the full set. The early returns
+        // leave the set empty, so the tombstone mask only matters on the
+        // completed fold.
         let mut fold = ArenaFold::new(out, self.graph_count);
         for (labels, &query_count) in query_counts.iter() {
             let Some(matching) = self.trie.candidates_with_count(labels, query_count) else {
@@ -171,6 +196,7 @@ impl GraphIndex for GgsxIndex {
             }
         }
         fold.finish();
+        self.tombstones.apply(out);
     }
 
     fn filter_into_cached(
@@ -181,6 +207,7 @@ impl GraphIndex for GgsxIndex {
     ) {
         let query_counts = Self::query_path_counts(query, self.config.max_path_edges);
         fold_trie_cached(&self.trie, self.graph_count, &query_counts, out, ctx);
+        self.tombstones.apply(out);
     }
 
     fn stats(&self) -> IndexStats {
@@ -302,6 +329,36 @@ mod tests {
         let idx = GgsxIndex::build(&ds, GgsxConfig::default());
         let q = query(&[3], &[]);
         assert_eq!(idx.query(&ds, &q).answers, vec![1]);
+    }
+
+    #[test]
+    fn insert_and_remove_track_rebuild_answers() {
+        let mut ds = dataset();
+        let mut idx = GgsxIndex::build(&ds, GgsxConfig::default());
+        let extra = GraphBuilder::new("extra")
+            .vertices(&[1, 2, 3, 3])
+            .edges(&[(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
+        assert_eq!(idx.insert(&extra), 3);
+        ds.push(extra);
+        assert!(idx.remove(1));
+        assert!(!idx.remove(1));
+        ds.remove(1);
+
+        let rebuilt = GgsxIndex::build(&ds, GgsxConfig::default());
+        for (labels, edges) in [
+            (vec![1u32, 2], vec![(0usize, 1usize)]),
+            (vec![1, 2, 3], vec![(0, 1), (1, 2)]),
+            (vec![2, 1, 1], vec![(0, 1), (0, 2)]),
+        ] {
+            let q = query(&labels, &edges);
+            assert_eq!(idx.query(&ds, &q).answers, rebuilt.query(&ds, &q).answers);
+            assert_eq!(idx.query(&ds, &q).answers, exhaustive_answers(&ds, &q));
+        }
+        // The empty query takes the unconstrained → full-set path: only the
+        // tombstone mask keeps the dead id out.
+        assert_eq!(idx.filter(&Graph::new("empty")), vec![0, 2, 3]);
     }
 
     #[test]

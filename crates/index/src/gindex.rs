@@ -15,7 +15,7 @@
 //! retained by mining simply contribute no constraint. Verification uses the
 //! shared VF2 first-match verifier.
 
-use crate::candidates::{ArenaFold, CandidateSet};
+use crate::candidates::{ArenaFold, CandidateSet, Tombstones};
 use crate::config::GIndexConfig;
 use crate::fcache::FilterCacheCtx;
 use crate::{GraphIndex, IndexStats, MethodKind};
@@ -30,6 +30,9 @@ pub struct GIndex {
     config: GIndexConfig,
     features: MinedFeatures,
     graph_count: usize,
+    /// Removed ids; posting payloads are compacted lazily once the mask
+    /// passes the compaction threshold.
+    tombstones: Tombstones,
 }
 
 impl GIndex {
@@ -47,6 +50,7 @@ impl GIndex {
             config,
             features,
             graph_count: dataset.len(),
+            tombstones: Tombstones::from_sorted(dataset.dead_ids()),
         }
     }
 
@@ -102,6 +106,39 @@ impl GraphIndex for GIndex {
         self.graph_count
     }
 
+    fn insert(&mut self, graph: &Graph) -> GraphId {
+        let gid = self.graph_count;
+        // The mined feature set stays frozen (re-mining on every insert
+        // would be the full build cost); the new graph only joins the
+        // supports of features it contains. That can leave the candidate
+        // sets of *future* queries looser than a from-scratch re-mine would
+        // — sound, since verification is exact — but never misses: any
+        // indexed fragment the new graph contains now posts it.
+        let miner = FrequentMiner::new(self.mining_config());
+        for key in miner.enumerate_graph(graph).keys() {
+            if let Some(feature) = self.features.get_mut(key) {
+                // gid is the largest id ever issued, so the push keeps the
+                // support list sorted.
+                feature.supporting_graphs.push(gid);
+            }
+        }
+        self.graph_count += 1;
+        gid
+    }
+
+    fn remove(&mut self, id: GraphId) -> bool {
+        if id >= self.graph_count || !self.tombstones.mark(id) {
+            return false;
+        }
+        if self.tombstones.should_compact(self.graph_count) {
+            let dead = &self.tombstones;
+            for feature in self.features.values_mut() {
+                feature.supporting_graphs.retain(|g| !dead.contains(*g));
+            }
+        }
+        true
+    }
+
     fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
         // Enumerate the query's fragments with the same enumerator used at
         // build time, then intersect the id lists of those present in the
@@ -119,6 +156,7 @@ impl GraphIndex for GIndex {
             }
         }
         fold.finish();
+        self.tombstones.apply(out);
     }
 
     fn filter_into_cached(
@@ -155,6 +193,7 @@ impl GraphIndex for GIndex {
             }
         }
         fold.finish();
+        self.tombstones.apply(out);
     }
 
     fn stats(&self) -> IndexStats {
@@ -298,5 +337,40 @@ mod tests {
         let outcome = idx.query(&ds, &Graph::new("empty"));
         assert_eq!(outcome.candidates, vec![0, 1, 2]);
         assert_eq!(outcome.answers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn insert_and_remove_track_rebuild_answers() {
+        let mut ds = dataset();
+        let mut idx = GIndex::build(&ds, test_config());
+        let extra = GraphBuilder::new("extra")
+            .vertices(&[1, 1, 2])
+            .edges(&[(0, 1), (1, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(idx.insert(&extra), 3);
+        ds.push(extra);
+        assert!(idx.remove(0));
+        assert!(!idx.remove(0));
+        ds.remove(0);
+
+        // Candidate sets may differ from a re-mined index (the feature set
+        // is frozen at build time) — verified answers must not.
+        let rebuilt = GIndex::build(&ds, test_config());
+        for (labels, edges) in [
+            (vec![1u32, 2], vec![(0usize, 1usize)]),
+            (vec![1, 1], vec![(0, 1)]),
+            (vec![1, 1, 2], vec![(0, 1), (1, 2), (2, 0)]),
+            (vec![2, 1, 1], vec![(0, 1), (0, 2)]),
+        ] {
+            let q = query(&labels, &edges);
+            assert_eq!(idx.query(&ds, &q).answers, rebuilt.query(&ds, &q).answers);
+            assert_eq!(idx.query(&ds, &q).answers, exhaustive_answers(&ds, &q));
+        }
+        assert_eq!(
+            idx.query(&ds, &Graph::new("empty")).answers,
+            vec![1, 2, 3],
+            "dead id masked on the unconstrained path"
+        );
     }
 }

@@ -23,7 +23,7 @@
 //! match (the original GRAPES code enumerated all matches; the authors
 //! patched it for the study, and we implement the patched semantics).
 
-use crate::candidates::{ArenaFold, CandidateSet};
+use crate::candidates::{ArenaFold, CandidateSet, Tombstones};
 use crate::config::GrapesConfig;
 use crate::fcache::FilterCacheCtx;
 use crate::ggsx::{fold_trie_cached, GgsxIndex};
@@ -40,6 +40,9 @@ pub struct GrapesIndex {
     config: GrapesConfig,
     trie: PathTrie,
     graph_count: usize,
+    /// Removed ids; trie payloads are purged lazily once the mask passes
+    /// the compaction threshold.
+    tombstones: Tombstones,
 }
 
 impl GrapesIndex {
@@ -76,6 +79,7 @@ impl GrapesIndex {
             config,
             trie,
             graph_count: dataset.len(),
+            tombstones: Tombstones::from_sorted(dataset.dead_ids()),
         }
     }
 
@@ -115,6 +119,7 @@ impl GrapesIndex {
         let query_counts = GgsxIndex::query_path_counts(query, self.config.max_path_edges);
         let mut survivors = CandidateSet::empty(self.graph_count);
         self.fold_candidates(&query_counts, &mut survivors);
+        self.tombstones.apply(&mut survivors);
         let locations = self.locations_for(&query_counts, &survivors);
         (survivors.to_sorted_vec(), locations)
     }
@@ -209,6 +214,25 @@ impl GraphIndex for GrapesIndex {
         self.graph_count
     }
 
+    fn insert(&mut self, graph: &Graph) -> GraphId {
+        let gid = self.graph_count;
+        for_each_path(graph, self.config.max_path_edges, |labels, start| {
+            self.trie.insert(labels, gid, start);
+        });
+        self.graph_count += 1;
+        gid
+    }
+
+    fn remove(&mut self, id: GraphId) -> bool {
+        if id >= self.graph_count || !self.tombstones.mark(id) {
+            return false;
+        }
+        if self.tombstones.should_compact(self.graph_count) {
+            self.trie.purge(self.tombstones.ids());
+        }
+        true
+    }
+
     fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
         // Same count-pruning fold as GGSX (identical trie contents); the
         // location information is *not* computed here — the verification
@@ -216,6 +240,7 @@ impl GraphIndex for GrapesIndex {
         // so the borrowed-set fast path stays allocation-free.
         let query_counts = GgsxIndex::query_path_counts(query, self.config.max_path_edges);
         self.fold_candidates(&query_counts, out);
+        self.tombstones.apply(out);
     }
 
     fn filter_into_cached(
@@ -229,6 +254,7 @@ impl GraphIndex for GrapesIndex {
         // a verification-time concern and is never cached.
         let query_counts = GgsxIndex::query_path_counts(query, self.config.max_path_edges);
         fold_trie_cached(&self.trie, self.graph_count, &query_counts, out, ctx);
+        self.tombstones.apply(out);
     }
 
     fn verify_set(
@@ -525,6 +551,34 @@ mod tests {
         let grapes = GrapesIndex::build(&ds, GrapesConfig::default());
         let ggsx = crate::ggsx::GgsxIndex::build(&ds, crate::GgsxConfig::default());
         assert!(grapes.stats().size_bytes >= ggsx.stats().size_bytes);
+    }
+
+    #[test]
+    fn insert_and_remove_track_rebuild_answers() {
+        let mut ds = dataset();
+        let mut idx = GrapesIndex::build(&ds, GrapesConfig::default());
+        let extra = GraphBuilder::new("extra")
+            .vertices(&[1, 2, 3, 3])
+            .edges(&[(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
+        assert_eq!(idx.insert(&extra), 4);
+        ds.push(extra);
+        assert!(idx.remove(0));
+        assert!(!idx.remove(0));
+        ds.remove(0);
+
+        let rebuilt = GrapesIndex::build(&ds, GrapesConfig::default());
+        for (labels, edges) in [
+            (vec![1u32, 2], vec![(0usize, 1usize)]),
+            (vec![1, 2, 3], vec![(0, 1), (1, 2)]),
+            (vec![3, 3], vec![(0, 1)]),
+            (vec![1, 1], vec![(0, 1)]),
+        ] {
+            let q = query(&labels, &edges);
+            assert_eq!(idx.query(&ds, &q).answers, rebuilt.query(&ds, &q).answers);
+            assert_eq!(idx.query(&ds, &q).answers, exhaustive_answers(&ds, &q));
+        }
     }
 
     #[test]

@@ -56,6 +56,23 @@
 //! uncached filtering produce bit-identical candidate sets. Methods whose
 //! filters are direct id-ordered scans (CT-Index, gCode, the scan
 //! baseline) explicitly opt out by delegating to `filter_into`.
+//!
+//! ## Online ingest
+//!
+//! Every index is mutable through [`GraphIndex::insert`] /
+//! [`GraphIndex::remove`], mirroring the mutation surface of
+//! [`sqbench_graph::Dataset`] (dense stable ids: insert appends the next
+//! id, remove tombstones a slot). Inserts extend the method's payloads
+//! incrementally — trie/posting appends for the path and mined-feature
+//! methods, per-graph fingerprint/signature appends for the scan-shaped
+//! ones. Removals are two-phase: a shared [`candidates::Tombstones`] mask
+//! is applied at the end of every `filter_into` path immediately, and the
+//! payloads themselves are compacted lazily once the mask passes
+//! [`candidates::Tombstones::should_compact`]. The answer contract is
+//! exact-by-verification: a mutated index may grow a *different* (still
+//! sound) candidate set than a from-scratch rebuild — gIndex keeps its
+//! mined feature set frozen, Tree+Δ keeps learned Δs — but verified
+//! answers are always identical.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -75,7 +92,7 @@ pub mod treedelta;
 use sqbench_graph::{Dataset, Graph, GraphId};
 use sqbench_iso::{MatchState, Vf2Matcher};
 
-pub use candidates::{ArenaFold, CandidateFold, CandidateSet, PostingList};
+pub use candidates::{ArenaFold, CandidateFold, CandidateSet, PostingList, Tombstones};
 pub use config::{
     CtIndexConfig, GCodeConfig, GIndexConfig, GgsxConfig, GrapesConfig, MethodConfig,
     TreeDeltaConfig,
@@ -177,8 +194,27 @@ pub trait GraphIndex: Send + Sync {
     fn kind(&self) -> MethodKind;
 
     /// Number of graphs in the dataset this index was built over — the
-    /// universe every candidate set for this index ranges over.
+    /// universe every candidate set for this index ranges over. Includes
+    /// tombstoned (removed) slots: ids are dense and stable under mutation.
     fn universe(&self) -> usize;
+
+    /// Incrementally indexes `graph` as the next graph id (which is the
+    /// current [`GraphIndex::universe`]) and returns that id. The caller
+    /// must push the same graph onto the backing dataset
+    /// ([`sqbench_graph::Dataset::push`]) so ids stay aligned — the serving
+    /// layer (`ShardedService::insert_graph` in the harness) does both
+    /// sides and invalidates caches.
+    ///
+    /// Methods extend their payloads in place (posting/trie append,
+    /// fingerprint push); none rebuilds from scratch on insert.
+    fn insert(&mut self, graph: &Graph) -> GraphId;
+
+    /// Removes graph `id` from the index. Returns `false` when `id` is out
+    /// of range or already removed. The id stays allocated (dense stable
+    /// ids): the index tombstones it, every subsequent filter masks it out,
+    /// and payload storage is compacted lazily once tombstones accumulate
+    /// ([`Tombstones::should_compact`]).
+    fn remove(&mut self, id: GraphId) -> bool;
 
     /// Borrowed-set filtering stage: resets `out` to [`GraphIndex::universe`]
     /// and narrows it to the candidate set of `query`, reusing the arena's

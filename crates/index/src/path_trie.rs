@@ -192,6 +192,23 @@ impl PathTrie {
         }
     }
 
+    /// Removes every payload entry of the given (sorted) dead graph ids —
+    /// the trie side of lazy tombstone compaction. Node structure is kept
+    /// (re-inserting a label sequence reuses it); `inserted_paths` is
+    /// decremented by the traversal counts that disappear.
+    pub fn purge(&mut self, dead: &[GraphId]) {
+        if dead.is_empty() {
+            return;
+        }
+        for node in &mut self.nodes {
+            for &gid in dead {
+                if let Some(entry) = node.graphs.remove(&gid) {
+                    self.inserted_paths -= entry.count as usize;
+                }
+            }
+        }
+    }
+
     /// Estimated heap bytes used by the trie.
     pub fn memory_bytes(&self) -> usize {
         self.nodes
@@ -276,6 +293,28 @@ mod tests {
         assert_eq!(a.lookup(&[2, 2]).unwrap()[&1].count, 1);
         assert_eq!(a.lookup(&[1, 3]).unwrap()[&0].count, 1);
         assert_eq!(a.inserted_paths(), 4);
+    }
+
+    #[test]
+    fn purge_drops_dead_graphs_but_keeps_structure() {
+        let mut trie = PathTrie::new(true);
+        trie.insert(&[1, 2], 0, 0);
+        trie.insert(&[1, 2], 1, 3);
+        trie.insert(&[1, 2], 1, 4);
+        trie.insert(&[2, 2], 1, 0);
+        trie.insert(&[1, 3], 2, 1);
+        let nodes = trie.node_count();
+        trie.purge(&[1]);
+        assert_eq!(trie.lookup(&[1, 2]).unwrap().len(), 1);
+        assert!(trie.lookup(&[1, 2]).unwrap().contains_key(&0));
+        assert!(trie.lookup(&[2, 2]).is_none(), "graph 1 was its only owner");
+        assert_eq!(trie.lookup(&[1, 3]).unwrap()[&2].count, 1);
+        assert_eq!(trie.inserted_paths(), 2, "graph 1's traversals subtracted");
+        assert_eq!(trie.node_count(), nodes, "structure survives the purge");
+        // Re-inserting after a purge reuses the surviving nodes.
+        trie.insert(&[2, 2], 3, 7);
+        assert_eq!(trie.node_count(), nodes);
+        assert_eq!(trie.lookup(&[2, 2]).unwrap()[&3].count, 1);
     }
 
     #[test]

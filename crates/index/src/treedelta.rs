@@ -17,7 +17,7 @@
 //! grows — and its filtering improves — as the workload exercises cyclic
 //! queries.
 
-use crate::candidates::{ArenaFold, CandidateSet, PostingList};
+use crate::candidates::{ArenaFold, CandidateSet, PostingList, Tombstones};
 use crate::config::TreeDeltaConfig;
 use crate::fcache::FilterCacheCtx;
 use crate::{GraphIndex, IndexStats, MethodKind};
@@ -31,42 +31,59 @@ use sqbench_iso::{MatchState, Vf2Matcher};
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
+/// One learned Δ feature: the cycle fragment is kept alongside its support
+/// so online inserts can test new graphs for containment and keep the
+/// support covering the whole dataset.
+#[derive(Debug, Clone)]
+struct DeltaFeature {
+    fragment: Graph,
+    support: PostingList,
+}
+
 /// The Tree+Δ index.
 pub struct TreeDeltaIndex {
     config: TreeDeltaConfig,
     /// Mined frequent tree features.
     tree_features: MinedFeatures,
     /// Cycle-based Δ features added during query processing: canonical
-    /// cycle key → posting list of **all** dataset graphs containing the
-    /// cycle. Supports must cover the whole dataset, not just the learning
-    /// query's candidates — a candidate-scoped list would falsely dismiss
-    /// graphs for later queries that share the cycle but not the learning
-    /// query's trees.
-    delta_features: RwLock<BTreeMap<FeatureKey, PostingList>>,
+    /// cycle key → the cycle fragment plus the posting list of **all**
+    /// dataset graphs containing it. Supports must cover the whole dataset,
+    /// not just the learning query's candidates — a candidate-scoped list
+    /// would falsely dismiss graphs for later queries that share the cycle
+    /// but not the learning query's trees.
+    delta_features: RwLock<BTreeMap<FeatureKey, DeltaFeature>>,
     /// A copy of the dataset graphs' ids (the Δ discovery step needs to test
     /// candidate graphs for cycle containment; it uses the dataset passed to
     /// `query`, so only the count is stored here).
     graph_count: usize,
+    /// Removed ids; tree and Δ payloads are compacted lazily once the mask
+    /// passes the compaction threshold.
+    tombstones: Tombstones,
 }
 
 impl TreeDeltaIndex {
     /// Builds the initial (tree-only) index over a dataset.
     pub fn build(dataset: &Dataset, config: TreeDeltaConfig) -> Self {
-        let mining = MiningConfig {
-            max_feature_edges: config.max_feature_edges,
-            min_support_ratio: config.min_support_ratio,
-            // Tree+Δ's published discriminative formula differs from
-            // gIndex's; the study configures it permissively (0.1), which in
-            // our shared-ratio formulation means "keep all frequent trees".
-            discriminative_ratio: 1.0,
-            kind: FeatureKind::Tree,
-        };
-        let tree_features = FrequentMiner::new(mining).mine(dataset);
+        let tree_features = FrequentMiner::new(Self::mining_config(&config)).mine(dataset);
         TreeDeltaIndex {
+            tombstones: Tombstones::from_sorted(dataset.dead_ids()),
             config,
             tree_features,
             delta_features: RwLock::new(BTreeMap::new()),
             graph_count: dataset.len(),
+        }
+    }
+
+    /// The mining configuration of the tree stage. Tree+Δ's published
+    /// discriminative formula differs from gIndex's; the study configures
+    /// it permissively (0.1), which in our shared-ratio formulation means
+    /// "keep all frequent trees".
+    fn mining_config(config: &TreeDeltaConfig) -> MiningConfig {
+        MiningConfig {
+            max_feature_edges: config.max_feature_edges,
+            min_support_ratio: config.min_support_ratio,
+            discriminative_ratio: 1.0,
+            kind: FeatureKind::Tree,
         }
     }
 
@@ -92,6 +109,7 @@ impl TreeDeltaIndex {
     pub fn filter_trees_only(&self, query: &Graph) -> Vec<GraphId> {
         let mut set = CandidateSet::empty(self.graph_count);
         self.tree_candidates_into(query, &mut set);
+        self.tombstones.apply(&mut set);
         set.to_sorted_vec()
     }
 
@@ -134,8 +152,8 @@ impl TreeDeltaIndex {
             candidates.unwrap_or_else(|| (0..self.graph_count).collect::<Vec<GraphId>>());
         let delta = self.delta_features.read().expect("delta lock poisoned");
         for cycle in enumerate_cycle_instances(query, self.config.max_cycle_edges) {
-            if let Some(support) = delta.get(&cycle.key) {
-                candidates = crate::intersect_sorted(&candidates, support.as_slice());
+            if let Some(feature) = delta.get(&cycle.key) {
+                candidates = crate::intersect_sorted(&candidates, feature.support.as_slice());
                 if candidates.is_empty() {
                     break;
                 }
@@ -151,8 +169,8 @@ impl TreeDeltaIndex {
             return;
         }
         for cycle in enumerate_cycle_instances(query, self.config.max_cycle_edges) {
-            if let Some(support) = delta.get(&cycle.key) {
-                support.intersect_into(candidates);
+            if let Some(feature) = delta.get(&cycle.key) {
+                feature.support.intersect_into(candidates);
                 if candidates.is_empty() {
                     break;
                 }
@@ -225,7 +243,13 @@ impl TreeDeltaIndex {
                 self.delta_features
                     .write()
                     .expect("delta lock poisoned")
-                    .insert(cycle.key.clone(), PostingList::from_sorted(support));
+                    .insert(
+                        cycle.key.clone(),
+                        DeltaFeature {
+                            fragment,
+                            support: PostingList::from_sorted(support),
+                        },
+                    );
                 narrowed = contained_in_narrowed;
                 if narrowed.is_empty() {
                     break;
@@ -245,10 +269,59 @@ impl GraphIndex for TreeDeltaIndex {
         self.graph_count
     }
 
+    fn insert(&mut self, graph: &Graph) -> GraphId {
+        let gid = self.graph_count;
+        // Tree stage: the mined feature set stays frozen (like gIndex); the
+        // new graph joins the supports of the tree features it contains,
+        // enumerated exactly as at build time.
+        let miner = FrequentMiner::new(Self::mining_config(&self.config));
+        for key in miner.enumerate_graph(graph).keys() {
+            if let Some(feature) = self.tree_features.get_mut(key) {
+                // gid is the largest id ever issued: the push keeps the
+                // support list sorted.
+                feature.supporting_graphs.push(gid);
+            }
+        }
+        // Δ stage: learned supports must keep covering the whole dataset —
+        // test the new graph against each remembered cycle fragment.
+        let mut delta = self.delta_features.write().expect("delta lock poisoned");
+        let mut state = MatchState::new();
+        for feature in delta.values_mut() {
+            let matcher = Vf2Matcher::new(&feature.fragment);
+            if matcher.matches_with(&mut state, graph) {
+                feature.support.append_max(gid);
+            }
+        }
+        drop(delta);
+        self.graph_count += 1;
+        gid
+    }
+
+    fn remove(&mut self, id: GraphId) -> bool {
+        if id >= self.graph_count || !self.tombstones.mark(id) {
+            return false;
+        }
+        if self.tombstones.should_compact(self.graph_count) {
+            let dead = &self.tombstones;
+            for feature in self.tree_features.values_mut() {
+                feature.supporting_graphs.retain(|g| !dead.contains(*g));
+            }
+            let mut delta = self.delta_features.write().expect("delta lock poisoned");
+            for feature in delta.values_mut() {
+                feature.support.compact(dead);
+            }
+        }
+        true
+    }
+
     fn filter_into(&self, query: &Graph, out: &mut CandidateSet) {
-        // Trees first, then any Δ features already learned — one borrowed
-        // bitset narrowed in place, never materialized here.
+        // Trees first, then the tombstone mask (the tree stage's
+        // unconstrained fallback is the full set), then any Δ features
+        // already learned — one borrowed bitset narrowed in place, never
+        // materialized here. Δ intersections only clear bits, so masking
+        // before them is equivalent to masking last.
         self.tree_candidates_into(query, out);
+        self.tombstones.apply(out);
         self.apply_delta(query, out);
     }
 
@@ -283,23 +356,26 @@ impl GraphIndex for TreeDeltaIndex {
             }
         }
         fold.finish();
+        // Mask tombstones before the Δ stage: its early return on an empty
+        // map would otherwise skip an end-of-method mask, and the Δ
+        // intersections below only clear bits, never set them.
+        self.tombstones.apply(out);
         // Δ stage ("d:" keys): sound to cache despite the growing Δ map,
-        // because a Δ feature's support covers the whole dataset and never
-        // changes once inserted — a key only enters the cache after it
-        // entered the map, and the map value it snapshots is final. A cycle
-        // not (yet) in the map is simply not probed, exactly like
-        // `apply_delta`.
+        // because the serving layer flushes the cache on every mutation, so
+        // within one cache epoch a Δ feature's support is final — a key only
+        // enters the cache after it entered the map. A cycle not (yet) in
+        // the map is simply not probed, exactly like `apply_delta`.
         let delta = self.delta_features.read().expect("delta lock poisoned");
         if delta.is_empty() {
             return;
         }
         for cycle in enumerate_cycle_instances(query, self.config.max_cycle_edges) {
-            if let Some(support) = delta.get(&cycle.key) {
+            if let Some(feature) = delta.get(&cycle.key) {
                 let cache_key = format!("d:{}", cycle.key.as_str());
                 let cached = match ctx.get(&cache_key) {
                     Some(set) => set,
                     None => {
-                        let set = Arc::new(support.to_candidate_set(self.graph_count));
+                        let set = Arc::new(feature.support.to_candidate_set(self.graph_count));
                         ctx.put(cache_key, Arc::clone(&set));
                         set
                     }
@@ -317,7 +393,7 @@ impl GraphIndex for TreeDeltaIndex {
         let delta = self.delta_features.read().expect("delta lock poisoned");
         let delta_bytes: usize = delta
             .iter()
-            .map(|(k, v)| k.len_bytes() + v.memory_bytes())
+            .map(|(k, v)| k.len_bytes() + v.support.memory_bytes() + v.fragment.memory_bytes())
             .sum();
         IndexStats {
             distinct_features: self.tree_features.len() + delta.len(),
@@ -546,5 +622,44 @@ mod tests {
         let idx = TreeDeltaIndex::build(&ds, test_config());
         let outcome = idx.query(&ds, &Graph::new("empty"));
         assert_eq!(outcome.answers, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn insert_and_remove_track_rebuild_answers() {
+        let mut ds = dataset();
+        let mut idx = TreeDeltaIndex::build(&ds, test_config());
+        // Learn a Δ feature first so the insert has to extend a live Δ
+        // support (the newcomer contains the learned triangle).
+        let tri_q = query(&[1, 1, 2], &[(0, 1), (1, 2), (2, 0)]);
+        let _ = idx.query(&ds, &tri_q);
+        assert!(idx.delta_feature_count() >= 1);
+
+        let newcomer = GraphBuilder::new("tri2")
+            .vertices(&[1, 1, 2, 2])
+            .edges(&[(0, 1), (1, 2), (2, 0), (2, 3)])
+            .build()
+            .unwrap();
+        let pushed = ds.push(newcomer.clone());
+        assert_eq!(idx.insert(&newcomer), pushed);
+        assert_eq!(idx.universe(), ds.len());
+        assert!(ds.remove(1));
+        assert!(idx.remove(1));
+        assert!(!idx.remove(1), "double remove must be a no-op");
+
+        for (labels, edges) in [
+            (vec![1u32, 1], vec![(0usize, 1usize)]),
+            (vec![1, 1, 2], vec![(0, 1), (1, 2)]),
+            (vec![1, 1, 2], vec![(0, 1), (1, 2), (2, 0)]),
+        ] {
+            let q = query(&labels, &edges);
+            let outcome = idx.query(&ds, &q);
+            let rebuilt = TreeDeltaIndex::build(&ds, test_config());
+            assert_eq!(outcome.answers, rebuilt.query(&ds, &q).answers);
+            assert_eq!(outcome.answers, exhaustive_answers(&ds, &q));
+        }
+        // Tombstone masking also covers the unconstrained (empty-query)
+        // full-set fallback.
+        let all = idx.query(&ds, &Graph::new("empty"));
+        assert_eq!(all.answers, vec![0, 2, 3, 4]);
     }
 }

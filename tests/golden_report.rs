@@ -49,6 +49,8 @@ fn golden_report() -> ExperimentReport {
         queries_failed: 0,
         queries_shed: 0,
         retries: 0,
+        inserts_applied: 0,
+        removes_applied: 0,
         stages: stage_totals(2, 0.25, 0.125, 0.5, 1.0),
         shards: 1,
         shards_probed: 2,
@@ -81,6 +83,10 @@ fn golden_report() -> ExperimentReport {
         queries_failed: 1,
         queries_shed: 1,
         retries: 3,
+        // Exercise the ingest columns: a mixed read/write drain that
+        // applied two inserts and one removal between reads.
+        inserts_applied: 2,
+        removes_applied: 1,
         stages: stage_totals(1, 0.5, 0.0, 0.75, 1.75),
         shards: 2,
         shards_probed: 1,
@@ -148,7 +154,8 @@ fn csv_header_is_pinned_including_routing_outcome_and_cache_columns() {
          avg_filter_time_s,avg_verify_time_s,candidates_pruned,false_positive_ratio,\
          queries_executed,shards,shards_probed,shards_skipped,max_shard_time_s,\
          shard_balance,partition_overhead_bytes,queries_degraded,queries_failed,\
-         queries_shed,retries,timed_out,cache_feature_hits,cache_feature_misses,\
+         queries_shed,retries,inserts_applied,removes_applied,timed_out,\
+         cache_feature_hits,cache_feature_misses,\
          cache_answer_hits,cache_answer_misses,cache_evictions"
     );
     // Every data row carries exactly as many fields as the header names.
