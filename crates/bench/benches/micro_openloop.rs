@@ -1,0 +1,259 @@
+//! Open-loop saturation micro-benchmark of the sharded service.
+//!
+//! Unlike the closed-loop waves in `micro_sharded`, offered load here does
+//! not adapt to service capacity: a seeded Poisson schedule submits
+//! Zipf-popular pool queries through the cost-aware admission door
+//! (`submit_or_shed`) at a target QPS while a consumer thread drains waves
+//! concurrently. The bench first calibrates the service's closed-loop
+//! capacity, then replays the same schedule shape at 1x, 2x and 4x of it:
+//!
+//! * `sat1x` — offered ≈ capacity: the queue stays shallow, sheds are
+//!   rare, tail latency sits near the service time;
+//! * `sat2x` — moderate saturation: backlog builds, the measured cost
+//!   model starts shedding infeasible deadlines;
+//! * `sat4x` — heavy saturation: most of the protection comes from the
+//!   admission door, and the latency tail of *admitted* queries stays
+//!   bounded by the deadline budget.
+//!
+//! Before timing, the bench replays each saturation level once and
+//! asserts the open-loop accounting invariants: every offered arrival is
+//! admitted, shed or refused — and every admitted ticket comes back in
+//! exactly one drained record (no lost queries). The timed quantity is
+//! one full replay (schedule span plus drain tail), so the committed
+//! `BENCH_micro_openloop.json` baseline gates regressions in the
+//! admission door, the wave merge and the drain loop together.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
+use sqbench_graph::{Dataset, Graph};
+use sqbench_harness::loadgen::{run_open_loop, ArrivalProcess, LoadGenConfig};
+use sqbench_harness::metrics::StageTotals;
+use sqbench_harness::service::{
+    AdmissionQueue, QueryOutcome, ServiceOptions, ShardedService, Ticket,
+};
+use sqbench_index::{MethodConfig, MethodKind};
+use std::time::Duration;
+
+const UNIVERSE: usize = 3_000;
+const POOL: usize = 16;
+const QUERIES: usize = 64;
+const SHARDS: usize = 2;
+/// Bounded queue depth: small enough to fill under saturation, so the
+/// admission door's cost-model shedding actually engages (a queue sized
+/// for the whole schedule would never shed — only time out).
+const QUEUE_DEPTH: usize = 8;
+
+fn openloop_dataset() -> Dataset {
+    GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(UNIVERSE)
+            .with_avg_nodes(10)
+            .with_avg_density(0.2)
+            .with_label_count(6)
+            .with_seed(20150831),
+    )
+    .generate()
+}
+
+fn query_pool(dataset: &Dataset) -> Vec<Graph> {
+    QueryGen::new(0x0be5_7e11)
+        .generate(dataset, POOL, 4)
+        .iter()
+        .map(|(q, _)| q.clone())
+        .collect()
+}
+
+/// What one open-loop replay offered, admitted and completed.
+struct ReplayStats {
+    offered: usize,
+    admitted: Vec<Ticket>,
+    shed: usize,
+    refused: usize,
+    record_tickets: Vec<Ticket>,
+    complete: usize,
+    degraded: usize,
+    expired: usize,
+    totals: StageTotals,
+}
+
+/// Replays one open-loop schedule at `qps` against `service`: a producer
+/// thread paces `submit_or_shed` calls while this thread drains waves
+/// until the schedule is exhausted and the queue is empty.
+fn replay(
+    service: &mut ShardedService,
+    pool: &[Graph],
+    qps: f64,
+    deadline: Duration,
+    seed_cost: Duration,
+) -> ReplayStats {
+    let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(QUEUE_DEPTH));
+    // Warm the cost model with the calibrated per-query cost so the door
+    // makes measured-cost decisions from the first arrival; subsequent
+    // drains keep refining the estimate from observed stage times.
+    queue.cost_model().seed(seed_cost);
+    let config = LoadGenConfig::new(ArrivalProcess::Poisson { qps }, QUERIES)
+        .seed(0x510a_d6e2)
+        .deadline(deadline);
+    let (open, records, totals) = std::thread::scope(|scope| {
+        let producer = scope.spawn(|| run_open_loop(&queue, pool, &config));
+        let mut records = Vec::new();
+        let mut totals = StageTotals::default();
+        loop {
+            let wave = service.drain(&queue, None);
+            let idle = wave.records.is_empty();
+            totals.merge(&wave.totals);
+            records.extend(wave.records);
+            if producer.is_finished() && queue.is_empty() {
+                break;
+            }
+            if idle {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let open = producer.join().expect("producer thread");
+        (open, records, totals)
+    });
+    let mut record_tickets: Vec<Ticket> = records.iter().map(|r| r.ticket).collect();
+    record_tickets.sort_unstable();
+    ReplayStats {
+        offered: open.offered,
+        shed: open.shed,
+        refused: open.refused,
+        admitted: open.admitted,
+        record_tickets,
+        complete: records
+            .iter()
+            .filter(|r| r.outcome == QueryOutcome::Complete)
+            .count(),
+        degraded: records
+            .iter()
+            .filter(|r| matches!(r.outcome, QueryOutcome::Degraded { .. }))
+            .count(),
+        expired: records.iter().filter(|r| r.expired()).count(),
+        totals,
+    }
+}
+
+fn bench_openloop(c: &mut Criterion) {
+    let dataset = openloop_dataset();
+    let pool = query_pool(&dataset);
+    let refs: Vec<&Graph> = pool.iter().collect();
+    let mut service = ShardedService::new(
+        MethodKind::Ggsx,
+        &MethodConfig::default(),
+        &dataset,
+        ServiceOptions::new()
+            .shards(SHARDS)
+            .workers(1)
+            .workers_max(2),
+    );
+
+    // Calibrate closed-loop capacity: how fast the service drains the
+    // pool when offered load adapts to it. The saturation multipliers
+    // are relative to this, so the bench stresses the same *regimes* on
+    // any hardware class.
+    let calibration = std::time::Instant::now();
+    let mut calibrated_queries = 0usize;
+    for _ in 0..3 {
+        calibrated_queries += service.run_wave(&refs, None).records.len();
+    }
+    let per_query_s = calibration.elapsed().as_secs_f64() / calibrated_queries as f64;
+    let capacity_qps = 1.0 / per_query_s.max(1e-6);
+    let seed_cost = Duration::from_secs_f64(per_query_s);
+    // Generous enough for healthy queueing at 1x, tight enough that the
+    // cost model must shed under real saturation.
+    let deadline = Duration::from_secs_f64((per_query_s * 16.0).max(0.002));
+
+    // Accounting gate before any timing: offered = admitted + shed +
+    // refused, and the consumer's records join 1:1 with admitted tickets
+    // (no lost queries, no duplicates) at every saturation level.
+    for mult in [1.0, 2.0, 4.0] {
+        let stats = replay(
+            &mut service,
+            &pool,
+            capacity_qps * mult,
+            deadline,
+            seed_cost,
+        );
+        assert_eq!(
+            stats.offered,
+            stats.admitted.len() + stats.shed + stats.refused,
+            "open-loop accounting must cover every arrival at {mult}x"
+        );
+        assert_eq!(
+            stats.record_tickets, stats.admitted,
+            "every admitted ticket must drain into exactly one record at {mult}x"
+        );
+    }
+
+    let mut group = c.benchmark_group("micro_openloop");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(4));
+    for (name, mult) in [("sat1x", 1.0), ("sat2x", 2.0), ("sat4x", 4.0)] {
+        group.bench_with_input(BenchmarkId::new(name, QUERIES), &mult, |b, &mult| {
+            b.iter(|| {
+                replay(
+                    &mut service,
+                    &pool,
+                    capacity_qps * mult,
+                    deadline,
+                    seed_cost,
+                )
+                .record_tickets
+                .len()
+            })
+        });
+    }
+    group.finish();
+
+    // Shed/degrade/latency summary from one fresh replay per level — the
+    // saturation story the timed medians alone cannot tell.
+    for (name, mult) in [("sat1x", 1.0), ("sat2x", 2.0), ("sat4x", 4.0)] {
+        let stats = replay(
+            &mut service,
+            &pool,
+            capacity_qps * mult,
+            deadline,
+            seed_cost,
+        );
+        println!(
+            "openloop {name}: offered {} @ {:.0} q/s, admitted {}, shed {} ({:.0}%), \
+             complete {}, degraded {}, expired {}, p50 {:.2} ms, p99 {:.2} ms",
+            stats.offered,
+            capacity_qps * mult,
+            stats.admitted.len(),
+            stats.shed,
+            100.0 * stats.shed as f64 / stats.offered.max(1) as f64,
+            stats.complete,
+            stats.degraded,
+            stats.expired,
+            stats.totals.latency_percentile(0.50) * 1e3,
+            stats.totals.latency_percentile(0.99) * 1e3,
+        );
+    }
+    let results = c.results();
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.id == format!("micro_openloop/{name}/{QUERIES}"))
+            .map(|r| r.median_ns)
+    };
+    if let (Some(s1), Some(s2), Some(s4)) = (median("sat1x"), median("sat2x"), median("sat4x")) {
+        println!(
+            "openloop replay wall: sat1x {:.1} ms, sat2x {:.1} ms, sat4x {:.1} ms \
+             (capacity {:.0} q/s, deadline {:.2} ms, cores: {})",
+            s1 / 1e6,
+            s2 / 1e6,
+            s4 / 1e6,
+            capacity_qps,
+            deadline.as_secs_f64() * 1e3,
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        );
+    }
+}
+
+criterion_group!(benches, bench_openloop);
+criterion_main!(benches);

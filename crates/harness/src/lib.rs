@@ -42,11 +42,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod loadgen;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod service;
 
+pub use loadgen::{run_open_loop, ArrivalProcess, LoadGenConfig, OpenLoopReport};
 pub use metrics::{
     counted_false_positive_ratio, workload_false_positive_ratio, CacheCounters, MethodMetrics,
     StageTotals,

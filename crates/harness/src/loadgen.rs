@@ -1,0 +1,433 @@
+//! Open-loop load generation: seeded arrival processes driving an
+//! [`AdmissionQueue`] from producer threads.
+//!
+//! The paper's experiments are **closed-loop**: a wave of queries is
+//! submitted, the harness waits for all of them, then submits the next
+//! wave — offered load adapts to service capacity, so saturation can
+//! never be observed. A service "for millions of users" faces the
+//! opposite regime: arrivals do not care how busy the service is. This
+//! module generates that regime deterministically — a seeded arrival
+//! **schedule** (Poisson or bursty inter-arrival gaps at a target QPS,
+//! query popularity Zipf-distributed over a query pool) replayed against
+//! the admission queue by wall-clock-paced producer threads, while the
+//! caller's consumer drains waves through a service.
+//!
+//! Everything random is derived from [`LoadGenConfig::seed`] alone:
+//! [`LoadGenConfig::schedule`] is a pure function, so the same config
+//! always offers the same load — the property pinned by
+//! `tests/proptest_loadgen.rs` and the foundation of the saturation
+//! sweeps in `micro_openloop` (offered load is the controlled variable;
+//! shed/degrade/latency are the measured ones).
+//!
+//! ```
+//! use sqbench_harness::loadgen::{ArrivalProcess, LoadGenConfig};
+//!
+//! let config = LoadGenConfig::new(ArrivalProcess::Poisson { qps: 500.0 }, 64).seed(7);
+//! let schedule = config.schedule(16);
+//! assert_eq!(schedule.len(), 64);
+//! assert_eq!(schedule, config.schedule(16)); // same seed ⇒ same load
+//! ```
+
+use crate::service::{AdmissionQueue, SubmitError, Ticket};
+use sqbench_graph::Graph;
+use std::time::{Duration, Instant};
+
+/// How arrivals are spaced in time. Both processes offer the same *mean*
+/// rate (`qps`); they differ in variance — the knob that separates "a
+/// steady crowd" from "a thundering herd" at equal average load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: i.i.d. exponential inter-arrival gaps with
+    /// mean `1/qps` — the classic open-loop model of many independent
+    /// users.
+    Poisson {
+        /// Mean arrival rate, queries per second. Clamped to a small
+        /// positive floor at schedule time.
+        qps: f64,
+    },
+    /// Clustered arrivals: burst *events* arrive as a Poisson process at
+    /// rate `qps / burst`, and each event delivers `burst` queries
+    /// back-to-back — same mean rate as `Poisson { qps }`, much heavier
+    /// instantaneous load.
+    Bursty {
+        /// Mean arrival rate, queries per second, across bursts.
+        qps: f64,
+        /// Queries per burst event (clamped to ≥ 1; `1` degenerates to
+        /// `Poisson`).
+        burst: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// The process's mean offered rate in queries per second.
+    pub fn qps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { qps } | ArrivalProcess::Bursty { qps, .. } => qps,
+        }
+    }
+}
+
+/// One scheduled arrival: *when* (offset from the run's start) and *what*
+/// (an index into the caller's query pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time as nanoseconds from the start of the run. Stored as
+    /// an integer so schedules are exactly comparable across runs.
+    pub at_nanos: u64,
+    /// Which pool query arrives (Zipf-popular: low indexes are hot).
+    pub pool_index: usize,
+}
+
+impl Arrival {
+    /// Arrival offset as a [`Duration`].
+    pub fn at(&self) -> Duration {
+        Duration::from_nanos(self.at_nanos)
+    }
+}
+
+/// A deterministic open-loop load description. `schedule` derives the
+/// full arrival sequence; [`run_open_loop`] replays it against a queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadGenConfig {
+    /// Arrival spacing process and target rate.
+    pub arrivals: ArrivalProcess,
+    /// Total arrivals to schedule.
+    pub queries: usize,
+    /// Zipf popularity exponent over the query pool: `0.0` is uniform,
+    /// `1.0` the classic hot-head skew. Negative values are clamped to 0.
+    pub zipf_exponent: f64,
+    /// Master seed: the whole schedule (gaps and pool picks) derives from
+    /// it deterministically.
+    pub seed: u64,
+    /// Per-query deadline budget, measured from the query's scheduled
+    /// arrival. `None` submits deadline-free queries (never shed).
+    pub deadline: Option<Duration>,
+    /// Producer threads replaying the schedule (clamped to ≥ 1). The
+    /// schedule itself is producer-count-independent.
+    pub producers: usize,
+}
+
+impl LoadGenConfig {
+    /// A config with the harness defaults: hot-headed Zipf (`1.0`),
+    /// seed 0, no deadline, one producer.
+    pub fn new(arrivals: ArrivalProcess, queries: usize) -> Self {
+        LoadGenConfig {
+            arrivals,
+            queries,
+            zipf_exponent: 1.0,
+            seed: 0,
+            deadline: None,
+            producers: 1,
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Zipf popularity exponent (clamped to ≥ 0 at use).
+    pub fn zipf_exponent(mut self, exponent: f64) -> Self {
+        self.zipf_exponent = exponent;
+        self
+    }
+
+    /// Sets the per-query deadline budget from arrival.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Sets the producer thread count (clamped to ≥ 1).
+    pub fn producers(mut self, producers: usize) -> Self {
+        self.producers = producers.max(1);
+        self
+    }
+
+    /// Derives the arrival schedule for a pool of `pool_len` queries:
+    /// `queries` arrivals with non-decreasing times and Zipf-popular pool
+    /// indexes. A pure function of the config and `pool_len` — same
+    /// inputs, same schedule, on any machine.
+    pub fn schedule(&self, pool_len: usize) -> Vec<Arrival> {
+        let pool_len = pool_len.max(1);
+        let mut gaps = SplitMix64::new(self.seed ^ 0x9e3779b97f4a7c15);
+        let mut picks = SplitMix64::new(self.seed.wrapping_add(0x517cc1b727220a95));
+        let zipf = ZipfSampler::new(pool_len, self.zipf_exponent.max(0.0));
+        let (rate, burst) = match self.arrivals {
+            ArrivalProcess::Poisson { qps } => (qps, 1),
+            ArrivalProcess::Bursty { qps, burst } => (qps, burst.max(1)),
+        };
+        // Burst events arrive at rate qps/burst so the mean per-query
+        // rate stays qps; the event's queries arrive back-to-back.
+        let event_rate = (rate.max(1e-6)) / burst as f64;
+        let mut schedule = Vec::with_capacity(self.queries);
+        let mut clock_nanos = 0u64;
+        while schedule.len() < self.queries {
+            // Exponential inter-event gap by inversion: -ln(1-u)/λ with
+            // u uniform in [0, 1) — never ln(0).
+            let gap_s = -(1.0 - gaps.unit_f64()).ln() / event_rate;
+            let gap_nanos = (gap_s * 1e9).min(u64::MAX as f64) as u64;
+            clock_nanos = clock_nanos.saturating_add(gap_nanos);
+            for _ in 0..burst.min(self.queries - schedule.len()) {
+                schedule.push(Arrival {
+                    at_nanos: clock_nanos,
+                    pool_index: zipf.sample(picks.unit_f64()),
+                });
+            }
+        }
+        schedule
+    }
+}
+
+/// What one open-loop run offered and what the admission door did with
+/// it. Latency and outcome accounting live in the consumer's
+/// [`crate::service::ShardedReport`]s — this is the producer-side view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenLoopReport {
+    /// Arrivals the schedule offered (scheduled, whether admitted or not).
+    pub offered: usize,
+    /// Tickets of admitted queries, in ticket order. Joining these
+    /// against the consumer's records proves no query was lost.
+    pub admitted: Vec<Ticket>,
+    /// Queries the admission door shed ([`SubmitError::Shed`]): the
+    /// measured cost model judged their deadline infeasible.
+    pub shed: usize,
+    /// Submissions refused for other reasons (closed queue, injected
+    /// admission faults).
+    pub refused: usize,
+}
+
+impl OpenLoopReport {
+    /// Queries admitted.
+    pub fn admitted_count(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Shed fraction of offered load (`0.0` for an empty run).
+    pub fn shed_ratio(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Replays `config`'s schedule against `queue` in real time from
+/// `config.producers` producer threads: each producer sleeps until its
+/// next arrival's offset, then submits the scheduled pool query through
+/// the cost-aware admission door ([`AdmissionQueue::submit_or_shed`]).
+///
+/// Open-loop means the producers **never wait for the service**: a slow
+/// consumer makes the queue back up and the door shed; it does not slow
+/// arrivals down. The caller is responsible for concurrently draining
+/// `queue` (e.g. [`crate::service::ShardedService::drain`] in a loop)
+/// and for closing it afterwards if producers should stop early.
+///
+/// Arrivals are dealt round-robin across producers, so any producer
+/// count offers the same queries at the same scheduled times (modulo
+/// scheduler jitter); the report is aggregated over all producers.
+pub fn run_open_loop(
+    queue: &AdmissionQueue,
+    pool: &[Graph],
+    config: &LoadGenConfig,
+) -> OpenLoopReport {
+    assert!(!pool.is_empty(), "open-loop run needs a non-empty pool");
+    let schedule = config.schedule(pool.len());
+    let producers = config.producers.max(1);
+    let start = Instant::now();
+    let run = |producer: usize| {
+        let mut admitted: Vec<Ticket> = Vec::new();
+        let (mut shed, mut refused) = (0usize, 0usize);
+        for arrival in schedule.iter().skip(producer).step_by(producers) {
+            let due = start + arrival.at();
+            let wait = due.saturating_duration_since(Instant::now());
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+            // The deadline budget runs from the *scheduled* arrival: a
+            // producer running late eats into its queries' budgets, the
+            // way a real client's timeout keeps ticking.
+            let deadline = config.deadline.map(|budget| due + budget);
+            match queue.submit_or_shed(pool[arrival.pool_index].clone(), deadline) {
+                Ok(ticket) => admitted.push(ticket),
+                Err(SubmitError::Shed) => shed += 1,
+                Err(_) => refused += 1,
+            }
+        }
+        (admitted, shed, refused)
+    };
+    let mut report = OpenLoopReport {
+        offered: schedule.len(),
+        admitted: Vec::with_capacity(schedule.len()),
+        shed: 0,
+        refused: 0,
+    };
+    let parts: Vec<(Vec<Ticket>, usize, usize)> = if producers == 1 {
+        vec![run(0)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..producers)
+                .map(|p| scope.spawn(move || run(p)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| (Vec::new(), 0, 0)))
+                .collect()
+        })
+    };
+    for (admitted, shed, refused) in parts {
+        report.admitted.extend(admitted);
+        report.shed += shed;
+        report.refused += refused;
+    }
+    report.admitted.sort_unstable();
+    report
+}
+
+/// Zipf(s) over `0..n` by inverse-CDF: cumulative weights `1/(i+1)^s`
+/// precomputed once, each sample a binary search. Exponent `0` is the
+/// uniform distribution.
+struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Maps a uniform `u ∈ [0, 1)` to a pool index.
+    fn sample(&self, u: f64) -> usize {
+        let total = *self.cumulative.last().expect("non-empty pool");
+        let target = u * total;
+        self.cumulative
+            .partition_point(|&c| c <= target)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+/// SplitMix64 — tiny, seedable, deterministic; the same generator the
+/// fault plan uses, so the harness stays free of RNG dependencies.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_ordered() {
+        let config = LoadGenConfig::new(ArrivalProcess::Poisson { qps: 1000.0 }, 256).seed(42);
+        let a = config.schedule(32);
+        let b = config.schedule(32);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 256);
+        assert!(a.windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos));
+        assert!(a.iter().all(|arr| arr.pool_index < 32));
+        // A different seed moves the schedule.
+        let c = config.seed(43).schedule(32);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_rate_tracks_target_qps() {
+        let config = LoadGenConfig::new(ArrivalProcess::Poisson { qps: 2000.0 }, 4000).seed(7);
+        let schedule = config.schedule(8);
+        let span_s = schedule.last().unwrap().at_nanos as f64 * 1e-9;
+        let rate = schedule.len() as f64 / span_s;
+        // 4000 exponential gaps: the empirical rate is within a few
+        // percent of the target with overwhelming probability.
+        assert!(
+            (rate - 2000.0).abs() / 2000.0 < 0.1,
+            "empirical rate {rate} strays from target 2000"
+        );
+    }
+
+    #[test]
+    fn bursty_schedule_clusters_arrivals_at_equal_mean_rate() {
+        let queries = 4000;
+        let burst = LoadGenConfig::new(
+            ArrivalProcess::Bursty {
+                qps: 2000.0,
+                burst: 8,
+            },
+            queries,
+        )
+        .seed(7)
+        .schedule(8);
+        // Bursts arrive back-to-back: most consecutive gaps are zero.
+        let zero_gaps = burst
+            .windows(2)
+            .filter(|w| w[0].at_nanos == w[1].at_nanos)
+            .count();
+        assert!(
+            zero_gaps >= queries * 3 / 4,
+            "expected clustered arrivals, got {zero_gaps} zero gaps"
+        );
+        // Mean rate still tracks the target.
+        let span_s = burst.last().unwrap().at_nanos as f64 * 1e-9;
+        let rate = queries as f64 / span_s;
+        assert!(
+            (rate - 2000.0).abs() / 2000.0 < 0.15,
+            "empirical burst rate {rate} strays from target 2000"
+        );
+    }
+
+    #[test]
+    fn zipf_skews_toward_the_head_of_the_pool() {
+        let config = LoadGenConfig::new(ArrivalProcess::Poisson { qps: 1000.0 }, 2000)
+            .seed(3)
+            .zipf_exponent(1.0);
+        let schedule = config.schedule(16);
+        let head = schedule.iter().filter(|a| a.pool_index == 0).count();
+        let tail = schedule.iter().filter(|a| a.pool_index == 15).count();
+        assert!(
+            head > tail * 4,
+            "Zipf(1.0) head {head} should dwarf tail {tail}"
+        );
+        // Exponent 0 is uniform: head and tail are comparable.
+        let uniform = config.zipf_exponent(0.0).schedule(16);
+        let head = uniform.iter().filter(|a| a.pool_index == 0).count();
+        let tail = uniform.iter().filter(|a| a.pool_index == 15).count();
+        assert!(head < tail * 3 && tail < head * 3);
+    }
+
+    #[test]
+    fn zipf_sampler_covers_bounds() {
+        let zipf = ZipfSampler::new(4, 1.0);
+        assert_eq!(zipf.sample(0.0), 0);
+        assert!(zipf.sample(0.999_999) <= 3);
+        let single = ZipfSampler::new(1, 1.0);
+        assert_eq!(single.sample(0.5), 0);
+    }
+}

@@ -79,6 +79,109 @@ where
     }
 }
 
+/// A mergeable log-bucketed latency histogram (seconds in, seconds out).
+///
+/// Samples are bucketed on their nanosecond value with HdrHistogram-style
+/// log-linear buckets: exact below 64 ns, then 64 sub-buckets per octave,
+/// so any reported percentile is within a **1/64 ≈ 1.6% relative error**
+/// of the true sample value (plus the nearest-rank rounding inherent to
+/// percentiles on discrete samples). Buckets are stored sparsely, so an
+/// empty histogram costs nothing and a typical run stores a few dozen
+/// `(bucket, count)` pairs regardless of sample count.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Sorted `(bucket index, sample count)` pairs; only non-empty buckets
+    /// are stored.
+    buckets: Vec<(u32, u64)>,
+    /// Total samples observed.
+    count: u64,
+}
+
+/// Sub-buckets per octave: resolution/relative-error knob (1/64 ≈ 1.6%).
+const HIST_SUB: u64 = 64;
+/// log2 of [`HIST_SUB`].
+const HIST_SUB_BITS: u32 = 6;
+
+impl LatencyHistogram {
+    /// Bucket index for a nanosecond value (log-linear, exact under 64 ns).
+    fn bucket_of(nanos: u64) -> u32 {
+        if nanos < HIST_SUB {
+            return nanos as u32;
+        }
+        let exp = 63 - nanos.leading_zeros(); // 2^exp <= nanos < 2^(exp+1)
+        let sub = ((nanos >> (exp - HIST_SUB_BITS)) & (HIST_SUB - 1)) as u32;
+        (exp - HIST_SUB_BITS + 1) * HIST_SUB as u32 + sub
+    }
+
+    /// Lower bound (in nanoseconds) of the values mapping to `bucket` —
+    /// the representative value percentiles report.
+    fn bucket_value(bucket: u32) -> u64 {
+        let b = bucket as u64;
+        if b < HIST_SUB {
+            return b;
+        }
+        let octave = b / HIST_SUB; // >= 1
+        let sub = b % HIST_SUB;
+        (HIST_SUB + sub) << (octave - 1)
+    }
+
+    /// Records one latency sample, in seconds. Non-finite and negative
+    /// samples are clamped to zero; samples beyond ~584 years saturate.
+    pub fn observe(&mut self, seconds: f64) {
+        let nanos = if seconds.is_nan() || seconds <= 0.0 {
+            0
+        } else {
+            (seconds * 1e9).min(u64::MAX as f64) as u64
+        };
+        let bucket = Self::bucket_of(nanos);
+        match self.buckets.binary_search_by_key(&bucket, |&(b, _)| b) {
+            Ok(i) => self.buckets[i].1 += 1,
+            Err(i) => self.buckets.insert(i, (bucket, 1)),
+        }
+        self.count += 1;
+    }
+
+    /// Samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Nearest-rank percentile in seconds: the smallest recorded bucket
+    /// value such that at least `q` of the samples fall at or below it.
+    /// `q` is a fraction in `[0, 1]`; an empty histogram reports 0.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: ceil(q * count), at least the first sample.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_value(bucket) as f64 / 1e9;
+            }
+        }
+        // Unreachable when counts are consistent; report the max bucket.
+        self.buckets
+            .last()
+            .map(|&(b, _)| Self::bucket_value(b) as f64 / 1e9)
+            .unwrap_or(0.0)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for &(bucket, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&bucket, |&(b, _)| b) {
+                Ok(i) => self.buckets[i].1 += n,
+                Err(i) => self.buckets.insert(i, (bucket, n)),
+            }
+        }
+        self.count += other.count;
+    }
+}
+
 /// Aggregated per-stage measurements of a batch run through the query
 /// service pipeline: where each query's wall time went (waiting in the
 /// request queue, filtering, verification) and how hard filtering pruned.
@@ -99,6 +202,11 @@ pub struct StageTotals {
     pub verify_s: f64,
     /// Total graphs pruned by filtering: Σ (universe − |candidates|).
     pub candidates_pruned: u64,
+    /// End-to-end per-query latency distribution (admission to completion)
+    /// over the executed queries, for tail percentiles. Populated by the
+    /// serving paths via [`StageTotals::observe_latency`]; empty histograms
+    /// report 0 for every percentile.
+    pub latency: LatencyHistogram,
 }
 
 impl StageTotals {
@@ -127,6 +235,19 @@ impl StageTotals {
         self.filter_s += other.filter_s;
         self.verify_s += other.verify_s;
         self.candidates_pruned += other.candidates_pruned;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Records one query's end-to-end latency (seconds) in the histogram.
+    pub fn observe_latency(&mut self, seconds: f64) {
+        self.latency.observe(seconds);
+    }
+
+    /// End-to-end latency percentile in seconds (`q` in `[0, 1]`); 0 when
+    /// no latencies were observed. See [`LatencyHistogram::percentile`]
+    /// for the resolution guarantee.
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        self.latency.percentile(q)
     }
 
     fn per_query(&self, total: f64) -> f64 {
@@ -264,6 +385,21 @@ impl MethodMetrics {
         self.index_size_bytes as f64 / (1024.0 * 1024.0)
     }
 
+    /// Median end-to-end query latency, seconds (0 when not recorded).
+    pub fn latency_p50_s(&self) -> f64 {
+        self.stages.latency_percentile(0.50)
+    }
+
+    /// 95th-percentile end-to-end query latency, seconds.
+    pub fn latency_p95_s(&self) -> f64 {
+        self.stages.latency_percentile(0.95)
+    }
+
+    /// 99th-percentile end-to-end query latency, seconds.
+    pub fn latency_p99_s(&self) -> f64 {
+        self.stages.latency_percentile(0.99)
+    }
+
     /// Busiest-shard processing time (filter + verify seconds of the shard
     /// that worked hardest) — the critical path a sharded wave cannot beat.
     /// Falls back to the workload totals for unsharded runs.
@@ -391,6 +527,158 @@ mod tests {
         assert_eq!(merged.queries, 4);
         assert_eq!(merged.candidates_pruned, 200);
         assert_eq!(StageTotals::default().avg_filter_s(), 0.0);
+    }
+
+    /// Relative tolerance of the log-bucketed histogram (1/64 per the
+    /// bucketing contract, with a little slack for float conversion).
+    const HIST_TOL: f64 = 1.0 / 64.0 + 1e-9;
+
+    fn assert_close(got: f64, want: f64) {
+        assert!(
+            (got - want).abs() <= want * HIST_TOL,
+            "got {got}, want {want} ± {:.2}%",
+            HIST_TOL * 100.0
+        );
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_everywhere() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.percentile(1.0), 0.0);
+        assert_eq!(StageTotals::default().latency_percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let mut h = LatencyHistogram::default();
+        h.observe(0.125);
+        assert_eq!(h.count(), 1);
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_close(h.percentile(q), 0.125);
+        }
+    }
+
+    #[test]
+    fn percentiles_of_a_known_uniform_distribution() {
+        // 100 samples: 1 ms, 2 ms, ..., 100 ms. Nearest-rank percentiles
+        // are exactly the q*100-th sample.
+        let mut h = LatencyHistogram::default();
+        for ms in 1..=100u64 {
+            h.observe(ms as f64 / 1000.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert_close(h.percentile(0.50), 0.050);
+        assert_close(h.percentile(0.95), 0.095);
+        assert_close(h.percentile(0.99), 0.099);
+        assert_close(h.percentile(1.0), 0.100);
+        // p0 is defined as the first sample (rank clamps to 1).
+        assert_close(h.percentile(0.0), 0.001);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q_and_see_outliers() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..98 {
+            h.observe(0.001);
+        }
+        h.observe(1.0);
+        h.observe(2.0);
+        let (p50, p95, p99, p100) = (
+            h.percentile(0.50),
+            h.percentile(0.95),
+            h.percentile(0.99),
+            h.percentile(1.0),
+        );
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p100);
+        assert_close(p50, 0.001);
+        assert_close(p95, 0.001);
+        assert_close(p99, 1.0);
+        assert_close(p100, 2.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_observing_the_union() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut union = LatencyHistogram::default();
+        for i in 0..50u64 {
+            let s = (i + 1) as f64 * 1e-4;
+            a.observe(s);
+            union.observe(s);
+        }
+        for i in 0..50u64 {
+            let s = (i + 1) as f64 * 1e-2;
+            b.observe(s);
+            union.observe(s);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), union.count());
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            assert_eq!(a.percentile(q), union.percentile(q));
+        }
+    }
+
+    #[test]
+    fn degenerate_samples_are_clamped_not_panicking() {
+        let mut h = LatencyHistogram::default();
+        h.observe(-1.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(0.0);
+        assert_eq!(h.count(), 4);
+        // Negative/NaN/zero clamp to the zero bucket; infinity saturates.
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert!(h.percentile(1.0) > 1e9); // ~584 years, the saturation cap
+    }
+
+    #[test]
+    fn stage_totals_thread_latency_through_merge() {
+        let mut a = StageTotals::default();
+        a.observe_latency(0.010);
+        a.observe_latency(0.020);
+        let mut b = StageTotals::default();
+        b.observe_latency(0.030);
+        b.merge(&a);
+        assert_eq!(b.latency.count(), 3);
+        assert_close(b.latency_percentile(1.0), 0.030);
+        assert_close(b.latency_percentile(0.33), 0.010);
+    }
+
+    #[test]
+    fn method_metrics_percentile_accessors_read_stage_latency() {
+        let mut stages = StageTotals::default();
+        for ms in 1..=100u64 {
+            stages.observe_latency(ms as f64 / 1000.0);
+        }
+        let m = MethodMetrics {
+            method: "Grapes".into(),
+            indexing_time_s: 0.0,
+            index_size_bytes: 0,
+            distinct_features: 0,
+            avg_query_time_s: 0.0,
+            false_positive_ratio: 0.0,
+            queries_executed: 100,
+            timed_out: false,
+            queries_degraded: 0,
+            queries_failed: 0,
+            queries_shed: 0,
+            retries: 0,
+            inserts_applied: 0,
+            removes_applied: 0,
+            stages,
+            shards: 1,
+            shards_probed: 0,
+            shards_skipped: 0,
+            shard_stages: Vec::new(),
+            partition_overhead_bytes: 0,
+            cache: CacheCounters::default(),
+        };
+        assert_close(m.latency_p50_s(), 0.050);
+        assert_close(m.latency_p95_s(), 0.095);
+        assert_close(m.latency_p99_s(), 0.099);
     }
 
     #[test]

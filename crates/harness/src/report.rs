@@ -151,6 +151,12 @@ pub fn render_text(report: &ExperimentReport) -> String {
 /// read/write admission queue — always 0 for batch runs, which serve a
 /// frozen dataset snapshot.
 ///
+/// The tail-latency columns (`latency_p50_s`, `latency_p95_s`,
+/// `latency_p99_s`) are per-query end-to-end latency percentiles from the
+/// run's latency histogram — the SLO view that a mean cannot give,
+/// because saturation shows up in the tail long before it moves the
+/// average. All 0 when the run recorded no latencies.
+///
 /// The cache columns report the cross-query caching layer:
 /// `avg_cache_probe_s` is the mean per-query time spent probing the
 /// feature cache and answer memo (already excluded from
@@ -165,7 +171,8 @@ pub fn render_csv(report: &ExperimentReport) -> String {
     let mut out = String::from(
         "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,distinct_features,\
          avg_query_time_s,avg_queue_wait_s,avg_cache_probe_s,avg_filter_time_s,\
-         avg_verify_time_s,candidates_pruned,false_positive_ratio,queries_executed,shards,\
+         avg_verify_time_s,latency_p50_s,latency_p95_s,latency_p99_s,\
+         candidates_pruned,false_positive_ratio,queries_executed,shards,\
          shards_probed,shards_skipped,max_shard_time_s,shard_balance,partition_overhead_bytes,\
          queries_degraded,queries_failed,queries_shed,retries,inserts_applied,removes_applied,\
          timed_out,cache_feature_hits,\
@@ -174,7 +181,7 @@ pub fn render_csv(report: &ExperimentReport) -> String {
     for point in &report.points {
         for m in &point.results {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 report.id,
                 point.x_label,
                 point.x_value,
@@ -187,6 +194,9 @@ pub fn render_csv(report: &ExperimentReport) -> String {
                 m.stages.avg_cache_probe_s(),
                 m.stages.avg_filter_s(),
                 m.stages.avg_verify_s(),
+                m.latency_p50_s(),
+                m.latency_p95_s(),
+                m.latency_p99_s(),
                 m.stages.candidates_pruned,
                 m.false_positive_ratio,
                 m.queries_executed,

@@ -128,9 +128,116 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// A measured per-query cost model: what the service has *observed* a
+/// query to cost, replacing the caller-supplied `cost_hint` that admission
+/// used to trust blindly.
+///
+/// The model keeps exponentially-weighted moving averages (EWMA,
+/// `α = 0.2`) of the filter-stage cost, the candidate count, and the
+/// per-candidate verify cost — i.e. verify cost *regressed on candidate
+/// count*, so a workload whose candidate sets grow predicts proportionally
+/// larger verify bills instead of lagging a flat average. The consumer
+/// feeds it one [`CostModel::observe`] call per completed query (the
+/// sharded service does this while draining); admission reads
+/// [`CostModel::estimate_query_cost`] to judge deadline feasibility.
+///
+/// All cells are relaxed atomics storing `f64` bits: observations from
+/// concurrent drains may occasionally overwrite each other, which is
+/// acceptable for a smoothed estimate and keeps the submit path lock-free
+/// with respect to the model.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    /// EWMA of per-candidate verify cost, seconds (f64 bits).
+    verify_per_candidate: AtomicU64,
+    /// EWMA of per-query filter + cache-probe cost, seconds (f64 bits).
+    filter_s: AtomicU64,
+    /// EWMA of per-query candidate count (f64 bits).
+    candidates: AtomicU64,
+    /// Completed-query observations folded in so far.
+    observations: AtomicU64,
+}
+
+/// EWMA smoothing factor: new observations carry 20% weight.
+const COST_EWMA_ALPHA: f64 = 0.2;
+
+impl CostModel {
+    /// Creates an empty model (no observations, no estimate).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn load(cell: &AtomicU64) -> f64 {
+        f64::from_bits(cell.load(Ordering::Relaxed))
+    }
+
+    fn fold(&self, cell: &AtomicU64, sample: f64) {
+        let prev = Self::load(cell);
+        let next = if self.observations.load(Ordering::Relaxed) == 0 {
+            sample
+        } else {
+            prev + COST_EWMA_ALPHA * (sample - prev)
+        };
+        cell.store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Folds one completed query's measurements into the model: how many
+    /// candidates filtering produced and the seconds spent filtering and
+    /// verifying. Non-finite or negative samples are ignored.
+    pub fn observe(&self, candidates: usize, filter_s: f64, verify_s: f64) {
+        if !(filter_s.is_finite() && verify_s.is_finite()) || filter_s < 0.0 || verify_s < 0.0 {
+            return;
+        }
+        let per_candidate = if candidates > 0 {
+            verify_s / candidates as f64
+        } else {
+            0.0
+        };
+        self.fold(&self.verify_per_candidate, per_candidate);
+        self.fold(&self.filter_s, filter_s);
+        self.fold(&self.candidates, candidates as f64);
+        self.observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed-query observations folded in so far.
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// The model's current estimate of one query's processing cost:
+    /// `filter + verify_per_candidate × candidates`. `None` until the
+    /// first observation — an unwarmed model refuses to guess, so
+    /// admission falls back to deadline-expiry shedding only. Estimates
+    /// too large for a `Duration` saturate at [`Duration::MAX`].
+    pub fn estimate_query_cost(&self) -> Option<Duration> {
+        if self.observations() == 0 {
+            return None;
+        }
+        let secs = Self::load(&self.filter_s)
+            + Self::load(&self.verify_per_candidate) * Self::load(&self.candidates);
+        Some(Duration::try_from_secs_f64(secs.max(0.0)).unwrap_or(Duration::MAX))
+    }
+
+    /// Forces the model to a fixed per-query estimate, as if it had
+    /// observed exactly one query costing `cost` in its filter stage.
+    /// An operations/test hook for pre-warming admission before the first
+    /// drain (e.g. from a previous run's measurements).
+    pub fn seed(&self, cost: Duration) {
+        self.filter_s
+            .store(cost.as_secs_f64().to_bits(), Ordering::Relaxed);
+        self.verify_per_candidate.store(0, Ordering::Relaxed);
+        self.candidates.store(0, Ordering::Relaxed);
+        self.observations.store(1, Ordering::Relaxed);
+    }
+}
+
 #[derive(Debug)]
 struct AdmissionState {
     pending: VecDeque<AdmittedQuery>,
+    /// Pending *read* operations only — the backlog that competes with a
+    /// new query for worker time. Mutations are cheap appends/tombstones
+    /// and are deliberately excluded (counting them at query cost made a
+    /// write-heavy queue over-shed reads).
+    pending_reads: usize,
     next_ticket: Ticket,
     closed: bool,
 }
@@ -147,6 +254,9 @@ pub struct AdmissionQueue {
     /// Deterministic fault-injection hook; `None` (the production default)
     /// costs one branch per submission.
     faults: Option<Arc<FaultPlan>>,
+    /// The measured cost model backing [`AdmissionQueue::submit_or_shed`];
+    /// fed by the consumer as queries complete.
+    cost_model: CostModel,
 }
 
 impl AdmissionQueue {
@@ -162,6 +272,7 @@ impl AdmissionQueue {
         AdmissionQueue {
             state: Mutex::new(AdmissionState {
                 pending: VecDeque::new(),
+                pending_reads: 0,
                 next_ticket: 0,
                 closed: false,
             }),
@@ -169,6 +280,7 @@ impl AdmissionQueue {
             capacity: opts.queue_capacity.max(1),
             shed: AtomicU64::new(0),
             faults: opts.faults,
+            cost_model: CostModel::new(),
         }
     }
 
@@ -289,16 +401,19 @@ impl AdmissionQueue {
     /// Cost-aware admission: sheds ([`SubmitError::Shed`]) instead of
     /// queueing a query whose `deadline` cannot plausibly be met —
     /// because it has already expired at submission, or because the queue
-    /// is at capacity and the backlog (estimated at `cost_hint` per
-    /// pending query) would outlast the deadline anyway. Deadline-feasible
-    /// queries behave exactly like [`AdmissionQueue::submit`], including
-    /// blocking on a full queue. Queries without a deadline are never
-    /// shed.
+    /// is at capacity and the *measured* backlog would outlast the
+    /// deadline anyway. The backlog estimate multiplies the cost model's
+    /// per-query estimate ([`CostModel::estimate_query_cost`], fed by the
+    /// consumer as queries complete) by the pending **read** count —
+    /// mutations are cheap appends and do not count against a query's
+    /// deadline. Until the model has its first observation, only
+    /// already-expired deadlines shed. Deadline-feasible queries behave
+    /// exactly like [`AdmissionQueue::submit`], including blocking on a
+    /// full queue. Queries without a deadline are never shed.
     pub fn submit_or_shed(
         &self,
         query: Graph,
         deadline: Option<Instant>,
-        cost_hint: Duration,
     ) -> Result<Ticket, SubmitError> {
         let mut state = self.lock();
         loop {
@@ -307,22 +422,28 @@ impl AdmissionQueue {
             }
             if let Some(deadline) = deadline {
                 let now = Instant::now();
-                // Full queue: everything pending is served first, so the
+                // Full queue: the pending reads are served first, so the
                 // earliest this query could finish is roughly
-                // now + backlog × cost_hint. Both the multiplication and
-                // the Instant addition can overflow for large cost hints
-                // (the naive `cost_hint * len` panics in debug builds and
-                // wraps — under-estimating the backlog — in release), so
-                // compute checked and treat overflow as "past any
-                // deadline": a backlog too large to represent is certainly
-                // infeasible.
-                let backlog = cost_hint.checked_mul(state.pending.len() as u32);
-                let finish = backlog.and_then(|b| now.checked_add(b));
+                // now + pending_reads × estimated cost. Both the
+                // multiplication and the Instant addition can overflow for
+                // large estimates (the naive product panics in debug
+                // builds and wraps — under-estimating the backlog — in
+                // release), so compute checked and treat overflow as "past
+                // any deadline": a backlog too large to represent is
+                // certainly infeasible.
+                let infeasible = match self.cost_model.estimate_query_cost() {
+                    Some(cost) => {
+                        let backlog = cost.checked_mul(state.pending_reads as u32);
+                        let finish = backlog.and_then(|b| now.checked_add(b));
+                        finish.is_none_or(|f| f >= deadline)
+                    }
+                    // No observations yet: refuse to shed on a guess.
+                    None => false,
+                };
                 // Already expired at the door: executing it would only
                 // burn a queue slot to report `TimedOut` later.
-                let hopeless = now >= deadline
-                    || (state.pending.len() >= self.capacity
-                        && finish.is_none_or(|f| f >= deadline));
+                let hopeless =
+                    now >= deadline || (state.pending.len() >= self.capacity && infeasible);
                 if hopeless {
                     self.shed.fetch_add(1, Ordering::Relaxed);
                     return Err(SubmitError::Shed);
@@ -337,6 +458,19 @@ impl AdmissionQueue {
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// The measured cost model backing [`AdmissionQueue::submit_or_shed`].
+    /// The consumer feeds it ([`CostModel::observe`]) as queries complete;
+    /// anything may read its current estimate.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Number of pending operations that are reads (the backlog the cost
+    /// model charges against a new query's deadline).
+    pub fn pending_reads(&self) -> usize {
+        self.lock().pending_reads
     }
 
     /// Fault hook: rejects the submission that would receive the next
@@ -354,6 +488,9 @@ impl AdmissionQueue {
     fn admit(state: &mut AdmissionState, op: IngestOp, deadline: Option<Instant>) -> Ticket {
         let ticket = state.next_ticket;
         state.next_ticket += 1;
+        if !op.is_mutation() {
+            state.pending_reads += 1;
+        }
         state.pending.push_back(AdmittedQuery {
             ticket,
             op,
@@ -370,6 +507,7 @@ impl AdmissionQueue {
     pub fn drain_pending(&self) -> Vec<AdmittedQuery> {
         let mut state = self.lock();
         let wave: Vec<AdmittedQuery> = state.pending.drain(..).collect();
+        state.pending_reads = 0;
         drop(state);
         if !wave.is_empty() {
             self.space.notify_all();
@@ -497,10 +635,7 @@ mod tests {
         queue.close();
         assert_eq!(queue.submit(q("a"), None), Err(SubmitError::Closed));
         assert_eq!(queue.try_submit(q("b"), None), Err(SubmitError::Closed));
-        assert_eq!(
-            queue.submit_or_shed(q("c"), None, Duration::from_millis(1)),
-            Err(SubmitError::Closed)
-        );
+        assert_eq!(queue.submit_or_shed(q("c"), None), Err(SubmitError::Closed));
         assert_eq!(queue.admitted(), 0);
         assert!(queue.is_empty());
     }
@@ -516,9 +651,10 @@ mod tests {
         // claim time in the wave.
         assert!(queue.submit(q("a"), Some(past)).is_ok());
         assert!(queue.try_submit(q("b"), Some(past)).is_ok());
-        // The cost-aware path refuses to burn a slot on a hopeless query.
+        // The cost-aware path refuses to burn a slot on a hopeless query —
+        // even with a cold cost model (expiry needs no estimate).
         assert_eq!(
-            queue.submit_or_shed(q("c"), Some(past), Duration::from_millis(1)),
+            queue.submit_or_shed(q("c"), Some(past)),
             Err(SubmitError::Shed)
         );
         assert_eq!(queue.shed_queries(), 1);
@@ -530,12 +666,13 @@ mod tests {
     #[test]
     fn cost_aware_shedding_rejects_infeasible_deadlines_when_full() {
         let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(2));
+        queue.cost_model().seed(Duration::from_millis(10));
         queue.submit(q("a"), None).unwrap();
         queue.submit(q("b"), None).unwrap();
-        // Full queue + 10 ms/query backlog estimate ≫ 1 ms of budget: shed.
+        // Full queue + 10 ms/query measured backlog ≫ 1 ms of budget: shed.
         let tight = Instant::now() + Duration::from_millis(1);
         assert_eq!(
-            queue.submit_or_shed(q("c"), Some(tight), Duration::from_millis(10)),
+            queue.submit_or_shed(q("c"), Some(tight)),
             Err(SubmitError::Shed)
         );
         assert_eq!(queue.shed_queries(), 1);
@@ -544,9 +681,7 @@ mod tests {
         let queue = Arc::new(queue);
         let producer = {
             let queue = Arc::clone(&queue);
-            std::thread::spawn(move || {
-                queue.submit_or_shed(q("d"), None, Duration::from_millis(10))
-            })
+            std::thread::spawn(move || queue.submit_or_shed(q("d"), None))
         };
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(queue.drain_pending().len(), 2);
@@ -556,41 +691,129 @@ mod tests {
     #[test]
     fn feasible_deadline_is_admitted_not_shed() {
         let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(4));
+        queue.cost_model().seed(Duration::from_millis(1));
         let roomy = Instant::now() + Duration::from_secs(60);
-        let ticket = queue
-            .submit_or_shed(q("a"), Some(roomy), Duration::from_millis(1))
-            .unwrap();
+        let ticket = queue.submit_or_shed(q("a"), Some(roomy)).unwrap();
         assert_eq!(ticket, 0);
         assert_eq!(queue.shed_queries(), 0);
         let wave = queue.drain_pending();
         assert_eq!(wave[0].deadline, Some(roomy));
     }
 
+    /// An unwarmed cost model must not shed on a guess: with zero
+    /// observations, a full queue admits (blocks) rather than sheds, and
+    /// only already-expired deadlines are rejected at the door.
+    #[test]
+    fn cold_cost_model_never_sheds_feasible_queries() {
+        let queue = Arc::new(AdmissionQueue::new(ServiceOptions::new().queue_capacity(1)));
+        assert_eq!(queue.cost_model().observations(), 0);
+        queue.submit(q("a"), None).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(200);
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.submit_or_shed(q("b"), Some(deadline)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(queue.drain_pending().len(), 1);
+        assert_eq!(producer.join().unwrap(), Ok(1));
+        assert_eq!(queue.shed_queries(), 0);
+    }
+
     /// Satellite 2 (the overflow bug): a full queue, an astronomically
-    /// large cost hint, and a finite deadline used to evaluate
-    /// `now + cost_hint * pending` — which panics in debug builds and
+    /// large measured cost, and a finite deadline used to evaluate
+    /// `now + cost * pending_reads` — which panics in debug builds and
     /// wraps (admitting the hopeless query) in release. The checked
     /// arithmetic must shed instead, without panicking.
     #[test]
-    fn huge_cost_hint_on_full_queue_sheds_instead_of_overflowing() {
+    fn huge_measured_cost_on_full_queue_sheds_instead_of_overflowing() {
         let queue = AdmissionQueue::new(ServiceOptions::new().queue_capacity(2));
         queue.submit(q("a"), None).unwrap();
         queue.submit(q("b"), None).unwrap();
         let deadline = Instant::now() + Duration::from_secs(60);
+        queue.cost_model().seed(Duration::MAX);
         assert_eq!(
-            queue.submit_or_shed(q("c"), Some(deadline), Duration::MAX),
+            queue.submit_or_shed(q("c"), Some(deadline)),
             Err(SubmitError::Shed)
         );
         assert_eq!(queue.shed_queries(), 1);
         // A representable-but-huge backlog overflows only the Instant
         // addition — same verdict, exercised separately.
+        queue.cost_model().seed(Duration::from_secs(u64::MAX / 8));
         assert_eq!(
-            queue.submit_or_shed(q("d"), Some(deadline), Duration::from_secs(u64::MAX / 8)),
+            queue.submit_or_shed(q("d"), Some(deadline)),
             Err(SubmitError::Shed)
         );
         // Shedding consumed no tickets or slots.
         assert_eq!(queue.len(), 2);
         assert_eq!(queue.admitted(), 2);
+    }
+
+    /// Satellite bugfix: the backlog estimate counts only pending *reads*.
+    /// A queue full of cheap mutations must not shed a deadline-feasible
+    /// query the way the old all-ops × query-cost estimate did.
+    #[test]
+    fn mutation_heavy_backlog_does_not_shed_feasible_reads() {
+        let queue = Arc::new(AdmissionQueue::new(ServiceOptions::new().queue_capacity(4)));
+        // 1 s measured per *query*; four pending mutations would have
+        // charged a bogus 4 s backlog against a 200 ms deadline.
+        queue.cost_model().seed(Duration::from_secs(1));
+        for i in 0..4 {
+            queue.submit_insert(q(&format!("ins-{i}"))).unwrap();
+        }
+        assert_eq!(queue.len(), 4);
+        assert_eq!(queue.pending_reads(), 0);
+        let deadline = Instant::now() + Duration::from_millis(200);
+        // Full queue, but the read backlog is zero: block, don't shed.
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.submit_or_shed(q("read"), Some(deadline)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(queue.drain_pending().len(), 4);
+        assert_eq!(producer.join().unwrap(), Ok(4));
+        assert_eq!(queue.shed_queries(), 0);
+        assert_eq!(queue.pending_reads(), 1);
+        // Reads *do* count: with one read pending and a 1 s estimate, a
+        // 200 ms deadline on a full queue is infeasible.
+        for i in 0..3 {
+            queue.submit_insert(q(&format!("ins2-{i}"))).unwrap();
+        }
+        let tight = Instant::now() + Duration::from_millis(200);
+        assert_eq!(
+            queue.submit_or_shed(q("read-2"), Some(tight)),
+            Err(SubmitError::Shed)
+        );
+        assert_eq!(queue.shed_queries(), 1);
+    }
+
+    #[test]
+    fn cost_model_estimates_track_observations() {
+        let model = CostModel::new();
+        assert_eq!(model.estimate_query_cost(), None);
+        // 1 ms filter + 100 candidates × 50 µs verify each = 6 ms/query.
+        model.observe(100, 0.001, 0.005);
+        let first = model.estimate_query_cost().unwrap();
+        assert!((first.as_secs_f64() - 0.006).abs() < 1e-9, "{first:?}");
+        // Repeated identical observations keep the estimate fixed.
+        for _ in 0..50 {
+            model.observe(100, 0.001, 0.005);
+        }
+        let settled = model.estimate_query_cost().unwrap();
+        assert!((settled.as_secs_f64() - 0.006).abs() < 1e-9);
+        // The EWMA converges toward a shifted workload...
+        for _ in 0..100 {
+            model.observe(200, 0.002, 0.020);
+        }
+        let shifted = model.estimate_query_cost().unwrap().as_secs_f64();
+        assert!((shifted - 0.022).abs() < 0.002, "{shifted}");
+        // ...and the regression extrapolates verify cost with candidate
+        // count rather than averaging it away.
+        assert!(shifted > settled.as_secs_f64() * 3.0);
+        // Degenerate samples are ignored, not folded in.
+        model.observe(10, f64::NAN, 1.0);
+        model.observe(10, -1.0, 1.0);
+        let after = model.estimate_query_cost().unwrap().as_secs_f64();
+        assert!((after - shifted).abs() < 1e-12);
     }
 
     #[test]

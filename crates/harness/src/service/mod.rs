@@ -106,7 +106,7 @@ pub mod sharded;
 pub mod stages;
 pub mod synopsis;
 
-pub use admission::{AdmissionQueue, AdmittedQuery, IngestOp, SubmitError, Ticket};
+pub use admission::{AdmissionQueue, AdmittedQuery, CostModel, IngestOp, SubmitError, Ticket};
 pub use cache::{answer_memo_key, AnswerEntry, AnswerMemo, CachePolicy, FeatureCache, Lru};
 pub use fault::{silence_injected_panics, FaultPlan, FaultSpec, InjectedPanic};
 pub use options::ServiceOptions;
@@ -397,6 +397,7 @@ impl<'a> QueryService<'a> {
         for (i, hit) in hits.into_iter().enumerate() {
             if let Some((entry, probe_s)) = hit {
                 totals.add_query(0.0, probe_s, 0.0, 0.0, entry.candidates_pruned);
+                totals.observe_latency(probe_s);
                 records[i] = Some(QueryRecord {
                     candidate_count: entry.candidate_count,
                     candidates_pruned: entry.candidates_pruned,
@@ -515,6 +516,10 @@ pub(crate) fn run_batch_on(
                 r.verify_s,
                 r.candidates_pruned,
             );
+            // Unsharded latency = the query's summed stage walk (it runs
+            // on one worker start to finish; the sharded merge overrides
+            // this with true submission-to-finalize time).
+            totals.observe_latency(r.queue_wait_s + r.cache_probe_s + r.filter_s + r.verify_s);
         }
         records[idx] = record;
         outcomes[idx] = outcome;

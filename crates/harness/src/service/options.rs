@@ -37,7 +37,15 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct ServiceOptions {
     /// Worker threads per pool (per shard when sharded). Clamped to ≥ 1.
+    /// Under dynamic scaling this is the *floor* a shard pool never
+    /// shrinks below.
     pub workers: usize,
+    /// Upper bound for dynamic per-shard worker scaling: a shard executor
+    /// grows its pool from the observed probe backlog, between `workers`
+    /// (the floor) and this cap. Values below `workers` — including the
+    /// default of 1 — are clamped up to `workers` at use, which disables
+    /// scaling: the pool stays at its fixed size.
+    pub workers_max: usize,
     /// Dataset shards; `1` means the plain unsharded service. Clamped to
     /// ≥ 1 by the constructors.
     pub shards: usize,
@@ -61,6 +69,7 @@ impl Default for ServiceOptions {
     fn default() -> Self {
         ServiceOptions {
             workers: 1,
+            workers_max: 1,
             shards: 1,
             strategy: ShardStrategy::default(),
             routing: RoutingMode::Fanout,
@@ -82,6 +91,14 @@ impl ServiceOptions {
     /// Sets the worker threads per pool (clamped to ≥ 1).
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the dynamic-scaling worker cap per pool (clamped to ≥ 1 here
+    /// and to ≥ `workers` at use). Leaving it at the default keeps the
+    /// pool at its fixed `workers` size.
+    pub fn workers_max(mut self, workers_max: usize) -> Self {
+        self.workers_max = workers_max.max(1);
         self
     }
 
@@ -171,6 +188,20 @@ mod tests {
     #[test]
     fn default_disables_caching() {
         assert!(ServiceOptions::default().cache.is_disabled());
+    }
+
+    /// The scaling cap defaults to the floor (scaling disabled) and clamps
+    /// like every other knob.
+    #[test]
+    fn workers_max_defaults_off_and_clamps() {
+        let opts = ServiceOptions::new().workers(3);
+        assert!(
+            opts.workers_max <= opts.workers,
+            "a default cap above the floor would silently enable scaling"
+        );
+        let scaled = ServiceOptions::new().workers(2).workers_max(8);
+        assert_eq!(scaled.workers_max, 8);
+        assert_eq!(ServiceOptions::new().workers_max(0).workers_max, 1);
     }
 
     /// The legacy config types convert losslessly — the delegating shims

@@ -60,15 +60,21 @@ use super::cache::{answer_memo_key, AnswerEntry, AnswerMemo, FeatureCache};
 use super::fault::FaultPlan;
 use super::options::ServiceOptions;
 use super::pool::{WaveFaults, WorkerArena};
-use super::stages::QueryOutcome;
+use super::run_batch_on;
+use super::stages::{QueryOutcome, QueryRecord};
 use super::synopsis::{Router, RoutingMode};
-use super::{run_batch_on, BatchReport};
 use crate::metrics::{counted_false_positive_ratio, CacheCounters, StageTotals, Stopwatch};
 use sqbench_graph::{Dataset, Graph, GraphId, GraphSynopsis, ShardSynopsis};
 use sqbench_index::{
     build_index, FeatureCacheStore, GraphIndex, IndexStats, MethodConfig, MethodKind,
 };
-use std::sync::Arc;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How [`partition_dataset`] assigns graphs to shards.
@@ -139,6 +145,34 @@ impl RetryPolicy {
         RetryPolicy {
             max_retries: 0,
             backoff: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before retry round `round`. Saturates instead of
+    /// panicking: the doubling factor saturates at `u32::MAX` and the
+    /// multiplication at `Duration::MAX`, so adversarial-but-legal
+    /// policies (a large base backoff with a deep retry budget) degrade
+    /// to "never fits the deadline" instead of crashing the wave.
+    fn backoff_for(&self, round: u32) -> Duration {
+        self.backoff
+            .checked_mul(2u32.saturating_pow(round))
+            .unwrap_or(Duration::MAX)
+    }
+
+    /// When retry round `round` may run, or `None` when it may not: the
+    /// backoff is capped by the query's remaining deadline budget (a
+    /// retry scheduled at or past the deadline could only produce a
+    /// timed-out probe), and without a deadline a backoff too large to
+    /// land on the monotonic clock at all is refused rather than
+    /// overflowing the `Instant` addition.
+    fn retry_at(&self, round: u32, now: Instant, deadline: Option<Instant>) -> Option<Instant> {
+        let backoff = self.backoff_for(round);
+        match deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(now);
+                (backoff < remaining).then(|| now + backoff)
+            }
+            None => now.checked_add(backoff),
         }
     }
 }
@@ -368,9 +402,13 @@ fn label_aware_assignment(dataset: &Dataset, shards: usize) -> Vec<Vec<GraphId>>
     assignment
 }
 
-/// One shard of the service: its dataset slice, its own index, its id
-/// mapping and the worker arenas that persist across waves.
-struct Shard {
+/// One shard's mutable state: its dataset slice, its own index, its id
+/// mapping, the worker arenas that persist across waves and its feature
+/// cache. Shared behind a mutex between the service thread (mutations,
+/// stats, cache control) and the shard's persistent executor thread
+/// (probes) — the executor holds the lock for the duration of each job,
+/// which is what serializes probes against online mutations.
+struct ShardCore {
     dataset: Dataset,
     index: Box<dyn GraphIndex>,
     to_global: Vec<GraphId>,
@@ -379,6 +417,184 @@ struct Shard {
     /// workers across waves. Per-shard by design: cached bitsets are
     /// shard-local posting lists and must never leak across shards.
     features: Option<FeatureCache>,
+}
+
+/// One query's probe of one shard, as shipped to a shard executor.
+struct ProbeItem {
+    /// The query's wave index — the merge loop's slot for the reply.
+    slot: usize,
+    query: Arc<Graph>,
+    /// The query's own deadline (the wave-wide one travels on the job).
+    deadline: Option<Instant>,
+    ticket: Ticket,
+}
+
+/// A batch of probes for one shard executor, carrying the wave's reply
+/// channel. A wave the merge loop has abandoned simply drops its
+/// receiver; the executor's late replies then fail silently and the
+/// stale work is discarded.
+struct ShardJob {
+    items: Vec<ProbeItem>,
+    wave_deadline: Option<Instant>,
+    reply: Sender<WaveEvent>,
+}
+
+/// One `(query, shard)` probe completion, streamed to the merge loop the
+/// moment the shard finishes it — per-query completion, no wave barrier.
+struct WaveEvent {
+    shard: usize,
+    slot: usize,
+    outcome: QueryOutcome,
+    /// The probe's record with answers already mapped to *global* ids
+    /// (the executor maps them under the core lock, where `to_global` is
+    /// stable); `None` for timed-out and failed probes.
+    record: Option<QueryRecord>,
+}
+
+/// Probe items per worker the dynamic scaler aims for: a backlog of more
+/// than this many queries per worker grows the pool (up to the cap).
+const QUERIES_PER_WORKER: usize = 4;
+
+/// One shard of the service: shared core state plus the persistent
+/// executor thread that serves probe jobs against it.
+struct Shard {
+    core: Arc<Mutex<ShardCore>>,
+    jobs: Sender<ShardJob>,
+    /// Probe items queued at (or executing on) this shard — the observed
+    /// queue depth that drives dynamic worker scaling.
+    backlog: Arc<AtomicUsize>,
+    /// Largest worker pool the executor ever scaled to (diagnostics).
+    worker_high_water: Arc<AtomicUsize>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Shard {
+    fn lock(&self) -> MutexGuard<'_, ShardCore> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        // Disconnect the job channel so the executor's recv loop exits
+        // (after finishing any queued jobs), then join it — a service
+        // never leaks threads past its own lifetime.
+        let (dead, _) = mpsc::channel();
+        drop(std::mem::replace(&mut self.jobs, dead));
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Everything one shard executor thread owns, bundled for spawning.
+struct ExecutorSetup {
+    shard: usize,
+    core: Arc<Mutex<ShardCore>>,
+    jobs: Receiver<ShardJob>,
+    backlog: Arc<AtomicUsize>,
+    high_water: Arc<AtomicUsize>,
+    workers_min: usize,
+    workers_max: usize,
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// The shard executor loop: serve probe jobs until the service drops the
+/// job channel. Each job locks the core, rescales the worker pool from
+/// the observed backlog and runs the probe batch through the shared
+/// filter → verify pipeline; per-item results stream back on the job's
+/// reply channel as they are known.
+fn spawn_shard_executor(setup: ExecutorSetup) -> JoinHandle<()> {
+    let ExecutorSetup {
+        shard: s,
+        core,
+        jobs,
+        backlog,
+        high_water,
+        workers_min,
+        workers_max,
+        faults,
+    } = setup;
+    std::thread::spawn(move || {
+        while let Ok(job) = jobs.recv() {
+            // Snapshot the depth before serving: it includes this job's
+            // items plus anything that queued behind it.
+            let depth = backlog.load(Ordering::Relaxed).max(job.items.len());
+            if let Some(plan) = faults.as_deref() {
+                // Injected stall: the shard sleeps before serving, the way
+                // a GC pause, page-cache miss storm or noisy neighbour
+                // delays a real shard. Queries with deadlines degrade at
+                // the merge without waiting for it; the rest arrive late.
+                if let Some(stall) = plan.take_stall(s) {
+                    std::thread::sleep(stall);
+                }
+            }
+            let served = job.items.len();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut guard = core.lock().unwrap_or_else(PoisonError::into_inner);
+                let core = &mut *guard;
+                let target = depth
+                    .div_ceil(QUERIES_PER_WORKER)
+                    .clamp(workers_min, workers_max);
+                if core.arenas.len() < target {
+                    core.arenas.resize_with(target, WorkerArena::default);
+                } else if core.arenas.len() > target {
+                    core.arenas.truncate(target);
+                }
+                high_water.fetch_max(target, Ordering::Relaxed);
+                let queries: Vec<&Graph> = job.items.iter().map(|it| it.query.as_ref()).collect();
+                let per_query: Vec<Option<Instant>> =
+                    job.items.iter().map(|it| it.deadline).collect();
+                let tickets: Vec<Ticket> = job.items.iter().map(|it| it.ticket).collect();
+                let store = core.features.as_ref().map(|f| f as &dyn FeatureCacheStore);
+                let mut report = run_batch_on(
+                    &*core.index,
+                    &core.dataset,
+                    &mut core.arenas,
+                    &queries,
+                    job.wave_deadline,
+                    Some(&per_query),
+                    faults.as_deref().map(|plan| WaveFaults {
+                        plan,
+                        tickets: &tickets,
+                    }),
+                    store,
+                );
+                for record in report.records.iter_mut().flatten() {
+                    for answer in &mut record.answers {
+                        *answer = core.to_global[*answer];
+                    }
+                }
+                report
+            }));
+            match outcome {
+                Ok(mut report) => {
+                    for (i, item) in job.items.iter().enumerate() {
+                        let _ = job.reply.send(WaveEvent {
+                            shard: s,
+                            slot: item.slot,
+                            outcome: report.outcomes[i],
+                            record: report.records[i].take(),
+                        });
+                    }
+                }
+                // Per-query panics are caught inside the pool's workers,
+                // so this is shard infrastructure failing — every probe
+                // of the job is `Failed` (retryable), not the whole wave.
+                Err(_) => {
+                    for item in &job.items {
+                        let _ = job.reply.send(WaveEvent {
+                            shard: s,
+                            slot: item.slot,
+                            outcome: QueryOutcome::Failed,
+                            record: None,
+                        });
+                    }
+                }
+            }
+            backlog.fetch_sub(served, Ordering::Relaxed);
+        }
+    })
 }
 
 /// What the sharded service records for one query of a wave.
@@ -407,6 +623,13 @@ pub struct ShardedQueryRecord {
     pub filter_s: f64,
     /// Verify work summed across shards (total work, not critical path).
     pub verify_s: f64,
+    /// End-to-end seconds from the query's submission (its admission
+    /// point, for open waves; the wave start for closed waves) to the
+    /// moment the merge finalized its outcome — the latency a caller
+    /// observes, as opposed to the summed per-stage *work* above. This is
+    /// what the wave's latency percentiles are built from. Mutations
+    /// report their queue wait; memo hits their wait plus the probe.
+    pub latency_s: f64,
     /// How the query's execution ended across its probed shards:
     ///
     /// * [`QueryOutcome::Complete`] — every probed shard verified it; the
@@ -567,7 +790,6 @@ pub struct ShardedService {
     routing: RoutingMode,
     router: Router,
     retry: RetryPolicy,
-    faults: Option<Arc<FaultPlan>>,
     /// Service-level whole-answer memo, probed at admission before any
     /// shard is touched. Service-level (not per-shard) because its entries
     /// are *merged global* answers.
@@ -596,6 +818,7 @@ impl ShardedService {
     ) -> Self {
         let opts: ServiceOptions = opts.into();
         let workers = opts.workers.max(1);
+        let workers_max = opts.workers_max.max(workers);
         let parts = partition_dataset(dataset, opts.shards, opts.strategy);
         // The partition shares graph storage with `dataset`, so each
         // part's uniquely-owned bytes are its pointer spine — summed here
@@ -605,31 +828,51 @@ impl ShardedService {
             .iter()
             .map(|part| part.dataset.owned_memory_bytes())
             .sum();
+        // The router is always built (one cheap pass per shard slice) so a
+        // service can serve both modes and diagnostics can inspect the
+        // synopses; `routing` only decides whether waves consult it.
+        let router = Router::build(parts.iter().map(|p| &p.dataset));
         let shards: Vec<Shard> = parts
             .into_iter()
-            .map(|part| {
+            .enumerate()
+            .map(|(s, part)| {
                 let index = build_index(kind, method_config, &part.dataset);
-                Shard {
+                let core = Arc::new(Mutex::new(ShardCore {
                     dataset: part.dataset,
                     index,
                     to_global: part.to_global,
                     arenas: (0..workers).map(|_| WorkerArena::default()).collect(),
                     features: (opts.cache.feature_capacity > 0)
                         .then(|| FeatureCache::new(opts.cache.feature_capacity)),
+                }));
+                let (jobs, job_rx) = mpsc::channel();
+                let backlog = Arc::new(AtomicUsize::new(0));
+                let worker_high_water = Arc::new(AtomicUsize::new(workers));
+                let thread = spawn_shard_executor(ExecutorSetup {
+                    shard: s,
+                    core: Arc::clone(&core),
+                    jobs: job_rx,
+                    backlog: Arc::clone(&backlog),
+                    high_water: Arc::clone(&worker_high_water),
+                    workers_min: workers,
+                    workers_max,
+                    faults: opts.faults.clone(),
+                });
+                Shard {
+                    core,
+                    jobs,
+                    backlog,
+                    worker_high_water,
+                    thread: Some(thread),
                 }
             })
             .collect();
-        // The router is always built (one cheap pass per shard slice) so a
-        // service can serve both modes and diagnostics can inspect the
-        // synopses; `routing` only decides whether waves consult it.
-        let router = Router::build(shards.iter().map(|s| &s.dataset));
         ShardedService {
             shards,
             strategy: opts.strategy,
             routing: opts.routing,
             router,
             retry: opts.retry,
-            faults: opts.faults,
             answers: (opts.cache.answer_capacity > 0)
                 .then(|| AnswerMemo::new(opts.cache.answer_capacity)),
             partition_overhead_bytes,
@@ -683,7 +926,18 @@ impl ShardedService {
 
     /// Graphs per shard, indexed by shard.
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.dataset.len()).collect()
+        self.shards.iter().map(|s| s.lock().dataset.len()).collect()
+    }
+
+    /// Largest worker pool each shard's executor ever scaled to, indexed
+    /// by shard — the dynamic-scaling high-water mark. Equals the
+    /// configured floor everywhere while scaling is disabled
+    /// (`workers_max <= workers`).
+    pub fn worker_high_water(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.worker_high_water.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Aggregated index statistics: feature counts and sizes summed over
@@ -694,7 +948,7 @@ impl ShardedService {
             size_bytes: 0,
         };
         for shard in &self.shards {
-            let stats = shard.index.stats();
+            let stats = shard.lock().index.stats();
             total.distinct_features += stats.distinct_features;
             total.size_bytes += stats.size_bytes;
         }
@@ -707,7 +961,7 @@ impl ShardedService {
     pub fn cache_counters(&self) -> CacheCounters {
         let mut counters = CacheCounters::default();
         for shard in &self.shards {
-            if let Some(features) = &shard.features {
+            if let Some(features) = &shard.lock().features {
                 counters.feature_hits += features.hits();
                 counters.feature_misses += features.misses();
                 counters.evictions += features.evictions();
@@ -731,7 +985,7 @@ impl ShardedService {
     /// Hit/miss/eviction counters survive the flush.
     pub fn invalidate_caches(&self) {
         for shard in &self.shards {
-            if let Some(features) = &shard.features {
+            if let Some(features) = &shard.lock().features {
                 features.invalidate_all();
             }
         }
@@ -752,23 +1006,19 @@ impl ShardedService {
     ///   routing keeps skipping shards under interleaved ingest.
     fn place(&self, graph: &Graph, global_id: GraphId) -> usize {
         let shard_count = self.shards.len();
+        let load = |s: usize| -> usize {
+            self.shards[s]
+                .lock()
+                .dataset
+                .iter()
+                .map(|(_, g)| g.vertex_count() + g.edge_count())
+                .sum()
+        };
         match self.strategy {
             ShardStrategy::RoundRobin => global_id % shard_count,
-            ShardStrategy::SizeBalanced => {
-                let load = |shard: &Shard| -> usize {
-                    shard
-                        .dataset
-                        .iter()
-                        .map(|(_, g)| g.vertex_count() + g.edge_count())
-                        .sum()
-                };
-                self.shards
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(s, shard)| (load(shard), *s))
-                    .map(|(s, _)| s)
-                    .expect("at least one shard")
-            }
+            ShardStrategy::SizeBalanced => (0..shard_count)
+                .min_by_key(|&s| (load(s), s))
+                .expect("at least one shard"),
             ShardStrategy::LabelAware => {
                 let affinity = |s: usize| -> usize {
                     let hosted = &self.router.synopsis(s).max_label_counts;
@@ -777,13 +1027,6 @@ impl ShardedService {
                         .iter()
                         .filter(|label| hosted.contains_key(label))
                         .count()
-                };
-                let load = |s: usize| -> usize {
-                    self.shards[s]
-                        .dataset
-                        .iter()
-                        .map(|(_, g)| g.vertex_count() + g.edge_count())
-                        .sum()
                 };
                 (0..shard_count)
                     .max_by_key(|&s| {
@@ -809,16 +1052,18 @@ impl ShardedService {
         self.next_global_id += 1;
         let shard_idx = self.place(&graph, global);
         let synopsis = GraphSynopsis::of(&graph);
-        let shard = &mut self.shards[shard_idx];
-        // The index assigns the same local id the dataset push does: both
-        // are defined as the current dense universe size.
-        let local = shard.index.insert(&graph);
-        let pushed = shard.dataset.push(graph);
-        debug_assert_eq!(local, pushed);
-        // New global ids exceed every id already in the table, so the
-        // push keeps `to_global` sorted — the invariant that makes merged
-        // answers come out in global id order.
-        shard.to_global.push(global);
+        {
+            let mut core = self.shards[shard_idx].lock();
+            // The index assigns the same local id the dataset push does:
+            // both are defined as the current dense universe size.
+            let local = core.index.insert(&graph);
+            let pushed = core.dataset.push(graph);
+            debug_assert_eq!(local, pushed);
+            // New global ids exceed every id already in the table, so the
+            // push keeps `to_global` sorted — the invariant that makes
+            // merged answers come out in global id order.
+            core.to_global.push(global);
+        }
         self.router.absorb(shard_idx, &synopsis);
         self.invalidate_caches();
         global
@@ -836,19 +1081,23 @@ impl ShardedService {
     /// [`ShardSynopsis::admits`] remains a sound necessary condition and
     /// never narrows below the shard's live contents.
     pub fn remove_graph(&mut self, global_id: GraphId) -> bool {
-        for (s, shard) in self.shards.iter_mut().enumerate() {
-            if let Ok(local) = shard.to_global.binary_search(&global_id) {
-                if !shard.dataset.remove(local) {
+        for s in 0..self.shards.len() {
+            let recomputed = {
+                let mut core = self.shards[s].lock();
+                let Ok(local) = core.to_global.binary_search(&global_id) else {
+                    continue;
+                };
+                if !core.dataset.remove(local) {
                     // Already tombstoned: report idempotently, touch nothing.
                     return false;
                 }
-                let index_removed = shard.index.remove(local);
+                let index_removed = core.index.remove(local);
                 debug_assert!(index_removed, "dataset and index tombstones diverged");
-                let recomputed = ShardSynopsis::of(&shard.dataset);
-                self.router.replace(s, recomputed);
-                self.invalidate_caches();
-                return true;
-            }
+                ShardSynopsis::of(&core.dataset)
+            };
+            self.router.replace(s, recomputed);
+            self.invalidate_caches();
+            return true;
         }
         false
     }
@@ -910,6 +1159,7 @@ impl ShardedService {
             }
             if !reads.is_empty() {
                 let report = self.serve_read_batch(&reads, deadline, drained_at);
+                feed_cost_model(queue, &report.records);
                 records.extend(report.records);
                 for (s, shard_totals) in report.per_shard.iter().enumerate() {
                     per_shard[s].merge(shard_totals);
@@ -945,10 +1195,12 @@ impl ShardedService {
                 retries: 0,
                 shards_probed: 0,
                 shards_skipped: 0,
+                latency_s: wait_s,
             });
         }
         if !reads.is_empty() {
             let report = self.serve_read_batch(&reads, deadline, drained_at);
+            feed_cost_model(queue, &report.records);
             records.extend(report.records);
             for (s, shard_totals) in report.per_shard.iter().enumerate() {
                 per_shard[s].merge(shard_totals);
@@ -967,6 +1219,13 @@ impl ShardedService {
     }
 
     /// Serves one run of consecutive drained reads as a sub-wave.
+    ///
+    /// Every executed record that actually reached a shard feeds the
+    /// queue's measured cost model, so future [`AdmissionQueue::submit_or_shed`]
+    /// decisions are earned from observed filter/verify cost rather than
+    /// asserted by callers. Memo hits (zero shards probed) are excluded:
+    /// they carry candidate counts from the run that populated the memo
+    /// but near-zero serve cost, and would drag the estimate toward zero.
     fn serve_read_batch(
         &mut self,
         batch: &[AdmittedQuery],
@@ -1059,120 +1318,14 @@ impl ShardedService {
         } else {
             plan
         };
-        let faults: Option<&FaultPlan> = self.faults.as_deref();
-        // Fan the wave out: one worker pool per shard, all shards in
-        // flight at once (scoped threads so shards' indexes stay borrowed).
-        let run_shard = |s: usize, shard: &mut Shard, admitted: Option<&[usize]>| {
-            if let Some(plan) = faults {
-                // Injected stall: the shard sleeps before serving, the way
-                // a GC pause, page-cache miss storm or noisy neighbour
-                // delays a real shard. Queries with deadlines expire here
-                // and degrade at the merge; the rest just arrive late.
-                if let Some(stall) = plan.take_stall(s) {
-                    std::thread::sleep(stall);
-                }
-            }
-            let store = shard.features.as_ref().map(|f| f as &dyn FeatureCacheStore);
-            match admitted {
-                None => run_batch_on(
-                    &*shard.index,
-                    &shard.dataset,
-                    &mut shard.arenas,
-                    queries,
-                    deadline,
-                    per_query,
-                    faults.map(|plan| WaveFaults { plan, tickets }),
-                    store,
-                ),
-                Some(admitted) => {
-                    let sub_queries: Vec<&Graph> = admitted.iter().map(|&qi| queries[qi]).collect();
-                    let sub_deadlines: Option<Vec<Option<Instant>>> =
-                        per_query.map(|all| admitted.iter().map(|&qi| all[qi]).collect());
-                    let sub_tickets: Vec<Ticket> = admitted.iter().map(|&qi| tickets[qi]).collect();
-                    run_batch_on(
-                        &*shard.index,
-                        &shard.dataset,
-                        &mut shard.arenas,
-                        &sub_queries,
-                        deadline,
-                        sub_deadlines.as_deref(),
-                        faults.map(|plan| WaveFaults {
-                            plan,
-                            tickets: &sub_tickets,
-                        }),
-                        store,
-                    )
-                }
-            }
-        };
-        fn admitted_of(plan: &Option<Vec<Vec<usize>>>, s: usize) -> Option<&[usize]> {
-            plan.as_ref().map(|p| p[s].as_slice())
-        }
-        // A shard the router left without a single admitted query is idle
-        // this wave: synthesize its empty report instead of paying a
-        // thread spawn/join for it — on label-coherent data that is most
-        // shards of every wave, the exact regime routing targets.
-        let idle_report = || BatchReport {
-            records: Vec::new(),
-            outcomes: Vec::new(),
-            totals: StageTotals::default(),
-            wall_s: 0.0,
-            workers: 0,
-        };
-        // A shard whose pool died before reporting (per-query panics are
-        // caught inside the workers, so this is pool infrastructure
-        // failing): every query it was serving is `Failed` — eligible for
-        // the retry rounds below — instead of taking the wave down.
-        let failed_report = |served: usize| BatchReport {
-            records: (0..served).map(|_| None).collect(),
-            outcomes: vec![QueryOutcome::Failed; served],
-            totals: StageTotals::default(),
-            wall_s: 0.0,
-            workers: 0,
-        };
-        let served_of = |s: usize| admitted_of(&plan, s).map_or(queries.len(), <[usize]>::len);
-        let mut reports: Vec<BatchReport> = if shard_count == 1 {
-            vec![run_shard(0, &mut self.shards[0], admitted_of(&plan, 0))]
-        } else {
-            std::thread::scope(|scope| {
-                let run_shard = &run_shard;
-                let handles: Vec<_> = self
-                    .shards
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(s, shard)| {
-                        let admitted = admitted_of(&plan, s);
-                        if admitted.is_some_and(|a| a.is_empty()) {
-                            None
-                        } else {
-                            Some(scope.spawn(move || run_shard(s, shard, admitted)))
-                        }
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .enumerate()
-                    .map(|(s, handle)| match handle {
-                        Some(handle) => handle
-                            .join()
-                            .unwrap_or_else(|_| failed_report(served_of(s))),
-                        None => idle_report(),
-                    })
-                    .collect()
-            })
-        };
-
-        // Retry rounds: failed (query, shard) executions are transient
-        // until proven otherwise — re-run them with exponential backoff
-        // while the query's deadline budget allows. Timed-out slots are
-        // never retried (their budget is spent by definition), and a wave
-        // with no failures pays one outcome scan per shard and exits.
-        let wave_index = |s: usize, local: usize| -> usize {
-            match &plan {
-                None => local,
-                Some(plan) => plan[s][local],
-            }
-        };
+        // Dispatch stage: from here the wave is event-driven. Probes ship
+        // to the persistent shard executors and the merge below folds each
+        // `(query, shard)` result the moment it lands — per-query
+        // completion, so a slow or stalled shard only gates the queries it
+        // actually serves, and retries are heap-scheduled alongside live
+        // probes instead of running as barrier rounds on this thread.
+        let admitted: Vec<Vec<usize>> =
+            plan.unwrap_or_else(|| vec![(0..queries.len()).collect(); shard_count]);
         let deadline_for = |qi: usize| -> Option<Instant> {
             let own = per_query.and_then(|p| p[qi]);
             match (deadline, own) {
@@ -1181,234 +1334,458 @@ impl ShardedService {
                 (None, own) => own,
             }
         };
-        let mut retries_of = vec![0u32; queries.len()];
-        for round in 0..self.retry.max_retries {
-            let backoff = self.retry.backoff * 2u32.saturating_pow(round);
-            let now = Instant::now();
-            let todo: Vec<(usize, Vec<usize>)> = reports
+        let mut probes_of = vec![0usize; queries.len()];
+        for list in &admitted {
+            for &qi in list {
+                probes_of[qi] += 1;
+            }
+        }
+        let wave_started = Instant::now();
+        let mut state = WaveMerge {
+            flights: tickets
                 .iter()
                 .enumerate()
-                .map(|(s, report)| {
-                    let positions: Vec<usize> = report
-                        .outcomes
-                        .iter()
-                        .enumerate()
-                        .filter(|&(local, outcome)| {
-                            *outcome == QueryOutcome::Failed
-                                && deadline_for(wave_index(s, local))
-                                    .is_none_or(|d| now + backoff < d)
-                        })
-                        .map(|(local, _)| local)
-                        .collect();
-                    (s, positions)
+                .map(|(qi, &ticket)| Flight {
+                    record: ShardedQueryRecord {
+                        ticket,
+                        answers: Vec::new(),
+                        candidate_count: 0,
+                        candidates_pruned: 0,
+                        queue_wait_s: 0.0,
+                        cache_probe_s: 0.0,
+                        filter_s: 0.0,
+                        verify_s: 0.0,
+                        latency_s: 0.0,
+                        outcome: QueryOutcome::Complete,
+                        retries: 0,
+                        shards_probed: probes_of[qi],
+                        shards_skipped: shard_count - probes_of[qi],
+                    },
+                    done: 0,
+                    failed: 0,
+                    timed_out: 0,
+                    outstanding: 0,
+                    pending_retries: 0,
+                    shard_wait_s: 0.0,
+                    deadline: deadline_for(qi),
+                    finalized: false,
                 })
-                .filter(|(_, positions)| !positions.is_empty())
-                .collect();
-            if todo.is_empty() {
-                break;
-            }
-            std::thread::sleep(backoff);
-            for (s, positions) in todo {
-                let wave_indices: Vec<usize> = positions
-                    .iter()
-                    .map(|&local| wave_index(s, local))
-                    .collect();
-                let sub_queries: Vec<&Graph> = wave_indices.iter().map(|&qi| queries[qi]).collect();
-                let sub_deadlines: Option<Vec<Option<Instant>>> =
-                    per_query.map(|all| wave_indices.iter().map(|&qi| all[qi]).collect());
-                let sub_tickets: Vec<Ticket> = wave_indices.iter().map(|&qi| tickets[qi]).collect();
-                let shard = &mut self.shards[s];
-                let store = shard.features.as_ref().map(|f| f as &dyn FeatureCacheStore);
-                let mut retried = run_batch_on(
-                    &*shard.index,
-                    &shard.dataset,
-                    &mut shard.arenas,
-                    &sub_queries,
-                    deadline,
-                    sub_deadlines.as_deref(),
-                    faults.map(|plan| WaveFaults {
-                        plan,
-                        tickets: &sub_tickets,
-                    }),
-                    store,
-                );
-                reports[s].totals.merge(&retried.totals);
-                for (i, &local) in positions.iter().enumerate() {
-                    reports[s].records[local] = retried.records[i].take();
-                    reports[s].outcomes[local] = retried.outcomes[i];
-                    retries_of[wave_indices[i]] += 1;
-                }
+                .collect(),
+            per_shard: vec![StageTotals::default(); shard_count],
+            totals: StageTotals::default(),
+            rounds: HashMap::new(),
+            retry_heap: BinaryHeap::new(),
+            remaining: queries.len(),
+            retry: self.retry,
+            wave_started,
+            memo,
+            memo_keys,
+            admission_wait_s,
+        };
+        // Memo hits never reach a shard: serve them straight from the
+        // cached entries (already stripped from every admitted list).
+        for (qi, hit) in memo_hits.iter().enumerate() {
+            if let Some((entry, probe_s)) = hit {
+                state.serve_from_memo(qi, entry, *probe_s);
             }
         }
-        let wall_s = watch.elapsed_secs();
-
-        // Merge stage: per query, union the shard-local answers (mapped to
-        // global ids) of the shards that probed it and fold the stage
-        // timings; per shard, keep the aggregate totals for the balance
-        // view. Skipped (query, shard) pairs contribute nothing — the
-        // router proved those shards hold no answers.
-        let per_shard: Vec<StageTotals> = reports.iter().map(|r| r.totals.clone()).collect();
-        let mut records = Vec::with_capacity(queries.len());
-        let mut totals = StageTotals::default();
-        // Walk each shard's admitted list in lockstep with the wave index
-        // instead of binary-searching per (query, shard) pair.
-        let mut cursors = vec![0usize; shard_count];
-        for (qi, &ticket) in tickets.iter().enumerate() {
-            let mut merged = ShardedQueryRecord {
-                ticket,
-                answers: Vec::new(),
-                candidate_count: 0,
-                candidates_pruned: 0,
-                queue_wait_s: 0.0,
-                cache_probe_s: 0.0,
-                filter_s: 0.0,
-                verify_s: 0.0,
-                outcome: QueryOutcome::Complete,
-                retries: retries_of[qi],
-                shards_probed: 0,
-                shards_skipped: 0,
-            };
-            // A memo-served query never reached a shard: synthesize its
-            // record straight from the cached entry (answers are already
-            // sorted global ids). Candidate accounting is carried over
-            // from the run that populated the memo, so false-positive
-            // ratios stay comparable across warm and cold runs. The
-            // cursors need no advancing — the hit was stripped from every
-            // shard's admitted list.
-            if let Some((entry, probe_s)) = memo_hits.get(qi).and_then(Option::as_ref) {
-                merged.answers = entry.answers.clone();
-                merged.candidate_count = entry.candidate_count;
-                merged.candidates_pruned = entry.candidates_pruned;
-                merged.queue_wait_s = admission_wait_s.map_or(0.0, |w| w[qi]);
-                merged.cache_probe_s = *probe_s;
-                merged.outcome = QueryOutcome::Complete;
-                merged.shards_probed = 0;
-                merged.shards_skipped = shard_count;
-                totals.add_query(
-                    merged.queue_wait_s,
-                    merged.cache_probe_s,
-                    0.0,
-                    0.0,
-                    merged.candidates_pruned,
-                );
-                records.push(merged);
+        // One fresh reply channel per wave: when this wave abandons a
+        // flight (deadline) or returns, late executor replies land on a
+        // dead channel and vanish instead of corrupting a later wave.
+        let (reply, events) = mpsc::channel::<WaveEvent>();
+        // Executors are persistent threads, so they need owning handles to
+        // the wave's queries: one clone per query for the whole wave.
+        let owned: Vec<Arc<Graph>> = queries.iter().map(|&q| Arc::new(q.clone())).collect();
+        for (s, list) in admitted.iter().enumerate() {
+            if list.is_empty() {
                 continue;
             }
-            let mut shard_wait_s = 0.0f64;
-            let (mut done, mut failed, mut timed_out) = (0usize, 0usize, 0usize);
-            for (s, (shard, report)) in self.shards.iter().zip(reports.iter()).enumerate() {
-                // A fanned-out shard's records line up with the wave; a
-                // routed shard's line up with its admitted subset.
-                let local = match &plan {
-                    None => qi,
-                    Some(plan) => {
-                        let cursor = &mut cursors[s];
-                        if plan[s].get(*cursor) != Some(&qi) {
-                            merged.shards_skipped += 1;
-                            continue;
-                        }
-                        let position = *cursor;
-                        *cursor += 1;
-                        position
-                    }
-                };
-                merged.shards_probed += 1;
-                match &report.records[local] {
-                    Some(record) => {
-                        merged
-                            .answers
-                            .extend(record.answers.iter().map(|&local| shard.to_global[local]));
-                        merged.candidate_count += record.candidate_count;
-                        merged.candidates_pruned += record.candidates_pruned;
-                        shard_wait_s = shard_wait_s.max(record.queue_wait_s);
-                        merged.cache_probe_s += record.cache_probe_s;
-                        merged.filter_s += record.filter_s;
-                        merged.verify_s += record.verify_s;
-                        done += 1;
-                    }
-                    None => match report.outcomes[local] {
-                        QueryOutcome::TimedOut => timed_out += 1,
-                        _ => failed += 1,
-                    },
-                }
-            }
-            // Total queue wait = time pending in the admission queue (open
-            // waves only) + the in-wave wait for the slowest shard.
-            merged.queue_wait_s = admission_wait_s.map_or(0.0, |w| w[qi]) + shard_wait_s;
-            let missing = failed + timed_out;
-            merged.outcome = if merged.shards_probed == 0 {
-                // Deadline parity with fan-out for zero-probe queries: a
-                // fanned-out wave would have had every shard skip a
-                // past-deadline query, so a routed query that no shard
-                // admits must not dodge its deadline just because its
-                // (empty) answer was free — same `now > deadline`
-                // predicate the workers apply at claim time.
-                let now = Instant::now();
-                let past = |d: Option<Instant>| d.is_some_and(|d| now > d);
-                if past(deadline) || past(per_query.and_then(|p| p[qi])) {
-                    QueryOutcome::TimedOut
-                } else {
-                    QueryOutcome::Complete
-                }
-            } else if missing == 0 {
-                QueryOutcome::Complete
-            } else if done > 0 {
-                // Graceful degradation: some probed shards delivered
-                // within the budget, others did not. The partial union is
-                // sound (verification is exact on every shard), so report
-                // it flagged rather than blocking on — or discarding —
-                // the whole query.
-                QueryOutcome::Degraded {
-                    shards_missing: missing,
-                }
-            } else if failed > 0 {
-                QueryOutcome::Failed
-            } else {
-                QueryOutcome::TimedOut
+            let items: Vec<ProbeItem> = list
+                .iter()
+                .map(|&qi| ProbeItem {
+                    slot: qi,
+                    query: Arc::clone(&owned[qi]),
+                    deadline: per_query.and_then(|p| p[qi]),
+                    ticket: tickets[qi],
+                })
+                .collect();
+            let count = items.len();
+            self.shards[s].backlog.fetch_add(count, Ordering::Relaxed);
+            let job = ShardJob {
+                items,
+                wave_deadline: deadline,
+                reply: reply.clone(),
             };
-            if merged.outcome.is_executed() {
-                // Shards partition the id space, so the concatenation is
-                // duplicate-free; sorting restores global id order.
-                merged.answers.sort_unstable();
-                // Only exact (Complete) merged answers are memoizable: a
-                // Degraded union is sound but incomplete, and serving it
-                // from the memo later would silently repeat the loss.
-                if merged.outcome == QueryOutcome::Complete {
-                    if let (Some(memo), Some(Some(key))) = (memo, memo_keys.get(qi)) {
-                        memo.insert(
-                            key.clone(),
-                            AnswerEntry {
-                                answers: merged.answers.clone(),
-                                candidate_count: merged.candidate_count,
-                                candidates_pruned: merged.candidates_pruned,
-                            },
-                        );
+            match self.shards[s].jobs.send(job) {
+                Ok(()) => {
+                    for &qi in list {
+                        state.flights[qi].outstanding += 1;
                     }
                 }
-                totals.add_query(
-                    merged.queue_wait_s,
-                    merged.cache_probe_s,
-                    merged.filter_s,
-                    merged.verify_s,
-                    merged.candidates_pruned,
-                );
-            } else {
-                // No shard delivered: report an explicit non-answer, not
-                // a silently empty answer set.
-                merged.answers.clear();
-                merged.candidate_count = 0;
-                merged.candidates_pruned = 0;
+                // The executor died (pool infrastructure, not a query
+                // panic): every probe of the job failed — retryable.
+                Err(_) => {
+                    self.shards[s].backlog.fetch_sub(count, Ordering::Relaxed);
+                    let now = Instant::now();
+                    for &qi in list {
+                        state.fail_probe(qi, s, now);
+                    }
+                }
             }
-            records.push(merged);
         }
-        ShardedReport {
-            records,
+        // Queries with nothing in flight — admitted by no shard, or whose
+        // every dispatch failed beyond retry — finalize immediately.
+        let now = Instant::now();
+        for qi in 0..state.flights.len() {
+            state.maybe_finalize(qi, now);
+        }
+        // Merge loop: fold events as they arrive, fire due retries, abandon
+        // flights whose deadline passed, and sleep only until whichever
+        // comes first — the next event, retry due time or deadline.
+        while state.remaining > 0 {
+            // Drain everything already buffered before any deadline sweep:
+            // a result that arrived in time is never abandoned.
+            while let Ok(event) = events.try_recv() {
+                state.handle(event);
+            }
+            if state.remaining == 0 {
+                break;
+            }
+            let mut now = Instant::now();
+            while let Some(&Reverse((due, qi, s))) = state.retry_heap.peek() {
+                if due > now {
+                    break;
+                }
+                state.retry_heap.pop();
+                if state.flights[qi].finalized {
+                    continue;
+                }
+                state.flights[qi].pending_retries -= 1;
+                state.flights[qi].record.retries += 1;
+                self.shards[s].backlog.fetch_add(1, Ordering::Relaxed);
+                let job = ShardJob {
+                    items: vec![ProbeItem {
+                        slot: qi,
+                        query: Arc::clone(&owned[qi]),
+                        deadline: per_query.and_then(|p| p[qi]),
+                        ticket: tickets[qi],
+                    }],
+                    wave_deadline: deadline,
+                    reply: reply.clone(),
+                };
+                match self.shards[s].jobs.send(job) {
+                    Ok(()) => state.flights[qi].outstanding += 1,
+                    Err(_) => {
+                        self.shards[s].backlog.fetch_sub(1, Ordering::Relaxed);
+                        state.fail_probe(qi, s, now);
+                        state.maybe_finalize(qi, now);
+                    }
+                }
+                now = Instant::now();
+            }
+            for qi in 0..state.flights.len() {
+                let flight = &state.flights[qi];
+                if !flight.finalized && flight.deadline.is_some_and(|d| now > d) {
+                    // Deadline abandonment: the flight finalizes from what
+                    // its shards delivered so far (degraded, sound) instead
+                    // of waiting out a stalled shard.
+                    state.finalize(qi, now);
+                }
+            }
+            if state.remaining == 0 {
+                break;
+            }
+            let next_retry = state.retry_heap.peek().map(|&Reverse((due, _, _))| due);
+            let next_deadline = state
+                .flights
+                .iter()
+                .filter(|f| !f.finalized)
+                .filter_map(|f| f.deadline)
+                .min();
+            let wake = match (next_retry, next_deadline) {
+                (Some(r), Some(d)) => Some(r.min(d)),
+                (Some(r), None) => Some(r),
+                (None, d) => d,
+            };
+            match wake {
+                None => match events.recv() {
+                    Ok(event) => state.handle(event),
+                    // Unreachable while this frame holds `reply`; bail
+                    // defensively rather than spin on a dead channel.
+                    Err(_) => {
+                        state.finalize_all();
+                        break;
+                    }
+                },
+                Some(at) => {
+                    let timeout = at.saturating_duration_since(Instant::now());
+                    match events.recv_timeout(timeout) {
+                        Ok(event) => state.handle(event),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            state.finalize_all();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let WaveMerge {
+            flights,
             per_shard,
             totals,
-            wall_s,
+            ..
+        } = state;
+        ShardedReport {
+            records: flights.into_iter().map(|f| f.record).collect(),
+            per_shard,
+            totals,
+            wall_s: watch.elapsed_secs(),
             shards: shard_count,
             inserts_applied: 0,
             removes_applied: 0,
+        }
+    }
+}
+
+/// One query's in-flight state while its wave is being merged.
+struct Flight {
+    /// The record under construction — returned as-is once finalized.
+    record: ShardedQueryRecord,
+    /// Probed shards that delivered a result.
+    done: usize,
+    /// Probed shards that failed beyond the retry budget.
+    failed: usize,
+    /// Probed shards whose probe timed out (never retried).
+    timed_out: usize,
+    /// Probes currently executing (or queued) on shard executors.
+    outstanding: usize,
+    /// Probes waiting on the retry heap for their backoff to elapse.
+    pending_retries: usize,
+    /// Longest shard-local queue wait seen so far.
+    shard_wait_s: f64,
+    /// The query's effective deadline: min(wave-wide, its own).
+    deadline: Option<Instant>,
+    finalized: bool,
+}
+
+/// The per-wave merge state: one [`Flight`] per query plus the retry
+/// schedule and the running totals. Owned by the wave thread; shard
+/// executors only ever talk to it through [`WaveEvent`]s.
+struct WaveMerge<'w> {
+    flights: Vec<Flight>,
+    per_shard: Vec<StageTotals>,
+    totals: StageTotals,
+    /// Retry rounds spent per `(query, shard)` pair.
+    rounds: HashMap<(usize, usize), u32>,
+    /// Min-heap of `(due, query, shard)` retries awaiting their backoff.
+    retry_heap: BinaryHeap<Reverse<(Instant, usize, usize)>>,
+    /// Flights not yet finalized — the merge loop's exit condition.
+    remaining: usize,
+    retry: RetryPolicy,
+    wave_started: Instant,
+    memo: Option<&'w AnswerMemo>,
+    memo_keys: Vec<Option<String>>,
+    admission_wait_s: Option<&'w [f64]>,
+}
+
+impl WaveMerge<'_> {
+    /// Serves query `qi` from a whole-answer memo hit: the record is
+    /// synthesized from the cached entry (answers are already sorted
+    /// global ids; candidate accounting carries over from the run that
+    /// populated the memo) and the flight finalizes on the spot.
+    fn serve_from_memo(&mut self, qi: usize, entry: &AnswerEntry, probe_s: f64) {
+        let shard_count = self.per_shard.len();
+        let admission_wait = self.admission_wait_s.map_or(0.0, |w| w[qi]);
+        let flight = &mut self.flights[qi];
+        let record = &mut flight.record;
+        record.answers = entry.answers.clone();
+        record.candidate_count = entry.candidate_count;
+        record.candidates_pruned = entry.candidates_pruned;
+        record.queue_wait_s = admission_wait;
+        record.cache_probe_s = probe_s;
+        record.outcome = QueryOutcome::Complete;
+        record.shards_probed = 0;
+        record.shards_skipped = shard_count;
+        record.latency_s = admission_wait + probe_s;
+        flight.finalized = true;
+        self.remaining -= 1;
+        self.totals
+            .add_query(admission_wait, probe_s, 0.0, 0.0, entry.candidates_pruned);
+        self.totals.observe_latency(record.latency_s);
+    }
+
+    /// Folds one `(query, shard)` completion into its flight. Events for
+    /// an already-finalized flight are late replies from an abandoned
+    /// probe and are dropped.
+    fn handle(&mut self, event: WaveEvent) {
+        let WaveEvent {
+            shard,
+            slot,
+            outcome,
+            record,
+        } = event;
+        if self.flights[slot].finalized {
+            return;
+        }
+        self.flights[slot].outstanding -= 1;
+        match record {
+            Some(record) => {
+                self.per_shard[shard].add_query(
+                    record.queue_wait_s,
+                    record.cache_probe_s,
+                    record.filter_s,
+                    record.verify_s,
+                    record.candidates_pruned,
+                );
+                let flight = &mut self.flights[slot];
+                let merged = &mut flight.record;
+                // The executor mapped answers to global ids already.
+                merged.answers.extend(record.answers.iter().copied());
+                merged.candidate_count += record.candidate_count;
+                merged.candidates_pruned += record.candidates_pruned;
+                flight.shard_wait_s = flight.shard_wait_s.max(record.queue_wait_s);
+                merged.cache_probe_s += record.cache_probe_s;
+                merged.filter_s += record.filter_s;
+                merged.verify_s += record.verify_s;
+                flight.done += 1;
+            }
+            None => match outcome {
+                // Timed-out probes are never retried: their deadline
+                // budget is spent by definition.
+                QueryOutcome::TimedOut => self.flights[slot].timed_out += 1,
+                _ => self.fail_probe(slot, shard, Instant::now()),
+            },
+        }
+        self.maybe_finalize(slot, Instant::now());
+    }
+
+    /// Registers a failed `(query, shard)` probe: schedules a retry with
+    /// exponential backoff while the per-pair budget and the query's
+    /// deadline allow, else counts the probe as failed for good.
+    fn fail_probe(&mut self, qi: usize, shard: usize, now: Instant) {
+        let flight = &mut self.flights[qi];
+        let round = self.rounds.entry((qi, shard)).or_insert(0);
+        if *round < self.retry.max_retries {
+            if let Some(due) = self.retry.retry_at(*round, now, flight.deadline) {
+                *round += 1;
+                flight.pending_retries += 1;
+                self.retry_heap.push(Reverse((due, qi, shard)));
+                return;
+            }
+        }
+        flight.failed += 1;
+    }
+
+    /// Finalizes `qi` iff nothing of it is in flight or awaiting retry.
+    fn maybe_finalize(&mut self, qi: usize, now: Instant) {
+        let flight = &self.flights[qi];
+        if !flight.finalized && flight.outstanding == 0 && flight.pending_retries == 0 {
+            self.finalize(qi, now);
+        }
+    }
+
+    /// Settles query `qi`'s outcome from whatever its shards delivered by
+    /// `now` and closes the flight. Probes still outstanding or awaiting
+    /// retry count as missing — this is the deadline-abandonment path.
+    fn finalize(&mut self, qi: usize, now: Instant) {
+        let admission_wait = self.admission_wait_s.map_or(0.0, |w| w[qi]);
+        let flight = &mut self.flights[qi];
+        flight.finalized = true;
+        self.remaining -= 1;
+        let record = &mut flight.record;
+        // Total queue wait = time pending in the admission queue (open
+        // waves only) + the in-wave wait for the slowest shard.
+        record.queue_wait_s = admission_wait + flight.shard_wait_s;
+        record.latency_s = admission_wait
+            + now
+                .saturating_duration_since(self.wave_started)
+                .as_secs_f64();
+        let missing =
+            flight.failed + flight.timed_out + flight.outstanding + flight.pending_retries;
+        record.outcome = if record.shards_probed == 0 {
+            // Deadline parity with fan-out for zero-probe queries: a
+            // fanned-out wave would have had every shard skip a
+            // past-deadline query, so a routed query that no shard admits
+            // must not dodge its deadline just because its (empty) answer
+            // was free — same `now > deadline` predicate the workers
+            // apply at claim time.
+            if flight.deadline.is_some_and(|d| now > d) {
+                QueryOutcome::TimedOut
+            } else {
+                QueryOutcome::Complete
+            }
+        } else if missing == 0 {
+            QueryOutcome::Complete
+        } else if flight.done > 0 {
+            // Graceful degradation: some probed shards delivered within
+            // the budget, others did not. The partial union is sound
+            // (verification is exact on every shard), so report it flagged
+            // rather than blocking on — or discarding — the whole query.
+            QueryOutcome::Degraded {
+                shards_missing: missing,
+            }
+        } else if flight.failed > 0 {
+            QueryOutcome::Failed
+        } else {
+            QueryOutcome::TimedOut
+        };
+        if record.outcome.is_executed() {
+            // Shards partition the id space, so the concatenation is
+            // duplicate-free; sorting restores global id order.
+            record.answers.sort_unstable();
+            // Only exact (Complete) merged answers are memoizable: a
+            // Degraded union is sound but incomplete, and serving it from
+            // the memo later would silently repeat the loss.
+            if record.outcome == QueryOutcome::Complete {
+                if let (Some(memo), Some(Some(key))) = (self.memo, self.memo_keys.get(qi)) {
+                    memo.insert(
+                        key.clone(),
+                        AnswerEntry {
+                            answers: record.answers.clone(),
+                            candidate_count: record.candidate_count,
+                            candidates_pruned: record.candidates_pruned,
+                        },
+                    );
+                }
+            }
+            self.totals.add_query(
+                record.queue_wait_s,
+                record.cache_probe_s,
+                record.filter_s,
+                record.verify_s,
+                record.candidates_pruned,
+            );
+            self.totals.observe_latency(record.latency_s);
+        } else {
+            // No shard delivered: report an explicit non-answer, not a
+            // silently empty answer set.
+            record.answers.clear();
+            record.candidate_count = 0;
+            record.candidates_pruned = 0;
+        }
+    }
+
+    /// Defensive last resort for a dead event channel: settle every open
+    /// flight from what has arrived so far.
+    fn finalize_all(&mut self) {
+        let now = Instant::now();
+        for qi in 0..self.flights.len() {
+            if !self.flights[qi].finalized {
+                self.finalize(qi, now);
+            }
+        }
+    }
+}
+
+/// Feeds one drained sub-wave's executed records into the admission
+/// queue's measured cost model (see [`ShardedService::serve_read_batch`]).
+fn feed_cost_model(queue: &AdmissionQueue, records: &[ShardedQueryRecord]) {
+    for record in records {
+        if record.outcome.is_executed() && record.shards_probed > 0 {
+            queue
+                .cost_model()
+                .observe(record.candidate_count, record.filter_s, record.verify_s);
         }
     }
 }
@@ -1959,6 +2336,147 @@ mod tests {
         assert_eq!(report.records[0].outcome, QueryOutcome::Failed);
         assert_eq!(report.records[0].retries, 0);
         assert_eq!(report.retries(), 0);
+    }
+
+    /// Headline regression: the backoff schedule saturates on adversarial
+    /// but legal policies instead of panicking. The old wave thread
+    /// computed `backoff * 2u32.saturating_pow(round)` with `Duration *
+    /// u32` (panics on overflow) and added the result to an `Instant`
+    /// unchecked.
+    #[test]
+    fn adversarial_retry_policies_saturate_instead_of_panicking() {
+        let policy = RetryPolicy {
+            max_retries: 40,
+            backoff: Duration::from_secs(1),
+        };
+        assert_eq!(policy.backoff_for(0), Duration::from_secs(1));
+        assert_eq!(policy.backoff_for(31), Duration::from_secs(1 << 31));
+        // The doubling factor saturates at u32::MAX past round 31.
+        assert_eq!(policy.backoff_for(39), Duration::from_secs(u32::MAX as u64));
+        let huge = RetryPolicy {
+            max_retries: u32::MAX,
+            backoff: Duration::MAX,
+        };
+        // The multiplication saturates at Duration::MAX.
+        assert_eq!(huge.backoff_for(0), Duration::MAX);
+        assert_eq!(huge.backoff_for(u32::MAX), Duration::MAX);
+        let now = Instant::now();
+        // A backoff that exceeds the remaining deadline budget is refused.
+        let deadline = Some(now + Duration::from_secs(5));
+        assert_eq!(policy.retry_at(39, now, deadline), None);
+        assert_eq!(
+            policy.retry_at(0, now, deadline),
+            Some(now + Duration::from_secs(1))
+        );
+        // Without a deadline, a backoff too large for the monotonic clock
+        // is refused instead of overflowing the `Instant` addition.
+        assert_eq!(huge.retry_at(0, now, None), None);
+        assert_eq!(
+            policy.retry_at(0, now, None),
+            Some(now + Duration::from_secs(1))
+        );
+    }
+
+    /// Headline regression, end to end: `backoff: 1s, max_retries: 40` —
+    /// the ISSUE repro — against a permanently panicking query finishes
+    /// promptly. Every retry whose backoff cannot fit the deadline budget
+    /// is refused up front, so the wave neither panics nor sleeps through
+    /// 40 doubling rounds.
+    #[test]
+    fn overflow_prone_retry_policy_completes_without_panic() {
+        super::super::fault::silence_injected_panics();
+        let (ds, queries) = setup(12, 3);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let plan = Arc::new(FaultPlan::new().panic_in_verify(0, 1000));
+        let mut service = ShardedService::new(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            ServiceOptions::new()
+                .shards(2)
+                .retry(RetryPolicy {
+                    max_retries: 40,
+                    backoff: Duration::from_secs(1),
+                })
+                .faults(Arc::clone(&plan)),
+        );
+        let started = Instant::now();
+        let report = service.run_wave(&refs, Some(started + Duration::from_millis(250)));
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "wave must not sleep through doubling backoff rounds"
+        );
+        // The 1s first-round backoff never fits the 250ms budget: the
+        // poisoned query fails without a single retry, the rest complete.
+        assert_eq!(report.records[0].outcome, QueryOutcome::Failed);
+        assert_eq!(report.records[0].retries, 0);
+        assert_eq!(report.complete(), queries.len() - 1);
+    }
+
+    /// Dynamic worker scaling: a deep wave grows the executors' pools
+    /// from the observed backlog up to — and never past — `workers_max`;
+    /// the default (cap at the floor) keeps the pools at their fixed size.
+    #[test]
+    fn worker_pools_scale_with_backlog_and_respect_bounds() {
+        let (ds, queries) = setup(16, 24);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let mut fixed = ShardedService::new(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            ServiceOptions::new().shards(2).workers(2),
+        );
+        let report = fixed.run_wave(&refs, None);
+        assert_eq!(report.complete(), queries.len());
+        assert_eq!(fixed.worker_high_water(), vec![2, 2]);
+
+        let mut scaled = ShardedService::new(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            ServiceOptions::new().shards(2).workers(1).workers_max(4),
+        );
+        let report = scaled.run_wave(&refs, None);
+        assert_eq!(report.complete(), queries.len());
+        // 24 fanned-out queries per shard at QUERIES_PER_WORKER=4 target 6
+        // workers; the cap clamps the pools to 4.
+        assert_eq!(scaled.worker_high_water(), vec![4, 4]);
+        let oracle = build_index(MethodKind::Ggsx, &MethodConfig::fast(), &ds);
+        for (record, query) in report.records.iter().zip(queries.iter()) {
+            assert_eq!(record.answers, oracle.query(&ds, query).answers);
+        }
+    }
+
+    /// Every wave record carries an end-to-end latency at least as large
+    /// as its admission wait, and the wave totals expose percentiles.
+    #[test]
+    fn wave_records_carry_latency_and_percentiles() {
+        let (ds, queries) = setup(12, 6);
+        let refs: Vec<&Graph> = queries.iter().collect();
+        let mut service = ShardedService::new(
+            MethodKind::Ggsx,
+            &MethodConfig::fast(),
+            &ds,
+            ServiceOptions::new().shards(2),
+        );
+        let report = service.run_wave(&refs, None);
+        assert_eq!(report.complete(), queries.len());
+        for record in &report.records {
+            assert!(record.latency_s >= 0.0);
+            assert!(
+                record.latency_s * 1.001 + 1e-9 >= record.queue_wait_s,
+                "latency {} must cover the queue wait {}",
+                record.latency_s,
+                record.queue_wait_s
+            );
+        }
+        let p50 = report.totals.latency_percentile(0.50);
+        let p99 = report.totals.latency_percentile(0.99);
+        assert!(p50 > 0.0, "p50 over a served wave must be positive");
+        assert!(
+            p99 >= p50,
+            "percentiles must be monotone: p50 {p50} p99 {p99}"
+        );
     }
 
     #[test]

@@ -29,6 +29,9 @@ fn stage_totals(
     let mut totals = StageTotals::default();
     for _ in 0..queries {
         totals.add_query(queue_wait_s, cache_probe_s, filter_s, verify_s, 15);
+        // Exercise the tail-latency columns deterministically: each
+        // query's end-to-end latency is its summed stage walk.
+        totals.observe_latency(queue_wait_s + cache_probe_s + filter_s + verify_s);
     }
     totals
 }
@@ -151,7 +154,8 @@ fn csv_header_is_pinned_including_routing_outcome_and_cache_columns() {
         header,
         "experiment,x_label,x_value,method,indexing_time_s,index_size_bytes,\
          distinct_features,avg_query_time_s,avg_queue_wait_s,avg_cache_probe_s,\
-         avg_filter_time_s,avg_verify_time_s,candidates_pruned,false_positive_ratio,\
+         avg_filter_time_s,avg_verify_time_s,latency_p50_s,latency_p95_s,\
+         latency_p99_s,candidates_pruned,false_positive_ratio,\
          queries_executed,shards,shards_probed,shards_skipped,max_shard_time_s,\
          shard_balance,partition_overhead_bytes,queries_degraded,queries_failed,\
          queries_shed,retries,inserts_applied,removes_applied,timed_out,\
