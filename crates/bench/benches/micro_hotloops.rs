@@ -1,0 +1,506 @@
+//! Raw-speed A/B micro-benchmarks of the four filter/verify hot-loop
+//! optimisations, each timed against the implementation it replaced:
+//!
+//! * `hotloop_intersect` — the 4×u64 wide intersection/mask kernels of
+//!   [`CandidateSet`] vs the one-word-at-a-time scalar loops they replaced
+//!   (kept as `*_scalar` for exactly this comparison);
+//! * `hotloop_posting_order` — a multi-feature posting fold applied
+//!   rarest-feature-first (what every method's `filter_into` now does) vs
+//!   the unordered arrival-order fold;
+//! * `hotloop_vf2_order` — generic VF2 under the rarity/degree static
+//!   matching order ([`OrderPolicy::RarityDegree`], the new default) vs the
+//!   legacy placed-neighbors order ([`OrderPolicy::PlacedNeighbors`]);
+//! * `hotloop_routing` — sharded waves under fingerprint-sharpened routing
+//!   ([`RoutingMode::SynopsisFingerprint`]) vs the bound checks alone
+//!   ([`RoutingMode::Synopsis`]), on a workload whose decoy shards
+//!   the bounds admit but the path-fingerprint content refutes.
+//!
+//! A fifth group, `gallop_crossover`, measures where galloping intersection
+//! overtakes the linear merge across size-skew ratios — the measurement
+//! behind [`sqbench_index::candidates::GALLOP_CROSSOVER`].
+//!
+//! Every axis asserts its correctness gate **before** timing: both sides of
+//! each A/B pair must produce identical results, and the ordered-VF2 gate
+//! additionally pins full `query()` answers of all seven methods to the
+//! scan oracle. The committed `BENCH_micro_hotloops.json` baseline feeds
+//! the CI regression gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqbench_generator::{GraphGen, GraphGenConfig, QueryGen};
+use sqbench_graph::{Dataset, Graph, GraphBuilder, GraphId};
+use sqbench_harness::service::{RoutingMode, ServiceOptions, ShardedService};
+use sqbench_index::candidates::{
+    intersect_gallop, intersect_posting, CandidateSet, Tombstones, GALLOP_CROSSOVER,
+};
+use sqbench_index::{build_index, intersect_sorted, MethodConfig, MethodKind};
+use sqbench_iso::{MatchState, OrderPolicy, Vf2Matcher};
+
+const ALL_METHODS: [MethodKind; 7] = [
+    MethodKind::Grapes,
+    MethodKind::Ggsx,
+    MethodKind::CtIndex,
+    MethodKind::GIndex,
+    MethodKind::TreeDelta,
+    MethodKind::GCode,
+    MethodKind::Scan,
+];
+
+// ---------------------------------------------------------------- intersect
+
+const INTERSECT_UNIVERSE: usize = 100_000;
+
+/// Candidate sets shaped like a multi-feature filter fold: densities from
+/// ~1/2 down to ~1/9, plus a ~1% tombstone mask.
+fn intersect_fixture() -> (CandidateSet, Vec<CandidateSet>, Tombstones) {
+    let sets: Vec<CandidateSet> = (0..8)
+        .map(|i| {
+            let stride = i + 2;
+            let ids: Vec<GraphId> = (0..INTERSECT_UNIVERSE)
+                .filter(|id| id % stride == i % stride)
+                .collect();
+            CandidateSet::from_sorted_ids(INTERSECT_UNIVERSE, &ids)
+        })
+        .collect();
+    let dead_ids: Vec<GraphId> = (0..INTERSECT_UNIVERSE).step_by(101).collect();
+    let dead = Tombstones::from_sorted(&dead_ids);
+    (CandidateSet::full(INTERSECT_UNIVERSE), sets, dead)
+}
+
+fn fold_intersect_wide(base: &CandidateSet, sets: &[CandidateSet], dead: &Tombstones) -> usize {
+    let mut acc = base.clone();
+    for s in sets {
+        acc.intersect_with(s);
+    }
+    dead.apply(&mut acc);
+    acc.len()
+}
+
+fn fold_intersect_scalar(base: &CandidateSet, sets: &[CandidateSet], dead: &Tombstones) -> usize {
+    let mut acc = base.clone();
+    for s in sets {
+        acc.intersect_with_scalar(s);
+    }
+    dead.apply_scalar(&mut acc);
+    acc.len()
+}
+
+// ------------------------------------------------------------ posting order
+
+const POSTING_UNIVERSE: usize = 100_000;
+
+/// Posting lists in *arrival* order: dense features first, the rarest last
+/// — the worst case the frequency-ordered fold exists to avoid.
+fn posting_fixture() -> Vec<Vec<GraphId>> {
+    [2usize, 3, 4, 6, 50, 400]
+        .iter()
+        .map(|&stride| (0..POSTING_UNIVERSE).step_by(stride).collect())
+        .collect()
+}
+
+fn fold_postings(lists: &[&Vec<GraphId>]) -> Vec<GraphId> {
+    let mut acc: Vec<GraphId> = lists[0].clone();
+    for list in &lists[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        acc = intersect_posting(&acc, list);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------- vf2 order
+
+fn vf2_dataset() -> Dataset {
+    GraphGen::new(
+        GraphGenConfig::default()
+            .with_graph_count(300)
+            .with_avg_nodes(12)
+            .with_avg_density(0.25)
+            .with_label_count(3)
+            .with_seed(0x1707_100b),
+    )
+    .generate()
+}
+
+/// Scan-verify the whole dataset with one matcher; returns per-graph
+/// verdicts (the gate compares these across order policies).
+fn scan_verify(matcher: &Vf2Matcher<'_>, dataset: &Dataset) -> Vec<bool> {
+    dataset.iter().map(|(_, g)| matcher.matches(g)).collect()
+}
+
+// ------------------------------------------------------------------ routing
+
+const ROUTE_SHARDS: usize = 4;
+const ROUTE_FAMILY_GRAPHS: usize = 300;
+
+/// A connected chain over `palette`, cycling to `len` vertices.
+fn chain_graph(name: String, palette: &[u32], len: usize) -> Graph {
+    let labels: Vec<u32> = (0..len).map(|i| palette[i % palette.len()]).collect();
+    let edges: Vec<(usize, usize)> = (1..len).map(|i| (i - 1, i)).collect();
+    GraphBuilder::new(name)
+        .vertices(&labels)
+        .edges(&edges)
+        .build()
+        .unwrap()
+}
+
+/// A decoy with the *same* label counts and edge label pairs as the chain —
+/// every chain edge becomes a disconnected two-vertex edge — plus two
+/// degree-3 hubs so the cumulative degree histogram dominates small chain
+/// queries too. Bound synopses admit chain queries against it; no path of
+/// two or more edges from the chain exists in it, so the shard's path
+/// fingerprint refutes them.
+fn decoy_graph(name: String, palette: &[u32], len: usize) -> Graph {
+    let chain_labels: Vec<u32> = (0..len).map(|i| palette[i % palette.len()]).collect();
+    let mut labels: Vec<u32> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for w in chain_labels.windows(2) {
+        let base = labels.len();
+        labels.extend([w[0], w[1]]);
+        edges.push((base, base + 1));
+    }
+    // Two hubs: hub label deliberately outside the palette (label 100+),
+    // so the hub's own edges add no chain-relevant label pairs.
+    for hub in 0..2 {
+        let base = labels.len();
+        labels.extend([100 + hub, 100 + hub, 100 + hub, 100 + hub]);
+        edges.extend([(base, base + 1), (base, base + 2), (base, base + 3)]);
+    }
+    GraphBuilder::new(name)
+        .vertices(&labels)
+        .edges(&edges)
+        .build()
+        .unwrap()
+}
+
+/// Four interleaved families over two label palettes: shard 0 hosts
+/// palette-A chains, shard 1 palette-A decoys, shards 2/3 the same for
+/// palette B (round-robin placement keeps each family on its own shard).
+/// Chain queries are bounds-admitted by both their palette's shards but
+/// fingerprint-admitted only by the chain shard.
+fn routing_dataset() -> Dataset {
+    const PALETTE_A: [u32; 5] = [0, 1, 2, 3, 4];
+    const PALETTE_B: [u32; 5] = [5, 6, 7, 8, 9];
+    let mut graphs = Vec::new();
+    for i in 0..ROUTE_FAMILY_GRAPHS {
+        let len = 4 + i % 4;
+        graphs.push(chain_graph(format!("a-chain-{i}"), &PALETTE_A, len));
+        graphs.push(decoy_graph(format!("a-decoy-{i}"), &PALETTE_A, len));
+        graphs.push(chain_graph(format!("b-chain-{i}"), &PALETTE_B, len));
+        graphs.push(decoy_graph(format!("b-decoy-{i}"), &PALETTE_B, len));
+    }
+    Dataset::from_graphs("hotloop-routing", graphs)
+}
+
+fn routing_queries() -> Vec<Graph> {
+    let mut queries = Vec::new();
+    for palette in [[0u32, 1, 2, 3, 4], [5, 6, 7, 8, 9]] {
+        for start in 0..3 {
+            let labels: Vec<u32> = palette[start..start + 3].to_vec();
+            let edges = [(0usize, 1usize), (1, 2)];
+            queries.push(
+                GraphBuilder::new(format!("q-{}-{start}", palette[0]))
+                    .vertices(&labels)
+                    .edges(&edges)
+                    .build()
+                    .unwrap(),
+            );
+        }
+    }
+    queries
+}
+
+fn wave_answers(service: &mut ShardedService, queries: &[&Graph]) -> (Vec<Vec<GraphId>>, u64) {
+    let report = service.run_wave(queries, None);
+    let answers = report.records.iter().map(|r| r.answers.clone()).collect();
+    (answers, report.shards_probed())
+}
+
+// --------------------------------------------------------------------- main
+
+fn bench_hotloops(c: &mut Criterion) {
+    // ---- Axis 1: wide vs scalar intersection kernels.
+    let (base, sets, dead) = intersect_fixture();
+    {
+        let mut wide = base.clone();
+        let mut scalar = base.clone();
+        for s in &sets {
+            wide.intersect_with(s);
+            scalar.intersect_with_scalar(s);
+        }
+        dead.apply(&mut wide);
+        dead.apply_scalar(&mut scalar);
+        assert_eq!(
+            wide.to_sorted_vec(),
+            scalar.to_sorted_vec(),
+            "wide kernels diverged from the scalar reference"
+        );
+    }
+    let mut group = c.benchmark_group("hotloop_intersect");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_with_input(
+        BenchmarkId::new("scalar", INTERSECT_UNIVERSE),
+        &(&base, &sets, &dead),
+        |b, (base, sets, dead)| b.iter(|| fold_intersect_scalar(base, sets, dead)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("wide", INTERSECT_UNIVERSE),
+        &(&base, &sets, &dead),
+        |b, (base, sets, dead)| b.iter(|| fold_intersect_wide(base, sets, dead)),
+    );
+    group.finish();
+
+    // ---- Axis 2: arrival-order vs rarest-first posting folds.
+    let lists = posting_fixture();
+    let arrival: Vec<&Vec<GraphId>> = lists.iter().collect();
+    let mut rarest_first = arrival.clone();
+    rarest_first.sort_by_key(|l| l.len());
+    assert_eq!(
+        fold_postings(&arrival),
+        fold_postings(&rarest_first),
+        "posting order changed the fold result"
+    );
+    let mut group = c.benchmark_group("hotloop_posting_order");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_with_input(
+        BenchmarkId::new("arrival", POSTING_UNIVERSE),
+        &arrival,
+        |b, lists| b.iter(|| fold_postings(lists)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("rarest_first", POSTING_UNIVERSE),
+        &rarest_first,
+        |b, lists| b.iter(|| fold_postings(lists)),
+    );
+    group.finish();
+
+    // ---- Axis 3: legacy vs rarity/degree VF2 matching order.
+    let vf2_ds = vf2_dataset();
+    let vf2_queries: Vec<Graph> = QueryGen::new(0x0f2e_0a0b)
+        .generate(&vf2_ds, 12, 5)
+        .iter()
+        .map(|(q, _)| q.clone())
+        .collect();
+    // Gate 1: identical verdicts on every (query, graph) pair.
+    for q in &vf2_queries {
+        let legacy = Vf2Matcher::with_order(q, OrderPolicy::PlacedNeighbors);
+        let rarity = Vf2Matcher::with_order(q, OrderPolicy::RarityDegree);
+        assert_eq!(
+            scan_verify(&legacy, &vf2_ds),
+            scan_verify(&rarity, &vf2_ds),
+            "matching order changed a verdict for query {}",
+            q.name()
+        );
+    }
+    // Gate 2: the full ordered pipeline (filter + ordered verify) matches
+    // the scan oracle for every one of the seven methods.
+    let gate_config = MethodConfig::fast();
+    let oracle = build_index(MethodKind::Scan, &gate_config, &vf2_ds);
+    let expected: Vec<Vec<GraphId>> = vf2_queries
+        .iter()
+        .map(|q| oracle.query(&vf2_ds, q).answers)
+        .collect();
+    for kind in ALL_METHODS {
+        let index = build_index(kind, &gate_config, &vf2_ds);
+        for (qi, q) in vf2_queries.iter().enumerate() {
+            assert_eq!(
+                index.query(&vf2_ds, q).answers,
+                expected[qi],
+                "{} diverged from the scan oracle on query {qi}",
+                kind.name()
+            );
+        }
+    }
+    // Matchers are built once and the VF2 scratch is reused across the whole
+    // sweep (the production configuration), so the timed loop isolates the
+    // search-order effect instead of allocator noise.
+    let legacy_matchers: Vec<Vf2Matcher<'_>> = vf2_queries
+        .iter()
+        .map(|q| Vf2Matcher::with_order(q, OrderPolicy::PlacedNeighbors))
+        .collect();
+    let rarity_matchers: Vec<Vf2Matcher<'_>> = vf2_queries
+        .iter()
+        .map(|q| Vf2Matcher::with_order(q, OrderPolicy::RarityDegree))
+        .collect();
+    let mut group = c.benchmark_group("hotloop_vf2_order");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_with_input(
+        BenchmarkId::new("placed_neighbors", vf2_ds.len()),
+        &(&vf2_ds, &legacy_matchers),
+        |b, (ds, matchers)| {
+            let mut state = MatchState::new();
+            b.iter(|| {
+                matchers
+                    .iter()
+                    .map(|m| {
+                        ds.iter()
+                            .filter(|(_, g)| m.matches_with(&mut state, g))
+                            .count()
+                    })
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("rarity_degree", vf2_ds.len()),
+        &(&vf2_ds, &rarity_matchers),
+        |b, (ds, matchers)| {
+            let mut state = MatchState::new();
+            b.iter(|| {
+                matchers
+                    .iter()
+                    .map(|m| {
+                        ds.iter()
+                            .filter(|(_, g)| m.matches_with(&mut state, g))
+                            .count()
+                    })
+                    .sum::<usize>()
+            })
+        },
+    );
+    group.finish();
+
+    // ---- Axis 4: bounds-only vs fingerprint-sharpened routing.
+    let route_ds = routing_dataset();
+    let route_queries = routing_queries();
+    let route_refs: Vec<&Graph> = route_queries.iter().collect();
+    // Scan is the method here on purpose: its per-shard probe cost is the
+    // full verification sweep, so the bench measures what a wasted probe of
+    // a bounds-admitted decoy shard actually costs when the index cannot
+    // refute it cheaply (an indexed method's trie miss would mask the
+    // routing win on this adversarial workload).
+    let route_config = MethodConfig::fast();
+    let mut bounds_svc = ShardedService::new(
+        MethodKind::Scan,
+        &route_config,
+        &route_ds,
+        ServiceOptions::new()
+            .shards(ROUTE_SHARDS)
+            .routing(RoutingMode::Synopsis),
+    );
+    let mut fp_svc = ShardedService::new(
+        MethodKind::Scan,
+        &route_config,
+        &route_ds,
+        ServiceOptions::new()
+            .shards(ROUTE_SHARDS)
+            .routing(RoutingMode::SynopsisFingerprint),
+    );
+    let mut fanout_svc = ShardedService::new(
+        MethodKind::Scan,
+        &route_config,
+        &route_ds,
+        ServiceOptions::new().shards(ROUTE_SHARDS),
+    );
+    let (fanout_answers, _) = wave_answers(&mut fanout_svc, &route_refs);
+    let (bounds_answers, bounds_probes) = wave_answers(&mut bounds_svc, &route_refs);
+    let (fp_answers, fp_probes) = wave_answers(&mut fp_svc, &route_refs);
+    assert_eq!(
+        fanout_answers, bounds_answers,
+        "bounds routing changed a match set"
+    );
+    assert_eq!(
+        fanout_answers, fp_answers,
+        "fingerprint routing changed a match set"
+    );
+    assert!(
+        fp_probes < bounds_probes,
+        "fingerprints probed {fp_probes} of bounds' {bounds_probes} — decoys not refuted"
+    );
+    let mut group = c.benchmark_group("hotloop_routing");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_with_input(
+        BenchmarkId::new("bounds_only", route_ds.len()),
+        &route_refs,
+        |b, refs| b.iter(|| bounds_svc.run_wave(refs, None).records.len()),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("fingerprint", route_ds.len()),
+        &route_refs,
+        |b, refs| b.iter(|| fp_svc.run_wave(refs, None).records.len()),
+    );
+    group.finish();
+
+    // ---- Gallop crossover measurement (the GALLOP_CROSSOVER constant).
+    let mut group = c.benchmark_group("gallop_crossover");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let large: Vec<GraphId> = (0..(1usize << 15)).map(|i| i * 2).collect();
+    for ratio in [2usize, 4, 8, 10, 12, 16, 32, 64] {
+        let small: Vec<GraphId> = large.iter().copied().step_by(ratio).collect();
+        assert_eq!(
+            intersect_gallop(&small, &large),
+            intersect_sorted(&small, &large)
+        );
+        group.bench_with_input(
+            BenchmarkId::new("merge", ratio),
+            &(&small, &large),
+            |b, (small, large)| b.iter(|| intersect_sorted(small, large)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gallop", ratio),
+            &(&small, &large),
+            |b, (small, large)| b.iter(|| intersect_gallop(small, large)),
+        );
+    }
+    group.finish();
+
+    // ---- Speedup summary straight from the recorded medians.
+    let results = c.results();
+    let median = |id: &str| results.iter().find(|r| r.id == id).map(|r| r.median_ns);
+    let pairs = [
+        (
+            "intersect kernels",
+            format!("hotloop_intersect/scalar/{INTERSECT_UNIVERSE}"),
+            format!("hotloop_intersect/wide/{INTERSECT_UNIVERSE}"),
+        ),
+        (
+            "posting order",
+            format!("hotloop_posting_order/arrival/{POSTING_UNIVERSE}"),
+            format!("hotloop_posting_order/rarest_first/{POSTING_UNIVERSE}"),
+        ),
+        (
+            "vf2 order",
+            format!("hotloop_vf2_order/placed_neighbors/{}", vf2_ds.len()),
+            format!("hotloop_vf2_order/rarity_degree/{}", vf2_ds.len()),
+        ),
+        (
+            "routing",
+            format!("hotloop_routing/bounds_only/{}", route_ds.len()),
+            format!("hotloop_routing/fingerprint/{}", route_ds.len()),
+        ),
+    ];
+    for (name, before, after) in &pairs {
+        if let (Some(before_ns), Some(after_ns)) = (median(before), median(after)) {
+            println!(
+                "{name:>18}: before {before_ns:>14.1} ns, after {after_ns:>14.1} ns, \
+                 speedup {:.2}x",
+                before_ns / after_ns
+            );
+        }
+    }
+    for ratio in [2usize, 4, 8, 10, 12, 16, 32, 64] {
+        if let (Some(m), Some(g)) = (
+            median(&format!("gallop_crossover/merge/{ratio}")),
+            median(&format!("gallop_crossover/gallop/{ratio}")),
+        ) {
+            println!(
+                "gallop @ ratio {ratio:>3}: merge {m:>12.1} ns, gallop {g:>12.1} ns ({})",
+                if g < m { "gallop wins" } else { "merge wins" }
+            );
+        }
+    }
+    println!("configured GALLOP_CROSSOVER = {GALLOP_CROSSOVER}");
+}
+
+criterion_group!(benches, bench_hotloops);
+criterion_main!(benches);

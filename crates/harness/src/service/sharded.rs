@@ -1052,6 +1052,10 @@ impl ShardedService {
         self.next_global_id += 1;
         let shard_idx = self.place(&graph, global);
         let synopsis = GraphSynopsis::of(&graph);
+        // Widen the routing tier before the graph moves into the shard:
+        // `insert_graph` holds `&mut self`, so no wave can observe the
+        // widened router ahead of the actual insert.
+        self.router.absorb(shard_idx, &graph, &synopsis);
         {
             let mut core = self.shards[shard_idx].lock();
             // The index assigns the same local id the dataset push does:
@@ -1064,7 +1068,6 @@ impl ShardedService {
             // merged answers come out in global id order.
             core.to_global.push(global);
         }
-        self.router.absorb(shard_idx, &synopsis);
         self.invalidate_caches();
         global
     }
@@ -1093,9 +1096,13 @@ impl ShardedService {
                 }
                 let index_removed = core.index.remove(local);
                 debug_assert!(index_removed, "dataset and index tombstones diverged");
-                ShardSynopsis::of(&core.dataset)
+                (
+                    ShardSynopsis::of(&core.dataset),
+                    Router::shard_fingerprint(&core.dataset),
+                )
             };
-            self.router.replace(s, recomputed);
+            let (synopsis, fingerprint) = recomputed;
+            self.router.replace(s, synopsis, fingerprint);
             self.invalidate_caches();
             return true;
         }
@@ -1273,7 +1280,7 @@ impl ShardedService {
         // so the merge below stays bit-identical.
         let plan: Option<Vec<Vec<usize>>> = match self.routing {
             RoutingMode::Fanout => None,
-            RoutingMode::Synopsis => Some(self.router.plan(queries, RoutingMode::Synopsis)),
+            mode => Some(self.router.plan(queries, mode)),
         };
         // Answer-memo admission: probe the whole-answer memo before any
         // shard sees the wave. A hit is served straight from the memo and

@@ -22,15 +22,109 @@
 //! graphs") used by GraphGrepSX, Grapes, gIndex and Tree+Δ.
 
 use sqbench_graph::GraphId;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 const BLOCK_BITS: usize = 64;
 
+/// Sentinel stored in [`CandidateSet::cached_len`] when the cached
+/// cardinality is stale and must be recomputed by the next `len()` call.
+const LEN_DIRTY: usize = usize::MAX;
+
+/// AND of two equal-length block slices, unrolled 4×u64 wide. The unroll
+/// gives the compiler four independent scalar ops per iteration (or a
+/// 256-bit vector op under autovectorization) instead of a one-word
+/// dependency chain.
+#[inline]
+fn and_blocks_wide(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    let (dst, src) = (&mut dst[..n], &src[..n]);
+    let mut d4 = dst.chunks_exact_mut(4);
+    let mut s4 = src.chunks_exact(4);
+    for (d, s) in (&mut d4).zip(&mut s4) {
+        d[0] &= s[0];
+        d[1] &= s[1];
+        d[2] &= s[2];
+        d[3] &= s[3];
+    }
+    for (d, s) in d4.into_remainder().iter_mut().zip(s4.remainder()) {
+        *d &= *s;
+    }
+}
+
+/// OR of two equal-length block slices, unrolled 4×u64 wide.
+#[inline]
+fn or_blocks_wide(dst: &mut [u64], src: &[u64]) {
+    let n = dst.len().min(src.len());
+    let (dst, src) = (&mut dst[..n], &src[..n]);
+    let mut d4 = dst.chunks_exact_mut(4);
+    let mut s4 = src.chunks_exact(4);
+    for (d, s) in (&mut d4).zip(&mut s4) {
+        d[0] |= s[0];
+        d[1] |= s[1];
+        d[2] |= s[2];
+        d[3] |= s[3];
+    }
+    for (d, s) in d4.into_remainder().iter_mut().zip(s4.remainder()) {
+        *d |= *s;
+    }
+}
+
+/// AND-NOT (`dst &= !mask`) unrolled 4×u64 wide. `mask` may be shorter
+/// (remaining `dst` blocks are untouched) or longer (excess mask blocks
+/// describe ids above `dst`'s universe and are ignored) than `dst`.
+#[inline]
+fn and_not_blocks_wide(dst: &mut [u64], mask: &[u64]) {
+    let n = dst.len().min(mask.len());
+    let (dst, mask) = (&mut dst[..n], &mask[..n]);
+    let mut d4 = dst.chunks_exact_mut(4);
+    let mut m4 = mask.chunks_exact(4);
+    for (d, m) in (&mut d4).zip(&mut m4) {
+        d[0] &= !m[0];
+        d[1] &= !m[1];
+        d[2] &= !m[2];
+        d[3] &= !m[3];
+    }
+    for (d, m) in d4.into_remainder().iter_mut().zip(m4.remainder()) {
+        *d &= !*m;
+    }
+}
+
 /// Dense bitset over the graph ids `0..universe` of a dataset.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Cardinality is cached lazily: mutating ops mark the cache dirty (or
+/// adjust it incrementally where the delta is known), so repeated `len()`
+/// calls inside filter folds and admission cost modeling stop re-running
+/// the popcount sweep. The cache is an [`AtomicUsize`] (not a `Cell`) so
+/// the set stays `Sync` — feature caches share `Arc<CandidateSet>` values
+/// across query workers.
+#[derive(Debug)]
 pub struct CandidateSet {
     blocks: Vec<u64>,
     universe: usize,
+    /// Cached cardinality; [`LEN_DIRTY`] when stale. Interior-mutable so
+    /// `len(&self)` can fill it in.
+    cached_len: AtomicUsize,
 }
+
+impl Clone for CandidateSet {
+    fn clone(&self) -> Self {
+        CandidateSet {
+            blocks: self.blocks.clone(),
+            universe: self.universe,
+            cached_len: AtomicUsize::new(self.cached_len.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl PartialEq for CandidateSet {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached length is derived state: two sets with equal content
+        // compare equal regardless of which has a warm cache.
+        self.universe == other.universe && self.blocks == other.blocks
+    }
+}
+
+impl Eq for CandidateSet {}
 
 impl CandidateSet {
     /// The empty set over `0..universe`.
@@ -38,6 +132,7 @@ impl CandidateSet {
         CandidateSet {
             blocks: vec![0; universe.div_ceil(BLOCK_BITS)],
             universe,
+            cached_len: AtomicUsize::new(0),
         }
     }
 
@@ -46,6 +141,7 @@ impl CandidateSet {
         let mut set = CandidateSet {
             blocks: vec![!0u64; universe.div_ceil(BLOCK_BITS)],
             universe,
+            cached_len: AtomicUsize::new(universe),
         };
         set.mask_tail();
         set
@@ -60,7 +156,8 @@ impl CandidateSet {
         set
     }
 
-    /// Clears bits above `universe` in the last block.
+    /// Clears bits above `universe` in the last block. Does not touch the
+    /// cached length — callers account for it.
     fn mask_tail(&mut self) {
         let tail = self.universe % BLOCK_BITS;
         if tail != 0 {
@@ -70,23 +167,49 @@ impl CandidateSet {
         }
     }
 
+    /// Marks the cached cardinality stale. Every mutating op whose effect
+    /// on the cardinality is not tracked incrementally must call this.
+    #[inline]
+    fn invalidate_len(&mut self) {
+        *self.cached_len.get_mut() = LEN_DIRTY;
+    }
+
     /// Number of ids the set ranges over (the dataset size, not the
     /// cardinality).
     pub fn universe(&self) -> usize {
         self.universe
     }
 
-    /// Number of ids in the set (popcount sweep).
+    /// Number of ids in the set. The popcount sweep runs only when the
+    /// cache is stale; otherwise this is a single atomic load.
     pub fn len(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        let cached = self.cached_len.load(Ordering::Relaxed);
+        if cached != LEN_DIRTY {
+            return cached;
+        }
+        let n = self.blocks.iter().map(|b| b.count_ones() as usize).sum();
+        // Relaxed is enough: the value is derived purely from `blocks`,
+        // which cannot change concurrently with a shared `&self` borrow.
+        self.cached_len.store(n, Ordering::Relaxed);
+        n
     }
 
     /// `true` if no id is in the set.
     pub fn is_empty(&self) -> bool {
+        let cached = self.cached_len.load(Ordering::Relaxed);
+        if cached != LEN_DIRTY {
+            return cached == 0;
+        }
         self.blocks.iter().all(|&b| b == 0)
     }
 
     /// Adds `id` to the set.
+    ///
+    /// Stays branchless on purpose — per-id inserts seed every filter fold
+    /// and drive the CT-Index/gCode scan loops, and maintaining the length
+    /// cache incrementally here (a membership branch per insert) measured
+    /// ~1.8x slower on the `micro_candidate_fold` seeding path. The cache
+    /// is simply marked dirty instead; the next `len()` pays one sweep.
     pub fn insert(&mut self, id: GraphId) {
         debug_assert!(
             id < self.universe,
@@ -94,9 +217,10 @@ impl CandidateSet {
             self.universe
         );
         self.blocks[id / BLOCK_BITS] |= 1u64 << (id % BLOCK_BITS);
+        self.invalidate_len();
     }
 
-    /// Removes `id` from the set.
+    /// Removes `id` from the set. Branchless, like [`CandidateSet::insert`].
     pub fn remove(&mut self, id: GraphId) {
         debug_assert!(
             id < self.universe,
@@ -104,6 +228,7 @@ impl CandidateSet {
             self.universe
         );
         self.blocks[id / BLOCK_BITS] &= !(1u64 << (id % BLOCK_BITS));
+        self.invalidate_len();
     }
 
     /// Membership test.
@@ -114,6 +239,7 @@ impl CandidateSet {
     /// Removes every id (keeps the allocation).
     pub fn clear(&mut self) {
         self.blocks.fill(0);
+        *self.cached_len.get_mut() = 0;
     }
 
     /// Re-targets the set at a possibly different `universe` and empties it,
@@ -126,6 +252,7 @@ impl CandidateSet {
         self.blocks.fill(0);
         self.blocks.resize(blocks, 0);
         self.universe = universe;
+        *self.cached_len.get_mut() = 0;
     }
 
     /// Re-targets the set at a possibly different `universe` and fills it
@@ -137,24 +264,73 @@ impl CandidateSet {
         self.blocks.resize(blocks, !0u64);
         self.universe = universe;
         self.mask_tail();
+        *self.cached_len.get_mut() = universe;
     }
 
     /// In-place intersection: `self &= other`. Both sets must range over the
-    /// same universe.
+    /// same universe. Runs the 4×u64 wide kernel.
     pub fn intersect_with(&mut self, other: &CandidateSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        and_blocks_wide(&mut self.blocks, &other.blocks);
+        self.invalidate_len();
+    }
+
+    /// In-place union: `self |= other`. Both sets must range over the same
+    /// universe. Runs the 4×u64 wide kernel.
+    pub fn union_with(&mut self, other: &CandidateSet) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        or_blocks_wide(&mut self.blocks, &other.blocks);
+        self.invalidate_len();
+    }
+
+    /// Fused intersection + dead-id-mask application in one wide sweep:
+    /// `self = (self & other) & !dead`. Equivalent to `intersect_with`
+    /// followed by [`Tombstones::apply`], but each block is loaded and
+    /// stored once instead of twice — the shape every mutable index's
+    /// cached filter path ends in.
+    pub fn intersect_with_masked(&mut self, other: &CandidateSet, dead: &Tombstones) {
+        debug_assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mask = dead.block_mask();
+        let n = self.blocks.len().min(other.blocks.len());
+        for (i, (a, b)) in self.blocks[..n]
+            .iter_mut()
+            .zip(other.blocks[..n].iter())
+            .enumerate()
+        {
+            let m = mask.get(i).copied().unwrap_or(0);
+            *a = (*a & b) & !m;
+        }
+        self.invalidate_len();
+    }
+
+    /// Clears every id whose bit is set in `mask` (a block bitmask as kept
+    /// by [`Tombstones`]) in one wide AND-NOT sweep. Mask blocks beyond the
+    /// set's universe are ignored, matching the per-id semantics.
+    pub fn clear_blocks(&mut self, mask: &[u64]) {
+        and_not_blocks_wide(&mut self.blocks, mask);
+        self.invalidate_len();
+    }
+
+    /// One-word-at-a-time reference implementations of the wide kernels.
+    /// Kept (hidden) so the `micro_hotloops` bench and the equivalence
+    /// proptests can A/B the unrolled paths against the obvious scalar
+    /// loop on identical inputs.
+    #[doc(hidden)]
+    pub fn intersect_with_scalar(&mut self, other: &CandidateSet) {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
         for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
             *a &= b;
         }
+        self.invalidate_len();
     }
 
-    /// In-place union: `self |= other`. Both sets must range over the same
-    /// universe.
-    pub fn union_with(&mut self, other: &CandidateSet) {
+    #[doc(hidden)]
+    pub fn union_with_scalar(&mut self, other: &CandidateSet) {
         debug_assert_eq!(self.universe, other.universe, "universe mismatch");
         for (a, b) in self.blocks.iter_mut().zip(other.blocks.iter()) {
             *a |= b;
         }
+        self.invalidate_len();
     }
 
     /// In-place intersection with an **ascending** id stream, without
@@ -169,6 +345,7 @@ impl CandidateSet {
         if self.blocks.is_empty() {
             return;
         }
+        self.invalidate_len();
         let mut current = 0usize;
         let mut mask = 0u64;
         for id in ids {
@@ -270,6 +447,13 @@ impl PostingList {
         self.ids.is_empty()
     }
 
+    /// `true` when the ids are strictly ascending — the storage invariant
+    /// every construction, ingest and compaction path must preserve (the
+    /// ingest proptests check it after arbitrary interleavings).
+    pub fn is_strictly_ascending(&self) -> bool {
+        self.ids.windows(2).all(|w| w[0] < w[1])
+    }
+
     /// Appends an id strictly larger than every stored id — the online
     /// insert path, where a new graph's id is always the dataset maximum.
     pub fn append_max(&mut self, id: GraphId) {
@@ -319,10 +503,26 @@ impl PostingList {
 /// [`Tombstones::should_compact`], the owning index purges its payloads
 /// ([`PostingList::compact`], trie purge, …) — but the mask itself is
 /// **kept**, because the full-set fallbacks never consult payloads at all.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Tombstones {
     dead: Vec<GraphId>,
+    /// Eagerly maintained block bitmask over the dead ids, so
+    /// [`Tombstones::apply`] is a single wide AND-NOT sweep instead of a
+    /// per-id scatter of bounds-checked `remove` calls. Sized to the
+    /// highest dead id, not the universe — candidate sets zip against it
+    /// and ignore the (absent) tail.
+    mask: Vec<u64>,
 }
+
+impl PartialEq for Tombstones {
+    fn eq(&self, other: &Self) -> bool {
+        // `mask` is derived from `dead`; comparing it would only re-check
+        // the same information.
+        self.dead == other.dead
+    }
+}
+
+impl Eq for Tombstones {}
 
 impl Tombstones {
     /// An empty mask.
@@ -338,9 +538,27 @@ impl Tombstones {
             dead.windows(2).all(|w| w[0] < w[1]),
             "dead ids must be strictly ascending"
         );
+        let mut mask = Vec::new();
+        for &id in dead {
+            Self::set_mask_bit(&mut mask, id);
+        }
         Tombstones {
             dead: dead.to_vec(),
+            mask,
         }
+    }
+
+    fn set_mask_bit(mask: &mut Vec<u64>, id: GraphId) {
+        let block = id / BLOCK_BITS;
+        if block >= mask.len() {
+            mask.resize(block + 1, 0);
+        }
+        mask[block] |= 1u64 << (id % BLOCK_BITS);
+    }
+
+    /// The dead ids as a block bitmask (see [`CandidateSet::clear_blocks`]).
+    pub fn block_mask(&self) -> &[u64] {
+        &self.mask
     }
 
     /// Marks `id` dead. Returns `false` when it already was.
@@ -349,6 +567,7 @@ impl Tombstones {
             Ok(_) => false,
             Err(pos) => {
                 self.dead.insert(pos, id);
+                Self::set_mask_bit(&mut self.mask, id);
                 true
             }
         }
@@ -375,8 +594,20 @@ impl Tombstones {
     }
 
     /// Clears every dead bit from `out` — the mandatory last step of every
-    /// `filter_into` path of a mutable index.
+    /// `filter_into` path of a mutable index. One wide AND-NOT sweep over
+    /// the maintained block mask; dead ids above `out`'s universe fall off
+    /// the end of the zip exactly as the old per-id loop skipped them.
     pub fn apply(&self, out: &mut CandidateSet) {
+        if self.dead.is_empty() {
+            return;
+        }
+        out.clear_blocks(&self.mask);
+    }
+
+    /// Per-id reference implementation of [`Tombstones::apply`], kept
+    /// (hidden) for the kernel A/B bench and the equivalence proptests.
+    #[doc(hidden)]
+    pub fn apply_scalar(&self, out: &mut CandidateSet) {
         for &id in &self.dead {
             if id < out.universe() {
                 out.remove(id);
@@ -392,9 +623,24 @@ impl Tombstones {
 
     /// Estimated heap bytes.
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.dead.capacity() * std::mem::size_of::<GraphId>()
+        std::mem::size_of::<Self>()
+            + self.dead.capacity() * std::mem::size_of::<GraphId>()
+            + self.mask.capacity() * std::mem::size_of::<u64>()
     }
 }
+
+/// Size-skew ratio above which [`intersect_posting`] switches from the
+/// linear merge to galloping search. Measured on this machine by the
+/// `gallop_crossover` group of `micro_hotloops` (see
+/// `crates/bench/benches/micro_hotloops.rs`), which times both strategies
+/// on a 1<<15-element posting at skew ratios 2..64: the merge wins clearly
+/// through ratio 8 (~38µs vs ~62µs) and still narrowly at 10, galloping
+/// takes over at 12 (~51µs vs ~61µs) and wins decisively from 16 up
+/// (~39µs vs ~52µs, 3.4x by ratio 64). The crossover sits in the 10–12
+/// band, so 10 replaces the previous unmeasured guess of 16 — postings in
+/// the 12–16x skew band (common once filter folds apply rarest features
+/// first) now take the faster galloping path.
+pub const GALLOP_CROSSOVER: usize = 10;
 
 /// Sorted-sorted intersection of id slices. Size-skewed inputs use a
 /// galloping (exponential) search from the smaller side; similar sizes use
@@ -407,33 +653,42 @@ pub fn intersect_posting(a: &[GraphId], b: &[GraphId]) -> Vec<GraphId> {
     if small.is_empty() {
         return Vec::new();
     }
-    // Galloping pays off when one side is much smaller.
-    if small.len() * 16 < large.len() {
-        let mut out = Vec::with_capacity(small.len());
-        let mut base = 0usize;
-        for &id in small {
-            if base >= large.len() {
-                break;
-            }
-            // Exponential probe for the first index >= id, then a binary
-            // search inside the bracketed window.
-            let mut offset = 1usize;
-            while base + offset < large.len() && large[base + offset] < id {
-                offset <<= 1;
-            }
-            let window_end = (base + offset + 1).min(large.len());
-            match large[base..window_end].binary_search(&id) {
-                Ok(pos) => {
-                    out.push(id);
-                    base += pos + 1;
-                }
-                Err(pos) => base += pos,
-            }
-        }
-        out
+    // Galloping pays off when one side is much smaller (see GALLOP_CROSSOVER).
+    if small.len() * GALLOP_CROSSOVER < large.len() {
+        intersect_gallop(small, large)
     } else {
         crate::intersect_sorted(small, large)
     }
+}
+
+/// The galloping strategy of [`intersect_posting`], callable directly so the
+/// `gallop_crossover` micro-benchmark can time it against the linear merge
+/// at every skew ratio (the dispatching wrapper would hide the losing
+/// strategy below the crossover). `small` must be the shorter slice.
+#[doc(hidden)]
+pub fn intersect_gallop(small: &[GraphId], large: &[GraphId]) -> Vec<GraphId> {
+    let mut out = Vec::with_capacity(small.len());
+    let mut base = 0usize;
+    for &id in small {
+        if base >= large.len() {
+            break;
+        }
+        // Exponential probe for the first index >= id, then a binary
+        // search inside the bracketed window.
+        let mut offset = 1usize;
+        while base + offset < large.len() && large[base + offset] < id {
+            offset <<= 1;
+        }
+        let window_end = (base + offset + 1).min(large.len());
+        match large[base..window_end].binary_search(&id) {
+            Ok(pos) => {
+                out.push(id);
+                base += pos + 1;
+            }
+            Err(pos) => base += pos,
+        }
+    }
+    out
 }
 
 /// The shared filtering loop: feature posting streams arrive one at a time,
@@ -725,6 +980,116 @@ mod tests {
             !dead.should_compact(10_000),
             "32 dead of 10k is not worth a payload sweep"
         );
+    }
+
+    #[test]
+    fn wide_kernels_match_scalar_reference() {
+        // 300 ids → 5 blocks: exercises both the 4-wide body and the
+        // 1-block remainder of every kernel.
+        let a_ids: Vec<GraphId> = (0..300).filter(|x| x % 3 != 0).collect();
+        let b_ids: Vec<GraphId> = (0..300).filter(|x| x % 2 == 0).collect();
+        let a = CandidateSet::from_sorted_ids(300, &a_ids);
+        let b = CandidateSet::from_sorted_ids(300, &b_ids);
+
+        let mut wide = a.clone();
+        wide.intersect_with(&b);
+        let mut scalar = a.clone();
+        scalar.intersect_with_scalar(&b);
+        assert_eq!(wide, scalar);
+
+        let mut wide = a.clone();
+        wide.union_with(&b);
+        let mut scalar = a.clone();
+        scalar.union_with_scalar(&b);
+        assert_eq!(wide, scalar);
+    }
+
+    #[test]
+    fn tombstone_apply_is_wide_and_matches_scalar() {
+        let mut dead = Tombstones::new();
+        for id in [0usize, 63, 64, 128, 255, 299] {
+            dead.mark(id);
+        }
+        let live: Vec<GraphId> = (0..300).filter(|x| x % 7 != 0).collect();
+        let mut wide = CandidateSet::from_sorted_ids(300, &live);
+        let mut scalar = wide.clone();
+        dead.apply(&mut wide);
+        dead.apply_scalar(&mut scalar);
+        assert_eq!(wide, scalar);
+        for id in dead.ids() {
+            assert!(!wide.contains(*id));
+        }
+        // A mask taller than the set's universe is truncated, not a panic.
+        let mut small = CandidateSet::full(70);
+        dead.apply(&mut small);
+        assert_eq!(small.to_sorted_vec(), {
+            let mut v: Vec<GraphId> = (0..70).collect();
+            v.retain(|id| !dead.contains(*id));
+            v
+        });
+    }
+
+    #[test]
+    fn fused_intersect_mask_matches_two_pass() {
+        let a = CandidateSet::from_sorted_ids(200, &[1, 5, 63, 64, 65, 128, 199]);
+        let b = CandidateSet::from_sorted_ids(200, &[5, 63, 64, 128, 150, 199]);
+        let mut dead = Tombstones::new();
+        dead.mark(64);
+        dead.mark(199);
+
+        let mut fused = a.clone();
+        fused.intersect_with_masked(&b, &dead);
+
+        let mut two_pass = a.clone();
+        two_pass.intersect_with(&b);
+        dead.apply(&mut two_pass);
+        assert_eq!(fused, two_pass);
+        assert_eq!(fused.to_sorted_vec(), vec![5, 63, 128]);
+    }
+
+    #[test]
+    fn cached_len_tracks_every_mutation() {
+        let mut s = CandidateSet::empty(300);
+        assert_eq!(s.len(), 0);
+        s.insert(5);
+        s.insert(5); // idempotent
+        s.insert(200);
+        assert_eq!(s.len(), 2);
+        s.remove(5);
+        s.remove(5); // idempotent
+        assert_eq!(s.len(), 1);
+        s.reset_full(130);
+        assert_eq!(s.len(), 130);
+        s.retain_sorted([0usize, 64, 129]);
+        assert_eq!(s.len(), 3);
+        let other = CandidateSet::from_sorted_ids(130, &[64, 129]);
+        s.intersect_with(&other);
+        assert_eq!(s.len(), 2);
+        s.union_with(&CandidateSet::from_sorted_ids(130, &[0, 1]));
+        assert_eq!(s.len(), 4);
+        s.clear();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        // Equality ignores cache warmth.
+        let cold = CandidateSet::from_sorted_ids(10, &[3]);
+        let mut warm = cold.clone();
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm, cold);
+        warm.remove(3);
+        assert_ne!(warm, cold);
+    }
+
+    #[test]
+    fn posting_order_invariant_helper() {
+        let mut p = PostingList::from_unsorted(vec![4, 1, 9]);
+        assert!(p.is_strictly_ascending());
+        p.append_max(12);
+        assert!(p.is_strictly_ascending());
+        let mut dead = Tombstones::new();
+        dead.mark(9);
+        p.compact(&dead);
+        assert!(p.is_strictly_ascending());
+        assert_eq!(p.as_slice(), &[1, 4, 12]);
     }
 
     #[test]

@@ -48,8 +48,21 @@ pub(crate) fn fold_trie_cached(
     out: &mut CandidateSet,
     ctx: &mut FilterCacheCtx<'_>,
 ) {
+    // Rarest-first application, matching the uncached trie fold: sort by
+    // the trie payload size (an upper bound on the posting length — cheap
+    // to read even on a cache hit, and identical for both paths so hit and
+    // miss fold in the same order). Absent sequences sort first and prune
+    // everything immediately.
+    let mut ordered: Vec<(&Vec<Label>, u32, usize)> = query_counts
+        .iter()
+        .map(|(labels, &count)| {
+            let payload_len = trie.lookup(labels).map_or(0, |payload| payload.len());
+            (labels, count, payload_len)
+        })
+        .collect();
+    ordered.sort_by_key(|&(_, _, payload_len)| payload_len);
     let mut fold = ArenaFold::new(out, graph_count);
-    for (labels, &query_count) in query_counts.iter() {
+    for (labels, query_count, _) in ordered {
         let key = path_feature_key(labels, query_count);
         let cached = match ctx.get(&key) {
             Some(set) => set,
@@ -185,12 +198,26 @@ impl GraphIndex for GgsxIndex {
         // no constraint and finishes as the full set. The early returns
         // leave the set empty, so the tombstone mask only matters on the
         // completed fold.
+        //
+        // Every path is looked up once; a miss prunes everything before any
+        // fold work. The hits fold rarest-first (smallest trie payload
+        // first — the payload size bounds the posting length), so the set
+        // collapses toward its final cardinality after one application.
         let mut fold = ArenaFold::new(out, self.graph_count);
+        let mut matched = Vec::with_capacity(query_counts.len());
         for (labels, &query_count) in query_counts.iter() {
-            let Some(matching) = self.trie.candidates_with_count(labels, query_count) else {
+            let Some(payload) = self.trie.lookup(labels) else {
                 fold.prune_all();
                 return;
             };
+            matched.push((payload, query_count));
+        }
+        matched.sort_by_key(|(payload, _)| payload.len());
+        for (payload, query_count) in matched {
+            let matching = payload
+                .iter()
+                .filter(move |(_, entry)| entry.count >= query_count)
+                .map(|(&gid, _)| gid);
             if !fold.apply_sorted(matching) {
                 return;
             }

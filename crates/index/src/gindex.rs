@@ -19,7 +19,7 @@ use crate::candidates::{ArenaFold, CandidateSet, Tombstones};
 use crate::config::GIndexConfig;
 use crate::fcache::FilterCacheCtx;
 use crate::{GraphIndex, IndexStats, MethodKind};
-use sqbench_features::mining::{FeatureKind, MinedFeatures, MiningConfig};
+use sqbench_features::mining::{FeatureKind, FrequentFeature, MinedFeatures, MiningConfig};
 use sqbench_features::FrequentMiner;
 use sqbench_graph::{Dataset, Graph, GraphId};
 use std::sync::Arc;
@@ -62,6 +62,17 @@ impl GIndex {
     /// Number of retained (frequent + discriminative) features.
     pub fn feature_count(&self) -> usize {
         self.features.len()
+    }
+
+    /// `true` iff every feature's support list is strictly ascending — the
+    /// invariant the frequency-ordered filter folds rely on, which online
+    /// insert (append-max) and lazy compaction must both preserve. Exposed
+    /// for the hot-loop ingest property tests.
+    #[doc(hidden)]
+    pub fn postings_strictly_ascending(&self) -> bool {
+        self.features
+            .values()
+            .all(|f| f.supporting_graphs.windows(2).all(|w| w[0] < w[1]))
     }
 
     fn mining_config(&self) -> MiningConfig {
@@ -145,14 +156,23 @@ impl GraphIndex for GIndex {
         // index. Fragments absent from the index impose no constraint (they
         // may have been pruned as infrequent or non-discriminative); a query
         // none of whose fragments are indexed finishes as the full set.
+        //
+        // Matched features fold rarest-first (shortest support list first):
+        // intersection commutes, so the result is bit-identical to canonical
+        // key order, but the set narrows to its final size after the first
+        // application and every later retain_sorted streams over a
+        // near-minimal set — with far more frequent empty short-circuits.
         let miner = FrequentMiner::new(self.mining_config());
         let query_fragments = miner.enumerate_graph(query);
+        let mut matched: Vec<&FrequentFeature> = query_fragments
+            .keys()
+            .filter_map(|key| self.features.get(key))
+            .collect();
+        matched.sort_by_key(|f| f.supporting_graphs.len());
         let mut fold = ArenaFold::new(out, self.graph_count);
-        for key in query_fragments.keys() {
-            if let Some(feature) = self.features.get(key) {
-                if !fold.apply_sorted(feature.supporting_graphs.iter().copied()) {
-                    return;
-                }
+        for feature in matched {
+            if !fold.apply_sorted(feature.supporting_graphs.iter().copied()) {
+                return;
             }
         }
         fold.finish();
@@ -169,27 +189,31 @@ impl GraphIndex for GIndex {
         // fragments are probed in the cache (unindexed ones impose no
         // constraint either way), keyed by their canonical feature key.
         // Mined supports are frozen at build time, so a cached bitset is
-        // valid for the index's lifetime.
+        // valid for the index's lifetime. Features fold rarest-first, like
+        // the uncached path.
         let miner = FrequentMiner::new(self.mining_config());
         let query_fragments = miner.enumerate_graph(query);
+        let mut matched: Vec<&FrequentFeature> = query_fragments
+            .keys()
+            .filter_map(|key| self.features.get(key))
+            .collect();
+        matched.sort_by_key(|f| f.supporting_graphs.len());
         let mut fold = ArenaFold::new(out, self.graph_count);
-        for key in query_fragments.keys() {
-            if let Some(feature) = self.features.get(key) {
-                let cache_key = format!("f:{}", key.as_str());
-                let cached = match ctx.get(&cache_key) {
-                    Some(set) => set,
-                    None => {
-                        let set = Arc::new(CandidateSet::from_sorted_ids(
-                            self.graph_count,
-                            &feature.supporting_graphs,
-                        ));
-                        ctx.put(cache_key, Arc::clone(&set));
-                        set
-                    }
-                };
-                if !fold.apply_set(&cached) {
-                    return;
+        for feature in matched {
+            let cache_key = format!("f:{}", feature.key.as_str());
+            let cached = match ctx.get(&cache_key) {
+                Some(set) => set,
+                None => {
+                    let set = Arc::new(CandidateSet::from_sorted_ids(
+                        self.graph_count,
+                        &feature.supporting_graphs,
+                    ));
+                    ctx.put(cache_key, Arc::clone(&set));
+                    set
                 }
+            };
+            if !fold.apply_set(&cached) {
+                return;
             }
         }
         fold.finish();

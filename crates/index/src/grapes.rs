@@ -127,12 +127,25 @@ impl GrapesIndex {
     /// The count-pruning fold over already-enumerated query path counts
     /// (shared by `filter_into` and `filter_with_locations`).
     fn fold_candidates(&self, query_counts: &BTreeMap<Vec<Label>, u32>, out: &mut CandidateSet) {
+        // Rarest-first fold, mirroring GGSX: every path payload is looked
+        // up once (a miss prunes everything immediately) and the hits are
+        // applied smallest-payload-first so the set narrows to near its
+        // final cardinality after the first application.
         let mut fold = ArenaFold::new(out, self.graph_count);
+        let mut matched = Vec::with_capacity(query_counts.len());
         for (labels, &query_count) in query_counts.iter() {
-            let Some(matching) = self.trie.candidates_with_count(labels, query_count) else {
+            let Some(payload) = self.trie.lookup(labels) else {
                 fold.prune_all();
                 return;
             };
+            matched.push((payload, query_count));
+        }
+        matched.sort_by_key(|(payload, _)| payload.len());
+        for (payload, query_count) in matched {
+            let matching = payload
+                .iter()
+                .filter(move |(_, entry)| entry.count >= query_count)
+                .map(|(&gid, _)| gid);
             if !fold.apply_sorted(matching) {
                 return;
             }
@@ -150,10 +163,11 @@ impl GrapesIndex {
         survivors: &CandidateSet,
     ) -> BTreeMap<GraphId, BTreeSet<VertexId>> {
         let mut locations: BTreeMap<GraphId, BTreeSet<VertexId>> = BTreeMap::new();
-        let survivor_count = survivors.len();
+        // `len()` is cheap here — the candidate set caches its cardinality —
+        // so no hand-hoisting into a local.
         for labels in query_counts.keys() {
             if let Some(payload) = self.trie.lookup(labels) {
-                if survivor_count <= payload.len() {
+                if survivors.len() <= payload.len() {
                     for gid in survivors.iter() {
                         if let Some(entry) = payload.get(&gid) {
                             locations

@@ -334,7 +334,14 @@ fn verify_blocks<'d>(
     candidates: impl Iterator<Item = GraphId>,
     answers: &mut Vec<GraphId>,
 ) {
-    let mut block: Vec<(GraphId, &'d Graph)> = Vec::with_capacity(VERIFY_BLOCK);
+    // Two blocks, double-buffered: candidates gather into `pending` (each
+    // push issues a software prefetch of the graph's label/adjacency
+    // buffers), and once `pending` is full the *previous* block — whose
+    // prefetches were issued one round earlier and have had a full block of
+    // gather work to land — runs through the matcher. The final partial
+    // rounds flush in arrival order to keep `answers` sorted by input order.
+    let mut ready: Vec<(GraphId, &'d Graph)> = Vec::with_capacity(VERIFY_BLOCK);
+    let mut pending: Vec<(GraphId, &'d Graph)> = Vec::with_capacity(VERIFY_BLOCK);
     let mut flush = |block: &mut Vec<(GraphId, &Graph)>, answers: &mut Vec<GraphId>| {
         for &(gid, g) in block.iter() {
             if matcher.matches_with(state, g) {
@@ -348,13 +355,16 @@ fn verify_blocks<'d>(
         // The load that matters: one touch of the graph header per
         // candidate, issued back to back across the block.
         if g.vertex_count() >= min_vertices {
-            block.push((gid, g));
-            if block.len() == VERIFY_BLOCK {
-                flush(&mut block, answers);
+            g.prefetch_hint();
+            pending.push((gid, g));
+            if pending.len() == VERIFY_BLOCK {
+                flush(&mut ready, answers);
+                std::mem::swap(&mut ready, &mut pending);
             }
         }
     }
-    flush(&mut block, answers);
+    flush(&mut ready, answers);
+    flush(&mut pending, answers);
 }
 
 /// Shared VF2 verification helper: keeps candidates that actually contain

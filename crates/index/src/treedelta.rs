@@ -105,6 +105,20 @@ impl TreeDeltaIndex {
             .len()
     }
 
+    /// `true` iff every tree support and every learned Δ support is
+    /// strictly ascending — the invariant the frequency-ordered filter
+    /// folds rely on, which online insert (append-max) and lazy compaction
+    /// must both preserve. Exposed for the hot-loop ingest property tests.
+    #[doc(hidden)]
+    pub fn postings_strictly_ascending(&self) -> bool {
+        let trees_ok = self
+            .tree_features
+            .values()
+            .all(|f| f.supporting_graphs.windows(2).all(|w| w[0] < w[1]));
+        let delta = self.delta_features.read().expect("delta lock poisoned");
+        trees_ok && delta.values().all(|f| f.support.is_strictly_ascending())
+    }
+
     /// Tree-only filtering (no Δ lookup); exposed for tests and ablations.
     pub fn filter_trees_only(&self, query: &Graph) -> Vec<GraphId> {
         let mut set = CandidateSet::empty(self.graph_count);
@@ -117,13 +131,20 @@ impl TreeDeltaIndex {
     /// narrowed in place per indexed subtree's posting list (unconstrained
     /// queries get the full set).
     fn tree_candidates_into(&self, query: &Graph, out: &mut CandidateSet) {
+        // Rarest-first fold (see gIndex): intersection commutes, so sorting
+        // the matched subtrees by support length changes only the work, not
+        // the result.
         let query_trees = query_trees(query, self.config.max_feature_edges);
+        let mut matched: Vec<&Vec<GraphId>> = query_trees
+            .keys()
+            .filter_map(|key| self.tree_features.get(key))
+            .map(|feature| &feature.supporting_graphs)
+            .collect();
+        matched.sort_by_key(|support| support.len());
         let mut fold = ArenaFold::new(out, self.graph_count);
-        for key in query_trees.keys() {
-            if let Some(feature) = self.tree_features.get(key) {
-                if !fold.apply_sorted(feature.supporting_graphs.iter().copied()) {
-                    return;
-                }
+        for support in matched {
+            if !fold.apply_sorted(support.iter().copied()) {
+                return;
             }
         }
         fold.finish();
@@ -168,12 +189,18 @@ impl TreeDeltaIndex {
         if delta.is_empty() {
             return;
         }
-        for cycle in enumerate_cycle_instances(query, self.config.max_cycle_edges) {
-            if let Some(feature) = delta.get(&cycle.key) {
-                feature.support.intersect_into(candidates);
-                if candidates.is_empty() {
-                    break;
-                }
+        // Rarest-first over the matched Δ features, for the same reason the
+        // tree fold sorts: the narrowest support empties the set soonest.
+        let mut matched: Vec<&DeltaFeature> =
+            enumerate_cycle_instances(query, self.config.max_cycle_edges)
+                .iter()
+                .filter_map(|cycle| delta.get(&cycle.key))
+                .collect();
+        matched.sort_by_key(|feature| feature.support.len());
+        for feature in matched {
+            feature.support.intersect_into(candidates);
+            if candidates.is_empty() {
+                break;
             }
         }
     }
@@ -335,24 +362,27 @@ impl GraphIndex for TreeDeltaIndex {
         // each indexed subtree's posting list caches like gIndex's
         // fragments ("t:" keys).
         let query_trees = query_trees(query, self.config.max_feature_edges);
+        let mut matched: Vec<&sqbench_features::mining::FrequentFeature> = query_trees
+            .keys()
+            .filter_map(|key| self.tree_features.get(key))
+            .collect();
+        matched.sort_by_key(|feature| feature.supporting_graphs.len());
         let mut fold = ArenaFold::new(out, self.graph_count);
-        for key in query_trees.keys() {
-            if let Some(feature) = self.tree_features.get(key) {
-                let cache_key = format!("t:{}", key.as_str());
-                let cached = match ctx.get(&cache_key) {
-                    Some(set) => set,
-                    None => {
-                        let set = Arc::new(CandidateSet::from_sorted_ids(
-                            self.graph_count,
-                            &feature.supporting_graphs,
-                        ));
-                        ctx.put(cache_key, Arc::clone(&set));
-                        set
-                    }
-                };
-                if !fold.apply_set(&cached) {
-                    return;
+        for feature in matched {
+            let cache_key = format!("t:{}", feature.key.as_str());
+            let cached = match ctx.get(&cache_key) {
+                Some(set) => set,
+                None => {
+                    let set = Arc::new(CandidateSet::from_sorted_ids(
+                        self.graph_count,
+                        &feature.supporting_graphs,
+                    ));
+                    ctx.put(cache_key, Arc::clone(&set));
+                    set
                 }
+            };
+            if !fold.apply_set(&cached) {
+                return;
             }
         }
         fold.finish();
@@ -369,21 +399,25 @@ impl GraphIndex for TreeDeltaIndex {
         if delta.is_empty() {
             return;
         }
-        for cycle in enumerate_cycle_instances(query, self.config.max_cycle_edges) {
-            if let Some(feature) = delta.get(&cycle.key) {
-                let cache_key = format!("d:{}", cycle.key.as_str());
-                let cached = match ctx.get(&cache_key) {
-                    Some(set) => set,
-                    None => {
-                        let set = Arc::new(feature.support.to_candidate_set(self.graph_count));
-                        ctx.put(cache_key, Arc::clone(&set));
-                        set
-                    }
-                };
-                out.intersect_with(&cached);
-                if out.is_empty() {
-                    break;
+        let mut matched: Vec<(&FeatureKey, &DeltaFeature)> =
+            enumerate_cycle_instances(query, self.config.max_cycle_edges)
+                .iter()
+                .filter_map(|cycle| delta.get_key_value(&cycle.key))
+                .collect();
+        matched.sort_by_key(|(_, feature)| feature.support.len());
+        for (key, feature) in matched {
+            let cache_key = format!("d:{}", key.as_str());
+            let cached = match ctx.get(&cache_key) {
+                Some(set) => set,
+                None => {
+                    let set = Arc::new(feature.support.to_candidate_set(self.graph_count));
+                    ctx.put(cache_key, Arc::clone(&set));
+                    set
                 }
+            };
+            out.intersect_with(&cached);
+            if out.is_empty() {
+                break;
             }
         }
     }
